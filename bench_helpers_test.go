@@ -1,0 +1,12 @@
+package faultdir_test
+
+import (
+	"dirsvc/internal/bullet"
+	"dirsvc/internal/capability"
+	"dirsvc/internal/vdisk"
+)
+
+// bulletStore builds a store for the substrate microbenchmarks.
+func bulletStore(disk *vdisk.Disk) (*bullet.Store, error) {
+	return bullet.NewStore(capability.PortFromString("bench-bullet"), disk)
+}

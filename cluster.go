@@ -1,0 +1,452 @@
+// Package faultdir is the public facade of the fault-tolerant directory
+// service reproduction: it assembles complete simulated clusters — group
+// (triplicated, paper §3), group+NVRAM (§4.1), RPC-duplicated (§1), and
+// an unreplicated SunOS/NFS-like baseline (§4.1) — and exposes clients
+// and fault injection (crashes, restarts, partitions).
+//
+// Every cluster follows the paper's Fig. 3 machine layout: each directory
+// server has its own Bullet file server, and the two share one physical
+// disk (the admin partition for the commit block and object table, the
+// rest for Bullet files).
+package faultdir
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dirsvc/internal/bullet"
+	"dirsvc/internal/core"
+	"dirsvc/internal/dirclient"
+	"dirsvc/internal/dirsvc"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/localdir"
+	"dirsvc/internal/rpc"
+	"dirsvc/internal/rpcdir"
+	"dirsvc/internal/sim"
+	"dirsvc/internal/vdisk"
+)
+
+// Kind selects the directory service implementation.
+type Kind int
+
+// The four configurations of the paper's Fig. 7.
+const (
+	KindGroup      Kind = iota + 1 // triplicated, group communication (§3)
+	KindGroupNVRAM                 // group communication + NVRAM log (§4.1)
+	KindRPC                        // duplicated, RPC + intentions (§1)
+	KindLocal                      // unreplicated SunOS/NFS-like baseline
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindGroup:
+		return "group"
+	case KindGroupNVRAM:
+		return "group+nvram"
+	case KindRPC:
+		return "rpc"
+	case KindLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Servers returns the replication degree the paper used for this kind.
+func (k Kind) Servers() int {
+	switch k {
+	case KindGroup, KindGroupNVRAM:
+		return 3
+	case KindRPC:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Options tune cluster construction.
+type Options struct {
+	// Model is the latency model (default sim.FastModel; benchmarks use
+	// sim.PaperModel).
+	Model *sim.LatencyModel
+	// Servers overrides the replication degree (0 → the paper's).
+	Servers int
+	// Workers is the number of server threads per directory server.
+	Workers int
+	// Resilience overrides the group resilience degree r (default N-1).
+	Resilience int
+	// DiskBlocks sizes each machine's disk (default 4096).
+	DiskBlocks int
+	// Seed drives loss injection in the simulated network.
+	Seed int64
+	// HeartbeatInterval tunes failure detection (tests).
+	HeartbeatInterval time.Duration
+	// DisableImprovement switches off the §3.2 recovery refinement.
+	DisableImprovement bool
+	// DisableReadMajorityCheck lets reads bypass the majority rule
+	// (ablation: recreates the §3.1 anomaly).
+	DisableReadMajorityCheck bool
+	// NVRAMSize sizes the NVRAM region (default 24 KB, as in §4.1).
+	NVRAMSize int
+	// IdleFlush tunes the NVRAM flush idle threshold.
+	IdleFlush time.Duration
+}
+
+// adminBlocks is the admin partition size: commit block + object table.
+const adminBlocks = 1 + 16
+
+// machine is one replica's hardware: a directory server host and a
+// Bullet server host sharing one disk.
+type machine struct {
+	id          int
+	disk        *vdisk.Disk
+	admin       *vdisk.Partition
+	staging     *vdisk.Partition
+	bulletPart  *vdisk.Partition
+	nvram       *vdisk.NVRAM
+	dirNode     *sim.Node
+	dirStack    *flip.Stack
+	bulletNode  *sim.Node
+	bulletStack *flip.Stack
+	bulletSrv   *bullet.Server
+
+	mu   sync.Mutex
+	stop func()       // closes the directory server process
+	core *core.Server // set for group kinds (admin operations)
+}
+
+// Cluster is a complete simulated deployment of one directory service.
+type Cluster struct {
+	Kind    Kind
+	Net     *sim.Network
+	Service string
+
+	opts     Options
+	machines []*machine
+
+	mu      sync.Mutex
+	clients []func()
+}
+
+var clusterSeq int
+
+// New builds and boots a cluster of the given kind.
+func New(kind Kind, opts Options) (*Cluster, error) {
+	if opts.Model == nil {
+		opts.Model = sim.FastModel()
+	}
+	if opts.Servers == 0 {
+		opts.Servers = kind.Servers()
+	}
+	if opts.DiskBlocks == 0 {
+		opts.DiskBlocks = 4096
+	}
+	if opts.NVRAMSize == 0 {
+		opts.NVRAMSize = vdisk.DefaultNVRAMSize
+	}
+	clusterSeq++
+	c := &Cluster{
+		Kind:    kind,
+		Net:     sim.NewNetwork(opts.Model, opts.Seed),
+		Service: fmt.Sprintf("%s-%d", kind, clusterSeq),
+		opts:    opts,
+	}
+
+	n := opts.Servers
+	for i := 1; i <= n; i++ {
+		m, err := c.buildMachine(i)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.machines = append(c.machines, m)
+	}
+
+	// Boot every directory server concurrently: the group service's
+	// recovery protocol needs a majority to assemble.
+	errs := make(chan error, n)
+	for _, m := range c.machines {
+		go func(m *machine) { errs <- c.bootServer(m) }(m)
+	}
+	for range c.machines {
+		if err := <-errs; err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// buildMachine creates the hardware and the Bullet server of replica id.
+func (c *Cluster) buildMachine(id int) (*machine, error) {
+	m := &machine{id: id}
+	m.disk = vdisk.New(c.opts.Model, c.opts.DiskBlocks)
+	var err error
+	if m.admin, err = vdisk.NewPartition(m.disk, 0, adminBlocks); err != nil {
+		return nil, err
+	}
+	if m.staging, err = vdisk.NewPartition(m.disk, adminBlocks, 1); err != nil {
+		return nil, err
+	}
+	if m.bulletPart, err = vdisk.NewPartition(m.disk, adminBlocks+1, c.opts.DiskBlocks-adminBlocks-1); err != nil {
+		return nil, err
+	}
+	if c.Kind == KindGroupNVRAM {
+		m.nvram = vdisk.NewNVRAM(c.opts.Model, c.opts.NVRAMSize)
+	}
+
+	m.bulletNode = c.Net.AddNode(fmt.Sprintf("bullet-%d", id))
+	m.bulletStack = flip.NewStack(m.bulletNode)
+	store, err := bullet.NewStore(dirsvc.BulletPort(c.Service, id), m.bulletPart)
+	if err != nil {
+		return nil, err
+	}
+	m.bulletSrv, err = bullet.NewServer(m.bulletStack, store, 2,
+		dirsvc.BulletPort(c.Service, id), dirsvc.PublicBulletPort(c.Service))
+	if err != nil {
+		return nil, err
+	}
+
+	m.dirNode = c.Net.AddNode(fmt.Sprintf("dir-%d", id))
+	return m, nil
+}
+
+// bootServer starts the directory server process on machine m.
+func (c *Cluster) bootServer(m *machine) error {
+	m.dirStack = flip.NewStack(m.dirNode)
+	switch c.Kind {
+	case KindGroup, KindGroupNVRAM:
+		peers := make(map[int]sim.NodeID, len(c.machines))
+		for _, mm := range c.machines {
+			peers[mm.id] = mm.dirNode.ID()
+		}
+		srv, err := core.NewServer(m.dirStack, core.Config{
+			Service:                  c.Service,
+			ID:                       m.id,
+			N:                        c.opts.Servers,
+			Peers:                    peers,
+			Admin:                    m.admin,
+			NVRAM:                    m.nvram,
+			Workers:                  c.opts.Workers,
+			Resilience:               c.opts.Resilience,
+			DisableImprovement:       c.opts.DisableImprovement,
+			DisableReadMajorityCheck: c.opts.DisableReadMajorityCheck,
+			HeartbeatInterval:        c.opts.HeartbeatInterval,
+			IdleFlush:                c.opts.IdleFlush,
+		})
+		if err != nil {
+			return fmt.Errorf("boot group server %d: %w", m.id, err)
+		}
+		m.mu.Lock()
+		m.stop = srv.Close
+		m.core = srv
+		m.mu.Unlock()
+	case KindRPC:
+		srv, err := rpcdir.NewServer(m.dirStack, rpcdir.Config{
+			Service: c.Service,
+			ID:      m.id,
+			Admin:   m.admin,
+			Staging: m.staging,
+			Workers: c.opts.Workers,
+		})
+		if err != nil {
+			return fmt.Errorf("boot rpc server %d: %w", m.id, err)
+		}
+		m.mu.Lock()
+		m.stop = srv.Close
+		m.mu.Unlock()
+	case KindLocal:
+		srv, err := localdir.NewServer(m.dirStack, localdir.Config{
+			Service: c.Service,
+			Admin:   m.admin,
+			Workers: c.opts.Workers,
+		})
+		if err != nil {
+			return fmt.Errorf("boot local server: %w", err)
+		}
+		m.mu.Lock()
+		m.stop = srv.Close
+		m.mu.Unlock()
+	default:
+		return errors.New("faultdir: unknown cluster kind")
+	}
+	return nil
+}
+
+// NewClient creates a directory client on a fresh client host. The
+// returned cleanup releases the client's resources.
+func (c *Cluster) NewClient() (*dirclient.Client, func(), error) {
+	stack := flip.NewStack(c.Net.AddNode("client"))
+	client, err := dirclient.New(stack, c.Service)
+	if err != nil {
+		stack.Close()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		client.Close()
+		stack.Close()
+	}
+	c.mu.Lock()
+	c.clients = append(c.clients, cleanup)
+	c.mu.Unlock()
+	return client, cleanup, nil
+}
+
+// NewFileClient creates a Bullet client on the public file-service port
+// (the paper's tmp-file workload), sharing the directory client's host.
+func (c *Cluster) NewFileClient(dc *dirclient.Client) *bullet.Client {
+	return bullet.NewClient(dc.RPC(), dirsvc.PublicBulletPort(c.Service))
+}
+
+// NewRawClient returns an RPC client on a fresh host (harness use).
+func (c *Cluster) NewRawClient() (*rpc.Client, func(), error) {
+	stack := flip.NewStack(c.Net.AddNode("client"))
+	rc, err := rpc.NewClient(stack)
+	if err != nil {
+		stack.Close()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		rc.Close()
+		stack.Close()
+	}
+	c.mu.Lock()
+	c.clients = append(c.clients, cleanup)
+	c.mu.Unlock()
+	return rc, cleanup, nil
+}
+
+// CrashServer fail-stops directory server id (its Bullet server and disk
+// keep running, per the paper's separate-machine layout).
+func (c *Cluster) CrashServer(id int) {
+	m := c.machine(id)
+	m.mu.Lock()
+	stop := m.stop
+	m.stop = nil
+	m.mu.Unlock()
+	m.dirNode.Crash()
+	if stop != nil {
+		stop()
+	}
+}
+
+// CrashMachine fail-stops both the directory server and its Bullet
+// server (whole-replica failure). Disk contents survive.
+func (c *Cluster) CrashMachine(id int) {
+	c.CrashServer(id)
+	c.machine(id).bulletNode.Crash()
+}
+
+// RestartServer reboots directory server id from its surviving disk (and
+// NVRAM). For the group service this runs the Fig. 6 recovery protocol
+// before the server accepts requests again.
+func (c *Cluster) RestartServer(id int) error {
+	m := c.machine(id)
+	if m.bulletNode.Crashed() {
+		if err := c.restartBullet(m); err != nil {
+			return err
+		}
+	}
+	m.dirNode.Restart()
+	return c.bootServer(m)
+}
+
+func (c *Cluster) restartBullet(m *machine) error {
+	m.bulletNode.Restart()
+	m.bulletStack = flip.NewStack(m.bulletNode)
+	store, err := bullet.OpenStore(dirsvc.BulletPort(c.Service, m.id), m.bulletPart)
+	if err != nil {
+		return err
+	}
+	m.bulletSrv, err = bullet.NewServer(m.bulletStack, store, 2,
+		dirsvc.BulletPort(c.Service, m.id), dirsvc.PublicBulletPort(c.Service))
+	return err
+}
+
+// PartitionServers splits the network: the machines (directory + Bullet
+// hosts) of the given server ids on one side, everything else — other
+// replicas and all clients — on the other.
+func (c *Cluster) PartitionServers(ids ...int) {
+	inGroup := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		inGroup[id] = true
+	}
+	var side, rest []sim.NodeID
+	taken := make(map[sim.NodeID]bool)
+	for _, m := range c.machines {
+		if inGroup[m.id] {
+			side = append(side, m.dirNode.ID(), m.bulletNode.ID())
+			taken[m.dirNode.ID()] = true
+			taken[m.bulletNode.ID()] = true
+		}
+	}
+	for _, nd := range c.Net.Nodes() {
+		if !taken[nd.ID()] {
+			rest = append(rest, nd.ID())
+		}
+	}
+	c.Net.Partition(side, rest)
+}
+
+// Heal removes any partition.
+func (c *Cluster) Heal() { c.Net.Heal() }
+
+// ForceRecover invokes the administrator escape hatch on a group
+// directory server (§3.1): it will serve — and recover — without a
+// majority, abandoning the partition guarantee. Only valid for group
+// cluster kinds.
+func (c *Cluster) ForceRecover(id int) error {
+	m := c.machine(id)
+	m.mu.Lock()
+	srv := m.core
+	m.mu.Unlock()
+	if srv == nil {
+		return fmt.Errorf("faultdir: server %d is not a group directory server", id)
+	}
+	srv.ForceRecover()
+	return nil
+}
+
+// DiskStats returns the disk statistics of replica id.
+func (c *Cluster) DiskStats(id int) vdisk.Stats { return c.machine(id).disk.Stats() }
+
+func (c *Cluster) machine(id int) *machine {
+	for _, m := range c.machines {
+		if m.id == id {
+			return m
+		}
+	}
+	panic(fmt.Sprintf("faultdir: no machine %d", id))
+}
+
+// Close tears the whole cluster down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	clients := c.clients
+	c.clients = nil
+	c.mu.Unlock()
+	for _, cleanup := range clients {
+		cleanup()
+	}
+	for _, m := range c.machines {
+		m.mu.Lock()
+		stop := m.stop
+		m.stop = nil
+		m.mu.Unlock()
+		if stop != nil {
+			stop()
+		}
+		if m.dirStack != nil {
+			m.dirStack.Close()
+		}
+		if m.bulletSrv != nil {
+			m.bulletSrv.Close()
+		}
+		if m.bulletStack != nil {
+			m.bulletStack.Close()
+		}
+	}
+}

@@ -1,0 +1,837 @@
+package faultdir
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirclient"
+	"dirsvc/internal/dirsvc"
+	"dirsvc/internal/sim"
+)
+
+const testHeartbeat = 15 * time.Millisecond
+
+func testOptions() Options {
+	return Options{
+		Model:             sim.FastModel(),
+		HeartbeatInterval: testHeartbeat,
+	}
+}
+
+func newTestCluster(t *testing.T, kind Kind) *Cluster {
+	t.Helper()
+	c, err := New(kind, testOptions())
+	if err != nil {
+		t.Fatalf("New(%v): %v", kind, err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestAllKindsBasicOperations(t *testing.T) {
+	for _, kind := range []Kind{KindGroup, KindGroupNVRAM, KindRPC, KindLocal} {
+		t.Run(kind.String(), func(t *testing.T) {
+			c := newTestCluster(t, kind)
+			client, cleanup, err := c.NewClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cleanup()
+
+			root, err := client.Root()
+			if err != nil {
+				t.Fatalf("Root: %v", err)
+			}
+			dir, err := client.CreateDir()
+			if err != nil {
+				t.Fatalf("CreateDir: %v", err)
+			}
+			if err := client.Append(root, "projects", dir, nil); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			got, err := client.Lookup(root, "projects")
+			if err != nil {
+				t.Fatalf("Lookup: %v", err)
+			}
+			if got != dir {
+				t.Fatalf("Lookup = %v, want %v", got, dir)
+			}
+			rows, err := client.List(root, 0)
+			if err != nil {
+				t.Fatalf("List: %v", err)
+			}
+			if len(rows) != 1 || rows[0].Name != "projects" {
+				t.Fatalf("List = %+v", rows)
+			}
+			if err := client.Delete(root, "projects"); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := client.Lookup(root, "projects"); !errors.Is(err, dirsvc.ErrNotFound) {
+				t.Fatalf("Lookup after delete: %v", err)
+			}
+			if err := client.DeleteDir(dir); err != nil {
+				t.Fatalf("DeleteDir: %v", err)
+			}
+		})
+	}
+}
+
+func TestAppendDuplicateNameRejected(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	target, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "dup", target, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "dup", target, nil); !errors.Is(err, dirsvc.ErrExists) {
+		t.Fatalf("second append: %v, want ErrExists", err)
+	}
+}
+
+func TestCapabilityRightsEnforced(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "d", dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	readOnly, err := capability.Restrict(dir, capability.RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read allowed, write refused.
+	if _, err := client.List(readOnly, 0); err != nil {
+		t.Fatalf("List with read-only cap: %v", err)
+	}
+	if err := client.Append(readOnly, "x", dir, nil); !errors.Is(err, capability.ErrNoRights) {
+		t.Fatalf("Append with read-only cap: %v", err)
+	}
+	forged := dir
+	forged.Check = capability.Check{1, 1, 1, 1, 1, 1}
+	if _, err := client.List(forged, 0); !errors.Is(err, capability.ErrBadCapability) {
+		t.Fatalf("List with forged cap: %v", err)
+	}
+}
+
+// TestReadYourWritesAcrossServers is the §3.1 scenario: a client deletes
+// a directory entry through one server and immediately reads through
+// another; the read must observe the delete. We force distinct servers
+// by using two clients whose port caches pick different replicas.
+func TestReadYourWritesAcrossServers(t *testing.T) {
+	for _, kind := range []Kind{KindGroup, KindGroupNVRAM} {
+		t.Run(kind.String(), func(t *testing.T) {
+			c := newTestCluster(t, kind)
+			client, cleanup, err := c.NewClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cleanup()
+			root, err := client.Root()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir, err := client.CreateDir()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Hammer the same name through alternating operations; each
+			// read must see the immediately preceding write regardless
+			// of which server the port cache picked.
+			for i := 0; i < 25; i++ {
+				name := fmt.Sprintf("f%d", i)
+				if err := client.Append(root, name, dir, nil); err != nil {
+					t.Fatalf("append %d: %v", i, err)
+				}
+				if _, err := client.Lookup(root, name); err != nil {
+					t.Fatalf("lookup %d after append: %v", i, err)
+				}
+				if err := client.Delete(root, name); err != nil {
+					t.Fatalf("delete %d: %v", i, err)
+				}
+				if _, err := client.Lookup(root, name); !errors.Is(err, dirsvc.ErrNotFound) {
+					t.Fatalf("lookup %d after delete: %v (stale read)", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestGroupSurvivesOneServerCrash(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "before-crash", dir, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	c.CrashServer(2)
+
+	// The two survivors form a majority: service continues. The client
+	// may need to fail over (NOTHERE / timeouts), hence the retry loop.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if err := client.Append(root, "after-crash", dir, nil); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("append never succeeded after crash: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := client.Lookup(root, "before-crash"); err != nil {
+		t.Fatalf("pre-crash data lost: %v", err)
+	}
+	if _, err := client.Lookup(root, "after-crash"); err != nil {
+		t.Fatalf("post-crash write lost: %v", err)
+	}
+}
+
+func TestGroupRecoveryAfterRestart(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "f1", dir, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	c.CrashServer(3)
+
+	// Write while server 3 is down: it misses this update.
+	appendWithRetry(t, client, root, "f2", dir, 30*time.Second)
+
+	// Restart: recovery must fetch the missed update from the majority.
+	if err := c.RestartServer(3); err != nil {
+		t.Fatalf("RestartServer: %v", err)
+	}
+
+	// All three servers must now answer lookups for both entries; we
+	// poll the service until server 3's copy is consistent (verified by
+	// sheer repetition across the port-cache heuristic).
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; ; i++ {
+		_, err1 := client.Lookup(root, "f1")
+		_, err2 := client.Lookup(root, "f2")
+		if err1 == nil && err2 == nil && i > 20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered service inconsistent: f1=%v f2=%v", err1, err2)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMinorityPartitionRefusesReads is the §3.1 partition argument: a
+// server cut off from the majority must refuse even read requests,
+// because the majority may delete directories it still holds.
+func TestMinorityPartitionRefusesReads(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "foo", dir, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut server 3 off; the client stays with the majority side.
+	c.PartitionServers(3)
+
+	// The majority side keeps serving after its reset settles.
+	appendWithRetry(t, client, root, "bar", dir, 30*time.Second)
+
+	// A client on the minority side must be refused.
+	minClient, minCleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer minCleanup()
+	// Place the new client's host on the minority side.
+	c.Net.Partition(
+		[]sim.NodeID{c.machine(3).dirNode.ID(), c.machine(3).bulletNode.ID(), lastNodeID(c)},
+		otherNodes(c, 3),
+	)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, err := minClient.List(root, 0)
+		if errors.Is(err, dirsvc.ErrNoMajority) {
+			break // refused, as required
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("minority server answered a read (err=%v), want refusal", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// After healing, the whole service reunites and serves everything.
+	c.Heal()
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		_, e1 := client.Lookup(root, "foo")
+		_, e2 := client.Lookup(root, "bar")
+		if e1 == nil && e2 == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service did not reunite: foo=%v bar=%v", e1, e2)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestNVRAMTmpFileOptimization(t *testing.T) {
+	c, err := New(KindGroupNVRAM, Options{
+		Model:             sim.FastModel(),
+		HeartbeatInterval: testHeartbeat,
+		IdleFlush:         time.Hour, // never flush during the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "tmpdir", dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	// Settle, then measure: append+delete pairs must cost NO disk
+	// writes at any server (the paper's /tmp optimization).
+	var before [3]uint64
+	for i := 1; i <= 3; i++ {
+		s := c.DiskStats(i)
+		before[i-1] = s.Writes + s.SeqWrites
+	}
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("tmp%d", i)
+		if err := client.Append(dir, name, root, nil); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if err := client.Delete(dir, name); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		s := c.DiskStats(i)
+		if got := s.Writes + s.SeqWrites - before[i-1]; got != 0 {
+			t.Fatalf("server %d: %d disk writes for cancelled pairs, want 0", i, got)
+		}
+	}
+}
+
+func TestNVRAMSurvivesCrash(t *testing.T) {
+	c, err := New(KindGroupNVRAM, Options{
+		Model:             sim.FastModel(),
+		HeartbeatInterval: testHeartbeat,
+		IdleFlush:         time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "logged-only", dir, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash and restart server 1 before any flush: its directory state
+	// must be rebuilt from NVRAM (or pulled from peers).
+	c.CrashServer(1)
+	if err := c.RestartServer(1); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := client.Lookup(root, "logged-only"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("entry lost after NVRAM crash-recovery")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRPCServiceSurvivesPeerCrashDegraded(t *testing.T) {
+	c := newTestCluster(t, KindRPC)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "pre", dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashServer(2)
+	// The RPC service continues alone (degraded, §1 semantics).
+	appendWithRetry(t, client, root, "post", dir, 30*time.Second)
+	if _, err := client.Lookup(root, "post"); err != nil {
+		t.Fatalf("lookup after degraded append: %v", err)
+	}
+}
+
+func TestGroupNoMajorityRefusesUpdates(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash two of three servers: no majority anywhere.
+	c.CrashServer(2)
+	c.CrashServer(3)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		err := client.Append(root, "nope", dir, nil)
+		if errors.Is(err, dirsvc.ErrNoMajority) {
+			return // refused, as required
+		}
+		if err == nil {
+			t.Fatal("update accepted without a majority")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("last error: %v, want ErrNoMajority", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// appendWithRetry retries an append until the service accepts it — used
+// right after crashes and partitions, while resets and client failover
+// are still settling.
+func appendWithRetry(t *testing.T, client *dirclient.Client, parent capability.Capability, name string, target capability.Capability, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		err := client.Append(parent, name, target, nil)
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("append %q never succeeded: %v", name, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func lastNodeID(c *Cluster) sim.NodeID {
+	nodes := c.Net.Nodes()
+	return nodes[len(nodes)-1].ID()
+}
+
+func otherNodes(c *Cluster, excludeServer int) []sim.NodeID {
+	m := c.machine(excludeServer)
+	skip := map[sim.NodeID]bool{
+		m.dirNode.ID():    true,
+		m.bulletNode.ID(): true,
+		lastNodeID(c):     true,
+	}
+	var out []sim.NodeID
+	for _, nd := range c.Net.Nodes() {
+		if !skip[nd.ID()] {
+			out = append(out, nd.ID())
+		}
+	}
+	return out
+}
+
+// TestImprovementAllowsStayedUpRecovery reproduces the §3.2 scenario:
+// servers 1,2,3 up; 3 crashes; {1,2} rebuild; 2 crashes. Server 1 never
+// failed. When 3 restarts, plain Skeen refuses ({1,3} does not cover the
+// last set {1,2}), but the paper's improvement allows recovery because
+// the stayed-up server 1 holds the highest sequence number.
+func TestImprovementAllowsStayedUpRecovery(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "f1", dir, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	c.CrashServer(3)
+	// {1,2} rebuild and perform another update so their config vectors
+	// read 110 and their seqnos exceed server 3's.
+	appendWithRetry(t, client, root, "f2", dir, 30*time.Second)
+
+	c.CrashServer(2)
+	// Server 1 alone: minority, refuses service, but stays up.
+	// Restart 3: with the improvement, {1,3} must recover.
+	if err := c.RestartServer(3); err != nil {
+		t.Fatalf("restart 3: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, e1 := client.Lookup(root, "f1")
+		_, e2 := client.Lookup(root, "f2")
+		if e1 == nil && e2 == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("{1,3} did not recover via the improvement: f1=%v f2=%v", e1, e2)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStrictSkeenRefusesWithoutLastServer is the §3.2 counterpart with
+// the improvement disabled: {1,3} must keep refusing service because
+// server 2 may have performed the latest update. (Here server 1 crashed
+// too, so the improvement would not apply either; the strict rule is
+// what keeps the pair down.)
+func TestStrictSkeenRefusesWithoutLastServer(t *testing.T) {
+	c, err := New(KindGroup, Options{
+		Model:              sim.FastModel(),
+		HeartbeatInterval:  testHeartbeat,
+		DisableImprovement: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "f1", dir, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3 crashes; {1,2} rebuild (vectors 110) and update.
+	c.CrashServer(3)
+	appendWithRetry(t, client, root, "f2", dir, 30*time.Second)
+	// 1 and 2 crash; restart 1 and 3. Their union {1,3} does not cover
+	// the last set {1,2}: strict Skeen must refuse to serve. Recovery
+	// blocks until it succeeds, so the restarts run asynchronously.
+	c.CrashServer(1)
+	c.CrashServer(2)
+	restartErrs := make(chan error, 2)
+	go func() { restartErrs <- c.RestartServer(1) }()
+	go func() { restartErrs <- c.RestartServer(3) }()
+	// Give recovery ample time; every read must keep failing.
+	time.Sleep(2 * time.Second)
+	if _, err := client.Lookup(root, "f1"); err == nil {
+		t.Fatal("{1,3} served a read although server 2 may hold the latest update")
+	}
+
+	// Restart 2: now the last set is covered and service resumes with
+	// the latest data.
+	if err := c.RestartServer(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-restartErrs; err != nil {
+			t.Fatalf("async restart: %v", err)
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, e1 := client.Lookup(root, "f1")
+		_, e2 := client.Lookup(root, "f2")
+		if e1 == nil && e2 == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service did not resume after server 2 returned: f1=%v f2=%v", e1, e2)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSimultaneousRestartSyncsFromHighest: server 3 misses an update;
+// then servers 1 and 2 also crash; all three restart together. The
+// recovering servers must compare disk-derived sequence numbers and pull
+// from whichever survivor is ahead — a fresh process's in-memory counter
+// says nothing (regression test for the exchange advertising logic).
+func TestSimultaneousRestartSyncsFromHighest(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "f1", dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashServer(3)
+	appendWithRetry(t, client, root, "f2", dir, 30*time.Second) // 3 misses this
+	c.CrashServer(1)
+	c.CrashServer(2)
+
+	restartErrs := make(chan error, 3)
+	for id := 1; id <= 3; id++ {
+		go func(id int) { restartErrs <- c.RestartServer(id) }(id)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-restartErrs; err != nil {
+			t.Fatalf("restart: %v", err)
+		}
+	}
+	// Every server must now hold both entries; hammer lookups so the
+	// port cache visits all three.
+	deadline := time.Now().Add(60 * time.Second)
+	for i := 0; ; i++ {
+		_, e1 := client.Lookup(root, "f1")
+		_, e2 := client.Lookup(root, "f2")
+		if e1 == nil && e2 == nil && i > 30 {
+			return
+		}
+		if e1 != nil || e2 != nil {
+			i = 0 // a stale replica answered: keep hammering
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale state after simultaneous restart: f1=%v f2=%v", e1, e2)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestForceRecoverEscapeHatch covers the §3.1 administrator escape: with
+// two of three servers gone for good, the survivor normally refuses all
+// requests; after ForceRecover it serves alone.
+func TestForceRecoverEscapeHatch(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "precious", dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Two head crashes: servers 2 and 3 are gone forever.
+	c.CrashServer(2)
+	c.CrashServer(3)
+
+	// Without the escape, the survivor refuses.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, err := client.Lookup(root, "precious")
+		if errors.Is(err, dirsvc.ErrNoMajority) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor answered without a majority: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The administrator forces it up.
+	if err := c.ForceRecover(1); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if _, err := client.Lookup(root, "precious"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("forced server never served")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := client.Append(root, "post-force", dir, nil); err != nil {
+		t.Fatalf("forced server refused an update: %v", err)
+	}
+}
+
+// TestDirectoryDeletionSurvivesFullRestart exercises the reason the
+// commit block carries a sequence number (§3, Fig. 4): when a directory
+// is deleted, its per-directory record disappears, so the deletion must
+// be remembered in the commit block — otherwise recovery after a full
+// restart could resurrect it from a stale replica.
+func TestDirectoryDeletionSurvivesFullRestart(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, _ := client.Root()
+	dir, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(root, "doomed", dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Delete(root, "doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.DeleteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full service restart.
+	for id := 1; id <= 3; id++ {
+		c.CrashServer(id)
+	}
+	restartErrs := make(chan error, 3)
+	for id := 1; id <= 3; id++ {
+		go func(id int) { restartErrs <- c.RestartServer(id) }(id)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-restartErrs; err != nil {
+			t.Fatalf("restart: %v", err)
+		}
+	}
+	// The deleted directory must stay deleted at every replica.
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; ; i++ {
+		_, err := client.List(dir, 0)
+		if errors.Is(err, dirsvc.ErrNotFound) || errors.Is(err, capability.ErrBadCapability) {
+			if i > 20 {
+				return
+			}
+		} else if err == nil {
+			t.Fatal("deleted directory resurrected after full restart")
+		} else {
+			i = 0 // transient (recovery still settling)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never settled: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestColumnVisibilityEndToEnd covers the protection-domain columns of
+// §2: a capability restricted to read rights sees rows through the
+// "other" column's masks, with hidden rows filtered out.
+func TestColumnVisibilityEndToEnd(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	dir, err := client.CreateDir() // columns: owner, group, other
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := client.CreateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "public" is visible to everyone read-only; "secret" has no rights
+	// in the third column and must be invisible there.
+	if err := client.Append(dir, "public", target,
+		[]capability.Rights{capability.AllRights, capability.RightRead, capability.RightRead}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(dir, "secret", target,
+		[]capability.Rights{capability.AllRights, capability.AllRights, 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Owner column: both rows, full rights on "secret".
+	rows, err := client.List(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("owner sees %d rows, want 2", len(rows))
+	}
+	// Third column: only "public", and its capability is restricted.
+	rows, err = client.List(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Name != "public" {
+		t.Fatalf("other column sees %+v, want only public", rows)
+	}
+	if rows[0].Cap.Rights != capability.RightRead {
+		t.Fatalf("other column rights = %v, want read-only", rows[0].Cap.Rights)
+	}
+}

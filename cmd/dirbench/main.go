@@ -1,0 +1,186 @@
+// Command dirbench regenerates the paper's evaluation (§4): Fig. 7's
+// latency table, the Fig. 8 and Fig. 9 throughput sweeps, the §1/§6
+// headline numbers, and the §4.2 upper-bound analysis, printing measured
+// values next to the paper's.
+//
+// Usage:
+//
+//	dirbench -experiment fig7
+//	dirbench -experiment fig8 -window 2s
+//	dirbench -experiment all -scale 0.1
+//
+// With -scale below 1 the simulated hardware runs proportionally faster;
+// reported times are scaled back so they remain comparable to the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	faultdir "dirsvc"
+
+	"dirsvc/internal/harness"
+	"dirsvc/internal/sim"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | all")
+		window     = flag.Duration("window", 2*time.Second, "measurement window per throughput point")
+		pairs      = flag.Int("pairs", 10, "append-delete pairs per latency measurement")
+		scale      = flag.Float64("scale", 1.0, "latency scale factor (1.0 = paper hardware)")
+	)
+	flag.Parse()
+	if err := run(*experiment, *window, *pairs, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "dirbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, window time.Duration, pairs int, scale float64) error {
+	model := sim.ScaledPaperModel(scale)
+	switch experiment {
+	case "fig7":
+		return fig7(model, pairs, scale)
+	case "fig8":
+		return figThroughput(model, window, scale, false)
+	case "fig9":
+		return figThroughput(model, window, scale, true)
+	case "headline":
+		return headline(model, window, scale)
+	case "bounds":
+		return bounds(model)
+	case "all":
+		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds"} {
+			if err := run(exp, window, pairs, scale); err != nil {
+				return fmt.Errorf("%s: %w", exp, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}
+
+func newCluster(kind faultdir.Kind, model *sim.LatencyModel) (*faultdir.Cluster, error) {
+	return faultdir.New(kind, faultdir.Options{Model: model})
+}
+
+// fig7 reproduces the single-client latency table.
+func fig7(model *sim.LatencyModel, pairs int, scale float64) error {
+	fmt.Println("== Fig. 7: single-client latency (paper: group 184/215/5, rpc 192/277/5, nfs 87/111/6, nvram 27/52/5 ms)")
+	var rows []harness.Latencies
+	for _, kind := range []faultdir.Kind{faultdir.KindGroup, faultdir.KindRPC, faultdir.KindLocal, faultdir.KindGroupNVRAM} {
+		c, err := newCluster(kind, model)
+		if err != nil {
+			return err
+		}
+		ad, err := harness.MeasureAppendDelete(c, pairs)
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("%v append-delete: %w", kind, err)
+		}
+		tf, err := harness.MeasureTmpFile(c, pairs)
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("%v tmp-file: %w", kind, err)
+		}
+		lk, err := harness.MeasureLookup(c, pairs*10)
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("%v lookup: %w", kind, err)
+		}
+		c.Close()
+		rows = append(rows, harness.Latencies{
+			Kind:         kind,
+			AppendDelete: descale(ad, scale),
+			TmpFile:      descale(tf, scale),
+			Lookup:       descale(lk, scale),
+		})
+	}
+	fmt.Print(harness.RenderFig7(rows))
+	return nil
+}
+
+// figThroughput reproduces Fig. 8 (lookups) or Fig. 9 (updates).
+func figThroughput(model *sim.LatencyModel, window time.Duration, scale float64, updates bool) error {
+	title := "Fig. 8: lookup throughput vs clients (paper plateaus: group ≈652/s, rpc ≈520/s)"
+	unit := "lookups/s"
+	if updates {
+		title = "Fig. 9: append-delete throughput vs clients (paper plateaus: ≈5 group, ≈5 rpc, ≈45 nvram pairs/s)"
+		unit = "pairs/s"
+	}
+	fmt.Println("==", title)
+	series := make(map[string][]harness.Throughput)
+	for _, kind := range []faultdir.Kind{faultdir.KindGroup, faultdir.KindGroupNVRAM, faultdir.KindRPC} {
+		c, err := newCluster(kind, model)
+		if err != nil {
+			return err
+		}
+		for clients := 1; clients <= 7; clients++ {
+			var tp harness.Throughput
+			if updates {
+				tp, err = harness.MeasureUpdateThroughput(c, clients, window)
+			} else {
+				tp, err = harness.MeasureLookupThroughput(c, clients, window)
+			}
+			if err != nil {
+				c.Close()
+				return fmt.Errorf("%v clients=%d: %w", kind, clients, err)
+			}
+			tp.OpsPerSec *= scale // de-scale back to paper hardware speed
+			series[kind.String()] = append(series[kind.String()], tp)
+		}
+		c.Close()
+	}
+	fmt.Print(harness.RenderSeries(title, unit, series))
+	return nil
+}
+
+// headline reproduces the abstract's numbers: 627 lookups/s and 88
+// updates/s for the triplicated service with NVRAM.
+func headline(model *sim.LatencyModel, window time.Duration, scale float64) error {
+	fmt.Println("== Headline (§1/§6): triplicated service with NVRAM — paper: 627 lookups/s, 88 updates/s")
+	c, err := newCluster(faultdir.KindGroupNVRAM, model)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	lt, err := harness.MeasureLookupThroughput(c, 7, window)
+	if err != nil {
+		return err
+	}
+	ut, err := harness.MeasureUpdateThroughput(c, 7, window)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured: %.0f lookups/s, %.0f updates/s (%.0f append-delete pairs/s)\n",
+		lt.OpsPerSec*scale, 2*ut.OpsPerSec*scale, ut.OpsPerSec*scale)
+	return nil
+}
+
+// bounds prints the §4.2 back-of-envelope upper bounds implied by the
+// latency model, next to the paper's.
+func bounds(model *sim.LatencyModel) error {
+	fmt.Println("== §4.2 upper bounds from the latency model")
+	perRead := model.LookupCPU + 2*model.PacketCPU
+	readBound := float64(time.Second) / float64(perRead)
+	fmt.Printf("read bound/server ≈ %.0f/s (paper: 333/s); group(3) ≈ %.0f/s, rpc(2) ≈ %.0f/s\n",
+		readBound, 3*readBound, 2*readBound)
+	groupPair := 2 * (2*model.DiskOp + model.DiskSeqOp + model.UpdateCPU)
+	fmt.Printf("group write bound ≈ %.1f pairs/s (paper: 5)\n", float64(time.Second)/float64(groupPair))
+	nvramPair := 2 * (model.UpdateCPU + 4*model.PacketCPU + model.NVRAMWrite)
+	fmt.Printf("nvram write bound ≈ %.1f pairs/s (paper: 45)\n", float64(time.Second)/float64(nvramPair))
+	return nil
+}
+
+// descale converts a measured duration back to paper-hardware time.
+func descale(d time.Duration, scale float64) time.Duration {
+	if scale == 0 {
+		return d
+	}
+	return time.Duration(float64(d) / scale)
+}

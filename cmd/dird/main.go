@@ -1,0 +1,215 @@
+// Command dird runs a complete simulated directory-service cluster and
+// offers an interactive shell for poking at it: directory operations,
+// server crashes, restarts and network partitions — a fault-tolerance
+// playground for the paper's protocols.
+//
+// Usage:
+//
+//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01]
+//
+// Commands (type "help" at the prompt):
+//
+//	ls [name]              list a directory (default: root)
+//	mkdir <name>           create a directory and register it
+//	rm <name>              delete a row
+//	put <name>             register a fresh 4-byte file
+//	cat <name>             read a registered file
+//	crash <id> | restart <id> | partition <id...> | heal
+//	status                 per-server status
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	faultdir "dirsvc"
+
+	"dirsvc/internal/sim"
+)
+
+func main() {
+	var (
+		kindName = flag.String("kind", "group", "group | group+nvram | rpc | local")
+		scale    = flag.Float64("scale", 0.01, "hardware latency scale (1.0 = paper speed)")
+	)
+	flag.Parse()
+	if err := run(*kindName, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "dird:", err)
+		os.Exit(1)
+	}
+}
+
+func parseKind(name string) (faultdir.Kind, error) {
+	switch name {
+	case "group":
+		return faultdir.KindGroup, nil
+	case "group+nvram", "nvram":
+		return faultdir.KindGroupNVRAM, nil
+	case "rpc":
+		return faultdir.KindRPC, nil
+	case "local", "nfs":
+		return faultdir.KindLocal, nil
+	default:
+		return 0, fmt.Errorf("unknown kind %q", name)
+	}
+}
+
+func run(kindName string, scale float64) error {
+	kind, err := parseKind(kindName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("booting %v cluster (%d servers, scale %g)...\n", kind, kind.Servers(), scale)
+	cluster, err := faultdir.New(kind, faultdir.Options{Model: sim.ScaledPaperModel(scale)})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	client, cleanup, err := cluster.NewClient()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	root, err := client.Root()
+	if err != nil {
+		return fmt.Errorf("fetch root: %w", err)
+	}
+	files := cluster.NewFileClient(client)
+	fmt.Println("ready. type \"help\".")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("dird> "); sc.Scan(); fmt.Print("dird> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "quit", "exit":
+			return nil
+		case "help":
+			fmt.Println("ls [name] | mkdir <name> | rm <name> | put <name> | cat <name>")
+			fmt.Println("crash <id> | restart <id> | partition <id...> | heal | status | quit")
+		case "ls":
+			dir := root
+			if len(args) == 1 {
+				c, err := client.Lookup(root, args[0])
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				dir = c
+			}
+			rows, err := client.List(dir, 0)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, r := range rows {
+				fmt.Printf("%-24s %v\n", r.Name, r.Cap)
+			}
+			fmt.Printf("(%d rows)\n", len(rows))
+		case "mkdir":
+			if len(args) != 1 {
+				fmt.Println("usage: mkdir <name>")
+				continue
+			}
+			dir, err := client.CreateDir()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if err := client.Append(root, args[0], dir, nil); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "rm":
+			if len(args) != 1 {
+				fmt.Println("usage: rm <name>")
+				continue
+			}
+			if err := client.Delete(root, args[0]); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "put":
+			if len(args) != 1 {
+				fmt.Println("usage: put <name>")
+				continue
+			}
+			fcap, err := files.Create([]byte(args[0]))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if err := client.Append(root, args[0], fcap, nil); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "cat":
+			if len(args) != 1 {
+				fmt.Println("usage: cat <name>")
+				continue
+			}
+			fcap, err := client.Lookup(root, args[0])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			data, err := files.Read(fcap)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("%q\n", data)
+		case "crash", "restart":
+			if len(args) != 1 {
+				fmt.Printf("usage: %s <server-id>\n", cmd)
+				continue
+			}
+			id, err := strconv.Atoi(args[0])
+			if err != nil || id < 1 || id > kind.Servers() {
+				fmt.Println("bad server id")
+				continue
+			}
+			if cmd == "crash" {
+				cluster.CrashServer(id)
+				fmt.Printf("server %d crashed\n", id)
+			} else if err := cluster.RestartServer(id); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("server %d recovered\n", id)
+			}
+		case "partition":
+			ids := make([]int, 0, len(args))
+			for _, a := range args {
+				id, err := strconv.Atoi(a)
+				if err != nil {
+					fmt.Println("bad server id", a)
+					continue
+				}
+				ids = append(ids, id)
+			}
+			cluster.PartitionServers(ids...)
+			fmt.Printf("servers %v partitioned away\n", ids)
+		case "heal":
+			cluster.Heal()
+			fmt.Println("network healed")
+		case "status":
+			for id := 1; id <= kind.Servers(); id++ {
+				s := cluster.DiskStats(id)
+				fmt.Printf("server %d: disk reads=%d writes=%d seqWrites=%d\n",
+					id, s.Reads, s.Writes, s.SeqWrites)
+			}
+			st := cluster.Net.Stats()
+			fmt.Printf("network: %d frames sent, %d delivered, %d dropped\n",
+				st.FramesSent, st.FramesDelivered, st.FramesDropped)
+		default:
+			fmt.Println("unknown command; type \"help\"")
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,226 @@
+package bullet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/rpc"
+)
+
+// Wire operation codes.
+const (
+	opCreate = 1
+	opRead   = 2
+	opSize   = 3
+	opDelete = 4
+)
+
+// Wire status codes.
+const (
+	statusOK = iota
+	statusNotFound
+	statusBadCap
+	statusNoRights
+	statusNoSpace
+	statusTooBig
+	statusBadRequest
+	statusIO
+)
+
+// Server is the RPC frontend of one Bullet store. A store may be served on
+// several ports at once: its private per-machine port (which its directory
+// server uses, Fig. 3) and optionally the public file-service port clients
+// use for their own files.
+type Server struct {
+	store   *Store
+	servers []*rpc.Server
+	stops   []func()
+}
+
+// NewServer serves store on the given ports with the given number of
+// worker threads per port.
+func NewServer(stack *flip.Stack, store *Store, workers int, ports ...capability.Port) (*Server, error) {
+	if len(ports) == 0 {
+		ports = []capability.Port{store.Port()}
+	}
+	s := &Server{store: store}
+	for _, port := range ports {
+		srv, err := rpc.NewServer(stack, port)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("bullet server on %v: %w", port, err)
+		}
+		s.servers = append(s.servers, srv)
+		s.stops = append(s.stops, srv.ServeFunc(workers, s.handle))
+	}
+	return s, nil
+}
+
+// Store returns the underlying file store.
+func (s *Server) Store() *Store { return s.store }
+
+// Close stops all RPC frontends.
+func (s *Server) Close() {
+	for _, srv := range s.servers {
+		srv.Close()
+	}
+	for _, stop := range s.stops {
+		stop()
+	}
+}
+
+func (s *Server) handle(req *rpc.Request) []byte {
+	if len(req.Payload) < 1 {
+		return respond(statusBadRequest, nil)
+	}
+	op := req.Payload[0]
+	body := req.Payload[1:]
+	switch op {
+	case opCreate:
+		cap, err := s.store.Create(body)
+		if err != nil {
+			return respond(statusOf(err), nil)
+		}
+		return respond(statusOK, cap.Encode(nil))
+	case opRead, opSize, opDelete:
+		c, err := capability.Decode(body)
+		if err != nil {
+			return respond(statusBadRequest, nil)
+		}
+		switch op {
+		case opRead:
+			data, err := s.store.Read(c)
+			if err != nil {
+				return respond(statusOf(err), nil)
+			}
+			return respond(statusOK, data)
+		case opSize:
+			n, err := s.store.Size(c)
+			if err != nil {
+				return respond(statusOf(err), nil)
+			}
+			return respond(statusOK, binary.BigEndian.AppendUint32(nil, uint32(n)))
+		default:
+			if err := s.store.Delete(c); err != nil {
+				return respond(statusOf(err), nil)
+			}
+			return respond(statusOK, nil)
+		}
+	default:
+		return respond(statusBadRequest, nil)
+	}
+}
+
+func respond(status byte, payload []byte) []byte {
+	return append([]byte{status}, payload...)
+}
+
+func statusOf(err error) byte {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return statusNotFound
+	case errors.Is(err, capability.ErrBadCapability):
+		return statusBadCap
+	case errors.Is(err, capability.ErrNoRights):
+		return statusNoRights
+	case errors.Is(err, ErrNoSpace):
+		return statusNoSpace
+	case errors.Is(err, ErrTooBig):
+		return statusTooBig
+	default:
+		return statusIO
+	}
+}
+
+func errorOf(status byte) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusNotFound:
+		return ErrNotFound
+	case statusBadCap:
+		return capability.ErrBadCapability
+	case statusNoRights:
+		return capability.ErrNoRights
+	case statusNoSpace:
+		return ErrNoSpace
+	case statusTooBig:
+		return ErrTooBig
+	case statusBadRequest:
+		return errors.New("bullet: bad request")
+	default:
+		return errors.New("bullet: server I/O error")
+	}
+}
+
+// Client accesses a Bullet service over RPC.
+type Client struct {
+	rpc  *rpc.Client
+	port capability.Port
+}
+
+// NewClient creates a Bullet client for the service on port.
+func NewClient(rc *rpc.Client, port capability.Port) *Client {
+	return &Client{rpc: rc, port: port}
+}
+
+// Create stores data as a new immutable file.
+func (c *Client) Create(data []byte) (capability.Capability, error) {
+	reply, err := c.rpc.Trans(c.port, append([]byte{opCreate}, data...))
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	payload, err := parseReply(reply)
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	return capability.Decode(payload)
+}
+
+// Read fetches the whole file named by cap.
+func (c *Client) Read(cap capability.Capability) ([]byte, error) {
+	reply, err := c.rpc.Trans(c.port, cap.Encode([]byte{opRead}))
+	if err != nil {
+		return nil, err
+	}
+	return parseReply(reply)
+}
+
+// Size returns the file length.
+func (c *Client) Size(cap capability.Capability) (int, error) {
+	reply, err := c.rpc.Trans(c.port, cap.Encode([]byte{opSize}))
+	if err != nil {
+		return 0, err
+	}
+	payload, err := parseReply(reply)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) != 4 {
+		return 0, errors.New("bullet: malformed size reply")
+	}
+	return int(binary.BigEndian.Uint32(payload)), nil
+}
+
+// Delete destroys the file named by cap.
+func (c *Client) Delete(cap capability.Capability) error {
+	reply, err := c.rpc.Trans(c.port, cap.Encode([]byte{opDelete}))
+	if err != nil {
+		return err
+	}
+	_, err = parseReply(reply)
+	return err
+}
+
+func parseReply(reply []byte) ([]byte, error) {
+	if len(reply) < 1 {
+		return nil, errors.New("bullet: empty reply")
+	}
+	if err := errorOf(reply[0]); err != nil {
+		return nil, err
+	}
+	return reply[1:], nil
+}

@@ -1,0 +1,103 @@
+package bullet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/rpc"
+	"dirsvc/internal/sim"
+	"dirsvc/internal/vdisk"
+)
+
+func newServerFixture(t *testing.T, extraPorts ...capability.Port) *Client {
+	t.Helper()
+	net := sim.NewNetwork(sim.FastModel(), 1)
+
+	serverStack := flip.NewStack(net.AddNode("bullet"))
+	disk := vdisk.New(sim.FastModel(), 4096)
+	port := capability.PortFromString("bullet-rpc-test")
+	store, err := NewStore(port, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(serverStack, store, 2, append([]capability.Port{port}, extraPorts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clientStack := flip.NewStack(net.AddNode("client"))
+	rc, err := rpc.NewClient(clientStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		serverStack.Close()
+		clientStack.Close()
+	})
+	return NewClient(rc, port)
+}
+
+func TestClientCreateReadSizeDelete(t *testing.T) {
+	c := newServerFixture(t)
+	data := []byte("over-the-wire file")
+	cap1, err := c.Create(data)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	got, err := c.Read(cap1)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+	n, err := c.Size(cap1)
+	if err != nil || n != len(data) {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if err := c.Delete(cap1); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := c.Read(cap1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read after delete: %v", err)
+	}
+}
+
+func TestClientErrorsMapped(t *testing.T) {
+	c := newServerFixture(t)
+	owner, err := c.Create([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := owner
+	forged.Check = capability.Check{9, 9, 9, 9, 9, 9}
+	if _, err := c.Read(forged); !errors.Is(err, capability.ErrBadCapability) {
+		t.Fatalf("forged read over RPC: %v", err)
+	}
+	ro, _ := capability.Restrict(owner, capability.RightRead)
+	if err := c.Delete(ro); !errors.Is(err, capability.ErrNoRights) {
+		t.Fatalf("unauthorized delete over RPC: %v", err)
+	}
+	ghost := owner
+	ghost.Object = 0xfffff
+	if _, err := c.Size(ghost); !errors.Is(err, ErrNotFound) &&
+		!errors.Is(err, capability.ErrBadCapability) {
+		t.Fatalf("missing object: %v", err)
+	}
+}
+
+func TestServeOnExtraPublicPort(t *testing.T) {
+	public := capability.PortFromString("public-file-service")
+	c := newServerFixture(t, public)
+	// The same store must answer on the public port too.
+	pub := NewClient(c.rpc, public)
+	cap1, err := pub.Create([]byte("via public port"))
+	if err != nil {
+		t.Fatalf("Create via public port: %v", err)
+	}
+	got, err := c.Read(cap1)
+	if err != nil || string(got) != "via public port" {
+		t.Fatalf("Read via private port: %q, %v", got, err)
+	}
+}

@@ -1,0 +1,85 @@
+package bullet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/vdisk"
+)
+
+// ErrCorruptTable is returned when the on-disk file table cannot be parsed.
+var ErrCorruptTable = errors.New("bullet: corrupt file table")
+
+// On-disk file table layout (big endian):
+//
+//	magic   [4]byte "BLT1"
+//	nextObj uint32
+//	count   uint32
+//	entries count × (object u32, start u32, blocks u32, length u32, secret [6]byte)
+var tableMagic = [4]byte{'B', 'L', 'T', '1'}
+
+const entrySize = 4 + 4 + 4 + 4 + 6
+
+// encodeTableLocked serializes the file table. Must hold s.mu. Entries are
+// sorted by object number for deterministic images.
+func (s *Store) encodeTableLocked() []byte {
+	objects := make([]uint32, 0, len(s.files))
+	for o := range s.files {
+		objects = append(objects, o)
+	}
+	sort.Slice(objects, func(i, j int) bool { return objects[i] < objects[j] })
+
+	buf := make([]byte, 0, 12+len(objects)*entrySize)
+	buf = append(buf, tableMagic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, s.nextObj)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(objects)))
+	for _, o := range objects {
+		e := s.files[o]
+		buf = binary.BigEndian.AppendUint32(buf, e.object)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.start))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.blocks))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.length))
+		buf = append(buf, e.secret[:]...)
+	}
+	if len(buf) > tableBlocks*vdisk.BlockSize {
+		// The table region is sized for thousands of directories; treat
+		// overflow as a hard configuration error surfaced at write time.
+		return buf[:tableBlocks*vdisk.BlockSize]
+	}
+	return buf
+}
+
+func decodeTable(raw []byte) (map[uint32]*fileEntry, uint32, error) {
+	if len(raw) < 12 {
+		return nil, 0, ErrCorruptTable
+	}
+	var m [4]byte
+	copy(m[:], raw[:4])
+	if m != tableMagic {
+		return nil, 0, fmt.Errorf("bad magic: %w", ErrCorruptTable)
+	}
+	nextObj := binary.BigEndian.Uint32(raw[4:8])
+	count := int(binary.BigEndian.Uint32(raw[8:12]))
+	if count < 0 || 12+count*entrySize > len(raw) {
+		return nil, 0, fmt.Errorf("entry count %d: %w", count, ErrCorruptTable)
+	}
+	files := make(map[uint32]*fileEntry, count)
+	off := 12
+	for i := 0; i < count; i++ {
+		e := &fileEntry{
+			object: binary.BigEndian.Uint32(raw[off : off+4]),
+			start:  int(binary.BigEndian.Uint32(raw[off+4 : off+8])),
+			blocks: int(binary.BigEndian.Uint32(raw[off+8 : off+12])),
+			length: int(binary.BigEndian.Uint32(raw[off+12 : off+16])),
+		}
+		var sec capability.Secret
+		copy(sec[:], raw[off+16:off+22])
+		e.secret = sec
+		files[e.object] = e
+		off += entrySize
+	}
+	return files, nextObj, nil
+}

@@ -1,0 +1,198 @@
+// Package capability implements Amoeba-style 128-bit capabilities.
+//
+// A capability identifies and protects an object. It consists of four
+// parts (paper §2): a 48-bit port identifying the service, a 24-bit object
+// number identifying the object at that service, an 8-bit rights field, and
+// a 48-bit check field that makes the capability unforgeable.
+//
+// The owner capability carries the full rights mask and the object's secret
+// check number C. A restricted capability for rights mask R carries
+// check = F(C xor R), where F is a one-way function. A server verifies a
+// restricted capability by recomputing F(C xor R) from its stored secret.
+package capability
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Size is the wire size of a capability in bytes (128 bits).
+const Size = 16
+
+// Rights is the 8-bit rights mask of a capability.
+type Rights uint8
+
+// Standard rights bits used by the directory and file services.
+const (
+	RightRead   Rights = 1 << iota // read/list the object
+	RightWrite                     // modify the object
+	RightDelete                    // delete the object or rows
+	RightAdmin                     // change protection (chmod)
+)
+
+// AllRights is the rights mask of an owner capability.
+const AllRights Rights = 0xff
+
+// Has reports whether r includes every bit of want.
+func (r Rights) Has(want Rights) bool { return r&want == want }
+
+// Port is a 48-bit service identifier. Services listen on ports; clients
+// locate services by port (see internal/flip).
+type Port [6]byte
+
+// PortFromString derives a port deterministically from a service name.
+func PortFromString(name string) Port {
+	sum := sha256.Sum256([]byte("port:" + name))
+	var p Port
+	copy(p[:], sum[:6])
+	return p
+}
+
+// String returns the port as a short hex string.
+func (p Port) String() string { return hex.EncodeToString(p[:]) }
+
+// IsZero reports whether the port is the all-zero (null) port.
+func (p Port) IsZero() bool { return p == Port{} }
+
+// Check is the 48-bit check field protecting a capability.
+type Check [6]byte
+
+// String returns the check field as hex.
+func (c Check) String() string { return hex.EncodeToString(c[:]) }
+
+// Capability identifies and protects one object of one service.
+type Capability struct {
+	Port   Port   // service that manages the object
+	Object uint32 // object number at that service (24 bits used)
+	Rights Rights // operations the holder may perform
+	Check  Check  // validity proof
+}
+
+// ErrBadCapability is returned when a capability fails verification.
+var ErrBadCapability = errors.New("capability: invalid check field")
+
+// ErrNoRights is returned when a capability lacks the rights for an
+// operation.
+var ErrNoRights = errors.New("capability: insufficient rights")
+
+// String renders the capability in the conventional
+// port:object(rights)check form.
+func (c Capability) String() string {
+	return fmt.Sprintf("%s:%d(%02x)%s", c.Port, c.Object, uint8(c.Rights), c.Check)
+}
+
+// IsZero reports whether the capability is the zero capability.
+func (c Capability) IsZero() bool { return c == Capability{} }
+
+// Encode appends the 16-byte wire form of c to dst and returns the result.
+func (c Capability) Encode(dst []byte) []byte {
+	dst = append(dst, c.Port[:]...)
+	var obj [3]byte
+	obj[0] = byte(c.Object >> 16)
+	obj[1] = byte(c.Object >> 8)
+	obj[2] = byte(c.Object)
+	dst = append(dst, obj[:]...)
+	dst = append(dst, byte(c.Rights))
+	dst = append(dst, c.Check[:]...)
+	return dst
+}
+
+// Decode parses a 16-byte wire-form capability from b.
+func Decode(b []byte) (Capability, error) {
+	if len(b) < Size {
+		return Capability{}, fmt.Errorf("capability: short buffer (%d bytes)", len(b))
+	}
+	var c Capability
+	copy(c.Port[:], b[0:6])
+	c.Object = uint32(b[6])<<16 | uint32(b[7])<<8 | uint32(b[8])
+	c.Rights = Rights(b[9])
+	copy(c.Check[:], b[10:16])
+	return c, nil
+}
+
+// onewayF is the one-way function used for rights restriction. It only has
+// to be hard to invert; we use SHA-256 truncated to 48 bits.
+func onewayF(port Port, object uint32, secret Check, rights Rights) Check {
+	var buf [6 + 4 + 6 + 1]byte
+	copy(buf[0:6], port[:])
+	binary.BigEndian.PutUint32(buf[6:10], object)
+	copy(buf[10:16], secret[:])
+	buf[16] = byte(rights)
+	sum := sha256.Sum256(buf[:])
+	var out Check
+	copy(out[:], sum[:6])
+	return out
+}
+
+// Secret is the per-object secret a server stores to mint and verify
+// capabilities for the object.
+type Secret Check
+
+// NewSecret derives an object secret from seed material. Servers call this
+// once per object with random (or, for the group directory service,
+// deterministically agreed-upon) seed bytes.
+func NewSecret(seed []byte) Secret {
+	sum := sha256.Sum256(append([]byte("secret:"), seed...))
+	var s Secret
+	copy(s[:], sum[:6])
+	return s
+}
+
+// Mint creates the owner capability (all rights) for an object.
+func Mint(port Port, object uint32, secret Secret) Capability {
+	return Capability{
+		Port:   port,
+		Object: object,
+		Rights: AllRights,
+		Check:  Check(secret),
+	}
+}
+
+// Restrict derives a capability carrying only the rights in mask from an
+// owner capability. Restricting an already-restricted capability is not
+// supported by the one-way scheme and returns ErrBadCapability unless the
+// input carries AllRights.
+func Restrict(owner Capability, mask Rights) (Capability, error) {
+	if owner.Rights != AllRights {
+		return Capability{}, fmt.Errorf("restrict non-owner capability: %w", ErrBadCapability)
+	}
+	if mask == AllRights {
+		return owner, nil
+	}
+	return Capability{
+		Port:   owner.Port,
+		Object: owner.Object,
+		Rights: mask,
+		Check:  onewayF(owner.Port, owner.Object, owner.Check, mask),
+	}, nil
+}
+
+// Verify checks c against the object secret held by the server. It returns
+// nil when the capability is genuine (owner or correctly restricted).
+func Verify(c Capability, secret Secret) error {
+	if c.Rights == AllRights {
+		if c.Check == Check(secret) {
+			return nil
+		}
+		return ErrBadCapability
+	}
+	if c.Check == onewayF(c.Port, c.Object, Check(secret), c.Rights) {
+		return nil
+	}
+	return ErrBadCapability
+}
+
+// Require verifies c and additionally checks that it grants the rights in
+// need. It returns ErrBadCapability or ErrNoRights accordingly.
+func Require(c Capability, secret Secret, need Rights) error {
+	if err := Verify(c, secret); err != nil {
+		return err
+	}
+	if !c.Rights.Has(need) {
+		return ErrNoRights
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package capability
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPortFromStringDeterministic(t *testing.T) {
+	a := PortFromString("directory")
+	b := PortFromString("directory")
+	c := PortFromString("bullet")
+	if a != b {
+		t.Fatalf("same name produced different ports: %v vs %v", a, b)
+	}
+	if a == c {
+		t.Fatalf("different names produced the same port: %v", a)
+	}
+	if a.IsZero() {
+		t.Fatal("derived port is zero")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		cap  Capability
+	}{
+		{name: "zero", cap: Capability{}},
+		{name: "owner", cap: Mint(PortFromString("svc"), 42, NewSecret([]byte("x")))},
+		{
+			name: "max object",
+			cap: Capability{
+				Port:   PortFromString("svc"),
+				Object: 0xffffff,
+				Rights: RightRead | RightDelete,
+				Check:  Check{1, 2, 3, 4, 5, 6},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			wire := tt.cap.Encode(nil)
+			if len(wire) != Size {
+				t.Fatalf("encoded size = %d, want %d", len(wire), Size)
+			}
+			got, err := Decode(wire)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got != tt.cap {
+				t.Fatalf("round trip mismatch: got %v, want %v", got, tt.cap)
+			}
+		})
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, err := Decode(make([]byte, Size-1)); err == nil {
+		t.Fatal("Decode of short buffer succeeded, want error")
+	}
+}
+
+func TestEncodeAppends(t *testing.T) {
+	prefix := []byte("hdr")
+	cap1 := Mint(PortFromString("svc"), 7, NewSecret([]byte("s")))
+	out := cap1.Encode(prefix)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("Encode did not append to dst")
+	}
+	got, err := Decode(out[len(prefix):])
+	if err != nil || got != cap1 {
+		t.Fatalf("Decode after append: got %v err %v", got, err)
+	}
+}
+
+func TestMintVerify(t *testing.T) {
+	secret := NewSecret([]byte("obj-9"))
+	owner := Mint(PortFromString("dir"), 9, secret)
+	if err := Verify(owner, secret); err != nil {
+		t.Fatalf("owner capability failed verification: %v", err)
+	}
+	if err := Verify(owner, NewSecret([]byte("other"))); err == nil {
+		t.Fatal("owner capability verified against wrong secret")
+	}
+}
+
+func TestRestrictVerify(t *testing.T) {
+	secret := NewSecret([]byte("obj-1"))
+	owner := Mint(PortFromString("dir"), 1, secret)
+
+	ro, err := Restrict(owner, RightRead)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if ro.Rights != RightRead {
+		t.Fatalf("restricted rights = %v, want %v", ro.Rights, RightRead)
+	}
+	if err := Verify(ro, secret); err != nil {
+		t.Fatalf("restricted capability failed verification: %v", err)
+	}
+	// Forging more rights onto the restricted capability must fail.
+	forged := ro
+	forged.Rights = AllRights
+	if err := Verify(forged, secret); err == nil {
+		t.Fatal("forged rights escalation verified")
+	}
+	forged = ro
+	forged.Rights = RightRead | RightWrite
+	if err := Verify(forged, secret); err == nil {
+		t.Fatal("forged partial escalation verified")
+	}
+}
+
+func TestRestrictNonOwnerRejected(t *testing.T) {
+	secret := NewSecret([]byte("obj-2"))
+	owner := Mint(PortFromString("dir"), 2, secret)
+	ro, err := Restrict(owner, RightRead|RightWrite)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if _, err := Restrict(ro, RightRead); err == nil {
+		t.Fatal("restricting a restricted capability succeeded, want error")
+	}
+}
+
+func TestRestrictAllRightsIsIdentity(t *testing.T) {
+	secret := NewSecret([]byte("obj-3"))
+	owner := Mint(PortFromString("dir"), 3, secret)
+	same, err := Restrict(owner, AllRights)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if same != owner {
+		t.Fatal("Restrict(owner, AllRights) != owner")
+	}
+}
+
+func TestRequire(t *testing.T) {
+	secret := NewSecret([]byte("obj-4"))
+	owner := Mint(PortFromString("dir"), 4, secret)
+	ro, _ := Restrict(owner, RightRead)
+
+	tests := []struct {
+		name    string
+		cap     Capability
+		need    Rights
+		wantErr error
+	}{
+		{name: "owner has all", cap: owner, need: RightWrite | RightDelete},
+		{name: "read-only can read", cap: ro, need: RightRead},
+		{name: "read-only cannot write", cap: ro, need: RightWrite, wantErr: ErrNoRights},
+		{name: "bad check", cap: Capability{Port: owner.Port, Object: 4, Rights: RightRead}, need: RightRead, wantErr: ErrBadCapability},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := Require(tt.cap, secret, tt.need)
+			if tt.wantErr == nil && err != nil {
+				t.Fatalf("Require: %v", err)
+			}
+			if tt.wantErr != nil && err != tt.wantErr {
+				t.Fatalf("Require err = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRightsHas(t *testing.T) {
+	r := RightRead | RightDelete
+	if !r.Has(RightRead) || !r.Has(RightDelete) || !r.Has(RightRead|RightDelete) {
+		t.Fatal("Has missed granted rights")
+	}
+	if r.Has(RightWrite) || r.Has(RightRead|RightWrite) {
+		t.Fatal("Has granted missing rights")
+	}
+}
+
+// Property: every encode/decode round trip is the identity, for arbitrary
+// capabilities.
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(port [6]byte, object uint32, rights uint8, check [6]byte) bool {
+		c := Capability{
+			Port:   Port(port),
+			Object: object & 0xffffff,
+			Rights: Rights(rights),
+			Check:  Check(check),
+		}
+		got, err := Decode(c.Encode(nil))
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a restricted capability always verifies, and changing its rights
+// mask to anything else always fails verification.
+func TestQuickRestrictTamperProof(t *testing.T) {
+	f := func(seed []byte, object uint32, mask, tamper uint8) bool {
+		secret := NewSecret(seed)
+		object &= 0xffffff
+		owner := Mint(PortFromString("svc"), object, secret)
+		m := Rights(mask)
+		if m == AllRights {
+			m = AllRights - 1
+		}
+		ro, err := Restrict(owner, m)
+		if err != nil {
+			return false
+		}
+		if Verify(ro, secret) != nil {
+			return false
+		}
+		tampered := ro
+		tampered.Rights = Rights(tamper)
+		if tampered.Rights == ro.Rights {
+			return true // not a tamper
+		}
+		return Verify(tampered, secret) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,15 @@
+package core
+
+import (
+	"testing"
+
+	"dirsvc/internal/flip"
+	"dirsvc/internal/sim"
+)
+
+func newStack(t *testing.T, net *sim.Network) *flip.Stack {
+	t.Helper()
+	s := flip.NewStack(net.AddNode("test"))
+	t.Cleanup(s.Close)
+	return s
+}

@@ -1,0 +1,546 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirsvc"
+	"dirsvc/internal/group"
+	"dirsvc/internal/lastfail"
+	"dirsvc/internal/rpc"
+	"dirsvc/internal/sim"
+)
+
+// recover runs the Fig. 6 recovery protocol until this server is a
+// member of a majority group holding the latest directory state. It is
+// called at boot and whenever the group cannot be rebuilt with a
+// majority.
+func (s *Server) recover() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("core: server closed")
+	}
+	s.recovering = true
+	s.era++
+	old := s.member
+	s.member = nil
+	// Derive the recovery sequence number before touching anything:
+	// max over per-directory seqnos, the commit block, and the NVRAM
+	// log (§3). If the recovering flag was already set, a previous
+	// recovery was interrupted and our state may be inconsistent —
+	// force the sequence number to zero so nobody syncs from us (§3).
+	mySeq := s.table.MaxSeq()
+	if s.commit.Seq > mySeq {
+		mySeq = s.commit.Seq
+	}
+	if s.nvlog != nil && s.nvlog.MaxSeq() > mySeq {
+		mySeq = s.nvlog.MaxSeq()
+	}
+	if s.commit.Recovering {
+		mySeq = 0
+	}
+	s.recoverySeq = mySeq
+	mourned := lastfail.MournedFromConfig(allServerIDs(s.cfg.N), upSet(s.commit))
+	stayedUp := s.neverDown
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	if old != nil {
+		old.Leave()
+	}
+
+	// Mark that recovery is in progress, so a crash mid-recovery is
+	// detected next boot (Fig. 4's recovering field).
+	s.mu.Lock()
+	s.commit.Recovering = true
+	commit := *s.commit
+	s.mu.Unlock()
+	if err := commit.Write(s.cfg.Admin); err != nil {
+		return fmt.Errorf("write recovering flag: %w", err)
+	}
+
+	rc, err := rpc.NewClient(s.stack)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+
+	beat := heartbeat(s.model, s.cfg)
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return errors.New("core: server closed during recovery")
+		}
+
+		member, err := s.recoverOnce(rc, mySeq, mourned, stayedUp, beat)
+		if err != nil {
+			if debugRecovery {
+				fmt.Printf("server %d recovery attempt %d: %v\n", s.cfg.ID, attempt, err)
+			}
+			// Wait for more servers to come back, then start all over
+			// again (Fig. 6: "try again").
+			time.Sleep(beat)
+			continue
+		}
+
+		// Success: install the new member and resume normal operation.
+		s.mu.Lock()
+		s.member = member
+		s.recovering = false
+		s.neverDown = true
+		info := member.Info()
+		s.updateConfigVectorLocked(info.Members)
+		s.commit.Recovering = false
+		s.groupSeq = info.Buffered
+		commit := *s.commit
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if err := commit.Write(s.cfg.Admin); err != nil {
+			return fmt.Errorf("write commit block: %w", err)
+		}
+		return nil
+	}
+}
+
+// recoverOnce performs one round of Fig. 6: join or create the group,
+// wait for a majority, run Skeen's exchange, verify the last set, fetch
+// the latest state, and return the live group member. Any failure tears
+// the attempt down and returns an error for retry.
+func (s *Server) recoverOnce(
+	rc *rpc.Client,
+	mySeq uint64,
+	myMourned lastfail.Set,
+	stayedUp bool,
+	beat time.Duration,
+) (*group.Member, error) {
+	member, err := group.JoinOrCreate(s.stack, s.groupConfig())
+	if err != nil {
+		return nil, fmt.Errorf("join or create group: %w", err)
+	}
+	abort := func() { member.Leave() }
+
+	// Wait until the group holds a majority, or give up and retry
+	// (Fig. 6: "while (minority && !timeout) wait").
+	deadline := time.Now().Add(6 * beat)
+	for {
+		info := member.Info()
+		if info.State == group.StateNormal && len(info.Members) >= s.majorityNeeded() {
+			break
+		}
+		if time.Now().After(deadline) {
+			abort()
+			return nil, errors.New("no majority joined")
+		}
+		time.Sleep(beat / 3)
+	}
+
+	// Drain membership events so the group thread starts clean later;
+	// also gives us the current member set.
+	info := member.Info()
+
+	// Exchange mourned sets and sequence numbers with every other
+	// member over RPC (Fig. 6).
+	nodeToServer := make(map[sim.NodeID]int, len(s.cfg.Peers))
+	for id, nd := range s.cfg.Peers {
+		nodeToServer[nd] = id
+	}
+	state := lastfail.NewState(allServerIDs(s.cfg.N), s.cfg.ID, myMourned)
+	seqnos := map[int]uint64{s.cfg.ID: mySeq}
+	stayedUpServer := -1
+	if stayedUp {
+		stayedUpServer = s.cfg.ID
+	}
+	for _, nd := range info.Members {
+		peer, ok := nodeToServer[nd]
+		if !ok || peer == s.cfg.ID {
+			continue
+		}
+		req := &dirsvc.Request{Op: dirsvc.OpExchange, Server: s.cfg.ID, Seq: mySeq}
+		raw, err := rc.Trans(dirsvc.RecoveryPort(s.cfg.Service, peer), req.Encode())
+		if err != nil {
+			continue // unreachable peer: simply not part of the exchange
+		}
+		reply, err := dirsvc.DecodeReply(raw)
+		if err != nil || reply.Status != dirsvc.StatusOK {
+			continue
+		}
+		theirMourned, theirStayedUp, err := decodeExchange(reply.Blob)
+		if err != nil {
+			continue
+		}
+		state.Exchange(peer, theirMourned)
+		seqnos[peer] = reply.Seq
+		if theirStayedUp {
+			stayedUpServer = peer
+		}
+	}
+
+	// Condition 2: the last set must be covered (§3.2), possibly via
+	// the sequence-number improvement.
+	recoverable := state.CanRecover()
+	if !recoverable && !s.cfg.DisableImprovement {
+		recoverable = state.CanRecoverWithImprovement(seqnos, stayedUpServer)
+	}
+	if !recoverable && s.forced.Load() {
+		// Administrator override (§3.1's escape): proceed with whatever
+		// survives, accepting that the latest updates may be lost.
+		recoverable = true
+	}
+	if !recoverable {
+		abort()
+		return nil, fmt.Errorf("last set %v not in new group %v",
+			state.LastSet().Sorted(), state.NewGroup().Sorted())
+	}
+
+	// Fetch the latest directories from the member with the highest
+	// sequence number (Fig. 6: "s = HighestSeq; get copies from s").
+	src, srcSeq := s.cfg.ID, mySeq
+	for id, seq := range seqnos {
+		if seq > srcSeq || (seq == srcSeq && id < src) {
+			src, srcSeq = id, seq
+		}
+	}
+	if src != s.cfg.ID && srcSeq > mySeq {
+		if err := s.pullState(rc, src); err != nil {
+			abort()
+			return nil, fmt.Errorf("pull state from server %d: %w", src, err)
+		}
+	} else {
+		// Even with the highest seq we must have our cache loaded.
+		if err := s.loadLocalState(); err != nil {
+			abort()
+			return nil, err
+		}
+	}
+	return member, nil
+}
+
+// loadLocalState reloads the directory cache from our own Bullet store
+// and replays any NVRAM log records that were not yet flushed.
+func (s *Server) loadLocalState() error {
+	s.applier.InvalidateCache()
+	if err := s.applier.LoadAll(); err != nil {
+		return err
+	}
+	if err := s.applier.FormatRoot(s.nvlog == nil); err != nil {
+		return err
+	}
+	maxSeq := s.table.MaxSeq()
+	if s.nvlog != nil {
+		reqs, seqs, err := s.nvlog.Live()
+		if err != nil {
+			return err
+		}
+		for i, req := range reqs {
+			if _, err := s.applier.ApplyUpdate(req, seqs[i], false); err != nil {
+				// Replay conflicts mean the record was already applied
+				// before the crash flushed it; skip.
+				continue
+			}
+			if seqs[i] > maxSeq {
+				maxSeq = seqs[i]
+			}
+		}
+		if s.nvlog.MaxSeq() > maxSeq {
+			maxSeq = s.nvlog.MaxSeq()
+		}
+	}
+	s.mu.Lock()
+	if s.commit.Seq > maxSeq {
+		maxSeq = s.commit.Seq
+	}
+	s.appliedSeq = maxSeq
+	s.mu.Unlock()
+	return nil
+}
+
+// pullState transfers the full directory state from server src: object
+// table entries with secrets plus every directory image, written through
+// to our own Bullet store and object table.
+func (s *Server) pullState(rc *rpc.Client, src int) error {
+	req := &dirsvc.Request{Op: dirsvc.OpSyncPull, Server: s.cfg.ID}
+	raw, err := rc.Trans(dirsvc.RecoveryPort(s.cfg.Service, src), req.Encode())
+	if err != nil {
+		return err
+	}
+	reply, err := dirsvc.DecodeReply(raw)
+	if err != nil {
+		return err
+	}
+	if reply.Status != dirsvc.StatusOK {
+		return reply.Status.Err()
+	}
+	bundle, err := decodeStateBundle(reply.Blob)
+	if err != nil {
+		return err
+	}
+	if bundle.appliedSeq == 0 && bundle.commitSeq == 0 && len(bundle.dirs) == 0 {
+		// Defensive: an empty bundle means the source had nothing to
+		// offer (it should have refused); installing it would wipe us.
+		return errors.New("core: source returned an empty state bundle")
+	}
+
+	// Discard stale local state, then install the transferred images.
+	if s.nvlog != nil {
+		if err := s.nvlog.Clear(); err != nil {
+			return err
+		}
+	}
+	s.applier.InvalidateCache()
+	entries := make(map[uint32]dirsvc.ObjectEntry, len(bundle.dirs))
+	for _, d := range bundle.dirs {
+		bcap, err := s.bc.Create(d.image)
+		if err != nil {
+			return fmt.Errorf("store directory %d: %w", d.obj, err)
+		}
+		entries[d.obj] = dirsvc.ObjectEntry{Cap: bcap, Seq: d.seq, Secret: d.secret}
+	}
+	if err := s.table.ReplaceAll(entries); err != nil {
+		return err
+	}
+	if err := s.applier.LoadAll(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.commit.Seq = bundle.commitSeq
+	s.appliedSeq = bundle.appliedSeq
+	s.mu.Unlock()
+	return nil
+}
+
+// handleRecoveryRPC serves the server-to-server recovery operations.
+func (s *Server) handleRecoveryRPC(req *rpc.Request) []byte {
+	dreq, err := dirsvc.DecodeRequest(req.Payload)
+	if err != nil {
+		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
+	}
+	switch dreq.Op {
+	case dirsvc.OpExchange:
+		return s.handleExchange(dreq).Encode()
+	case dirsvc.OpSyncPull:
+		return s.handleSyncPull().Encode()
+	case dirsvc.OpReadDir:
+		return s.handleReadDir(dreq).Encode()
+	case dirsvc.OpStatus:
+		st := s.Status()
+		return (&dirsvc.Reply{Status: dirsvc.StatusOK, Seq: st.AppliedSeq}).Encode()
+	default:
+		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
+	}
+}
+
+// handleExchange answers a mourned-set exchange (Fig. 6). While this
+// server is itself recovering it advertises the sequence number derived
+// from stable storage at recovery entry — forced to zero if the previous
+// recovery was interrupted (§3, the recovering flag) — and its live
+// counter once it is back in service.
+func (s *Server) handleExchange(req *dirsvc.Request) *dirsvc.Reply {
+	s.mu.Lock()
+	mySeq := s.appliedSeq
+	if s.recovering {
+		mySeq = s.recoverySeq
+	}
+	mourned := lastfail.MournedFromConfig(allServerIDs(s.cfg.N), upSet(s.commit))
+	stayedUp := s.neverDown
+	s.mu.Unlock()
+	return &dirsvc.Reply{
+		Status: dirsvc.StatusOK,
+		Seq:    mySeq,
+		Blob:   encodeExchange(mourned, stayedUp),
+	}
+}
+
+// handleSyncPull answers a full state transfer. A server that is itself
+// still recovering must refuse: its directory cache is not loaded yet,
+// and shipping a half-built bundle would hand the puller an empty (or
+// stale) replica that it would then serve as current.
+func (s *Server) handleSyncPull() *dirsvc.Reply {
+	s.mu.Lock()
+	if s.recovering {
+		s.mu.Unlock()
+		return &dirsvc.Reply{Status: dirsvc.StatusConflict}
+	}
+	appliedSeq := s.appliedSeq
+	commitSeq := s.commit.Seq
+	s.mu.Unlock()
+	bundle := stateBundle{appliedSeq: appliedSeq, commitSeq: commitSeq}
+	for obj, e := range s.table.All() {
+		d, ok := s.applier.Directory(obj)
+		if !ok {
+			continue
+		}
+		bundle.dirs = append(bundle.dirs, dirState{
+			obj:    obj,
+			seq:    e.Seq,
+			secret: e.Secret,
+			image:  d.Encode(),
+		})
+	}
+	return &dirsvc.Reply{Status: dirsvc.StatusOK, Blob: encodeStateBundle(&bundle)}
+}
+
+// handleReadDir returns one directory image (diagnostics).
+func (s *Server) handleReadDir(req *dirsvc.Request) *dirsvc.Reply {
+	d, ok := s.applier.Directory(req.Dir.Object)
+	if !ok {
+		return &dirsvc.Reply{Status: dirsvc.StatusNotFound}
+	}
+	return &dirsvc.Reply{Status: dirsvc.StatusOK, Blob: d.Encode(), Seq: d.Seq}
+}
+
+func allServerIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+func upSet(c *dirsvc.CommitBlock) lastfail.Set {
+	up := lastfail.NewSet()
+	for _, id := range c.UpServers() {
+		up[id] = true
+	}
+	return up
+}
+
+// Exchange blob: count u16, ids…, stayedUp u8.
+func encodeExchange(mourned lastfail.Set, stayedUp bool) []byte {
+	ids := mourned.Sorted()
+	buf := make([]byte, 0, 3+len(ids))
+	buf = append(buf, byte(len(ids)>>8), byte(len(ids)))
+	for _, id := range ids {
+		buf = append(buf, byte(id))
+	}
+	if stayedUp {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func decodeExchange(blob []byte) (lastfail.Set, bool, error) {
+	if len(blob) < 3 {
+		return nil, false, errors.New("core: short exchange blob")
+	}
+	n := int(blob[0])<<8 | int(blob[1])
+	if len(blob) != 3+n {
+		return nil, false, errors.New("core: bad exchange blob")
+	}
+	mourned := lastfail.NewSet()
+	for i := 0; i < n; i++ {
+		mourned[int(blob[2+i])] = true
+	}
+	return mourned, blob[2+n] == 1, nil
+}
+
+type dirState struct {
+	obj    uint32
+	seq    uint64
+	secret capability.Secret
+	image  []byte
+}
+
+type stateBundle struct {
+	appliedSeq uint64
+	commitSeq  uint64
+	dirs       []dirState
+}
+
+func encodeStateBundle(b *stateBundle) []byte {
+	w := make([]byte, 0, 64)
+	w = appendUint64(w, b.appliedSeq)
+	w = appendUint64(w, b.commitSeq)
+	w = appendUint32(w, uint32(len(b.dirs)))
+	for _, d := range b.dirs {
+		w = appendUint32(w, d.obj)
+		w = appendUint64(w, d.seq)
+		w = append(w, d.secret[:]...)
+		w = appendUint32(w, uint32(len(d.image)))
+		w = append(w, d.image...)
+	}
+	return w
+}
+
+func decodeStateBundle(raw []byte) (*stateBundle, error) {
+	b := &stateBundle{}
+	off := 0
+	next := func(n int) ([]byte, error) {
+		if off+n > len(raw) {
+			return nil, errors.New("core: short state bundle")
+		}
+		out := raw[off : off+n]
+		off += n
+		return out, nil
+	}
+	u64 := func() (uint64, error) {
+		b8, err := next(8)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(b8[0])<<56 | uint64(b8[1])<<48 | uint64(b8[2])<<40 | uint64(b8[3])<<32 |
+			uint64(b8[4])<<24 | uint64(b8[5])<<16 | uint64(b8[6])<<8 | uint64(b8[7]), nil
+	}
+	u32 := func() (uint32, error) {
+		b4, err := next(4)
+		if err != nil {
+			return 0, err
+		}
+		return uint32(b4[0])<<24 | uint32(b4[1])<<16 | uint32(b4[2])<<8 | uint32(b4[3]), nil
+	}
+	var err error
+	if b.appliedSeq, err = u64(); err != nil {
+		return nil, err
+	}
+	if b.commitSeq, err = u64(); err != nil {
+		return nil, err
+	}
+	count, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < count; i++ {
+		var d dirState
+		if d.obj, err = u32(); err != nil {
+			return nil, err
+		}
+		if d.seq, err = u64(); err != nil {
+			return nil, err
+		}
+		sec, err := next(6)
+		if err != nil {
+			return nil, err
+		}
+		copy(d.secret[:], sec)
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		img, err := next(int(n))
+		if err != nil {
+			return nil, err
+		}
+		d.image = append([]byte(nil), img...)
+		b.dirs = append(b.dirs, d)
+	}
+	return b, nil
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// debugRecovery enables recovery-loop tracing (set via linker or tests).
+var debugRecovery = os.Getenv("CORE_DEBUG_RECOVERY") != ""

@@ -1,0 +1,633 @@
+// Package core implements the paper's primary contribution: the
+// fault-tolerant directory service built on totally-ordered group
+// communication (paper §3).
+//
+// Each directory server runs:
+//
+//   - Initiator threads (the RPC workers): they receive client requests,
+//     refuse them without a majority, answer reads locally after waiting
+//     out buffered group messages, and broadcast writes to the group with
+//     resilience degree r = N-1 (Fig. 5, left).
+//   - One group thread: it receives the totally-ordered stream, applies
+//     each update to the replica (Bullet file + object table write — the
+//     commit point), wakes the initiator, and drives ResetGroup and the
+//     recovery protocol after failures (Fig. 5, right).
+//
+// The service keeps one-copy serializability through the total order and
+// the accessible-copies majority rule, and recovers using Skeen's
+// last-to-fail algorithm over commit-block configuration vectors
+// (Fig. 6), including the paper's §3.2 sequence-number improvement.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dirsvc/internal/bullet"
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirsvc"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/group"
+	"dirsvc/internal/rpc"
+	"dirsvc/internal/sim"
+	"dirsvc/internal/vdisk"
+)
+
+// Config describes one directory server replica.
+type Config struct {
+	// Service names the directory service instance (port derivation).
+	Service string
+	// ID is this server's 1-based id; N is the replication degree
+	// (3 in the paper, but any N ≥ 1 works — §3: "though four or more
+	// replicas are also possible, without changing the protocol").
+	ID, N int
+	// Peers maps server ids (1..N) to their host node ids, so config
+	// vectors can be kept when group membership changes.
+	Peers map[int]sim.NodeID
+	// Admin is the raw partition holding the commit block and object
+	// table (Fig. 4).
+	Admin vdisk.Storage
+	// NVRAM, when non-nil, enables the §4.1 NVRAM variant: updates are
+	// logged to battery-backed RAM and flushed to disk in the
+	// background.
+	NVRAM *vdisk.NVRAM
+	// Workers is the number of initiator threads (default 3).
+	Workers int
+	// Resilience overrides the group resilience degree (default N-1).
+	Resilience int
+	// DisableImprovement turns off the §3.2 recovery refinement, for the
+	// ablation experiments.
+	DisableImprovement bool
+	// DisableReadMajorityCheck lets reads bypass the majority rule — an
+	// ablation that recreates the §3.1 anomaly where a partitioned
+	// server serves deleted directories.
+	DisableReadMajorityCheck bool
+	// HeartbeatInterval tunes the group failure detector (tests).
+	HeartbeatInterval time.Duration
+	// IdleFlush is how long the NVRAM variant waits for quiet before
+	// flushing the log (default 20× heartbeat).
+	IdleFlush time.Duration
+}
+
+// Server is one replica of the group directory service.
+type Server struct {
+	cfg    Config
+	stack  *flip.Stack
+	model  *sim.LatencyModel
+	rpcSrv *rpc.Server
+	recSrv *rpc.Server
+	bc     *bullet.Client
+
+	applier *dirsvc.Applier
+	table   *dirsvc.ObjectTable
+	nvlog   *dirsvc.NVLog
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	member      *group.Member
+	commit      *dirsvc.CommitBlock
+	appliedSeq  uint64 // service update counter (stamped on directories)
+	groupSeq    uint64 // last group-stream seq applied (incl. membership)
+	recovering  bool
+	recoverySeq uint64 // seq advertised in exchanges while recovering (§3)
+	era         uint64 // bumped on every recovery, wakes stuck initiators
+	neverDown   bool   // true while this process has been up since its last recovery
+	lastUpdate  time.Time
+	results     map[uint64]*dirsvc.Reply
+	opCounter   uint64
+	closed      bool
+
+	forced atomic.Bool // ForceRecover invoked: serve without a majority
+
+	cleanupCh chan capability.Capability
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	stopRPC   []func()
+}
+
+// NewServer boots a directory server replica on stack. It formats fresh
+// state on an empty admin partition, or reloads existing state, then runs
+// the recovery protocol to (re)join the service before accepting
+// requests.
+func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.Resilience == 0 {
+		cfg.Resilience = cfg.N - 1
+	}
+	if cfg.N < 1 || cfg.ID < 1 || cfg.ID > cfg.N {
+		return nil, fmt.Errorf("core: bad server id %d of %d", cfg.ID, cfg.N)
+	}
+	model := stack.Model()
+	if cfg.IdleFlush <= 0 {
+		cfg.IdleFlush = 20 * heartbeat(model, cfg)
+	}
+
+	rc, err := rpc.NewClient(stack)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		stack:     stack,
+		model:     model,
+		bc:        bullet.NewClient(rc, dirsvc.BulletPort(cfg.Service, cfg.ID)),
+		results:   make(map[uint64]*dirsvc.Reply),
+		cleanupCh: make(chan capability.Capability, 4096),
+		stop:      make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	// Load durable state.
+	commit, err := dirsvc.ReadCommitBlock(cfg.Admin, cfg.N)
+	if err != nil {
+		return nil, fmt.Errorf("read commit block: %w", err)
+	}
+	s.commit = commit
+	table, err := dirsvc.OpenObjectTable(cfg.Admin)
+	if err != nil {
+		return nil, fmt.Errorf("open object table: %w", err)
+	}
+	s.table = table
+	s.applier = dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, s.bc)
+	if cfg.NVRAM != nil {
+		nvlog, err := dirsvc.OpenNVLog(cfg.NVRAM)
+		if err != nil {
+			return nil, fmt.Errorf("open nvram log: %w", err)
+		}
+		s.nvlog = nvlog
+	}
+
+	// Recovery servers answer even while we recover ourselves.
+	recSrv, err := rpc.NewServer(stack, dirsvc.RecoveryPort(cfg.Service, cfg.ID))
+	if err != nil {
+		return nil, err
+	}
+	s.recSrv = recSrv
+	s.stopRPC = append(s.stopRPC, recSrv.ServeFunc(2, s.handleRecoveryRPC))
+
+	// Run recovery to (re)join the service. This blocks until we are
+	// part of a majority group with up-to-date state (Fig. 6).
+	if err := s.recover(); err != nil {
+		s.shutdownRPC()
+		return nil, err
+	}
+
+	// Client-facing RPC service.
+	rpcSrv, err := rpc.NewServer(stack, dirsvc.ServicePort(cfg.Service))
+	if err != nil {
+		s.shutdownRPC()
+		return nil, err
+	}
+	s.rpcSrv = rpcSrv
+	s.stopRPC = append(s.stopRPC, rpcSrv.ServeFunc(cfg.Workers, s.handleClientRPC))
+
+	s.wg.Add(1)
+	go s.groupThread()
+	if s.nvlog != nil {
+		s.wg.Add(1)
+		go s.flushLoop()
+	}
+	s.wg.Add(1)
+	go s.cleanupLoop()
+	return s, nil
+}
+
+func heartbeat(model *sim.LatencyModel, cfg Config) time.Duration {
+	if cfg.HeartbeatInterval > 0 {
+		return cfg.HeartbeatInterval
+	}
+	base := model.Timeout(150 * time.Millisecond)
+	if base < 15*time.Millisecond {
+		base = 15 * time.Millisecond
+	}
+	return base
+}
+
+func (s *Server) groupConfig() group.Config {
+	return group.Config{
+		Port:              dirsvc.GroupPort(s.cfg.Service),
+		Resilience:        s.cfg.Resilience,
+		HeartbeatInterval: s.cfg.HeartbeatInterval,
+	}
+}
+
+// majorityNeeded returns the minimum group size for service (⌈(N+1)/2⌉),
+// or 1 after an administrator invoked ForceRecover.
+func (s *Server) majorityNeeded() int {
+	if s.forced.Load() {
+		return 1
+	}
+	return s.cfg.N/2 + 1
+}
+
+// ForceRecover is the system administrators' escape hatch the paper
+// mentions (§3.1): when the other servers have lost their data forever
+// (e.g. head crashes), the surviving server can be forced to serve
+// without a majority. This abandons the partition guarantee — exactly
+// why it is manual.
+func (s *Server) ForceRecover() {
+	s.forced.Store(true)
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Close shuts the server down without the leave protocol (fail-stop).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	member := s.member
+	close(s.stop)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if member != nil {
+		member.Close()
+	}
+	s.shutdownRPC()
+	s.wg.Wait()
+}
+
+func (s *Server) shutdownRPC() {
+	if s.rpcSrv != nil {
+		s.rpcSrv.Close()
+	}
+	s.recSrv.Close()
+	for _, stop := range s.stopRPC {
+		stop()
+	}
+	s.stopRPC = nil
+}
+
+// Status is a monitoring snapshot (cmd/dird).
+type Status struct {
+	ID         int
+	Recovering bool
+	AppliedSeq uint64
+	Members    int
+	Epoch      uint64
+	NVRAMUsed  int
+}
+
+// Status returns a snapshot of the replica.
+func (s *Server) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		ID:         s.cfg.ID,
+		Recovering: s.recovering,
+		AppliedSeq: s.appliedSeq,
+	}
+	if s.member != nil {
+		info := s.member.Info()
+		st.Members = len(info.Members)
+		st.Epoch = info.Epoch
+	}
+	if s.nvlog != nil {
+		st.NVRAMUsed = s.nvlog.UsedBytes()
+	}
+	return st
+}
+
+// handleClientRPC is the initiator thread body (Fig. 5, left side).
+func (s *Server) handleClientRPC(req *rpc.Request) []byte {
+	dreq, err := dirsvc.DecodeRequest(req.Payload)
+	if err != nil {
+		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
+	}
+	var reply *dirsvc.Reply
+	if dreq.Op.IsUpdate() {
+		reply = s.handleUpdate(dreq)
+	} else {
+		reply = s.handleRead(dreq)
+	}
+	return reply.Encode()
+}
+
+// handleRead implements the read path: majority check, then wait until
+// every group message buffered at request arrival has been applied —
+// guaranteeing the read sees all preceding writes (§3.1) — then answer
+// from the cache without any communication or disk access.
+func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
+	s.mu.Lock()
+	if !s.majorityLocked() && !s.cfg.DisableReadMajorityCheck {
+		s.mu.Unlock()
+		return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
+	}
+	member := s.member
+	s.mu.Unlock()
+	if member != nil {
+		buffered := member.Info().Buffered
+		if !s.waitApplied(buffered) {
+			return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
+		}
+	}
+	s.stack.Node().CPU().Charge(s.model.LookupCPU)
+	return s.applier.Read(req)
+}
+
+// handleUpdate implements the write path: majority check, pre-generate
+// the check field, broadcast through the group, wait until our own group
+// thread has applied the operation, and return its result (Fig. 5).
+func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
+	s.mu.Lock()
+	if !s.majorityLocked() {
+		s.mu.Unlock()
+		return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
+	}
+	member := s.member
+	era := s.era
+	s.opCounter++
+	opID := uint64(s.cfg.ID)<<48 | s.opCounter
+	s.mu.Unlock()
+
+	if req.Op == dirsvc.OpCreateDir && len(req.CheckSeed) == 0 {
+		// All replicas must mint the same capability: the initiator
+		// chooses the check-field material (§3.1).
+		req.CheckSeed = newCheckSeed(s.cfg.ID, opID)
+	}
+	req.Server = s.cfg.ID
+
+	payload := make([]byte, 8, 8+64)
+	binary.BigEndian.PutUint64(payload, opID)
+	payload = append(payload, req.Encode()...)
+
+	s.stack.Node().CPU().Charge(s.model.UpdateCPU)
+	if _, err := member.Send(payload); err != nil {
+		return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
+	}
+
+	// Wait until the group thread has received and executed the request.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if reply, ok := s.results[opID]; ok {
+			delete(s.results, opID)
+			return reply
+		}
+		if s.closed || s.era != era {
+			// Recovery intervened; the client must retry elsewhere.
+			return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
+		}
+		s.cond.Wait()
+	}
+}
+
+func newCheckSeed(id int, opID uint64) []byte {
+	seed := make([]byte, 12)
+	binary.BigEndian.PutUint32(seed[:4], uint32(id))
+	binary.BigEndian.PutUint64(seed[4:], opID)
+	return seed
+}
+
+// majorityLocked: at least ⌈(N+1)/2⌉ servers must be up and in our group.
+func (s *Server) majorityLocked() bool {
+	if s.recovering || s.member == nil {
+		return false
+	}
+	info := s.member.Info()
+	return info.State == group.StateNormal && len(info.Members) >= s.majorityNeeded()
+}
+
+// waitApplied blocks until the group thread has applied all messages up
+// to groupSeq. Returns false if recovery interrupts.
+func (s *Server) waitApplied(groupSeq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	era := s.era
+	for s.groupSeq < groupSeq {
+		if s.closed || s.era != era {
+			return false
+		}
+		s.cond.Wait()
+	}
+	return true
+}
+
+// groupThread is the single per-server thread processing the totally
+// ordered stream (Fig. 5, right side).
+func (s *Server) groupThread() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		member := s.member
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		msg, err := member.Receive()
+		switch {
+		case err == nil:
+			s.processGroupMsg(msg)
+		case errors.Is(err, group.ErrGroupFailure):
+			s.handleGroupFailure(member)
+		case errors.Is(err, group.ErrClosed), errors.Is(err, group.ErrLeft):
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			// The member dissolved under us (e.g. excluded from a
+			// view): run recovery to rejoin.
+			if err := s.recover(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handleGroupFailure rebuilds the group; when no majority can be
+// assembled, the server falls back to full recovery (Fig. 5: "if (group
+// rebuild failed) enter recovery").
+func (s *Server) handleGroupFailure(member *group.Member) {
+	info, err := member.Reset(s.majorityNeeded())
+	if err == nil {
+		// Majority rebuilt: update the configuration vector on disk.
+		s.mu.Lock()
+		s.updateConfigVectorLocked(info.Members)
+		commit := *s.commit
+		s.mu.Unlock()
+		_ = commit.Write(s.cfg.Admin)
+		return
+	}
+	if err := s.recover(); err != nil {
+		// Unrecoverable (shutdown); groupThread exits via closed check.
+		return
+	}
+}
+
+// updateConfigVectorLocked rewrites the Up bits from a group member list.
+func (s *Server) updateConfigVectorLocked(members []sim.NodeID) {
+	nodeToServer := make(map[sim.NodeID]int, len(s.cfg.Peers))
+	for id, nd := range s.cfg.Peers {
+		nodeToServer[nd] = id
+	}
+	for i := range s.commit.Up {
+		s.commit.Up[i] = false
+	}
+	for _, nd := range members {
+		if id, ok := nodeToServer[nd]; ok {
+			s.commit.Up[id-1] = true
+		}
+	}
+}
+
+// processGroupMsg applies one totally-ordered message.
+func (s *Server) processGroupMsg(msg group.Msg) {
+	switch msg.Kind {
+	case group.KindJoin, group.KindLeave:
+		s.mu.Lock()
+		if s.member != nil {
+			s.updateConfigVectorLocked(s.member.Info().Members)
+		}
+		s.groupSeq = msg.Seq
+		commit := *s.commit
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		_ = commit.Write(s.cfg.Admin)
+		return
+	case group.KindApp:
+	default:
+		return
+	}
+	if len(msg.Payload) < 8 {
+		return
+	}
+	opID := binary.BigEndian.Uint64(msg.Payload[:8])
+	req, err := dirsvc.DecodeRequest(msg.Payload[8:])
+	if err != nil {
+		return
+	}
+
+	s.mu.Lock()
+	seq := s.appliedSeq + 1
+	s.lastUpdate = time.Now()
+	s.mu.Unlock()
+
+	reply := s.applyUpdate(req, seq)
+
+	s.mu.Lock()
+	s.appliedSeq = seq
+	s.groupSeq = msg.Seq
+	if req.Server == s.cfg.ID {
+		s.results[opID] = reply
+		// Bound the table against abandoned initiators.
+		if len(s.results) > 10000 {
+			s.results = map[uint64]*dirsvc.Reply{opID: reply}
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// applyUpdate executes the update against the replica: in the durable
+// variant this creates the new directory on the Bullet server and writes
+// the object table entry (the commit, Fig. 5); in the NVRAM variant it
+// updates RAM and logs the operation to NVRAM (§4.1).
+func (s *Server) applyUpdate(req *dirsvc.Request, seq uint64) *dirsvc.Reply {
+	durable := s.nvlog == nil
+	if !durable {
+		// Make room first if the log is full.
+		if s.nvlog.NeedsFlush() {
+			s.flushNVRAM()
+		}
+	}
+	res, err := s.applier.ApplyUpdate(req, seq, durable)
+	if err != nil {
+		return &dirsvc.Reply{Status: dirsvc.StatusOf(err)}
+	}
+	if durable {
+		if res.DeletedDir {
+			// The deletion removed the per-directory record; remember
+			// the update in the commit block (§3, Fig. 4).
+			s.mu.Lock()
+			s.commit.Seq = seq
+			commit := *s.commit
+			s.mu.Unlock()
+			_ = commit.Write(s.cfg.Admin)
+		}
+		for _, old := range res.OldBullet {
+			s.scheduleCleanup(old)
+		}
+	} else {
+		if _, err := s.nvlog.Append(req, seq); err != nil {
+			// Log jammed even after flush: fall back to demanding a
+			// flush on the next update; correctness is preserved since
+			// RAM state is current.
+			_ = err
+		}
+	}
+	return res.Reply
+}
+
+// scheduleCleanup queues an obsolete Bullet file for deletion after the
+// reply (Fig. 5: "remove old Bullet files" happens last).
+func (s *Server) scheduleCleanup(cap capability.Capability) {
+	select {
+	case s.cleanupCh <- cap:
+	default: // cleanup backlog full: leak the file rather than block commit
+	}
+}
+
+func (s *Server) cleanupLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case cap := <-s.cleanupCh:
+			_ = s.bc.Delete(cap)
+		}
+	}
+}
+
+// flushLoop is the NVRAM background flusher: it applies the log to disk
+// when the server is idle or the log passes its threshold (§4.1).
+func (s *Server) flushLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.IdleFlush / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		s.mu.Lock()
+		idle := time.Since(s.lastUpdate) >= s.cfg.IdleFlush
+		recovering := s.recovering
+		s.mu.Unlock()
+		if recovering {
+			continue
+		}
+		if s.nvlog.NeedsFlush() || (idle && s.nvlog.Len() > 0) {
+			s.flushNVRAM()
+		}
+	}
+}
+
+// flushNVRAM writes every dirty directory through to Bullet and the
+// object table, then clears the log.
+func (s *Server) flushNVRAM() {
+	for _, obj := range s.nvlog.DirtyObjects() {
+		olds, err := s.applier.FlushObject(obj)
+		if err != nil {
+			return // disk trouble: keep the log, retry next round
+		}
+		for _, old := range olds {
+			s.scheduleCleanup(old)
+		}
+	}
+	_ = s.nvlog.Clear()
+}

@@ -1,0 +1,162 @@
+// Package dirclient is the user-side library of the directory service:
+// the Fig. 2 operations issued over Amoeba-style RPC. Server selection
+// uses the RPC layer's port cache (first HEREIS wins, NOTHERE evicts), so
+// a client sticks to one directory server until that server is busy or
+// gone — the behavior behind Fig. 8's load distribution.
+package dirclient
+
+import (
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirdata"
+	"dirsvc/internal/dirsvc"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/rpc"
+)
+
+// Client talks to one directory service.
+type Client struct {
+	rpc  *rpc.Client
+	port capability.Port
+	root capability.Capability
+}
+
+// New creates a client for the named service on the given stack.
+func New(stack *flip.Stack, service string) (*Client, error) {
+	rc, err := rpc.NewClient(stack)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: rc, port: dirsvc.ServicePort(service)}, nil
+}
+
+// NewWithRPC wraps an existing RPC client (shared port cache).
+func NewWithRPC(rc *rpc.Client, service string) *Client {
+	return &Client{rpc: rc, port: dirsvc.ServicePort(service)}
+}
+
+// Close releases the client's RPC endpoint.
+func (c *Client) Close() { c.rpc.Close() }
+
+// RPC exposes the underlying RPC client (for Bullet access sharing the
+// same port cache).
+func (c *Client) RPC() *rpc.Client { return c.rpc }
+
+func (c *Client) trans(req *dirsvc.Request) (*dirsvc.Reply, error) {
+	raw, err := c.rpc.Trans(c.port, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	reply, err := dirsvc.DecodeReply(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := reply.Status.Err(); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Root returns (and caches) the root directory capability.
+func (c *Client) Root() (capability.Capability, error) {
+	if !c.root.IsZero() {
+		return c.root, nil
+	}
+	reply, err := c.trans(&dirsvc.Request{Op: dirsvc.OpGetRoot})
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	c.root = reply.Cap
+	return reply.Cap, nil
+}
+
+// CreateDir creates a new directory (Fig. 2: Create dir) and returns its
+// owner capability. Default columns apply when none are given.
+func (c *Client) CreateDir(columns ...string) (capability.Capability, error) {
+	reply, err := c.trans(&dirsvc.Request{Op: dirsvc.OpCreateDir, Columns: columns})
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	return reply.Cap, nil
+}
+
+// DeleteDir deletes a directory (Fig. 2: Delete dir).
+func (c *Client) DeleteDir(dir capability.Capability) error {
+	_, err := c.trans(&dirsvc.Request{Op: dirsvc.OpDeleteDir, Dir: dir})
+	return err
+}
+
+// List returns the rows of a directory visible through column col
+// (Fig. 2: List dir).
+func (c *Client) List(dir capability.Capability, col int) ([]dirdata.Row, error) {
+	reply, err := c.trans(&dirsvc.Request{Op: dirsvc.OpListDir, Dir: dir, Column: col})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Rows, nil
+}
+
+// Append stores target under name in dir (Fig. 2: Append row). masks
+// gives the per-column rights; nil means full owner rights in every
+// column.
+func (c *Client) Append(dir capability.Capability, name string, target capability.Capability, masks []capability.Rights) error {
+	if masks == nil {
+		masks = []capability.Rights{capability.AllRights, capability.AllRights, capability.AllRights}
+	}
+	_, err := c.trans(&dirsvc.Request{
+		Op:    dirsvc.OpAppendRow,
+		Dir:   dir,
+		Name:  name,
+		Cap:   target,
+		Masks: masks,
+	})
+	return err
+}
+
+// Delete removes the named row (Fig. 2: Delete row).
+func (c *Client) Delete(dir capability.Capability, name string) error {
+	_, err := c.trans(&dirsvc.Request{Op: dirsvc.OpDeleteRow, Dir: dir, Name: name})
+	return err
+}
+
+// Chmod replaces the rights masks of the named row (Fig. 2: Chmod row).
+func (c *Client) Chmod(dir capability.Capability, name string, masks []capability.Rights) error {
+	_, err := c.trans(&dirsvc.Request{Op: dirsvc.OpChmodRow, Dir: dir, Name: name, Masks: masks})
+	return err
+}
+
+// Lookup returns the capability stored under name (a one-element
+// Fig. 2 Lookup set).
+func (c *Client) Lookup(dir capability.Capability, name string) (capability.Capability, error) {
+	caps, err := c.LookupSet(dir, []string{name})
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	if caps[0].IsZero() {
+		return capability.Capability{}, dirsvc.ErrNotFound
+	}
+	return caps[0], nil
+}
+
+// LookupSet looks up several names at once (Fig. 2: Lookup set). Missing
+// names yield zero capabilities.
+func (c *Client) LookupSet(dir capability.Capability, names []string) ([]capability.Capability, error) {
+	set := make([]dirsvc.SetItem, len(names))
+	for i, n := range names {
+		set[i] = dirsvc.SetItem{Name: n}
+	}
+	reply, err := c.trans(&dirsvc.Request{Op: dirsvc.OpLookupSet, Dir: dir, Set: set})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Caps, nil
+}
+
+// ReplaceSet atomically replaces the capabilities of several rows
+// (Fig. 2: Replace set), returning the previous capabilities.
+func (c *Client) ReplaceSet(dir capability.Capability, items []dirsvc.SetItem) ([]capability.Capability, error) {
+	reply, err := c.trans(&dirsvc.Request{Op: dirsvc.OpReplaceSet, Dir: dir, Set: items})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Caps, nil
+}

@@ -1,0 +1,399 @@
+package dirsvc
+
+import (
+	"fmt"
+	"sync"
+
+	"dirsvc/internal/bullet"
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirdata"
+)
+
+// RootObject is the object number of the root directory, created when a
+// server formats its state. Its secret derives deterministically from the
+// service port so all replicas mint the identical root capability.
+const RootObject uint32 = 1
+
+// ApplyResult reports the outcome of one update application.
+type ApplyResult struct {
+	Reply *Reply
+	// OldBullet lists Bullet files superseded by the update; the caller
+	// removes them after the commit, off the critical path (Fig. 5:
+	// "remove old Bullet files").
+	OldBullet []capability.Capability
+	// DirtyObjects lists the directories the update touched (NVRAM mode
+	// flush tracking).
+	DirtyObjects []uint32
+	// DeletedDir is set when the update deleted a directory, which
+	// requires advancing the commit block sequence number (§3).
+	DeletedDir bool
+}
+
+// Applier executes directory operations against one server's replica
+// state: the RAM directory cache, the object table, and the server's own
+// Bullet store. Because every replica applies the same updates in the
+// same total order starting from the same state, all its decisions
+// (object numbers, encodings, capabilities) are deterministic.
+type Applier struct {
+	port   capability.Port
+	table  *ObjectTable
+	bullet *bullet.Client
+
+	mu    sync.RWMutex
+	cache map[uint32]*dirdata.Directory
+}
+
+// NewApplier builds an applier for the service identified by port.
+func NewApplier(port capability.Port, table *ObjectTable, bc *bullet.Client) *Applier {
+	return &Applier{
+		port:   port,
+		table:  table,
+		bullet: bc,
+		cache:  make(map[uint32]*dirdata.Directory),
+	}
+}
+
+// rootSecret derives the deterministic secret of the root directory.
+func rootSecret(port capability.Port) capability.Secret {
+	return capability.NewSecret([]byte("root:" + port.String()))
+}
+
+// FormatRoot creates the root directory if the table does not know it.
+// durable controls whether the image is written through to Bullet/disk.
+func (a *Applier) FormatRoot(durable bool) error {
+	if _, ok := a.table.Get(RootObject); ok {
+		return nil
+	}
+	root := dirdata.New()
+	img := root.Encode()
+	entry := ObjectEntry{Secret: rootSecret(a.port)}
+	if durable {
+		bcap, err := a.bullet.Create(img)
+		if err != nil {
+			return fmt.Errorf("format root: %w", err)
+		}
+		entry.Cap = bcap
+		if err := a.table.Set(RootObject, entry); err != nil {
+			return fmt.Errorf("format root: %w", err)
+		}
+	} else {
+		a.table.SetRAM(RootObject, entry)
+	}
+	a.mu.Lock()
+	a.cache[RootObject] = root
+	a.mu.Unlock()
+	return nil
+}
+
+// RootCap returns the owner capability of the root directory.
+func (a *Applier) RootCap() (capability.Capability, error) {
+	e, ok := a.table.Get(RootObject)
+	if !ok {
+		return capability.Capability{}, ErrNotFound
+	}
+	return capability.Mint(a.port, RootObject, e.Secret), nil
+}
+
+// LoadAll populates the directory cache from the Bullet store — the boot
+// and recovery path ("all implementations cache recently used directories
+// in RAM"; this repro caches all of them, as the tiny 1993 heaps grew).
+func (a *Applier) LoadAll() error {
+	for _, obj := range a.table.Objects() {
+		e, _ := a.table.Get(obj)
+		img, err := a.bullet.Read(e.Cap)
+		if err != nil {
+			return fmt.Errorf("load directory %d: %w", obj, err)
+		}
+		d, err := dirdata.Decode(img)
+		if err != nil {
+			return fmt.Errorf("decode directory %d: %w", obj, err)
+		}
+		a.mu.Lock()
+		a.cache[obj] = d
+		a.mu.Unlock()
+	}
+	return nil
+}
+
+// InvalidateCache drops the RAM cache (recovery restart).
+func (a *Applier) InvalidateCache() {
+	a.mu.Lock()
+	a.cache = make(map[uint32]*dirdata.Directory)
+	a.mu.Unlock()
+}
+
+// Directory returns a deep copy of a cached directory (tests, recovery).
+func (a *Applier) Directory(obj uint32) (*dirdata.Directory, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	d, ok := a.cache[obj]
+	if !ok {
+		return nil, false
+	}
+	return d.Clone(), true
+}
+
+// verify resolves a directory capability to its object entry, checking
+// the check field and the rights needed.
+func (a *Applier) verify(c capability.Capability, need capability.Rights) (ObjectEntry, error) {
+	if c.Port != a.port {
+		return ObjectEntry{}, capability.ErrBadCapability
+	}
+	e, ok := a.table.Get(c.Object)
+	if !ok {
+		return ObjectEntry{}, ErrNotFound
+	}
+	if err := capability.Require(c, e.Secret, need); err != nil {
+		return ObjectEntry{}, err
+	}
+	return e, nil
+}
+
+// Read executes a read-only operation (no replication, no disk — §3.1).
+func (a *Applier) Read(req *Request) *Reply {
+	switch req.Op {
+	case OpGetRoot:
+		cap, err := a.RootCap()
+		if err != nil {
+			return &Reply{Status: StatusOf(err)}
+		}
+		return &Reply{Status: StatusOK, Cap: cap}
+	case OpListDir:
+		if _, err := a.verify(req.Dir, capability.RightRead); err != nil {
+			return &Reply{Status: StatusOf(err)}
+		}
+		a.mu.RLock()
+		d := a.cache[req.Dir.Object]
+		a.mu.RUnlock()
+		if d == nil {
+			return &Reply{Status: StatusNotFound}
+		}
+		rows, err := d.List(req.Column)
+		if err != nil {
+			return &Reply{Status: StatusOf(err)}
+		}
+		return &Reply{Status: StatusOK, Rows: rows, Seq: d.Seq}
+	case OpLookupSet:
+		if _, err := a.verify(req.Dir, capability.RightRead); err != nil {
+			return &Reply{Status: StatusOf(err)}
+		}
+		a.mu.RLock()
+		d := a.cache[req.Dir.Object]
+		a.mu.RUnlock()
+		if d == nil {
+			return &Reply{Status: StatusNotFound}
+		}
+		reply := &Reply{Status: StatusOK, Seq: d.Seq}
+		for _, it := range req.Set {
+			row, err := d.Lookup(it.Name)
+			if err != nil {
+				reply.Caps = append(reply.Caps, capability.Capability{})
+				continue
+			}
+			reply.Caps = append(reply.Caps, row.Cap)
+			reply.Rows = append(reply.Rows, row)
+		}
+		return reply
+	default:
+		return &Reply{Status: StatusBadRequest}
+	}
+}
+
+// ApplyUpdate executes one update operation, stamping seq as the
+// service-wide sequence number of the change. In durable mode the new
+// directory image is written through to the Bullet store and the object
+// table block is written to disk (the commit point of Fig. 5). In
+// non-durable mode only RAM changes; the caller logs the operation to
+// NVRAM and flushes later.
+func (a *Applier) ApplyUpdate(req *Request, seq uint64, durable bool) (*ApplyResult, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch req.Op {
+	case OpCreateDir:
+		return a.createDirLocked(req, seq, durable)
+	case OpDeleteDir:
+		return a.deleteDirLocked(req, seq, durable)
+	case OpAppendRow, OpChmodRow, OpDeleteRow, OpReplaceSet:
+		return a.mutateDirLocked(req, seq, durable)
+	default:
+		return nil, ErrBadRequest
+	}
+}
+
+func (a *Applier) createDirLocked(req *Request, seq uint64, durable bool) (*ApplyResult, error) {
+	if len(req.CheckSeed) == 0 {
+		return nil, fmt.Errorf("create-dir without check seed: %w", ErrBadRequest)
+	}
+	// Creating a directory requires write permission on a parent-ish
+	// capability; Amoeba let any holder of the service port create. We
+	// keep creation open, as registration into a parent is a separate
+	// append.
+	obj := a.table.NextFree()
+	if obj == 0 {
+		return nil, fmt.Errorf("object table full: %w", ErrServer)
+	}
+	d := dirdata.New(req.Columns...)
+	d.Seq = seq
+	entry := ObjectEntry{Seq: seq, Secret: capability.NewSecret(req.CheckSeed)}
+	if durable {
+		bcap, err := a.bullet.Create(d.Encode())
+		if err != nil {
+			return nil, fmt.Errorf("store directory: %w", err)
+		}
+		entry.Cap = bcap
+		if err := a.table.Set(obj, entry); err != nil {
+			return nil, err
+		}
+	} else {
+		a.table.SetRAM(obj, entry)
+	}
+	a.cache[obj] = d
+	return &ApplyResult{
+		Reply:        &Reply{Status: StatusOK, Cap: capability.Mint(a.port, obj, entry.Secret), Seq: seq},
+		DirtyObjects: []uint32{obj},
+	}, nil
+}
+
+func (a *Applier) deleteDirLocked(req *Request, seq uint64, durable bool) (*ApplyResult, error) {
+	if req.Dir.Object == RootObject {
+		return nil, fmt.Errorf("cannot delete the root directory: %w", ErrBadRequest)
+	}
+	e, err := a.verify(req.Dir, capability.RightDelete)
+	if err != nil {
+		return nil, err
+	}
+	obj := req.Dir.Object
+	if durable {
+		if err := a.table.Delete(obj); err != nil {
+			return nil, err
+		}
+	} else {
+		a.table.DeleteRAM(obj)
+	}
+	delete(a.cache, obj)
+	res := &ApplyResult{
+		Reply:        &Reply{Status: StatusOK, Seq: seq},
+		DirtyObjects: []uint32{obj},
+		DeletedDir:   true,
+	}
+	if !e.Cap.IsZero() {
+		res.OldBullet = append(res.OldBullet, e.Cap)
+	}
+	return res, nil
+}
+
+func (a *Applier) mutateDirLocked(req *Request, seq uint64, durable bool) (*ApplyResult, error) {
+	need := capability.RightWrite
+	switch req.Op {
+	case OpDeleteRow:
+		need = capability.RightDelete
+	case OpChmodRow:
+		need = capability.RightAdmin
+	}
+	e, err := a.verify(req.Dir, need)
+	if err != nil {
+		return nil, err
+	}
+	obj := req.Dir.Object
+	cached := a.cache[obj]
+	if cached == nil {
+		return nil, ErrNotFound
+	}
+	d := cached.Clone()
+	reply := &Reply{Status: StatusOK, Seq: seq}
+	switch req.Op {
+	case OpAppendRow:
+		err = d.Append(req.Name, req.Cap, req.Masks)
+	case OpChmodRow:
+		err = d.Chmod(req.Name, req.Masks)
+	case OpDeleteRow:
+		err = d.Delete(req.Name)
+	case OpReplaceSet:
+		for _, it := range req.Set {
+			old, rerr := d.Replace(it.Name, it.Cap)
+			if rerr != nil {
+				err = rerr
+				break
+			}
+			reply.Caps = append(reply.Caps, old)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	d.Seq = seq
+
+	newEntry := ObjectEntry{Seq: seq, Secret: e.Secret}
+	if durable {
+		bcap, berr := a.bullet.Create(d.Encode())
+		if berr != nil {
+			return nil, fmt.Errorf("store directory: %w", berr)
+		}
+		newEntry.Cap = bcap
+		if err := a.table.Set(obj, newEntry); err != nil {
+			return nil, err
+		}
+	} else {
+		newEntry.Cap = e.Cap // stale until the NVRAM flush rewrites it
+		a.table.SetRAM(obj, newEntry)
+	}
+	a.cache[obj] = d
+
+	res := &ApplyResult{Reply: reply, DirtyObjects: []uint32{obj}}
+	if durable && !e.Cap.IsZero() {
+		res.OldBullet = append(res.OldBullet, e.Cap)
+	}
+	return res, nil
+}
+
+// FlushObject writes the current image of obj through to Bullet and the
+// object table (the NVRAM background flush). It returns the superseded
+// Bullet file, if any.
+func (a *Applier) FlushObject(obj uint32) ([]capability.Capability, error) {
+	a.mu.Lock()
+	d, live := a.cache[obj]
+	var img []byte
+	if live {
+		img = d.Encode()
+	}
+	a.mu.Unlock()
+
+	e, known := a.table.Get(obj)
+	if !live {
+		// Deleted: drop the table entry and the old file.
+		if !known {
+			return nil, nil
+		}
+		if err := a.table.Delete(obj); err != nil {
+			return nil, err
+		}
+		if !e.Cap.IsZero() {
+			return []capability.Capability{e.Cap}, nil
+		}
+		return nil, nil
+	}
+	bcap, err := a.bullet.Create(img)
+	if err != nil {
+		return nil, fmt.Errorf("flush directory %d: %w", obj, err)
+	}
+	old := e.Cap
+	e.Cap = bcap
+	a.mu.Lock()
+	e.Seq = d.Seq
+	a.mu.Unlock()
+	e.Secret = entrySecretOr(e, known, a.port)
+	if err := a.table.Set(obj, e); err != nil {
+		return nil, err
+	}
+	if known && !old.IsZero() && old != bcap {
+		return []capability.Capability{old}, nil
+	}
+	return nil, nil
+}
+
+func entrySecretOr(e ObjectEntry, known bool, port capability.Port) capability.Secret {
+	if known {
+		return e.Secret
+	}
+	return rootSecret(port)
+}

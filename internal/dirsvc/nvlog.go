@@ -1,0 +1,288 @@
+package dirsvc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"dirsvc/internal/vdisk"
+)
+
+// NVLog is the 24 KB NVRAM operation log of the paper's fastest variant
+// (§4.1). Update operations are appended to battery-backed RAM instead of
+// being written through to disk; a background flush applies them when the
+// server is idle or the log fills. The log implements the paper's /tmp
+// optimization: a delete-row that cancels a still-logged append-row
+// removes both records, so short-lived names never touch the disk at all.
+type NVLog struct {
+	nv *vdisk.NVRAM
+
+	mu     sync.Mutex
+	recs   []*nvRecord
+	used   int    // bytes consumed in the NVRAM region
+	maxSeq uint64 // highest sequence number ever logged (survives cancellation)
+}
+
+type nvRecord struct {
+	seq    uint64
+	alive  bool
+	raw    []byte // encoded Request
+	offset int    // start of the record header in NVRAM
+
+	// Parsed fields for cancellation matching.
+	op     OpCode
+	dirObj uint32
+	name   string
+	set    []string
+}
+
+// NVRAM layout:
+//
+//	header:  magic [4]byte "NVL1" | count u32 | maxSeq u64
+//	records: len u32 | alive u8 | seq u64 | payload
+const (
+	nvHeaderSize    = 4 + 4 + 8
+	nvRecHeaderSize = 4 + 1 + 8
+)
+
+var nvMagic = [4]byte{'N', 'V', 'L', '1'}
+
+// ErrLogFull is returned when a record does not fit in NVRAM; the caller
+// must flush first.
+var ErrLogFull = errors.New("dirsvc: NVRAM log full")
+
+// OpenNVLog attaches to an NVRAM region, replaying any records that
+// survived a crash.
+func OpenNVLog(nv *vdisk.NVRAM) (*NVLog, error) {
+	l := &NVLog{nv: nv, used: nvHeaderSize}
+	raw := nv.Snapshot()
+	if len(raw) < nvHeaderSize {
+		return nil, fmt.Errorf("nvram region too small (%d bytes)", len(raw))
+	}
+	var m [4]byte
+	copy(m[:], raw[:4])
+	if m != nvMagic {
+		// Fresh region: write an empty header.
+		if err := l.writeHeader(0); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	count := int(binary.BigEndian.Uint32(raw[4:8]))
+	l.maxSeq = binary.BigEndian.Uint64(raw[8:16])
+	off := nvHeaderSize
+	for i := 0; i < count; i++ {
+		if off+nvRecHeaderSize > len(raw) {
+			return nil, errors.New("dirsvc: corrupt NVRAM log")
+		}
+		n := int(binary.BigEndian.Uint32(raw[off : off+4]))
+		alive := raw[off+4] == 1
+		seq := binary.BigEndian.Uint64(raw[off+5 : off+13])
+		if off+nvRecHeaderSize+n > len(raw) {
+			return nil, errors.New("dirsvc: corrupt NVRAM log record")
+		}
+		payload := make([]byte, n)
+		copy(payload, raw[off+nvRecHeaderSize:])
+		rec := &nvRecord{seq: seq, alive: alive, raw: payload, offset: off}
+		if err := rec.parse(); err != nil {
+			return nil, err
+		}
+		l.recs = append(l.recs, rec)
+		off += nvRecHeaderSize + n
+	}
+	l.used = off
+	return l, nil
+}
+
+func (r *nvRecord) parse() error {
+	req, err := DecodeRequest(r.raw)
+	if err != nil {
+		return fmt.Errorf("nvram record: %w", err)
+	}
+	r.op = req.Op
+	r.dirObj = req.Dir.Object
+	r.name = req.Name
+	for _, it := range req.Set {
+		r.set = append(r.set, it.Name)
+	}
+	return nil
+}
+
+func (l *NVLog) writeHeader(count int) error {
+	hdr := make([]byte, nvHeaderSize)
+	copy(hdr, nvMagic[:])
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(count))
+	binary.BigEndian.PutUint64(hdr[8:16], l.maxSeq)
+	return l.nv.Write(0, hdr)
+}
+
+// Append logs one update operation. When the operation is a delete-row
+// that cancels a logged append-row of the same name in the same
+// directory, both records are removed instead (the paper's /tmp
+// optimization) and cancelled=true is returned.
+func (l *NVLog) Append(req *Request, seq uint64) (cancelled bool, err error) {
+	raw := req.Encode()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.maxSeq {
+		l.maxSeq = seq
+	}
+
+	if req.Op == OpDeleteRow {
+		if i := l.cancellableAppendLocked(req.Dir.Object, req.Name); i >= 0 {
+			// Kill the append in NVRAM; the delete is never written.
+			l.recs[i].alive = false
+			if err := l.nv.Write(l.recs[i].offset+4, []byte{0}); err != nil {
+				return false, err
+			}
+			// The header still advances maxSeq so recovery sees that
+			// updates happened here.
+			if err := l.writeHeader(len(l.recs)); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+
+	need := nvRecHeaderSize + len(raw)
+	if l.used+need > l.nv.Size() {
+		return false, fmt.Errorf("%w (%d bytes used of %d)", ErrLogFull, l.used, l.nv.Size())
+	}
+	rec := &nvRecord{seq: seq, alive: true, raw: raw, offset: l.used}
+	if err := rec.parse(); err != nil {
+		return false, err
+	}
+	hdr := make([]byte, nvRecHeaderSize)
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(raw)))
+	hdr[4] = 1
+	binary.BigEndian.PutUint64(hdr[5:13], seq)
+	if err := l.nv.Write(l.used, append(hdr, raw...)); err != nil {
+		return false, err
+	}
+	l.recs = append(l.recs, rec)
+	l.used += need
+	if err := l.writeHeader(len(l.recs)); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// cancellableAppendLocked finds a live append-row for (dirObj, name) with
+// no later live record touching the same name. Returns its index or -1.
+func (l *NVLog) cancellableAppendLocked(dirObj uint32, name string) int {
+	for i := len(l.recs) - 1; i >= 0; i-- {
+		rec := l.recs[i]
+		if !rec.alive || !rec.touches(dirObj, name) {
+			continue
+		}
+		if rec.op == OpAppendRow {
+			return i
+		}
+		return -1 // a later chmod/replace/delete touches the name: no cancel
+	}
+	return -1
+}
+
+// touches reports whether the record affects (dirObj, name).
+func (r *nvRecord) touches(dirObj uint32, name string) bool {
+	if r.dirObj != dirObj {
+		// Directory-level ops on the same object still count.
+		if (r.op == OpCreateDir || r.op == OpDeleteDir) && r.dirObj == dirObj {
+			return true
+		}
+		return false
+	}
+	switch r.op {
+	case OpCreateDir, OpDeleteDir:
+		return true
+	case OpAppendRow, OpChmodRow, OpDeleteRow:
+		return r.name == name
+	case OpReplaceSet:
+		for _, n := range r.set {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Live returns the live records in log order as decoded requests with
+// their sequence numbers.
+func (l *NVLog) Live() (reqs []*Request, seqs []uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, rec := range l.recs {
+		if !rec.alive {
+			continue
+		}
+		req, err := DecodeRequest(rec.raw)
+		if err != nil {
+			return nil, nil, err
+		}
+		reqs = append(reqs, req)
+		seqs = append(seqs, rec.seq)
+	}
+	return reqs, seqs, nil
+}
+
+// DirtyObjects returns the directories with live logged updates.
+func (l *NVLog) DirtyObjects() []uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seen := make(map[uint32]bool)
+	var out []uint32
+	for _, rec := range l.recs {
+		if rec.alive && !seen[rec.dirObj] {
+			seen[rec.dirObj] = true
+			out = append(out, rec.dirObj)
+		}
+	}
+	return out
+}
+
+// Len returns the number of live records.
+func (l *NVLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, rec := range l.recs {
+		if rec.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// UsedBytes returns the bytes consumed in the region (including dead
+// records awaiting compaction).
+func (l *NVLog) UsedBytes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+// NeedsFlush reports whether the log has passed 3/4 of the region.
+func (l *NVLog) NeedsFlush() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used*4 > l.nv.Size()*3
+}
+
+// MaxSeq returns the highest sequence number ever logged. Recovery takes
+// the maximum of this, the object table, and the commit block (§3).
+func (l *NVLog) MaxSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.maxSeq
+}
+
+// Clear empties the log after a successful flush, keeping maxSeq.
+func (l *NVLog) Clear() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = nil
+	l.used = nvHeaderSize
+	return l.writeHeader(0)
+}

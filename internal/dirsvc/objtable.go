@@ -1,0 +1,270 @@
+package dirsvc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/vdisk"
+)
+
+// ObjectEntry is one object table slot: which Bullet file holds the
+// current version of the directory, the sequence number of its last
+// change (paper Fig. 4's "blocks 1 to n−1"), and the per-object secret
+// from which client capabilities are minted and verified.
+type ObjectEntry struct {
+	Cap    capability.Capability // Bullet file holding the directory image
+	Seq    uint64
+	Secret capability.Secret
+}
+
+// entrySlot is the on-disk size of one slot:
+// used(1) + cap(16) + seq(8) + secret(6).
+const entrySlot = 1 + capability.Size + 8 + 6
+
+// entriesPerBlock slots fit one 512-byte block.
+const entriesPerBlock = vdisk.BlockSize / entrySlot
+
+// ObjectTable maps directory object numbers to their entries. The table
+// occupies blocks 1..k of the admin partition; updating one entry costs
+// exactly one block write — the paper's "one disk operation to store the
+// changed entry in the object table".
+type ObjectTable struct {
+	admin vdisk.Storage
+
+	mu      sync.Mutex
+	entries map[uint32]ObjectEntry
+	max     uint32 // highest object number the partition can hold
+}
+
+// OpenObjectTable loads the table from the admin partition (blocks 1..end).
+func OpenObjectTable(admin vdisk.Storage) (*ObjectTable, error) {
+	blocks := admin.Blocks() - 1
+	if blocks < 1 {
+		return nil, fmt.Errorf("object table: admin partition too small")
+	}
+	t := &ObjectTable{
+		admin:   admin,
+		entries: make(map[uint32]ObjectEntry),
+		max:     uint32(blocks * entriesPerBlock),
+	}
+	// One sequential scan of the partition (boot/recovery only): a
+	// single seek plus per-block transfers, like reading a raw
+	// partition front to back.
+	raw, err := admin.ReadRun(1, blocks*vdisk.BlockSize)
+	if err != nil {
+		return nil, fmt.Errorf("object table scan: %w", err)
+	}
+	for b := 1; b <= blocks; b++ {
+		blk := raw[(b-1)*vdisk.BlockSize : b*vdisk.BlockSize]
+		for s := 0; s < entriesPerBlock; s++ {
+			off := s * entrySlot
+			if blk[off] != 1 {
+				continue
+			}
+			obj := uint32((b-1)*entriesPerBlock + s + 1)
+			e, err := decodeEntry(blk[off:])
+			if err != nil {
+				return nil, fmt.Errorf("object %d: %w", obj, err)
+			}
+			t.entries[obj] = e
+		}
+	}
+	return t, nil
+}
+
+// Get returns the entry for obj.
+func (t *ObjectTable) Get(obj uint32) (ObjectEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[obj]
+	return e, ok
+}
+
+// All returns a copy of every live entry.
+func (t *ObjectTable) All() map[uint32]ObjectEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[uint32]ObjectEntry, len(t.entries))
+	for k, v := range t.entries {
+		out[k] = v
+	}
+	return out
+}
+
+// Objects returns all live object numbers in ascending order.
+func (t *ObjectTable) Objects() []uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]uint32, 0, len(t.entries))
+	for k := range t.entries {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NextFree returns the lowest unused object number. Because every replica
+// applies updates in the same total order to the same table, this choice
+// is deterministic across the group.
+func (t *ObjectTable) NextFree() uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for obj := uint32(1); obj <= t.max; obj++ {
+		if _, used := t.entries[obj]; !used {
+			return obj
+		}
+	}
+	return 0
+}
+
+// MaxSeq returns the highest sequence number stored with any directory.
+// Recovery combines this with the commit block's sequence number (§3).
+func (t *ObjectTable) MaxSeq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var maxSeq uint64
+	for _, e := range t.entries {
+		if e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
+	}
+	return maxSeq
+}
+
+// Set updates obj's entry and writes the containing block (one disk
+// operation — the commit point of the write protocol, Fig. 5).
+func (t *ObjectTable) Set(obj uint32, e ObjectEntry) error {
+	t.mu.Lock()
+	if obj == 0 || obj > t.max {
+		t.mu.Unlock()
+		return fmt.Errorf("object %d out of range (max %d)", obj, t.max)
+	}
+	t.entries[obj] = e
+	raw := t.encodeBlockLocked(blockOf(obj))
+	t.mu.Unlock()
+	return t.admin.WriteBlock(blockOf(obj), raw)
+}
+
+// Delete clears obj's slot and writes the containing block.
+func (t *ObjectTable) Delete(obj uint32) error {
+	t.mu.Lock()
+	if _, ok := t.entries[obj]; !ok {
+		t.mu.Unlock()
+		return nil
+	}
+	delete(t.entries, obj)
+	raw := t.encodeBlockLocked(blockOf(obj))
+	t.mu.Unlock()
+	return t.admin.WriteBlock(blockOf(obj), raw)
+}
+
+// ReplaceAll atomically installs a full table image (recovery state
+// transfer), rewriting every dirty block.
+func (t *ObjectTable) ReplaceAll(entries map[uint32]ObjectEntry) error {
+	t.mu.Lock()
+	dirty := make(map[int]bool)
+	for obj := range t.entries {
+		dirty[blockOf(obj)] = true
+	}
+	for obj := range entries {
+		dirty[blockOf(obj)] = true
+	}
+	t.entries = make(map[uint32]ObjectEntry, len(entries))
+	for k, v := range entries {
+		t.entries[k] = v
+	}
+	blocks := make([]int, 0, len(dirty))
+	for b := range dirty {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	images := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		images[i] = t.encodeBlockLocked(b)
+	}
+	t.mu.Unlock()
+	for i, b := range blocks {
+		if err := t.admin.WriteBlock(b, images[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetRAM updates obj's entry in memory only. The NVRAM variant of the
+// service uses this on its critical path; FlushBlocks persists later.
+func (t *ObjectTable) SetRAM(obj uint32, e ObjectEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[obj] = e
+}
+
+// DeleteRAM clears obj's slot in memory only.
+func (t *ObjectTable) DeleteRAM(obj uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, obj)
+}
+
+// FlushBlocks writes the blocks containing the given objects, each block
+// once (the background NVRAM flush path).
+func (t *ObjectTable) FlushBlocks(objs []uint32) error {
+	seen := make(map[int]bool)
+	var blocks []int
+	for _, obj := range objs {
+		b := blockOf(obj)
+		if !seen[b] {
+			seen[b] = true
+			blocks = append(blocks, b)
+		}
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		t.mu.Lock()
+		raw := t.encodeBlockLocked(b)
+		t.mu.Unlock()
+		if err := t.admin.WriteBlock(b, raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// blockOf returns the admin block holding obj's slot.
+func blockOf(obj uint32) int {
+	return 1 + int(obj-1)/entriesPerBlock
+}
+
+// encodeBlockLocked renders one table block. Must hold t.mu.
+func (t *ObjectTable) encodeBlockLocked(block int) []byte {
+	raw := make([]byte, vdisk.BlockSize)
+	first := uint32((block-1)*entriesPerBlock + 1)
+	for s := 0; s < entriesPerBlock; s++ {
+		obj := first + uint32(s)
+		e, ok := t.entries[obj]
+		if !ok {
+			continue
+		}
+		off := s * entrySlot
+		raw[off] = 1
+		copy(raw[off+1:off+1+capability.Size], e.Cap.Encode(nil))
+		binary.BigEndian.PutUint64(raw[off+1+capability.Size:], e.Seq)
+		copy(raw[off+1+capability.Size+8:], e.Secret[:])
+	}
+	return raw
+}
+
+func decodeEntry(raw []byte) (ObjectEntry, error) {
+	var e ObjectEntry
+	c, err := capability.Decode(raw[1 : 1+capability.Size])
+	if err != nil {
+		return e, err
+	}
+	e.Cap = c
+	e.Seq = binary.BigEndian.Uint64(raw[1+capability.Size:])
+	copy(e.Secret[:], raw[1+capability.Size+8:])
+	return e, nil
+}

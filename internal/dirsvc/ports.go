@@ -1,0 +1,38 @@
+package dirsvc
+
+import (
+	"fmt"
+
+	"dirsvc/internal/capability"
+)
+
+// ServicePort returns the public port of a directory service instance.
+// All directory servers of one service listen here; clients locate the
+// service by broadcasting on it.
+func ServicePort(service string) capability.Port {
+	return capability.PortFromString("dir:" + service)
+}
+
+// BulletPort returns the private port of directory server i's own Bullet
+// server (paper Fig. 3: each directory server only uses one Bullet
+// server).
+func BulletPort(service string, server int) capability.Port {
+	return capability.PortFromString(fmt.Sprintf("bullet:%s:%d", service, server))
+}
+
+// GroupPort returns the internal group-communication port of the service.
+func GroupPort(service string) capability.Port {
+	return capability.PortFromString("group:" + service)
+}
+
+// RecoveryPort returns the port used for server-to-server recovery RPCs
+// (mourned-set exchange and state transfer, Fig. 6) of server i.
+func RecoveryPort(service string, server int) capability.Port {
+	return capability.PortFromString(fmt.Sprintf("recover:%s:%d", service, server))
+}
+
+// PublicBulletPort returns the port of the public file service used by
+// clients for their own files (the paper's tmp-file experiment).
+func PublicBulletPort(service string) capability.Port {
+	return capability.PortFromString("bullet-public:" + service)
+}

@@ -1,0 +1,360 @@
+// Package flip implements a FLIP-like communication layer on top of the
+// simulated Ethernet (internal/sim): location-transparent 48-bit ports,
+// port-addressed unicast and multicast, and a broadcast locate mechanism
+// (LOCATE / HEREIS) that the RPC layer's port cache heuristic builds on.
+//
+// Amoeba implemented its RPC and group communication primitives on top of
+// the FLIP internetwork protocol [Kaashoek et al., ACM TOCS 1993]; this
+// package plays that role here. Each simulated host runs one Stack, which
+// dispatches incoming frames to per-port listeners.
+package flip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/sim"
+)
+
+// Msg is a port-addressed message delivered to a listener.
+type Msg struct {
+	Src     sim.NodeID
+	Payload []byte
+}
+
+// Frame kinds on the wire.
+const (
+	kindData   = 1 // port-addressed unicast
+	kindMcast  = 2 // port-addressed broadcast (Ethernet multicast)
+	kindLocate = 3 // broadcast: who listens on this port?
+	kindHereIs = 4 // unicast reply to a locate
+)
+
+const headerSize = 1 + 6 // kind + port
+
+var (
+	// ErrClosed is returned when the stack or listener has shut down.
+	ErrClosed = errors.New("flip: stack closed")
+	// ErrPortInUse is returned when registering a port twice on one stack.
+	ErrPortInUse = errors.New("flip: port already registered")
+)
+
+const listenerDepth = 1024
+
+// Listener receives messages addressed to one port on one host.
+type Listener struct {
+	stack *Stack
+	port  capability.Port
+	ch    chan Msg
+	// fn, when set, is invoked synchronously from the dispatcher instead
+	// of queueing on ch. See Stack.RegisterFunc.
+	fn func(Msg)
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Port returns the port the listener is bound to.
+func (l *Listener) Port() capability.Port { return l.port }
+
+// Recv blocks until a message arrives. ok is false after Close or stack
+// shutdown.
+func (l *Listener) Recv() (Msg, bool) {
+	m, ok := <-l.ch
+	return m, ok
+}
+
+// RecvTimeout waits up to d for a message. It returns ok=false both on
+// timeout and on close; timedOut distinguishes the two.
+func (l *Listener) RecvTimeout(d time.Duration) (m Msg, ok, timedOut bool) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m, ok = <-l.ch:
+		return m, ok, false
+	case <-timer.C:
+		return Msg{}, false, true
+	}
+}
+
+// Chan exposes the receive channel for use in select loops.
+func (l *Listener) Chan() <-chan Msg { return l.ch }
+
+// Close deregisters the listener. Pending messages are discarded.
+func (l *Listener) Close() {
+	l.stack.deregister(l)
+}
+
+// deliver enqueues m unless the listener is closed or full. Must not block
+// for function listeners' queueing; fn itself runs synchronously.
+func (l *Listener) deliver(m Msg) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	fn := l.fn
+	l.mu.Unlock()
+	if fn != nil {
+		fn(m)
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	select {
+	case l.ch <- m:
+	default: // receiver overrun: drop, like a real kernel buffer
+	}
+}
+
+func (l *Listener) markClosed() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.ch)
+	}
+}
+
+// Stack is the FLIP endpoint of one simulated host.
+type Stack struct {
+	node *sim.Node
+
+	mu        sync.Mutex
+	listeners map[capability.Port]*Listener
+	locates   map[uint64]chan sim.NodeID
+	nextLoc   uint64
+	closed    bool
+
+	done chan struct{}
+}
+
+// NewStack attaches a FLIP stack to a node and starts its dispatcher. The
+// stack runs until the node crashes or Close is called.
+func NewStack(node *sim.Node) *Stack {
+	s := &Stack{
+		node:      node,
+		listeners: make(map[capability.Port]*Listener),
+		locates:   make(map[uint64]chan sim.NodeID),
+		done:      make(chan struct{}),
+	}
+	go s.dispatch()
+	return s
+}
+
+// Node returns the underlying simulated host.
+func (s *Stack) Node() *sim.Node { return s.node }
+
+// Model returns the network latency model.
+func (s *Stack) Model() *sim.LatencyModel { return s.node.Network().Model() }
+
+// Close shuts the stack down and unblocks all listeners. The underlying
+// node is left running; a crashed node shuts its stack down automatically.
+func (s *Stack) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ls := make([]*Listener, 0, len(s.listeners))
+	for _, l := range s.listeners {
+		ls = append(ls, l)
+	}
+	s.listeners = make(map[capability.Port]*Listener)
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.markClosed()
+	}
+	// Unblock the dispatcher if it is waiting in Recv: crash-restart the
+	// node's inbox generation by crashing only the stack; the dispatcher
+	// also exits when the node itself crashes. We nudge it with a
+	// self-addressed frame.
+	_ = s.node.Unicast(s.node.ID(), nil)
+}
+
+// Register binds a listener to port. At most one listener per port per
+// stack.
+func (s *Stack) Register(port capability.Port) (*Listener, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := s.listeners[port]; dup {
+		return nil, fmt.Errorf("port %v: %w", port, ErrPortInUse)
+	}
+	l := &Listener{
+		stack: s,
+		port:  port,
+		ch:    make(chan Msg, listenerDepth),
+	}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// RegisterFunc binds fn to port; fn runs synchronously in the dispatcher
+// for every message addressed to the port. This mirrors Amoeba's kernel
+// processing group protocol packets at interrupt time: bookkeeping done in
+// fn is guaranteed to be visible before any later-arriving frame (e.g. a
+// client read request) is dispatched, the property §3.1's GetInfoGroup
+// read check relies on. fn must not block.
+func (s *Stack) RegisterFunc(port capability.Port, fn func(Msg)) (*Listener, error) {
+	l, err := s.Register(port)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.fn = fn
+	l.mu.Unlock()
+	return l, nil
+}
+
+func (s *Stack) deregister(l *Listener) {
+	s.mu.Lock()
+	if s.listeners[l.port] == l {
+		delete(s.listeners, l.port)
+	}
+	s.mu.Unlock()
+	l.markClosed()
+}
+
+// Send delivers payload to the listener on port at host dst.
+func (s *Stack) Send(dst sim.NodeID, port capability.Port, payload []byte) error {
+	return s.node.Unicast(dst, encodeFrame(kindData, port, payload))
+}
+
+// Multicast delivers payload to every host listening on port, in a single
+// Ethernet transmission. The sender's own listener does not receive it
+// (matching the simulated Ethernet, which never loops frames back).
+func (s *Stack) Multicast(port capability.Port, payload []byte) error {
+	return s.node.Broadcast(encodeFrame(kindMcast, port, payload))
+}
+
+// Locate broadcasts a request for hosts listening on port and collects
+// HEREIS replies, in arrival order, until the window elapses or max
+// replies arrive (max ≤ 0 means unlimited). The arrival order is what the
+// RPC layer's "first server to reply" heuristic keys on.
+func (s *Stack) Locate(port capability.Port, window time.Duration, max int) ([]sim.NodeID, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.nextLoc++
+	id := s.nextLoc
+	ch := make(chan sim.NodeID, 64)
+	s.locates[id] = ch
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.locates, id)
+		s.mu.Unlock()
+	}()
+
+	payload := make([]byte, 8)
+	binary.BigEndian.PutUint64(payload, id)
+	if err := s.node.Broadcast(encodeFrame(kindLocate, port, payload)); err != nil {
+		return nil, err
+	}
+
+	timer := time.NewTimer(window)
+	defer timer.Stop()
+	var found []sim.NodeID
+	for {
+		select {
+		case nd := <-ch:
+			found = append(found, nd)
+			if max > 0 && len(found) >= max {
+				return found, nil
+			}
+		case <-timer.C:
+			return found, nil
+		}
+	}
+}
+
+// dispatch routes incoming frames to listeners and answers locates. It
+// charges the per-packet receive CPU cost, which is part of what limits a
+// single server's throughput in Fig. 8.
+func (s *Stack) dispatch() {
+	defer close(s.done)
+	for {
+		frame, ok := s.node.Recv()
+		if !ok {
+			s.Close()
+			return
+		}
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		kind, port, payload, err := decodeFrame(frame.Payload)
+		if err != nil {
+			continue // malformed frame: drop
+		}
+		s.node.CPU().Charge(s.Model().PacketCPU)
+		switch kind {
+		case kindData, kindMcast:
+			s.mu.Lock()
+			l := s.listeners[port]
+			s.mu.Unlock()
+			if l != nil {
+				l.deliver(Msg{Src: frame.Src, Payload: payload})
+			}
+		case kindLocate:
+			if len(payload) != 8 {
+				continue
+			}
+			s.mu.Lock()
+			_, listening := s.listeners[port]
+			s.mu.Unlock()
+			if listening {
+				// Echo the locate id back so the requester can
+				// correlate the reply.
+				_ = s.node.Unicast(frame.Src, encodeFrame(kindHereIs, port, payload))
+			}
+		case kindHereIs:
+			if len(payload) != 8 {
+				continue
+			}
+			id := binary.BigEndian.Uint64(payload)
+			s.mu.Lock()
+			ch := s.locates[id]
+			s.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- frame.Src:
+				default:
+				}
+			}
+		}
+	}
+}
+
+func encodeFrame(kind byte, port capability.Port, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	buf[0] = kind
+	copy(buf[1:7], port[:])
+	copy(buf[7:], payload)
+	return buf
+}
+
+func decodeFrame(buf []byte) (kind byte, port capability.Port, payload []byte, err error) {
+	if len(buf) < headerSize {
+		return 0, capability.Port{}, nil, errors.New("flip: short frame")
+	}
+	kind = buf[0]
+	copy(port[:], buf[1:7])
+	return kind, port, buf[7:], nil
+}

@@ -1,0 +1,532 @@
+package group
+
+import (
+	"sort"
+	"time"
+
+	"dirsvc/internal/flip"
+	"dirsvc/internal/sim"
+)
+
+// historyWindow bounds how many sequenced messages every member retains
+// for retransmission and sequencer takeover.
+const historyWindow = 8192
+
+// retransBatch caps the number of messages answered per retransmission
+// request.
+const retransBatch = 512
+
+// handle processes one group protocol message. It runs synchronously in
+// the FLIP dispatcher of this node (the analogue of Amoeba's kernel
+// protocol processing), so it must never block on the network or sleep.
+func (m *Member) handle(fm flip.Msg) {
+	w, err := decodeWire(fm.Payload)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.state == StateLeft {
+		return
+	}
+
+	// Join requests carry no group id (the joiner does not know it yet);
+	// welcomes establish it. Everything else must match our instance.
+	switch w.kind {
+	case wireJoinReq:
+		if m.state == StateNormal && m.sequencer == m.me {
+			m.sequencerHandleJoinLocked(w)
+		}
+		return
+	case wireWelcome:
+		m.handleWelcomeLocked(w)
+		return
+	}
+	if w.gid != m.gid || m.state == StateJoining {
+		return
+	}
+
+	switch w.kind {
+	case wireSendReq:
+		if m.state == StateNormal && m.sequencer == m.me {
+			m.sequencerHandleSendLocked(w)
+		}
+	case wireOrd:
+		m.handleOrdLocked(w)
+	case wireAccept:
+		m.handleAcceptLocked(w)
+	case wireDone:
+		m.handleDoneLocked(w)
+	case wireLeave:
+		if m.state == StateNormal && m.sequencer == m.me {
+			m.sequencerHandleLeaveLocked(w)
+		}
+	case wireRetrans:
+		m.handleRetransLocked(w)
+	case wireAlive:
+		m.handleAliveLocked(w)
+	case wireInvite:
+		m.handleInviteLocked(w)
+	case wireResetAck:
+		m.handleResetAckLocked(w)
+	case wireCommit:
+		m.applyCommitLocked(w)
+	}
+}
+
+// sequencerHandleSendLocked assigns the next sequence number to a send
+// request and multicasts it (the PB method). Duplicate requests (sender
+// retries) are answered from the sequenced table.
+func (m *Member) sequencerHandleSendLocked(w *wireMsg) {
+	if !contains(m.members, w.from) {
+		return
+	}
+	if seqs := m.sequenced[w.from]; seqs != nil {
+		if s, dup := seqs[w.msgID]; dup {
+			m.answerDuplicateLocked(w, s)
+			return
+		}
+	}
+	m.seqCounter++
+	s := m.seqCounter
+	ord := &wireMsg{
+		kind:    wireOrd,
+		gid:     m.gid,
+		epoch:   m.epoch,
+		seq:     s,
+		from:    w.from,
+		msgID:   w.msgID,
+		ordKind: w.ordKind,
+		node:    w.node,
+		payload: w.payload,
+	}
+	needed := m.cfg.Resilience
+	if max := len(m.members) - 1; needed > max {
+		needed = max
+	}
+	m.pendingDone[s] = &doneState{
+		sender: w.from,
+		msgID:  w.msgID,
+		needed: needed,
+		acked:  make(map[sim.NodeID]bool),
+	}
+	_ = m.stack.Multicast(m.cfg.Port, ord.encode())
+	m.processOrdLocked(ord) // multicast does not loop back
+	if needed == 0 {
+		m.sendDoneLocked(s)
+	}
+}
+
+// answerDuplicateLocked handles a retried send request whose message was
+// already sequenced at seq s.
+func (m *Member) answerDuplicateLocked(w *wireMsg, s uint64) {
+	if s <= m.syncedSeq {
+		// Stabilized across a reset: every member of the view has it.
+		m.replyDoneLocked(w.from, w.msgID, s)
+		return
+	}
+	pd := m.pendingDone[s]
+	if pd == nil || pd.doneSent {
+		m.replyDoneLocked(w.from, w.msgID, s)
+		return
+	}
+	// Still waiting for ACCEPTs: some may have been lost. Re-send the
+	// ORD to members that have not acknowledged; their duplicate
+	// handling re-ACCEPTs.
+	if ord := m.history[s]; ord != nil {
+		enc := ord.encode()
+		for _, nd := range m.members {
+			if nd != m.me && !pd.acked[nd] {
+				_ = m.stack.Send(nd, m.cfg.Port, enc)
+			}
+		}
+	}
+}
+
+// handleOrdLocked buffers a sequenced message and delivers everything
+// that has become contiguous.
+func (m *Member) handleOrdLocked(w *wireMsg) {
+	if w.epoch > m.epoch {
+		// We missed a view change; the application must reset.
+		m.failLocked("saw ord from newer epoch")
+		return
+	}
+	if w.epoch < m.epoch && w.seq > m.syncedSeq {
+		// Stale traffic from a superseded view that did not survive the
+		// reset: ignore it (messages ≤ syncedSeq were carried over).
+		return
+	}
+	if w.seq < m.nextSeq {
+		// Duplicate of something already processed: the sequencer may
+		// have lost our ACCEPT, so acknowledge again.
+		m.acceptLocked(w.seq)
+		return
+	}
+	if _, dup := m.pending[w.seq]; !dup {
+		m.pending[w.seq] = w
+	}
+	m.acceptLocked(w.seq)
+	m.drainPendingLocked()
+	if w.seq >= m.nextSeq && m.pending[m.nextSeq] == nil {
+		m.maybeRequestRetransLocked(w.seq - 1)
+	}
+}
+
+// acceptLocked acknowledges receipt of seq to the sequencer.
+func (m *Member) acceptLocked(seq uint64) {
+	if m.sequencer == m.me {
+		return
+	}
+	acc := &wireMsg{kind: wireAccept, gid: m.gid, epoch: m.epoch, seq: seq, from: m.me}
+	_ = m.stack.Send(m.sequencer, m.cfg.Port, acc.encode())
+}
+
+// drainPendingLocked promotes contiguous pending messages into the
+// delivery queue, applying membership changes as they pass.
+func (m *Member) drainPendingLocked() {
+	for {
+		ord := m.pending[m.nextSeq]
+		if ord == nil {
+			return
+		}
+		delete(m.pending, m.nextSeq)
+		m.processOrdLocked(ord)
+	}
+}
+
+// processOrdLocked records and delivers one in-order message. ord.seq must
+// equal m.nextSeq.
+func (m *Member) processOrdLocked(ord *wireMsg) {
+	s := ord.seq
+	m.history[s] = ord
+	if m.histLo == 0 {
+		m.histLo = s
+	}
+	for s-m.histLo >= historyWindow {
+		delete(m.history, m.histLo)
+		m.histLo++
+	}
+	if seqs := m.sequenced[ord.from]; seqs == nil {
+		m.sequenced[ord.from] = map[uint64]uint64{ord.msgID: s}
+	} else {
+		seqs[ord.msgID] = s
+		if len(seqs) > 2*historyWindow {
+			trimSequenced(seqs)
+		}
+	}
+
+	msg := Msg{Seq: s, Sender: ord.from}
+	switch ord.ordKind {
+	case ordApp:
+		msg.Kind = KindApp
+		msg.Payload = ord.payload
+	case ordJoin:
+		msg.Kind = KindJoin
+		msg.Node = ord.node
+		if !contains(m.members, ord.node) {
+			m.members = append(m.members, ord.node)
+			sort.Slice(m.members, func(i, j int) bool { return m.members[i] < m.members[j] })
+			m.lastSeen[ord.node] = time.Now()
+		}
+	case ordLeave:
+		msg.Kind = KindLeave
+		msg.Node = ord.node
+		m.removeMemberLocked(ord.node)
+	}
+	m.queue = append(m.queue, msg)
+	m.nextSeq = s + 1
+	m.cond.Broadcast()
+}
+
+func (m *Member) removeMemberLocked(nd sim.NodeID) {
+	kept := m.members[:0]
+	for _, x := range m.members {
+		if x != nd {
+			kept = append(kept, x)
+		}
+	}
+	m.members = kept
+	delete(m.lastSeen, nd)
+	if nd == m.me {
+		m.state = StateLeft
+		m.cond.Broadcast()
+		return
+	}
+	if nd == m.sequencer && len(m.members) > 0 {
+		// Deterministic succession: lowest surviving member id.
+		m.sequencer = m.members[0]
+		if m.sequencer == m.me {
+			m.seqCounter = m.nextSeq - 1
+		}
+	}
+}
+
+// handleAcceptLocked counts resilience acknowledgements (sequencer only).
+func (m *Member) handleAcceptLocked(w *wireMsg) {
+	m.lastSeen[w.from] = time.Now()
+	if m.sequencer != m.me {
+		return
+	}
+	pd := m.pendingDone[w.seq]
+	if pd == nil || pd.acked[w.from] || !contains(m.members, w.from) {
+		return
+	}
+	pd.acked[w.from] = true
+	if !pd.doneSent && len(pd.acked) >= pd.needed {
+		m.sendDoneLocked(w.seq)
+	}
+}
+
+// sendDoneLocked notifies the original sender that its message reached
+// the configured resilience degree.
+func (m *Member) sendDoneLocked(seq uint64) {
+	pd := m.pendingDone[seq]
+	if pd == nil {
+		return
+	}
+	pd.doneSent = true
+	m.replyDoneLocked(pd.sender, pd.msgID, seq)
+}
+
+func (m *Member) replyDoneLocked(sender sim.NodeID, msgID, seq uint64) {
+	if sender == m.me {
+		if w := m.waiting[msgID]; w != nil {
+			select {
+			case w.ch <- seq:
+			default:
+			}
+		}
+		return
+	}
+	done := &wireMsg{kind: wireDone, gid: m.gid, epoch: m.epoch, seq: seq, msgID: msgID, from: m.me}
+	_ = m.stack.Send(sender, m.cfg.Port, done.encode())
+}
+
+// handleDoneLocked completes one of our outstanding Send calls.
+func (m *Member) handleDoneLocked(w *wireMsg) {
+	if wait := m.waiting[w.msgID]; wait != nil {
+		select {
+		case wait.ch <- w.seq:
+		default:
+		}
+	}
+}
+
+// sequencerHandleJoinLocked admits a new member: the join is woven into
+// the total order and the joiner receives a welcome snapshot.
+func (m *Member) sequencerHandleJoinLocked(w *wireMsg) {
+	node := w.from
+	if contains(m.members, node) {
+		// Re-join from a member that lost its welcome (or its state):
+		// answer with the current position.
+		m.sendWelcomeLocked(node, m.seqCounter)
+		return
+	}
+	m.seqCounter++
+	s := m.seqCounter
+	ord := &wireMsg{
+		kind:    wireOrd,
+		gid:     m.gid,
+		epoch:   m.epoch,
+		seq:     s,
+		from:    m.me,
+		ordKind: ordJoin,
+		node:    node,
+	}
+	_ = m.stack.Multicast(m.cfg.Port, ord.encode())
+	m.processOrdLocked(ord)
+	m.sendWelcomeLocked(node, s)
+}
+
+func (m *Member) sendWelcomeLocked(node sim.NodeID, joinSeq uint64) {
+	members := make([]sim.NodeID, len(m.members))
+	copy(members, m.members)
+	welcome := &wireMsg{
+		kind:    wireWelcome,
+		gid:     m.gid,
+		epoch:   m.epoch,
+		seq:     joinSeq,
+		from:    m.me,
+		members: members,
+	}
+	_ = m.stack.Send(node, m.cfg.Port, welcome.encode())
+}
+
+// handleWelcomeLocked installs the group snapshot at a joining member.
+func (m *Member) handleWelcomeLocked(w *wireMsg) {
+	if m.state != StateJoining {
+		return
+	}
+	m.gid = w.gid
+	m.epoch = w.epoch
+	m.members = append([]sim.NodeID(nil), w.members...)
+	m.sequencer = w.from
+	m.nextSeq = w.seq + 1
+	m.delivered = w.seq // the joiner's stream starts after its join
+	m.seqCounter = w.seq
+	m.syncedSeq = w.seq
+	m.curProposal = proposal{epoch: w.epoch, node: w.from}
+	m.state = StateNormal
+	now := time.Now()
+	for _, nd := range m.members {
+		m.lastSeen[nd] = now
+	}
+	m.cond.Broadcast()
+}
+
+// sequencerHandleLeaveLocked weaves a departure into the total order.
+func (m *Member) sequencerHandleLeaveLocked(w *wireMsg) {
+	if !contains(m.members, w.node) {
+		return
+	}
+	m.seqCounter++
+	s := m.seqCounter
+	ord := &wireMsg{
+		kind:    wireOrd,
+		gid:     m.gid,
+		epoch:   m.epoch,
+		seq:     s,
+		from:    w.from,
+		ordKind: ordLeave,
+		node:    w.node,
+	}
+	_ = m.stack.Multicast(m.cfg.Port, ord.encode())
+	m.processOrdLocked(ord)
+}
+
+// handleRetransLocked answers a gap-repair request from history.
+func (m *Member) handleRetransLocked(w *wireMsg) {
+	from, to := w.seq, w.seq2
+	if to > from+retransBatch {
+		to = from + retransBatch
+	}
+	for s := from; s <= to; s++ {
+		ord := m.history[s]
+		if ord == nil {
+			continue
+		}
+		// Re-stamp with the current epoch: retransmitted messages are
+		// valid in the view that inherited them.
+		copyOrd := *ord
+		copyOrd.epoch = m.epoch
+		_ = m.stack.Send(w.from, m.cfg.Port, copyOrd.encode())
+	}
+}
+
+// handleAliveLocked refreshes liveness and triggers gap repair when the
+// heartbeat shows the group is ahead of us.
+func (m *Member) handleAliveLocked(w *wireMsg) {
+	if w.epoch > m.epoch {
+		m.failLocked("saw heartbeat from newer epoch")
+		return
+	}
+	if contains(m.members, w.from) {
+		m.lastSeen[w.from] = time.Now()
+	}
+	if w.epoch == m.epoch && w.seq > m.nextSeq-1 && w.from == m.sequencer {
+		m.maybeRequestRetransLocked(w.seq)
+	}
+}
+
+// maybeRequestRetransLocked asks the sequencer for missing messages,
+// rate-limited to one request per half heartbeat.
+func (m *Member) maybeRequestRetransLocked(upTo uint64) {
+	if m.sequencer == m.me || upTo < m.nextSeq {
+		return
+	}
+	now := time.Now()
+	if now.Sub(m.lastRetransAt) < m.heartbeat/2 {
+		return
+	}
+	m.lastRetransAt = now
+	req := &wireMsg{kind: wireRetrans, gid: m.gid, epoch: m.epoch, seq: m.nextSeq, seq2: upTo, from: m.me}
+	_ = m.stack.Send(m.sequencer, m.cfg.Port, req.encode())
+}
+
+// handleInviteLocked reacts to a reset proposal: higher proposals win.
+func (m *Member) handleInviteLocked(w *wireMsg) {
+	p := proposal{epoch: w.epoch, node: w.from}
+	if w.epoch <= m.epoch {
+		return
+	}
+	if m.curProposal.less(p) {
+		m.curProposal = p
+		if m.state == StateNormal || m.state == StateFailed {
+			m.state = StateResetting
+			m.resettingSince = time.Now()
+		}
+		m.resetAcks = nil // abandon our own coordination attempt
+		m.cond.Broadcast()
+	}
+	if m.curProposal == p {
+		ack := &wireMsg{kind: wireResetAck, gid: m.gid, epoch: w.epoch, seq: m.nextSeq - 1, from: m.me}
+		_ = m.stack.Send(w.from, m.cfg.Port, ack.encode())
+	}
+}
+
+// handleResetAckLocked collects acknowledgements for our own proposal.
+func (m *Member) handleResetAckLocked(w *wireMsg) {
+	if m.resetAcks == nil || m.curProposal.node != m.me || m.curProposal.epoch != w.epoch {
+		return
+	}
+	m.resetAcks[w.from] = w.seq
+}
+
+// applyCommitLocked installs a new view, triggering catch-up from the new
+// sequencer when we are behind.
+func (m *Member) applyCommitLocked(w *wireMsg) {
+	if w.epoch <= m.epoch {
+		return
+	}
+	if !contains(w.members, m.me) {
+		// Excluded from the new view: force the application into
+		// recovery (it will leave and re-join).
+		m.state = StateFailed
+		m.cond.Broadcast()
+		return
+	}
+	m.epoch = w.epoch
+	m.members = append([]sim.NodeID(nil), w.members...)
+	m.sequencer = w.node
+	m.curProposal = proposal{epoch: w.epoch, node: w.from}
+	m.resetAcks = nil
+	if w.seq2 > m.syncedSeq {
+		m.syncedSeq = w.seq2
+	}
+	if m.seqCounter < w.seq2 {
+		m.seqCounter = w.seq2
+	}
+	// Messages sequenced beyond the stabilized point in the old view may
+	// exist nowhere in this view; their senders will re-send them. Drop
+	// buffered copies so they cannot be delivered twice under two
+	// sequence numbers.
+	for s := range m.pending {
+		if s > w.seq2 {
+			delete(m.pending, s)
+		}
+	}
+	m.pendingDone = make(map[uint64]*doneState)
+	now := time.Now()
+	for _, nd := range m.members {
+		m.lastSeen[nd] = now
+	}
+	m.state = StateNormal
+	m.resettingSince = time.Time{}
+	m.cond.Broadcast()
+	if m.nextSeq-1 < w.seq2 {
+		m.lastRetransAt = time.Time{}
+		m.maybeRequestRetransLocked(w.seq2)
+	}
+}
+
+// trimSequenced keeps the highest historyWindow msgIDs in a dedup map.
+func trimSequenced(seqs map[uint64]uint64) {
+	ids := make([]uint64, 0, len(seqs))
+	for id := range seqs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids[:len(ids)-historyWindow] {
+		delete(seqs, id)
+	}
+}

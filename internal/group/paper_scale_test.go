@@ -1,0 +1,72 @@
+package group
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/sim"
+)
+
+func TestJoinOrCreateConvergesPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale timing test")
+	}
+	net := sim.NewNetwork(sim.PaperModel(), 1)
+	cfg := Config{Port: capability.PortFromString("paper-joc"), Resilience: 2}
+	var stacks []*flip.Stack
+	for i := 0; i < 6; i++ {
+		stacks = append(stacks, flip.NewStack(net.AddNode(fmt.Sprintf("n%d", i))))
+	}
+	results := make(chan *Member, 3)
+	for _, idx := range []int{1, 3, 5} { // dir nodes in the cluster layout
+		go func(s *flip.Stack) {
+			m, err := JoinOrCreate(s, cfg)
+			if err != nil {
+				t.Errorf("JoinOrCreate: %v", err)
+				results <- nil
+				return
+			}
+			results <- m
+		}(stacks[idx])
+	}
+	var members []*Member
+	for i := 0; i < 3; i++ {
+		m := <-results
+		if m == nil {
+			t.FailNow()
+		}
+		members = append(members, m)
+	}
+	defer func() {
+		for _, m := range members {
+			m.Close()
+		}
+		for _, s := range stacks {
+			s.Close()
+		}
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ok := true
+		gid := members[0].Info().GID
+		for _, m := range members {
+			info := m.Info()
+			if info.GID != gid || len(info.Members) != 3 {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, m := range members {
+				t.Logf("member %d: %+v", m.Me(), m.Info())
+			}
+			t.Fatal("no convergence at paper scale")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,129 @@
+package group
+
+import (
+	"fmt"
+	"time"
+
+	"dirsvc/internal/sim"
+)
+
+// Reset rebuilds the group after a failure (paper Fig. 1: ResetGroup).
+// The caller acts as coordinator: it invites all reachable members of the
+// same group instance, and if at least minSize answer (including itself)
+// it commits a new view whose sequencer is the member with the most
+// complete message history, so no stabilized message is lost. Concurrent
+// resets are resolved by proposal ordering — the highest (epoch, node)
+// proposal wins and the losers adopt its commit.
+//
+// On success the member is back in StateNormal and the returned Info
+// describes the new view. If no view of minSize could be assembled before
+// the deadline, Reset returns ErrResetFailed with the best information it
+// has; the member stays failed, and the application is expected to leave
+// and run its recovery protocol (paper §3.2).
+func (m *Member) Reset(minSize int) (Info, error) {
+	if minSize < 1 {
+		minSize = 1
+	}
+	deadline := time.Now().Add(16 * m.retryEvery)
+	for time.Now().Before(deadline) {
+		m.mu.Lock()
+		switch {
+		case m.closed:
+			m.mu.Unlock()
+			return Info{}, ErrClosed
+		case m.state == StateLeft:
+			m.mu.Unlock()
+			return Info{}, ErrLeft
+		case m.state == StateNormal && len(m.members) >= minSize:
+			// Either our own commit below or another coordinator's
+			// reset already rebuilt the group.
+			info := m.infoLocked()
+			m.mu.Unlock()
+			return info, nil
+		}
+
+		// Become coordinator with a proposal above everything seen.
+		propEpoch := m.epoch + 1
+		if m.curProposal.epoch >= propEpoch {
+			propEpoch = m.curProposal.epoch + 1
+		}
+		p := proposal{epoch: propEpoch, node: m.me}
+		m.curProposal = p
+		if m.state != StateResetting {
+			m.state = StateResetting
+		}
+		m.resettingSince = time.Now()
+		m.resetAcks = map[sim.NodeID]uint64{m.me: m.nextSeq - 1}
+		invite := &wireMsg{kind: wireInvite, gid: m.gid, epoch: propEpoch, from: m.me}
+		m.mu.Unlock()
+
+		// Two invite rounds per proposal to ride out frame loss.
+		for round := 0; round < 2; round++ {
+			_ = m.stack.Multicast(m.cfg.Port, invite.encode())
+			time.Sleep(m.ackWindow)
+			m.mu.Lock()
+			superseded := m.curProposal != p
+			enough := len(m.resetAcks) >= minSize
+			m.mu.Unlock()
+			if superseded || enough {
+				break
+			}
+		}
+
+		m.mu.Lock()
+		if m.curProposal != p {
+			// A higher proposal took over; wait for its commit.
+			m.waitLocked(time.Now().Add(m.ackWindow))
+			m.mu.Unlock()
+			continue
+		}
+		if len(m.resetAcks) < minSize {
+			m.mu.Unlock()
+			continue // next proposal round
+		}
+
+		// Commit: sequencer = member with the highest contiguous
+		// sequence number (ties to the lowest id), so the new sequencer
+		// owns every message that survives into the view.
+		var (
+			maxSeq uint64
+			seqr   sim.NodeID = -1
+		)
+		for nd, s := range m.resetAcks {
+			switch {
+			case seqr == -1, s > maxSeq, s == maxSeq && nd < seqr:
+				maxSeq = s
+				seqr = nd
+			}
+		}
+		commit := &wireMsg{
+			kind:    wireCommit,
+			gid:     m.gid,
+			epoch:   p.epoch,
+			from:    m.me,
+			node:    seqr,
+			seq2:    maxSeq,
+			members: membersSorted(m.resetAcks),
+		}
+		m.resetAcks = nil
+		// Install locally through the same path members use, then tell
+		// everyone. epoch precondition holds: p.epoch > m.epoch.
+		m.applyCommitLocked(commit)
+		info := m.infoLocked()
+		m.mu.Unlock()
+
+		enc := commit.encode()
+		_ = m.stack.Multicast(m.cfg.Port, enc)
+		_ = m.stack.Multicast(m.cfg.Port, enc) // repeat for loss tolerance
+		return info, nil
+	}
+
+	m.mu.Lock()
+	if m.state == StateResetting {
+		m.state = StateFailed
+		m.cond.Broadcast()
+	}
+	info := m.infoLocked()
+	m.mu.Unlock()
+	return info, fmt.Errorf("assembled %d of %d members: %w", len(info.Members), minSize, ErrResetFailed)
+}

@@ -1,0 +1,123 @@
+package group
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dirsvc/internal/sim"
+)
+
+// Wire message kinds.
+const (
+	wireSendReq  = 1  // member → sequencer: please sequence this payload
+	wireOrd      = 2  // sequencer → multicast: sequenced message
+	wireAccept   = 3  // member → sequencer: I buffered ORD seq
+	wireDone     = 4  // sequencer → sender: resilience degree satisfied
+	wireJoinReq  = 5  // joiner → multicast: who runs this group?
+	wireWelcome  = 6  // sequencer → joiner: group state snapshot
+	wireRetrans  = 7  // member → sequencer: resend seqs [from, to]
+	wireAlive    = 8  // member → multicast: heartbeat
+	wireInvite   = 9  // reset coordinator → multicast: reset proposal
+	wireResetAck = 10 // member → coordinator: proposal accepted
+	wireCommit   = 11 // coordinator → multicast: new view
+	wireLeave    = 12 // member → sequencer: sequence my departure
+)
+
+// Payload kinds inside ORD messages.
+const (
+	ordApp   = 1
+	ordJoin  = 2
+	ordLeave = 3
+)
+
+// groupID distinguishes independent incarnations of a group on the same
+// port (e.g. two groups created on both sides of a partition). Messages
+// carrying a foreign groupID are ignored.
+type groupID uint64
+
+// proposal orders concurrent resets: higher epoch wins, ties broken by
+// node id.
+type proposal struct {
+	epoch uint64
+	node  sim.NodeID
+}
+
+func (p proposal) less(q proposal) bool {
+	if p.epoch != q.epoch {
+		return p.epoch < q.epoch
+	}
+	return p.node < q.node
+}
+
+// wireMsg is the decoded form of every group protocol message. Unused
+// fields are zero.
+type wireMsg struct {
+	kind    byte
+	gid     groupID
+	epoch   uint64
+	seq     uint64 // ORD/ACCEPT: sequence number; WELCOME: join seq
+	from    sim.NodeID
+	msgID   uint64 // SEND_REQ/ORD/DONE: per-sender id for dedup
+	ordKind byte   // ORD: app/join/leave
+	node    sim.NodeID
+	seq2    uint64       // RETRANS: end of range; COMMIT: maxSeq
+	members []sim.NodeID // WELCOME/COMMIT
+	payload []byte
+}
+
+var errShortMsg = errors.New("group: short message")
+
+func (m *wireMsg) encode() []byte {
+	buf := make([]byte, 0, 64+len(m.payload))
+	buf = append(buf, m.kind)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.gid))
+	buf = binary.BigEndian.AppendUint64(buf, m.epoch)
+	buf = binary.BigEndian.AppendUint64(buf, m.seq)
+	buf = binary.BigEndian.AppendUint64(buf, m.seq2)
+	buf = binary.BigEndian.AppendUint64(buf, m.msgID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.from))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.node))
+	buf = append(buf, m.ordKind)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.members)))
+	for _, nd := range m.members {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(nd))
+	}
+	buf = append(buf, m.payload...)
+	return buf
+}
+
+const wireFixed = 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 1 + 2
+
+func decodeWire(buf []byte) (*wireMsg, error) {
+	if len(buf) < wireFixed {
+		return nil, errShortMsg
+	}
+	m := &wireMsg{
+		kind:    buf[0],
+		gid:     groupID(binary.BigEndian.Uint64(buf[1:9])),
+		epoch:   binary.BigEndian.Uint64(buf[9:17]),
+		seq:     binary.BigEndian.Uint64(buf[17:25]),
+		seq2:    binary.BigEndian.Uint64(buf[25:33]),
+		msgID:   binary.BigEndian.Uint64(buf[33:41]),
+		from:    sim.NodeID(binary.BigEndian.Uint32(buf[41:45])),
+		node:    sim.NodeID(binary.BigEndian.Uint32(buf[45:49])),
+		ordKind: buf[49],
+	}
+	n := int(binary.BigEndian.Uint16(buf[50:52]))
+	off := wireFixed
+	if len(buf) < off+4*n {
+		return nil, fmt.Errorf("members: %w", errShortMsg)
+	}
+	if n > 0 {
+		m.members = make([]sim.NodeID, n)
+		for i := 0; i < n; i++ {
+			m.members[i] = sim.NodeID(binary.BigEndian.Uint32(buf[off : off+4]))
+			off += 4
+		}
+	}
+	if off < len(buf) {
+		m.payload = buf[off:]
+	}
+	return m, nil
+}

@@ -1,0 +1,409 @@
+// Package harness drives the paper's evaluation (§4): the single-client
+// latency experiments of Fig. 7, the multi-client throughput sweeps of
+// Figs. 8 and 9, and the ablation experiments called out in DESIGN.md.
+// It measures wall-clock time, which — under sim.PaperModel — is the
+// calibrated simulated time of the 1993 hardware, so results are
+// directly comparable with the paper's tables.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	faultdir "dirsvc"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirclient"
+	"dirsvc/internal/dirsvc"
+	"dirsvc/internal/rpc"
+)
+
+// Latencies holds one Fig. 7 cell set for one service kind.
+type Latencies struct {
+	Kind         faultdir.Kind
+	AppendDelete time.Duration // append+delete pair (Fig. 7 row 1)
+	TmpFile      time.Duration // tmp-file cycle (Fig. 7 row 2)
+	Lookup       time.Duration // directory lookup (Fig. 7 row 3)
+}
+
+// setupBench prepares a client, the root and a working directory.
+func setupBench(c *faultdir.Cluster) (*dirclient.Client, func(), capability.Capability, capability.Capability, error) {
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		return nil, nil, capability.Capability{}, capability.Capability{}, err
+	}
+	root, err := client.Root()
+	if err != nil {
+		cleanup()
+		return nil, nil, capability.Capability{}, capability.Capability{}, err
+	}
+	dir, err := client.CreateDir()
+	if err != nil {
+		cleanup()
+		return nil, nil, capability.Capability{}, capability.Capability{}, err
+	}
+	return client, cleanup, root, dir, nil
+}
+
+// MeasureAppendDelete times append+delete pairs on a directory — the
+// paper's first experiment ("appending and deleting a name for a
+// temporary file").
+func MeasureAppendDelete(c *faultdir.Cluster, pairs int) (time.Duration, error) {
+	client, cleanup, _, dir, err := setupBench(c)
+	if err != nil {
+		return 0, err
+	}
+	defer cleanup()
+	// Warm-up pair: locate, caches.
+	if err := pairOp(client, dir, "warm"); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < pairs; i++ {
+		if err := pairOp(client, dir, fmt.Sprintf("tmp%04d", i)); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(pairs), nil
+}
+
+func pairOp(client *dirclient.Client, dir capability.Capability, name string) error {
+	if err := retryTransient(func() error { return client.Append(dir, name, dir, nil) }); err != nil {
+		return fmt.Errorf("append: %w", err)
+	}
+	if err := retryTransient(func() error { return client.Delete(dir, name) }); err != nil {
+		return fmt.Errorf("delete: %w", err)
+	}
+	return nil
+}
+
+// retryTransient retries an operation through overload churn: under
+// heavy write load every server thread is busy, so clients bounce
+// between NOTHERE evictions and timeouts exactly as Amoeba clients did —
+// and, like the Amoeba kernel, they simply try again.
+func retryTransient(op func() error) error {
+	var err error
+	for attempt := 0; attempt < 60; attempt++ {
+		err = op()
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, rpc.ErrTimeout), errors.Is(err, rpc.ErrNoServer),
+			errors.Is(err, dirsvc.ErrConflict), errors.Is(err, dirsvc.ErrNoMajority):
+			time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
+		default:
+			return err
+		}
+	}
+	return err
+}
+
+// MeasureTmpFile times the paper's second experiment: create a 4-byte
+// file, register its capability, look the name up, read the file back,
+// and delete the name — the life of a compiler temporary.
+func MeasureTmpFile(c *faultdir.Cluster, iterations int) (time.Duration, error) {
+	client, cleanup, _, dir, err := setupBench(c)
+	if err != nil {
+		return 0, err
+	}
+	defer cleanup()
+	files := c.NewFileClient(client)
+
+	run := func(name string) error {
+		fcap, err := files.Create([]byte{1, 2, 3, 4})
+		if err != nil {
+			return fmt.Errorf("create file: %w", err)
+		}
+		if err := client.Append(dir, name, fcap, nil); err != nil {
+			return fmt.Errorf("register: %w", err)
+		}
+		got, err := client.Lookup(dir, name)
+		if err != nil {
+			return fmt.Errorf("lookup: %w", err)
+		}
+		if _, err := files.Read(got); err != nil {
+			return fmt.Errorf("read file: %w", err)
+		}
+		if err := client.Delete(dir, name); err != nil {
+			return fmt.Errorf("delete name: %w", err)
+		}
+		return files.Delete(fcap)
+	}
+	if err := run("warm"); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iterations; i++ {
+		if err := run(fmt.Sprintf("t%04d", i)); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iterations), nil
+}
+
+// MeasureLookup times cached directory lookups — the paper's third
+// experiment (5–6 ms across all implementations).
+func MeasureLookup(c *faultdir.Cluster, lookups int) (time.Duration, error) {
+	client, cleanup, _, dir, err := setupBench(c)
+	if err != nil {
+		return 0, err
+	}
+	defer cleanup()
+	if err := client.Append(dir, "target", dir, nil); err != nil {
+		return 0, err
+	}
+	if _, err := client.Lookup(dir, "target"); err != nil { // warm
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < lookups; i++ {
+		if _, err := client.Lookup(dir, "target"); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(lookups), nil
+}
+
+// Throughput is one point of Fig. 8 / Fig. 9.
+type Throughput struct {
+	Clients   int
+	OpsPerSec float64
+}
+
+// MeasureLookupThroughput reproduces Fig. 8: n clients issue
+// back-to-back lookups for the window; the result is total lookups per
+// second. Server selection runs through the port-cache heuristic, so low
+// client counts show the paper's uneven distribution.
+func MeasureLookupThroughput(c *faultdir.Cluster, clients int, window time.Duration) (Throughput, error) {
+	client0, cleanup0, _, dir, err := setupBench(c)
+	if err != nil {
+		return Throughput{}, err
+	}
+	defer cleanup0()
+	if err := client0.Append(dir, "target", dir, nil); err != nil {
+		return Throughput{}, err
+	}
+
+	counts := make([]int, clients)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(window)
+	for i := 0; i < clients; i++ {
+		client, cleanup, err := c.NewClient()
+		if err != nil {
+			return Throughput{}, err
+		}
+		defer cleanup()
+		wg.Add(1)
+		go func(i int, client *dirclient.Client) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				err := retryTransient(func() error {
+					_, lerr := client.Lookup(dir, "target")
+					return lerr
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				counts[i]++
+			}
+		}(i, client)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return Throughput{}, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds()}, nil
+}
+
+// MeasureUpdateThroughput reproduces Fig. 9: n clients issue
+// append-delete pairs; the result is pairs per second (the paper notes
+// actual write throughput is twice this).
+func MeasureUpdateThroughput(c *faultdir.Cluster, clients int, window time.Duration) (Throughput, error) {
+	_, cleanup0, _, dir, err := setupBench(c)
+	if err != nil {
+		return Throughput{}, err
+	}
+	defer cleanup0()
+
+	counts := make([]int, clients)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(window)
+	for i := 0; i < clients; i++ {
+		client, cleanup, err := c.NewClient()
+		if err != nil {
+			return Throughput{}, err
+		}
+		defer cleanup()
+		wg.Add(1)
+		go func(i int, client *dirclient.Client) {
+			defer wg.Done()
+			for j := 0; time.Now().Before(deadline); j++ {
+				if err := pairOp(client, dir, fmt.Sprintf("c%dn%d", i, j)); err != nil {
+					errs <- err
+					return
+				}
+				counts[i]++
+			}
+		}(i, client)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return Throughput{}, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds()}, nil
+}
+
+// MeasureMixedWorkload drives the workload shape the paper reports from
+// three weeks of production use (§2): 98% of operations are reads. It
+// returns the sustained operations per second for the given read
+// fraction — the regime both services optimize for.
+func MeasureMixedWorkload(c *faultdir.Cluster, clients int, readPct int, window time.Duration) (Throughput, error) {
+	client0, cleanup0, _, dir, err := setupBench(c)
+	if err != nil {
+		return Throughput{}, err
+	}
+	defer cleanup0()
+	if err := client0.Append(dir, "hot", dir, nil); err != nil {
+		return Throughput{}, err
+	}
+
+	counts := make([]int, clients)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(window)
+	for i := 0; i < clients; i++ {
+		client, cleanup, err := c.NewClient()
+		if err != nil {
+			return Throughput{}, err
+		}
+		defer cleanup()
+		wg.Add(1)
+		go func(i int, client *dirclient.Client) {
+			defer wg.Done()
+			for j := 0; time.Now().Before(deadline); j++ {
+				if j%100 < readPct {
+					if _, err := client.Lookup(dir, "hot"); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					name := fmt.Sprintf("w%dj%d", i, j)
+					if err := pairOp(client, dir, name); err != nil {
+						errs <- err
+						return
+					}
+				}
+				counts[i]++
+			}
+		}(i, client)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return Throughput{}, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds()}, nil
+}
+
+// RenderFig7 formats measured latencies next to the paper's numbers.
+func RenderFig7(rows []Latencies) string {
+	paper := map[faultdir.Kind][3]int{ // ms, from Fig. 7
+		faultdir.KindGroup:      {184, 215, 5},
+		faultdir.KindRPC:        {192, 277, 5},
+		faultdir.KindLocal:      {87, 111, 6},
+		faultdir.KindGroupNVRAM: {27, 52, 5},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-14s %-14s %-14s\n", "Operation (ms)", "measured", "paper", "ratio")
+	for _, r := range rows {
+		p := paper[r.Kind]
+		cells := []struct {
+			name     string
+			measured time.Duration
+			paperMS  int
+		}{
+			{"Append-delete", r.AppendDelete, p[0]},
+			{"Tmp file", r.TmpFile, p[1]},
+			{"Directory lookup", r.Lookup, p[2]},
+		}
+		for _, cell := range cells {
+			ms := float64(cell.measured) / float64(time.Millisecond)
+			fmt.Fprintf(&b, "%-28s %-14.1f %-14d %-14.2f\n",
+				fmt.Sprintf("%s [%s]", cell.name, r.Kind), ms, cell.paperMS, ms/float64(cell.paperMS))
+		}
+	}
+	return b.String()
+}
+
+// RenderSeries formats a throughput sweep as an ASCII series.
+func RenderSeries(title, unit string, series map[string][]Throughput) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", title, unit)
+	fmt.Fprintf(&b, "%-16s", "clients")
+	var maxLen int
+	for _, pts := range series {
+		if len(pts) > maxLen {
+			maxLen = len(pts)
+		}
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-16s", name)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < maxLen; i++ {
+		wrote := false
+		for _, name := range names {
+			pts := series[name]
+			if i < len(pts) {
+				if !wrote {
+					fmt.Fprintf(&b, "%-16d", pts[i].Clients)
+					wrote = true
+				}
+				fmt.Fprintf(&b, "%-16.1f", pts[i].OpsPerSec)
+			} else {
+				fmt.Fprintf(&b, "%-16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	faultdir "dirsvc"
+
+	"dirsvc/internal/sim"
+)
+
+func fastCluster(t *testing.T, kind faultdir.Kind) *faultdir.Cluster {
+	t.Helper()
+	c, err := faultdir.New(kind, faultdir.Options{
+		Model:             sim.FastModel(),
+		HeartbeatInterval: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestMeasureAppendDelete(t *testing.T) {
+	c := fastCluster(t, faultdir.KindGroup)
+	d, err := MeasureAppendDelete(c, 3)
+	if err != nil {
+		t.Fatalf("MeasureAppendDelete: %v", err)
+	}
+	if d <= 0 {
+		t.Fatalf("non-positive latency %v", d)
+	}
+}
+
+func TestMeasureTmpFile(t *testing.T) {
+	c := fastCluster(t, faultdir.KindGroupNVRAM)
+	d, err := MeasureTmpFile(c, 2)
+	if err != nil {
+		t.Fatalf("MeasureTmpFile: %v", err)
+	}
+	if d <= 0 {
+		t.Fatalf("non-positive latency %v", d)
+	}
+}
+
+func TestMeasureLookup(t *testing.T) {
+	c := fastCluster(t, faultdir.KindLocal)
+	d, err := MeasureLookup(c, 5)
+	if err != nil {
+		t.Fatalf("MeasureLookup: %v", err)
+	}
+	if d < 0 {
+		t.Fatalf("negative latency %v", d)
+	}
+}
+
+func TestMeasureLookupThroughput(t *testing.T) {
+	c := fastCluster(t, faultdir.KindGroup)
+	tp, err := MeasureLookupThroughput(c, 2, 150*time.Millisecond)
+	if err != nil {
+		t.Fatalf("MeasureLookupThroughput: %v", err)
+	}
+	if tp.OpsPerSec <= 0 || tp.Clients != 2 {
+		t.Fatalf("throughput = %+v", tp)
+	}
+}
+
+func TestMeasureUpdateThroughput(t *testing.T) {
+	c := fastCluster(t, faultdir.KindRPC)
+	tp, err := MeasureUpdateThroughput(c, 2, 150*time.Millisecond)
+	if err != nil {
+		t.Fatalf("MeasureUpdateThroughput: %v", err)
+	}
+	if tp.OpsPerSec <= 0 {
+		t.Fatalf("throughput = %+v", tp)
+	}
+}
+
+func TestRenderFig7(t *testing.T) {
+	out := RenderFig7([]Latencies{{
+		Kind:         faultdir.KindGroup,
+		AppendDelete: 184 * time.Millisecond,
+		TmpFile:      215 * time.Millisecond,
+		Lookup:       5 * time.Millisecond,
+	}})
+	if out == "" {
+		t.Fatal("empty table")
+	}
+	for _, want := range []string{"Append-delete", "Tmp file", "Directory lookup", "184.0", "1.00"} {
+		if !contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("Fig 8", "lookups/s", map[string][]Throughput{
+		"group": {{Clients: 1, OpsPerSec: 100}, {Clients: 2, OpsPerSec: 190}},
+		"rpc":   {{Clients: 1, OpsPerSec: 90}},
+	})
+	for _, want := range []string{"Fig 8", "group", "rpc", "190.0", "-"} {
+		if !contains(out, want) {
+			t.Fatalf("series missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

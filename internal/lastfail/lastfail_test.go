@@ -1,0 +1,169 @@
+package lastfail
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var all = []int{1, 2, 3}
+
+// The paper's first scenario (§3.2): servers 1,2,3 up; 3 crashes; 1 and 2
+// rebuild (config vectors 110); then 1 and 2 crash. Server 1 comes back
+// alone: it cannot recover. When 3 comes back too, {1,3} still cannot
+// recover, because 2 may have performed the latest update.
+func TestPaperScenario13CannotRecover(t *testing.T) {
+	m1 := MournedFromConfig(all, NewSet(1, 2)) // vector 110 → mourns {3}
+	s := NewState(all, 1, m1)
+	if s.CanRecover() {
+		t.Fatal("server 1 alone must not recover")
+	}
+	m3 := MournedFromConfig(all, NewSet(1, 2, 3)) // vector 111 → mourns {}
+	s.Exchange(3, m3)
+	// last = all − {3} = {1,2}; new group = {1,3}: 2 missing.
+	if s.CanRecover() {
+		t.Fatal("{1,3} must not recover: 2 may hold the latest update")
+	}
+	if got := s.LastSet().Sorted(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("last set = %v, want [1 2]", got)
+	}
+}
+
+// The paper's second scenario: 1 and 2 both come back with vectors 110.
+// Together they mourn only {3}, the last set {1,2} is covered, so they
+// recover without 3.
+func TestPaperScenario12Recovers(t *testing.T) {
+	m1 := MournedFromConfig(all, NewSet(1, 2))
+	s := NewState(all, 1, m1)
+	m2 := MournedFromConfig(all, NewSet(1, 2))
+	s.Exchange(2, m2)
+	if !s.CanRecover() {
+		t.Fatal("{1,2} with vectors 110 must recover")
+	}
+}
+
+// All three exchange: always recoverable.
+func TestFullGroupRecovers(t *testing.T) {
+	s := NewState(all, 1, MournedFromConfig(all, NewSet(1, 2, 3)))
+	s.Exchange(2, MournedFromConfig(all, NewSet(1, 2)))
+	s.Exchange(3, MournedFromConfig(all, NewSet(1, 2, 3)))
+	if !s.CanRecover() {
+		t.Fatal("full group must recover")
+	}
+}
+
+// The §3.2 improvement: 1,2,3 up; 3 crashes; {1,2} rebuild; 2 crashes;
+// 1 stays alive (never failed) and 3 restarts. Plain Skeen refuses, but
+// since 1 never failed and has the highest seqno, {1,3} may recover.
+func TestImprovementStayedUpServer(t *testing.T) {
+	m1 := MournedFromConfig(all, NewSet(1, 2)) // 1 mourns {3}
+	s := NewState(all, 1, m1)
+	s.Exchange(3, MournedFromConfig(all, NewSet(1, 2, 3)))
+	if s.CanRecover() {
+		t.Fatal("plain Skeen must refuse {1,3}")
+	}
+	seqnos := map[int]uint64{1: 42, 3: 17}
+	if !s.CanRecoverWithImprovement(seqnos, 1) {
+		t.Fatal("improvement must allow {1,3} when 1 stayed up with the higher seqno")
+	}
+	// If the restarted server somehow has a higher seqno, refuse: the
+	// stayed-up server missed updates.
+	seqnos = map[int]uint64{1: 42, 3: 50}
+	if s.CanRecoverWithImprovement(seqnos, 1) {
+		t.Fatal("improvement must refuse when the stayed-up server is behind")
+	}
+	// No stayed-up server: refuse.
+	if s.CanRecoverWithImprovement(map[int]uint64{1: 42, 3: 17}, -1) {
+		t.Fatal("improvement without a stayed-up server must refuse")
+	}
+}
+
+func TestImprovementRequiresStayedUpInGroup(t *testing.T) {
+	s := NewState(all, 1, MournedFromConfig(all, NewSet(1, 2)))
+	// Claiming server 2 stayed up while it never exchanged must refuse.
+	if s.CanRecoverWithImprovement(map[int]uint64{1: 10}, 2) {
+		t.Fatal("stayed-up server outside the new group must refuse")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet(1, 3)
+	if !s.Contains(1) || s.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+	c := s.Clone()
+	c.Union(NewSet(2))
+	if s.Contains(2) {
+		t.Fatal("Clone aliases original")
+	}
+	if !NewSet(1).SubsetOf(s) || NewSet(1, 2).SubsetOf(s) {
+		t.Fatal("SubsetOf wrong")
+	}
+	if got := c.Sorted(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Sorted = %v", got)
+	}
+}
+
+// Property: exchanging with every live server makes the last set a subset
+// of the new group whenever the mourned sets jointly cover the dead.
+func TestQuickCoverage(t *testing.T) {
+	f := func(deadMask uint8) bool {
+		var dead []int
+		up := NewSet()
+		for _, id := range all {
+			if deadMask&(1<<uint(id)) != 0 {
+				dead = append(dead, id)
+			} else {
+				up[id] = true
+			}
+		}
+		if len(dead) == len(all) {
+			return true // nobody to run the algorithm
+		}
+		// Every live server mourns exactly the dead.
+		var s *State
+		for _, id := range all {
+			if up[id] {
+				if s == nil {
+					s = NewState(all, id, MournedFromConfig(all, up))
+				} else {
+					s.Exchange(id, MournedFromConfig(all, up))
+				}
+			}
+		}
+		return s.CanRecover()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: recovery is monotone — exchanging with more servers never
+// turns a recoverable state unrecoverable.
+func TestQuickMonotone(t *testing.T) {
+	f := func(m2dead, m3dead bool) bool {
+		s := NewState(all, 1, NewSet())
+		ok0 := s.CanRecover()
+		mourned2 := NewSet()
+		if m2dead {
+			mourned2[3] = true
+		}
+		s.Exchange(2, mourned2)
+		// Exchanging can only shrink the uncovered remainder...
+		// unless the new mourned set names a server we had counted on.
+		// What must hold: after exchanging with everyone alive, state is
+		// at least as recoverable as before when mourned sets are empty.
+		if !m2dead && !m3dead && ok0 && !s.CanRecover() {
+			return false
+		}
+		mourned3 := NewSet()
+		if m3dead {
+			mourned3[2] = true
+		}
+		s.Exchange(3, mourned3)
+		// With all three in the new group, recovery always possible.
+		return s.CanRecover()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

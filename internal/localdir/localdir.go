@@ -1,0 +1,131 @@
+// Package localdir is the unreplicated comparator of the paper's
+// evaluation: a single directory server with SunOS/NFS-like semantics —
+// one synchronous metadata write per update, reads from the RAM cache,
+// and no fault tolerance whatsoever ("NFS does not provide any fault
+// tolerance or consistency", §4.1).
+//
+// Directory images live only in RAM; the single disk write per update
+// models the local filesystem's synchronous directory-block update that
+// dominated the paper's /usr/tmp measurements.
+package localdir
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dirsvc/internal/bullet"
+	"dirsvc/internal/dirsvc"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/rpc"
+	"dirsvc/internal/sim"
+	"dirsvc/internal/vdisk"
+)
+
+// nfsExtraLookup models NFS's slightly slower lookup path (6 ms vs the
+// directory service's 5 ms in Fig. 7).
+const nfsExtraLookup = time.Millisecond
+
+// Config describes the single server.
+type Config struct {
+	Service string
+	Admin   vdisk.Storage
+	Workers int
+}
+
+// Server is the unreplicated directory server.
+type Server struct {
+	cfg     Config
+	stack   *flip.Stack
+	model   *sim.LatencyModel
+	applier *dirsvc.Applier
+	table   *dirsvc.ObjectTable
+	rpcSrv  *rpc.Server
+
+	mu  sync.Mutex
+	seq uint64
+
+	stopRPC func()
+}
+
+// NewServer boots the server on stack.
+func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	rc, err := rpc.NewClient(stack)
+	if err != nil {
+		return nil, err
+	}
+	table, err := dirsvc.OpenObjectTable(cfg.Admin)
+	if err != nil {
+		return nil, fmt.Errorf("localdir: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		stack:   stack,
+		model:   stack.Model(),
+		table:   table,
+		applier: dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, bullet.NewClient(rc, dirsvc.BulletPort(cfg.Service, 1))),
+	}
+	if err := s.applier.FormatRoot(false /* metadata only */); err != nil {
+		return nil, err
+	}
+	if err := table.FlushBlocks([]uint32{dirsvc.RootObject}); err != nil {
+		return nil, err
+	}
+	s.seq = table.MaxSeq()
+
+	srv, err := rpc.NewServer(stack, dirsvc.ServicePort(cfg.Service))
+	if err != nil {
+		return nil, err
+	}
+	s.rpcSrv = srv
+	s.stopRPC = srv.ServeFunc(cfg.Workers, s.handle)
+	return s, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.rpcSrv.Close()
+	s.stopRPC()
+}
+
+func (s *Server) handle(req *rpc.Request) []byte {
+	dreq, err := dirsvc.DecodeRequest(req.Payload)
+	if err != nil {
+		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
+	}
+	if !dreq.Op.IsUpdate() {
+		s.stack.Node().CPU().Charge(s.model.LookupCPU + nfsExtraLookup)
+		return s.applier.Read(dreq).Encode()
+	}
+	s.stack.Node().CPU().Charge(s.model.UpdateCPU)
+	return s.update(dreq).Encode()
+}
+
+// update applies the operation with exactly one synchronous disk write —
+// the metadata block — like a local Unix filesystem updating a directory
+// block. The directory contents stay in RAM (the OS buffer cache).
+func (s *Server) update(req *dirsvc.Request) *dirsvc.Reply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Op == dirsvc.OpCreateDir && len(req.CheckSeed) == 0 {
+		seed := make([]byte, 8)
+		for i := range seed {
+			seed[i] = byte(s.seq >> (8 * i))
+		}
+		req.CheckSeed = append(seed, byte(len(seed)))
+	}
+	seq := s.seq + 1
+	res, err := s.applier.ApplyUpdate(req, seq, false /* RAM apply */)
+	if err != nil {
+		return &dirsvc.Reply{Status: dirsvc.StatusOf(err)}
+	}
+	s.seq = seq
+	// The one synchronous write: the directory's metadata block.
+	if err := s.table.FlushBlocks(res.DirtyObjects); err != nil {
+		return &dirsvc.Reply{Status: dirsvc.StatusError}
+	}
+	return res.Reply
+}

@@ -1,0 +1,245 @@
+// Package rpc implements Amoeba-style remote procedure call on top of the
+// FLIP layer.
+//
+// An RPC costs three messages — REQUEST, REPLY, ACK — matching the paper's
+// cost analysis (§3.1: "an RPC in Amoeba requires only 3 messages").
+// Server location uses the mechanism described in §4.2: the first time a
+// client performs an RPC with a service, it broadcasts a locate for the
+// service port; every listening server answers HEREIS; the client caches
+// all answers in arrival order and sends the request to the first server
+// that replied. If a request reaches a server with no thread blocked in
+// GetRequest, the server answers NOTHERE; the client evicts that server
+// from its port cache and selects another (or locates again). This
+// heuristic is deliberately imperfect — it produces the uneven load
+// distribution and high variance the paper reports in Fig. 8.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/sim"
+)
+
+// Operation codes on the wire.
+const (
+	opRequest = 1
+	opReply   = 2
+	opNotHere = 3
+	opAck     = 4
+)
+
+var (
+	// ErrNoServer is returned when no server for the port can be located.
+	ErrNoServer = errors.New("rpc: no server located for port")
+	// ErrTimeout is returned when all attempts to transact failed.
+	ErrTimeout = errors.New("rpc: transaction timed out")
+	// ErrClosed is returned after the client or server has shut down.
+	ErrClosed = errors.New("rpc: closed")
+)
+
+var clientSeq atomic.Uint64
+
+// Client issues transactions to servers located by port. A Client is safe
+// for concurrent use; transactions are serialized internally (create one
+// Client per goroutine for parallelism, as Amoeba created one kernel
+// transaction slot per thread).
+type Client struct {
+	stack     *flip.Stack
+	replyPort capability.Port
+	replies   *flip.Listener
+
+	locateWindow time.Duration
+	replyTimeout time.Duration
+	retransmits  int
+	maxAttempts  int
+
+	mu    sync.Mutex
+	cache map[capability.Port][]sim.NodeID
+	txid  uint64
+}
+
+// NewClient creates a client endpoint on the given stack. Timeouts are
+// derived from the network's latency model.
+func NewClient(stack *flip.Stack) (*Client, error) {
+	seq := clientSeq.Add(1)
+	replyPort := capability.PortFromString(fmt.Sprintf("rpc-reply-%d-%d", stack.Node().ID(), seq))
+	l, err := stack.Register(replyPort)
+	if err != nil {
+		return nil, fmt.Errorf("register reply port: %w", err)
+	}
+	model := stack.Model()
+	replyTimeout := model.Timeout(15 * time.Second)
+	if replyTimeout < 200*time.Millisecond {
+		// With a zero-scale model, processing takes wall-clock time only
+		// through goroutine scheduling; keep enough headroom that
+		// retransmissions stay exceptional.
+		replyTimeout = 200 * time.Millisecond
+	}
+	return &Client{
+		stack:        stack,
+		replyPort:    replyPort,
+		replies:      l,
+		locateWindow: model.Timeout(15 * time.Millisecond),
+		replyTimeout: replyTimeout,
+		retransmits:  2,
+		maxAttempts:  8,
+		cache:        make(map[capability.Port][]sim.NodeID),
+		// Transaction ids carry the client sequence number in the high
+		// bits so that (node, tx) is globally unique even when several
+		// clients share a host.
+		txid: seq << 32,
+	}, nil
+}
+
+// Close releases the client's reply port.
+func (c *Client) Close() { c.replies.Close() }
+
+// CachedServers returns the client's current port-cache entry, in
+// preference order. Exposed for tests and the load-distribution harness.
+func (c *Client) CachedServers(port capability.Port) []sim.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]sim.NodeID, len(c.cache[port]))
+	copy(out, c.cache[port])
+	return out
+}
+
+// Trans performs one transaction with any server of the service identified
+// by port: it sends req and returns the server's reply. Semantics are
+// at-most-once per server (duplicate suppression by transaction id); if a
+// server stops replying the client fails over to another server, so an
+// operation may execute twice across a crash — exactly the Amoeba
+// contract the paper's services are built on (§2: "it does not support
+// failure-free operations for clients").
+func (c *Client) Trans(port capability.Port, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.txid++
+	tx := c.txid
+
+	located := false
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		server, ok := c.pickServerLocked(port, &located)
+		if !ok {
+			return nil, fmt.Errorf("port %v: %w", port, ErrNoServer)
+		}
+		reply, verdict := c.transactOnce(server, port, tx, req)
+		switch verdict {
+		case verdictReply:
+			return reply, nil
+		case verdictNotHere, verdictDead:
+			c.evictLocked(port, server)
+		}
+	}
+	return nil, fmt.Errorf("port %v: %w", port, ErrTimeout)
+}
+
+type verdict int
+
+const (
+	verdictReply verdict = iota + 1
+	verdictNotHere
+	verdictDead
+)
+
+// transactOnce sends the request to one server and waits for its reply,
+// retransmitting on silence. It is called with c.mu held (transactions are
+// serialized per client).
+func (c *Client) transactOnce(server sim.NodeID, port capability.Port, tx uint64, req []byte) ([]byte, verdict) {
+	wire := encodeRequest(tx, c.replyPort, req)
+	for send := 0; send <= c.retransmits; send++ {
+		if err := c.stack.Send(server, port, wire); err != nil {
+			return nil, verdictDead
+		}
+		deadline := time.Now().Add(c.replyTimeout)
+		for {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				break
+			}
+			m, ok, timedOut := c.replies.RecvTimeout(remain)
+			if timedOut {
+				break
+			}
+			if !ok {
+				return nil, verdictDead
+			}
+			op, gotTx, payload, err := decodeReply(m.Payload)
+			if err != nil || gotTx != tx {
+				continue // stale reply from an earlier transaction
+			}
+			switch op {
+			case opReply:
+				// Third message of the exchange: acknowledge so the
+				// server can drop its duplicate-suppression state.
+				_ = c.stack.Send(m.Src, port, encodeAck(tx))
+				return payload, verdictReply
+			case opNotHere:
+				return nil, verdictNotHere
+			}
+		}
+	}
+	return nil, verdictDead
+}
+
+// pickServerLocked returns the preferred server for port, locating the
+// service if the cache is empty. located tracks whether this transaction
+// already performed a locate, limiting it to two rounds.
+func (c *Client) pickServerLocked(port capability.Port, located *bool) (sim.NodeID, bool) {
+	if servers := c.cache[port]; len(servers) > 0 {
+		return servers[0], true
+	}
+	if *located {
+		// One re-locate per transaction round is enough; give other
+		// servers time to come up before the next attempt.
+		time.Sleep(c.locateWindow)
+	}
+	*located = true
+	found, err := c.stack.Locate(port, c.locateWindow, 0)
+	if err != nil || len(found) == 0 {
+		return 0, false
+	}
+	c.cache[port] = found
+	return found[0], true
+}
+
+func (c *Client) evictLocked(port capability.Port, server sim.NodeID) {
+	servers := c.cache[port]
+	kept := servers[:0]
+	for _, s := range servers {
+		if s != server {
+			kept = append(kept, s)
+		}
+	}
+	c.cache[port] = kept
+}
+
+func encodeRequest(tx uint64, replyPort capability.Port, payload []byte) []byte {
+	buf := make([]byte, 1+8+6+len(payload))
+	buf[0] = opRequest
+	binary.BigEndian.PutUint64(buf[1:9], tx)
+	copy(buf[9:15], replyPort[:])
+	copy(buf[15:], payload)
+	return buf
+}
+
+func encodeAck(tx uint64) []byte {
+	buf := make([]byte, 1+8)
+	buf[0] = opAck
+	binary.BigEndian.PutUint64(buf[1:9], tx)
+	return buf
+}
+
+func decodeReply(buf []byte) (op byte, tx uint64, payload []byte, err error) {
+	if len(buf) < 9 {
+		return 0, 0, nil, errors.New("rpc: short reply")
+	}
+	return buf[0], binary.BigEndian.Uint64(buf[1:9]), buf[9:], nil
+}

@@ -1,0 +1,333 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/sim"
+)
+
+type fixture struct {
+	net    *sim.Network
+	client *Client
+	stacks []*flip.Stack
+}
+
+// newFixture builds one client and n echo-less servers listening on port.
+func newFixture(t *testing.T, n int) (*fixture, capability.Port, []*Server) {
+	t.Helper()
+	net := sim.NewNetwork(sim.FastModel(), 1)
+	port := capability.PortFromString("svc")
+
+	cs := flip.NewStack(net.AddNode("client"))
+	client, err := NewClient(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{net: net, client: client, stacks: []*flip.Stack{cs}}
+
+	var servers []*Server
+	for i := 0; i < n; i++ {
+		ss := flip.NewStack(net.AddNode(fmt.Sprintf("server%d", i)))
+		f.stacks = append(f.stacks, ss)
+		srv, err := NewServer(ss, port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		for _, st := range f.stacks {
+			st.Close()
+		}
+	})
+	return f, port, servers
+}
+
+func echoWorkers(t *testing.T, srv *Server, workers int) {
+	t.Helper()
+	stop := srv.ServeFunc(workers, func(req *Request) []byte {
+		return append([]byte("echo:"), req.Payload...)
+	})
+	// Close the server before waiting for the workers: they only exit
+	// once GetRequest fails.
+	t.Cleanup(func() {
+		srv.Close()
+		stop()
+	})
+}
+
+func TestTransEcho(t *testing.T) {
+	f, port, servers := newFixture(t, 1)
+	echoWorkers(t, servers[0], 1)
+
+	reply, err := f.client.Trans(port, []byte("hello"))
+	if err != nil {
+		t.Fatalf("Trans: %v", err)
+	}
+	if string(reply) != "echo:hello" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestTransUsesThreeMessagesWarm(t *testing.T) {
+	f, port, servers := newFixture(t, 1)
+	echoWorkers(t, servers[0], 1)
+
+	// Warm the port cache (pays the locate).
+	if _, err := f.client.Trans(port, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the ACK drain
+	before := f.net.Stats().FramesSent
+	if _, err := f.client.Trans(port, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	got := f.net.Stats().FramesSent - before
+	// REQUEST + REPLY + ACK = 3 frames (paper §3.1).
+	if got != 3 {
+		t.Fatalf("warm RPC used %d frames, want 3", got)
+	}
+}
+
+func TestTransNoServer(t *testing.T) {
+	f, _, _ := newFixture(t, 0)
+	_, err := f.client.Trans(capability.PortFromString("nobody"), []byte("x"))
+	if !errors.Is(err, ErrNoServer) {
+		t.Fatalf("err = %v, want ErrNoServer", err)
+	}
+}
+
+func TestNotHereFailsOverToIdleServer(t *testing.T) {
+	f, port, servers := newFixture(t, 2)
+	// Server 0 has no worker at all: every request met with NOTHERE.
+	// Server 1 echoes.
+	echoWorkers(t, servers[1], 1)
+
+	reply, err := f.client.Trans(port, []byte("hi"))
+	if err != nil {
+		t.Fatalf("Trans: %v", err)
+	}
+	if string(reply) != "echo:hi" {
+		t.Fatalf("reply = %q", reply)
+	}
+	// The busy server must have been evicted from the cache if it was
+	// tried first; either way the cache must not be empty.
+	if len(f.client.CachedServers(port)) == 0 {
+		t.Fatal("port cache empty after successful transaction")
+	}
+}
+
+func TestFailoverAfterServerCrash(t *testing.T) {
+	f, port, servers := newFixture(t, 2)
+	echoWorkers(t, servers[0], 1)
+	echoWorkers(t, servers[1], 1)
+
+	if _, err := f.client.Trans(port, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the preferred server; the transaction must fail over.
+	preferred := f.client.CachedServers(port)[0]
+	f.net.Node(preferred).Crash()
+
+	reply, err := f.client.Trans(port, []byte("after-crash"))
+	if err != nil {
+		t.Fatalf("Trans after crash: %v", err)
+	}
+	if string(reply) != "echo:after-crash" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestDuplicateRequestSuppressed(t *testing.T) {
+	f, port, servers := newFixture(t, 1)
+
+	var mu sync.Mutex
+	executions := 0
+	stop := servers[0].ServeFunc(1, func(req *Request) []byte {
+		mu.Lock()
+		executions++
+		mu.Unlock()
+		return []byte("done")
+	})
+	t.Cleanup(func() {
+		servers[0].Close()
+		stop()
+	})
+
+	// Drop the first REPLY from the server so the client retransmits the
+	// request; the server must not execute it twice. The filter matches
+	// only RPC REPLY frames (flip DATA, rpc opReply), leaving the HEREIS
+	// locate answer alone.
+	var dropMu sync.Mutex
+	dropped := false
+	serverNode := servers[0].stack.Node().ID()
+	f.net.SetDropFilter(func(src, dst sim.NodeID, payload []byte) bool {
+		dropMu.Lock()
+		defer dropMu.Unlock()
+		isReply := len(payload) > 7 && payload[0] == 1 /* flip data */ && payload[7] == opReply
+		if !dropped && src == serverNode && isReply {
+			dropped = true
+			return true
+		}
+		return false
+	})
+
+	reply, err := f.client.Trans(port, []byte("once"))
+	if err != nil {
+		t.Fatalf("Trans: %v", err)
+	}
+	if string(reply) != "done" {
+		t.Fatalf("reply = %q", reply)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if executions != 1 {
+		t.Fatalf("request executed %d times, want 1", executions)
+	}
+}
+
+func TestLossyNetworkStillCompletes(t *testing.T) {
+	f, port, servers := newFixture(t, 1)
+	echoWorkers(t, servers[0], 2)
+	f.net.SetDropRate(0.15)
+	defer f.net.SetDropRate(0)
+
+	for i := 0; i < 20; i++ {
+		want := fmt.Sprintf("msg-%d", i)
+		reply, err := f.client.Trans(port, []byte(want))
+		if err != nil {
+			t.Fatalf("Trans %d: %v", i, err)
+		}
+		if string(reply) != "echo:"+want {
+			t.Fatalf("Trans %d: reply %q", i, reply)
+		}
+	}
+}
+
+func TestConcurrentClientsSpreadLoad(t *testing.T) {
+	net := sim.NewNetwork(sim.FastModel(), 1)
+	port := capability.PortFromString("svc")
+
+	perServer := make([]int, 3)
+	var mu sync.Mutex
+	var servers []*Server
+	for i := 0; i < 3; i++ {
+		ss := flip.NewStack(net.AddNode("server"))
+		srv, err := NewServer(ss, port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		stop := srv.ServeFunc(2, func(req *Request) []byte {
+			mu.Lock()
+			perServer[i]++
+			mu.Unlock()
+			return req.Payload
+		})
+		servers = append(servers, srv)
+		t.Cleanup(func() {
+			srv.Close()
+			stop()
+		})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for c := 0; c < 6; c++ {
+		cs := flip.NewStack(net.AddNode("client"))
+		client, err := NewClient(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if _, err := client.Trans(port, []byte{byte(i)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("client error: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := perServer[0] + perServer[1] + perServer[2]
+	if total != 180 {
+		t.Fatalf("processed %d requests, want 180 (distribution %v)", total, perServer)
+	}
+}
+
+func TestRequestDoubleReplyRejected(t *testing.T) {
+	f, port, servers := newFixture(t, 1)
+	reqs := make(chan *Request, 1)
+	go func() {
+		req, err := servers[0].GetRequest()
+		if err == nil {
+			reqs <- req
+		}
+	}()
+	transErr := make(chan error, 1)
+	go func() {
+		_, err := f.client.Trans(port, []byte("x"))
+		transErr <- err
+	}()
+	req := <-reqs
+	if err := req.Reply([]byte("one")); err != nil {
+		t.Fatalf("first Reply: %v", err)
+	}
+	if err := req.Reply([]byte("two")); err == nil {
+		t.Fatal("second Reply succeeded, want error")
+	}
+	if err := <-transErr; err != nil {
+		t.Fatalf("Trans: %v", err)
+	}
+}
+
+func TestServerCloseUnblocksGetRequest(t *testing.T) {
+	_, _, servers := newFixture(t, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := servers[0].GetRequest()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	servers[0].Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("GetRequest: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("GetRequest did not unblock on Close")
+	}
+}
+
+func TestLargePayloadRoundTrip(t *testing.T) {
+	f, port, servers := newFixture(t, 1)
+	echoWorkers(t, servers[0], 1)
+	big := bytes.Repeat([]byte{0xAB}, 8000)
+	reply, err := f.client.Trans(port, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reply[5:], big) {
+		t.Fatal("large payload corrupted")
+	}
+}

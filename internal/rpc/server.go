@@ -1,0 +1,236 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/sim"
+)
+
+// Request is one client transaction awaiting a reply.
+type Request struct {
+	Src     sim.NodeID
+	Payload []byte
+
+	srv       *Server
+	tx        uint64
+	replyPort capability.Port
+	replied   bool
+}
+
+// Reply sends the reply to the client and records it for duplicate
+// suppression until the client's ACK arrives. Reply must be called exactly
+// once per request.
+func (r *Request) Reply(payload []byte) error {
+	if r.replied {
+		return errors.New("rpc: duplicate Reply")
+	}
+	r.replied = true
+	r.srv.recordReply(r, payload)
+	return r.srv.stack.Send(r.Src, r.replyPort, encodeReply(r.tx, payload))
+}
+
+// dupKey identifies one transaction. Transaction ids are globally unique
+// per client endpoint (the high bits carry the client sequence number), so
+// (src, tx) cannot collide across clients sharing a node.
+type dupKey struct {
+	src sim.NodeID
+	tx  uint64
+}
+
+type dupEntry struct {
+	done    bool
+	payload []byte
+}
+
+// maxDupEntries bounds the duplicate-suppression table.
+const maxDupEntries = 4096
+
+// Server accepts transactions on one port. Worker threads call GetRequest
+// and Reply, mirroring Amoeba's getreq/putrep server loop. If a REQUEST
+// arrives while no worker is blocked in GetRequest, the server answers
+// NOTHERE — the behavior that drives the paper's port-cache heuristic.
+type Server struct {
+	stack    *flip.Stack
+	port     capability.Port
+	listener *flip.Listener
+	reqCh    chan *Request
+
+	mu       sync.Mutex
+	dups     map[dupKey]*dupEntry
+	dupOrder []dupKey
+	closed   bool
+
+	done chan struct{}
+}
+
+// NewServer registers port on the stack and starts the dispatcher.
+func NewServer(stack *flip.Stack, port capability.Port) (*Server, error) {
+	l, err := stack.Register(port)
+	if err != nil {
+		return nil, fmt.Errorf("rpc server: %w", err)
+	}
+	s := &Server{
+		stack:    stack,
+		port:     port,
+		listener: l,
+		reqCh:    make(chan *Request), // unbuffered: handoff only to a blocked GetRequest
+		dups:     make(map[dupKey]*dupEntry),
+		done:     make(chan struct{}),
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// Port returns the service port.
+func (s *Server) Port() capability.Port { return s.port }
+
+// Close stops the server and unblocks all GetRequest callers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.listener.Close()
+	<-s.done
+}
+
+// GetRequest blocks until a client transaction arrives. It returns
+// ErrClosed after Close (or node crash).
+func (s *Server) GetRequest() (*Request, error) {
+	req, ok := <-s.reqCh
+	if !ok {
+		return nil, ErrClosed
+	}
+	return req, nil
+}
+
+// ServeFunc starts workers goroutines that loop GetRequest → handler →
+// Reply with the handler's result. It returns a stop function that waits
+// for the workers to exit (the server itself must be Closed separately).
+func (s *Server) ServeFunc(workers int, handler func(*Request) []byte) (stop func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				req, err := s.GetRequest()
+				if err != nil {
+					return
+				}
+				_ = req.Reply(handler(req))
+			}
+		}()
+	}
+	return wg.Wait
+}
+
+func (s *Server) dispatch() {
+	defer close(s.done)
+	defer close(s.reqCh)
+	for {
+		m, ok := s.listener.Recv()
+		if !ok {
+			return
+		}
+		if len(m.Payload) < 9 {
+			continue
+		}
+		op := m.Payload[0]
+		tx := binary.BigEndian.Uint64(m.Payload[1:9])
+		switch op {
+		case opRequest:
+			s.handleRequest(m, tx)
+		case opAck:
+			s.mu.Lock()
+			delete(s.dups, dupKey{src: m.Src, tx: tx})
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Server) handleRequest(m flip.Msg, tx uint64) {
+	if len(m.Payload) < 15 {
+		return
+	}
+	var replyPort capability.Port
+	copy(replyPort[:], m.Payload[9:15])
+	key := dupKey{src: m.Src, tx: tx}
+
+	s.mu.Lock()
+	if e, seen := s.dups[key]; seen {
+		s.mu.Unlock()
+		if e.done {
+			// Retransmitted request whose reply was lost: resend it.
+			_ = s.stack.Send(m.Src, replyPort, encodeReply(tx, e.payload))
+		}
+		// In progress: drop; the worker's Reply will reach the client.
+		return
+	}
+	s.mu.Unlock()
+
+	req := &Request{
+		Src:       m.Src,
+		Payload:   m.Payload[15:],
+		srv:       s,
+		tx:        tx,
+		replyPort: replyPort,
+	}
+	select {
+	case s.reqCh <- req:
+		s.mu.Lock()
+		s.insertDupLocked(key, &dupEntry{})
+		s.mu.Unlock()
+	default:
+		// No thread blocked in GetRequest: the kernel answers NOTHERE
+		// (paper §4.2), prompting the client to try another server.
+		_ = s.stack.Send(m.Src, replyPort, encodeNotHere(tx))
+	}
+}
+
+func (s *Server) recordReply(r *Request, payload []byte) {
+	key := dupKey{src: r.Src, tx: r.tx}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.dups[key]; ok {
+		e.done = true
+		e.payload = payload
+		return
+	}
+	s.insertDupLocked(key, &dupEntry{done: true, payload: payload})
+}
+
+// insertDupLocked adds a duplicate-suppression entry, evicting the oldest
+// when the table is full. Must be called with s.mu held.
+func (s *Server) insertDupLocked(key dupKey, e *dupEntry) {
+	if len(s.dupOrder) >= maxDupEntries {
+		evict := s.dupOrder[0]
+		s.dupOrder = s.dupOrder[1:]
+		delete(s.dups, evict)
+	}
+	s.dups[key] = e
+	s.dupOrder = append(s.dupOrder, key)
+}
+
+func encodeReply(tx uint64, payload []byte) []byte {
+	buf := make([]byte, 1+8+len(payload))
+	buf[0] = opReply
+	binary.BigEndian.PutUint64(buf[1:9], tx)
+	copy(buf[9:], payload)
+	return buf
+}
+
+func encodeNotHere(tx uint64) []byte {
+	buf := make([]byte, 1+8)
+	buf[0] = opNotHere
+	binary.BigEndian.PutUint64(buf[1:9], tx)
+	return buf
+}

@@ -1,0 +1,559 @@
+// Package rpcdir reproduces the paper's previous directory service: two
+// servers coordinated by remote procedure call (§1).
+//
+// Reads execute at either server without communication. An update
+// received at one server is first proposed to the other over RPC; the
+// peer checks for a conflicting operation, stores the intentions on its
+// disk (a short-seek write to a fixed staging block), and answers OK.
+// The originating server then performs the update — new Bullet file plus
+// object table write — and replies to the client. The second copy is
+// created lazily in the background (the peer applies its stored
+// intention). The service assumes network partitions do not happen; with
+// one server down the survivor continues alone, which is exactly the
+// weaker failure model the paper criticizes.
+package rpcdir
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dirsvc/internal/bullet"
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirsvc"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/rpc"
+	"dirsvc/internal/sim"
+	"dirsvc/internal/vdisk"
+)
+
+// PeerPort is the server-to-server port of rpcdir server id.
+func PeerPort(service string, id int) capability.Port {
+	return capability.PortFromString(fmt.Sprintf("rpcdir-peer:%s:%d", service, id))
+}
+
+// Config describes one of the two servers.
+type Config struct {
+	Service string
+	ID      int // 1 or 2
+	Admin   vdisk.Storage
+	// Staging is the fixed intentions block (same disk, short seek).
+	Staging vdisk.Storage
+	Workers int
+}
+
+// pendingIntention is an update the peer has proposed and we have
+// promised to apply.
+type pendingIntention struct {
+	seq uint64
+	req *dirsvc.Request
+}
+
+// Server is one of the two RPC directory servers.
+type Server struct {
+	cfg     Config
+	stack   *flip.Stack
+	model   *sim.LatencyModel
+	applier *dirsvc.Applier
+	table   *dirsvc.ObjectTable
+	rpcSrv  *rpc.Server
+	peerSrv *rpc.Server
+	peerRPC *rpc.Client
+	bc      *bullet.Client
+
+	mu       sync.Mutex
+	seq      uint64
+	updateMu sync.Mutex // updates are serialized (paper §4.2)
+	pending  map[uint32]*pendingIntention
+
+	cleanupCh chan capability.Capability
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	stops     []func()
+}
+
+// NewServer boots one rpcdir server. If the peer is reachable and ahead,
+// the server syncs its state from the peer before serving.
+func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.ID != 1 && cfg.ID != 2 {
+		return nil, fmt.Errorf("rpcdir: server id must be 1 or 2, got %d", cfg.ID)
+	}
+	rc, err := rpc.NewClient(stack)
+	if err != nil {
+		return nil, err
+	}
+	peerRPC, err := rpc.NewClient(stack)
+	if err != nil {
+		return nil, err
+	}
+	table, err := dirsvc.OpenObjectTable(cfg.Admin)
+	if err != nil {
+		return nil, fmt.Errorf("rpcdir: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		stack:     stack,
+		model:     stack.Model(),
+		table:     table,
+		peerRPC:   peerRPC,
+		bc:        bullet.NewClient(rc, dirsvc.BulletPort(cfg.Service, cfg.ID)),
+		pending:   make(map[uint32]*pendingIntention),
+		cleanupCh: make(chan capability.Capability, 1024),
+		stop:      make(chan struct{}),
+	}
+	s.applier = dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, s.bc)
+
+	if err := s.bootstrap(); err != nil {
+		return nil, err
+	}
+
+	peerSrv, err := rpc.NewServer(stack, PeerPort(cfg.Service, cfg.ID))
+	if err != nil {
+		return nil, err
+	}
+	s.peerSrv = peerSrv
+	s.stops = append(s.stops, peerSrv.ServeFunc(2, s.handlePeerRPC))
+
+	rpcSrv, err := rpc.NewServer(stack, dirsvc.ServicePort(cfg.Service))
+	if err != nil {
+		peerSrv.Close()
+		return nil, err
+	}
+	s.rpcSrv = rpcSrv
+	s.stops = append(s.stops, rpcSrv.ServeFunc(cfg.Workers, s.handleClientRPC))
+
+	s.wg.Add(1)
+	go s.cleanupLoop()
+	return s, nil
+}
+
+// bootstrap loads local state, replays a stored intention, and pulls
+// newer state from the peer when available.
+func (s *Server) bootstrap() error {
+	if err := s.applier.LoadAll(); err != nil {
+		return err
+	}
+	s.seq = s.table.MaxSeq()
+
+	// Replay an intention that was promised before a crash.
+	if raw, err := s.cfg.Staging.ReadBlock(0); err == nil {
+		if intent, seq, ok := decodeIntention(raw); ok && seq > s.seq {
+			if _, err := s.applier.ApplyUpdate(intent, seq, true); err == nil {
+				s.seq = seq
+			}
+			_ = s.cfg.Staging.WriteBlockSeq(0, nil)
+		}
+	}
+
+	// Sync from the peer if it is ahead (lazy copies we missed).
+	peer := 3 - s.cfg.ID
+	req := &dirsvc.Request{Op: dirsvc.OpSyncPull, Server: s.cfg.ID}
+	if raw, err := s.peerRPC.Trans(PeerPort(s.cfg.Service, peer), req.Encode()); err == nil {
+		if reply, err := dirsvc.DecodeReply(raw); err == nil && reply.Status == dirsvc.StatusOK && reply.Seq > s.seq {
+			if err := s.installState(reply.Blob, reply.Seq); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.applier.FormatRoot(true); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Close stops the server (fail-stop; disk contents survive).
+func (s *Server) Close() {
+	close(s.stop)
+	s.rpcSrv.Close()
+	s.peerSrv.Close()
+	for _, stop := range s.stops {
+		stop()
+	}
+	s.wg.Wait()
+}
+
+// Seq returns the server's update sequence number (tests).
+func (s *Server) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+func (s *Server) handleClientRPC(req *rpc.Request) []byte {
+	dreq, err := dirsvc.DecodeRequest(req.Payload)
+	if err != nil {
+		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
+	}
+	if !dreq.Op.IsUpdate() {
+		return s.handleRead(dreq).Encode()
+	}
+	s.stack.Node().CPU().Charge(s.model.UpdateCPU)
+	return s.handleUpdate(dreq).Encode()
+}
+
+// handleRead serves reads locally. If the peer proposed an intention for
+// the directory that we have not applied yet, apply it first so the read
+// observes every acknowledged update.
+func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
+	if obj := req.Dir.Object; obj != 0 {
+		s.applyPendingFor(obj)
+	}
+	s.stack.Node().CPU().Charge(s.model.LookupCPU)
+	return s.applier.Read(req)
+}
+
+// handleUpdate is the paper's §1 write protocol.
+func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+
+	if req.Op == dirsvc.OpCreateDir && len(req.CheckSeed) == 0 {
+		req.CheckSeed = fmt.Appendf(nil, "rpcdir:%d:%d", s.cfg.ID, time.Now().UnixNano())
+	}
+	req.Server = s.cfg.ID
+
+	s.mu.Lock()
+	seq := s.seq + 1
+	s.mu.Unlock()
+
+	// Phase 1: inform the other server of the intended update; it
+	// stores the intentions on disk and answers OK (§1).
+	peer := 3 - s.cfg.ID
+	intention := &dirsvc.Request{
+		Op:     dirsvc.OpIntention,
+		Seq:    seq,
+		Server: s.cfg.ID,
+		Blob:   req.Encode(),
+	}
+	agreedSeq := seq
+	peerUp := true
+	raw, err := s.peerRPC.Trans(PeerPort(s.cfg.Service, peer), intention.Encode())
+	if err != nil {
+		// Peer down: continue alone. The RPC service cannot tell a
+		// partition from a crash — the weakness §2 calls out.
+		peerUp = false
+	} else {
+		reply, derr := dirsvc.DecodeReply(raw)
+		if derr != nil {
+			return &dirsvc.Reply{Status: dirsvc.StatusError}
+		}
+		if reply.Status == dirsvc.StatusConflict {
+			return &dirsvc.Reply{Status: dirsvc.StatusConflict}
+		}
+		if reply.Status != dirsvc.StatusOK {
+			return &dirsvc.Reply{Status: reply.Status}
+		}
+		if reply.Seq > agreedSeq {
+			agreedSeq = reply.Seq
+		}
+	}
+
+	// Phase 2: perform the update locally (Bullet file + object table).
+	res, aerr := s.applier.ApplyUpdate(req, agreedSeq, true)
+	if aerr != nil {
+		// Tell the peer to forget the intention.
+		if peerUp {
+			drop := &dirsvc.Request{Op: dirsvc.OpApplyLazy, Seq: agreedSeq, Server: s.cfg.ID, Column: 1}
+			_, _ = s.peerRPC.Trans(PeerPort(s.cfg.Service, peer), drop.Encode())
+		}
+		return &dirsvc.Reply{Status: dirsvc.StatusOf(aerr)}
+	}
+	s.mu.Lock()
+	s.seq = agreedSeq
+	s.mu.Unlock()
+	for _, old := range res.OldBullet {
+		s.scheduleCleanup(old)
+	}
+
+	// Phase 3 (background): the peer creates its copy lazily.
+	if peerUp {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			lazy := &dirsvc.Request{Op: dirsvc.OpApplyLazy, Seq: agreedSeq, Server: s.cfg.ID}
+			_, _ = s.peerRPC.Trans(PeerPort(s.cfg.Service, peer), lazy.Encode())
+		}()
+	}
+	return res.Reply
+}
+
+// handlePeerRPC serves the server-to-server protocol.
+func (s *Server) handlePeerRPC(req *rpc.Request) []byte {
+	dreq, err := dirsvc.DecodeRequest(req.Payload)
+	if err != nil {
+		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
+	}
+	switch dreq.Op {
+	case dirsvc.OpIntention:
+		return s.handleIntention(dreq).Encode()
+	case dirsvc.OpApplyLazy:
+		return s.handleApplyLazy(dreq).Encode()
+	case dirsvc.OpSyncPull:
+		return s.handleSyncPull().Encode()
+	default:
+		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
+	}
+}
+
+// handleIntention stores the proposed update on disk after checking for
+// conflicts (§1: "If the other server is not busy performing a
+// conflicting operation, it stores the intentions on disk").
+func (s *Server) handleIntention(dreq *dirsvc.Request) *dirsvc.Reply {
+	inner, err := dirsvc.DecodeRequest(dreq.Blob)
+	if err != nil {
+		return &dirsvc.Reply{Status: dirsvc.StatusBadRequest}
+	}
+	obj := inner.Dir.Object
+
+	s.mu.Lock()
+	if _, busy := s.pending[obj]; busy {
+		s.mu.Unlock()
+		return &dirsvc.Reply{Status: dirsvc.StatusConflict}
+	}
+	agreed := dreq.Seq
+	if s.seq >= agreed {
+		agreed = s.seq + 1
+	}
+	s.pending[obj] = &pendingIntention{seq: agreed, req: inner}
+	s.mu.Unlock()
+
+	// Store the intentions on disk: one short-seek write to the fixed
+	// staging block.
+	if err := s.cfg.Staging.WriteBlockSeq(0, encodeIntention(inner, agreed)); err != nil {
+		s.mu.Lock()
+		delete(s.pending, obj)
+		s.mu.Unlock()
+		return &dirsvc.Reply{Status: dirsvc.StatusError}
+	}
+	// Create the second copy in the background immediately, overlapping
+	// with the originator's own apply — otherwise the next intention's
+	// disk write would queue behind this op's lazy copy and the client
+	// would see both servers' disk times serialized, which is not what
+	// the paper measured (192 ms/pair ≈ one overlapped disk path). The
+	// apply is deterministic, so originator and peer reach the same
+	// outcome.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.applyPendingFor(obj)
+	}()
+	return &dirsvc.Reply{Status: dirsvc.StatusOK, Seq: agreed}
+}
+
+// handleApplyLazy applies (or drops, Column=1) a stored intention — the
+// lazy creation of the second copy.
+func (s *Server) handleApplyLazy(dreq *dirsvc.Request) *dirsvc.Reply {
+	s.mu.Lock()
+	var obj uint32
+	var intent *pendingIntention
+	for o, p := range s.pending {
+		if p.seq == dreq.Seq {
+			obj, intent = o, p
+			break
+		}
+	}
+	if intent != nil {
+		delete(s.pending, obj)
+	}
+	s.mu.Unlock()
+	if intent == nil {
+		return &dirsvc.Reply{Status: dirsvc.StatusOK} // already applied or dropped
+	}
+	if dreq.Column == 1 { // drop marker
+		_ = s.cfg.Staging.WriteBlockSeq(0, nil)
+		return &dirsvc.Reply{Status: dirsvc.StatusOK}
+	}
+	res, err := s.applier.ApplyUpdate(intent.req, intent.seq, true)
+	if err == nil {
+		for _, old := range res.OldBullet {
+			s.scheduleCleanup(old)
+		}
+	}
+	s.mu.Lock()
+	if intent.seq > s.seq {
+		s.seq = intent.seq
+	}
+	s.mu.Unlock()
+	_ = s.cfg.Staging.WriteBlockSeq(0, nil)
+	return &dirsvc.Reply{Status: dirsvc.StatusOK}
+}
+
+// applyPendingFor applies a pending intention touching obj before a read.
+func (s *Server) applyPendingFor(obj uint32) {
+	s.mu.Lock()
+	intent := s.pending[obj]
+	if intent != nil {
+		delete(s.pending, obj)
+	}
+	s.mu.Unlock()
+	if intent == nil {
+		return
+	}
+	if res, err := s.applier.ApplyUpdate(intent.req, intent.seq, true); err == nil {
+		for _, old := range res.OldBullet {
+			s.scheduleCleanup(old)
+		}
+	}
+	s.mu.Lock()
+	if intent.seq > s.seq {
+		s.seq = intent.seq
+	}
+	s.mu.Unlock()
+	_ = s.cfg.Staging.WriteBlockSeq(0, nil)
+}
+
+// handleSyncPull ships the full state to a restarting peer.
+func (s *Server) handleSyncPull() *dirsvc.Reply {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	s.mu.Lock()
+	seq := s.seq
+	s.mu.Unlock()
+	w := newBundleWriter()
+	for obj, e := range s.table.All() {
+		d, ok := s.applier.Directory(obj)
+		if !ok {
+			continue
+		}
+		w.add(obj, e.Seq, e.Secret, d.Encode())
+	}
+	return &dirsvc.Reply{Status: dirsvc.StatusOK, Seq: seq, Blob: w.bytes()}
+}
+
+// installState replaces local state with a peer bundle.
+func (s *Server) installState(blob []byte, seq uint64) error {
+	dirs, err := parseBundle(blob)
+	if err != nil {
+		return err
+	}
+	s.applier.InvalidateCache()
+	entries := make(map[uint32]dirsvc.ObjectEntry, len(dirs))
+	for _, d := range dirs {
+		bcap, err := s.bc.Create(d.image)
+		if err != nil {
+			return err
+		}
+		entries[d.obj] = dirsvc.ObjectEntry{Cap: bcap, Seq: d.seq, Secret: d.secret}
+	}
+	if err := s.table.ReplaceAll(entries); err != nil {
+		return err
+	}
+	if err := s.applier.LoadAll(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.seq = seq
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) scheduleCleanup(cap capability.Capability) {
+	select {
+	case s.cleanupCh <- cap:
+	default:
+	}
+}
+
+func (s *Server) cleanupLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case cap := <-s.cleanupCh:
+			_ = s.bc.Delete(cap)
+		}
+	}
+}
+
+// Intention staging-block codec: seq u64 | len u32 | request bytes.
+func encodeIntention(req *dirsvc.Request, seq uint64) []byte {
+	raw := req.Encode()
+	buf := make([]byte, 0, 12+len(raw))
+	for i := 7; i >= 0; i-- {
+		buf = append(buf, byte(seq>>(8*i)))
+	}
+	for i := 3; i >= 0; i-- {
+		buf = append(buf, byte(len(raw)>>(8*i)))
+	}
+	return append(buf, raw...)
+}
+
+func decodeIntention(raw []byte) (*dirsvc.Request, uint64, bool) {
+	if len(raw) < 12 {
+		return nil, 0, false
+	}
+	var seq uint64
+	for i := 0; i < 8; i++ {
+		seq = seq<<8 | uint64(raw[i])
+	}
+	var n int
+	for i := 8; i < 12; i++ {
+		n = n<<8 | int(raw[i])
+	}
+	if seq == 0 || n <= 0 || 12+n > len(raw) {
+		return nil, 0, false
+	}
+	req, err := dirsvc.DecodeRequest(raw[12 : 12+n])
+	if err != nil {
+		return nil, 0, false
+	}
+	return req, seq, true
+}
+
+// Minimal state-bundle codec (obj, seq, secret, image)*.
+type bundleWriter struct{ buf []byte }
+
+func newBundleWriter() *bundleWriter { return &bundleWriter{} }
+
+func (w *bundleWriter) add(obj uint32, seq uint64, secret capability.Secret, image []byte) {
+	w.buf = append(w.buf, byte(obj>>24), byte(obj>>16), byte(obj>>8), byte(obj))
+	for i := 7; i >= 0; i-- {
+		w.buf = append(w.buf, byte(seq>>(8*i)))
+	}
+	w.buf = append(w.buf, secret[:]...)
+	n := len(image)
+	w.buf = append(w.buf, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	w.buf = append(w.buf, image...)
+}
+
+func (w *bundleWriter) bytes() []byte { return w.buf }
+
+type bundleDir struct {
+	obj    uint32
+	seq    uint64
+	secret capability.Secret
+	image  []byte
+}
+
+func parseBundle(raw []byte) ([]bundleDir, error) {
+	var out []bundleDir
+	off := 0
+	for off < len(raw) {
+		if off+22 > len(raw) {
+			return nil, errors.New("rpcdir: short bundle")
+		}
+		var d bundleDir
+		d.obj = uint32(raw[off])<<24 | uint32(raw[off+1])<<16 | uint32(raw[off+2])<<8 | uint32(raw[off+3])
+		off += 4
+		for i := 0; i < 8; i++ {
+			d.seq = d.seq<<8 | uint64(raw[off+i])
+		}
+		off += 8
+		copy(d.secret[:], raw[off:off+6])
+		off += 6
+		n := int(raw[off])<<24 | int(raw[off+1])<<16 | int(raw[off+2])<<8 | int(raw[off+3])
+		off += 4
+		if n < 0 || off+n > len(raw) {
+			return nil, errors.New("rpcdir: bad bundle image")
+		}
+		d.image = append([]byte(nil), raw[off:off+n]...)
+		off += n
+		out = append(out, d)
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package rpcdir
+
+import (
+	"testing"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirsvc"
+	"dirsvc/internal/sim"
+)
+
+func TestIntentionCodecRoundTrip(t *testing.T) {
+	req := &dirsvc.Request{
+		Op:    dirsvc.OpAppendRow,
+		Dir:   capability.Mint(dirsvc.ServicePort("x"), 3, capability.NewSecret([]byte("s"))),
+		Name:  "pending",
+		Masks: []capability.Rights{capability.AllRights},
+	}
+	got, seq, ok := decodeIntention(encodeIntention(req, 42))
+	if !ok {
+		t.Fatal("decodeIntention failed")
+	}
+	if seq != 42 || got.Op != dirsvc.OpAppendRow || got.Name != "pending" {
+		t.Fatalf("got seq=%d req=%+v", seq, got)
+	}
+}
+
+func TestIntentionCodecRejectsEmptyAndGarbage(t *testing.T) {
+	if _, _, ok := decodeIntention(nil); ok {
+		t.Fatal("decoded nil")
+	}
+	if _, _, ok := decodeIntention(make([]byte, 12)); ok {
+		t.Fatal("decoded zero block (must read as no intention)")
+	}
+	raw := encodeIntention(&dirsvc.Request{Op: dirsvc.OpDeleteRow, Name: "x"}, 7)
+	if _, _, ok := decodeIntention(raw[:len(raw)-2]); ok {
+		t.Fatal("decoded truncated intention")
+	}
+}
+
+func TestBundleCodecRoundTrip(t *testing.T) {
+	w := newBundleWriter()
+	sec1 := capability.NewSecret([]byte("a"))
+	sec2 := capability.NewSecret([]byte("b"))
+	w.add(1, 10, sec1, []byte("image-one"))
+	w.add(7, 11, sec2, nil)
+	dirs, err := parseBundle(w.bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 {
+		t.Fatalf("parsed %d dirs", len(dirs))
+	}
+	if dirs[0].obj != 1 || dirs[0].seq != 10 || dirs[0].secret != sec1 || string(dirs[0].image) != "image-one" {
+		t.Fatalf("dir[0] = %+v", dirs[0])
+	}
+	if dirs[1].obj != 7 || len(dirs[1].image) != 0 {
+		t.Fatalf("dir[1] = %+v", dirs[1])
+	}
+}
+
+func TestBundleCodecRejectsTruncation(t *testing.T) {
+	w := newBundleWriter()
+	w.add(1, 10, capability.NewSecret([]byte("a")), []byte("xyz"))
+	raw := w.bytes()
+	for cut := 1; cut < len(raw); cut += 2 {
+		if _, err := parseBundle(raw[:len(raw)-cut]); err == nil {
+			t.Fatalf("parsed truncated bundle (cut %d)", cut)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	net := sim.NewNetwork(sim.FastModel(), 1)
+	stack := newTestStack(t, net)
+	if _, err := NewServer(stack, Config{Service: "x", ID: 3}); err == nil {
+		t.Fatal("accepted server id 3 in a two-server service")
+	}
+}

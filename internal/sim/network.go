@@ -1,0 +1,393 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID identifies a host on the simulated Ethernet.
+type NodeID int
+
+// Frame is one Ethernet frame as seen by a receiver.
+type Frame struct {
+	Src       NodeID
+	Broadcast bool // true for multicast/broadcast frames
+	Payload   []byte
+}
+
+// Stats counts network activity since the network was created.
+type Stats struct {
+	FramesSent      uint64 // frames put on the wire (a broadcast counts once)
+	FramesDelivered uint64
+	BytesSent       uint64
+	FramesDropped   uint64 // lost to injected loss, partitions, or crashed nodes
+}
+
+const maxInboxDepth = 8192
+
+var (
+	// ErrCrashed is returned by send operations on a crashed node.
+	ErrCrashed = errors.New("sim: node is crashed")
+)
+
+// Network is a shared-medium Ethernet segment. Frames are delivered in
+// per-sender FIFO order (one NIC transmits serially), with true hardware
+// multicast: a broadcast frame costs one transmission regardless of the
+// number of receivers, exactly the property Amoeba's SendToGroup exploits.
+type Network struct {
+	model *LatencyModel
+
+	mu        sync.Mutex
+	nodes     []*Node
+	partition map[NodeID]int // partition group per node; absent = group 0
+	dropRate  float64
+	dropFn    func(src, dst NodeID, payload []byte) bool
+	rng       *rand.Rand
+
+	stats struct {
+		framesSent      atomic.Uint64
+		framesDelivered atomic.Uint64
+		bytesSent       atomic.Uint64
+		framesDropped   atomic.Uint64
+	}
+}
+
+// NewNetwork creates an empty network segment using the given latency
+// model. The seed drives loss injection only; protocol behavior is
+// otherwise deterministic per goroutine schedule.
+func NewNetwork(model *LatencyModel, seed int64) *Network {
+	if model == nil {
+		model = FastModel()
+	}
+	return &Network{
+		model:     model,
+		partition: make(map[NodeID]int),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Model returns the latency model shared by all nodes on the network.
+func (n *Network) Model() *LatencyModel { return n.model }
+
+// AddNode attaches a new host to the segment and returns it.
+func (n *Network) AddNode(name string) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node := &Node{
+		id:   NodeID(len(n.nodes)),
+		name: name,
+		net:  n,
+	}
+	node.cpu.model = n.model
+	node.inbox.cond = sync.NewCond(&node.inbox.mu)
+	node.out = make(chan outFrame, maxInboxDepth)
+	node.outDone = make(chan struct{})
+	go node.transmitLoop()
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Node returns the node with the given id, or nil.
+func (n *Network) Node(id NodeID) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		return nil
+	}
+	return n.nodes[id]
+}
+
+// Nodes returns all nodes in id order.
+func (n *Network) Nodes() []*Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Node, len(n.nodes))
+	copy(out, n.nodes)
+	return out
+}
+
+// Partition splits the network into the given groups. Nodes in different
+// groups cannot exchange frames; nodes not mentioned fall into an implicit
+// extra group. Partition replaces any previous partition.
+func (n *Network) Partition(groups ...[]NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[NodeID]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			n.partition[id] = gi + 1
+		}
+	}
+}
+
+// Heal removes any network partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[NodeID]int)
+}
+
+// SetDropRate makes the network drop each delivery independently with
+// probability p (0 ≤ p ≤ 1).
+func (n *Network) SetDropRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropRate = p
+}
+
+// SetDropFilter installs fn; deliveries for which fn returns true are
+// dropped. Tests use this to force specific retransmission paths. A nil fn
+// removes the filter.
+func (n *Network) SetDropFilter(fn func(src, dst NodeID, payload []byte) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropFn = fn
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		FramesSent:      n.stats.framesSent.Load(),
+		FramesDelivered: n.stats.framesDelivered.Load(),
+		BytesSent:       n.stats.bytesSent.Load(),
+		FramesDropped:   n.stats.framesDropped.Load(),
+	}
+}
+
+// reachable reports whether src and dst are in the same partition group.
+func (n *Network) reachable(src, dst NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partition[src] == n.partition[dst]
+}
+
+// shouldDrop applies loss injection to one delivery.
+func (n *Network) shouldDrop(src, dst NodeID, payload []byte) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dropFn != nil && n.dropFn(src, dst, payload) {
+		return true
+	}
+	return n.dropRate > 0 && n.rng.Float64() < n.dropRate
+}
+
+// CPU serializes processing charges on one simulated host: a Sun3/60 has a
+// single CPU, so concurrent server threads on one machine contend for it.
+// This contention is what limits each directory server to roughly 333
+// lookups/s in Fig. 8.
+//
+// Sub-millisecond charges (per-packet costs) accumulate as debt and are
+// slept off in ≥1 ms chunks: the Go runtime cannot sleep accurately for a
+// few hundred microseconds, and naive sleeping would inflate every packet
+// to ~1 ms, wrecking the calibration.
+type CPU struct {
+	model *LatencyModel
+	mu    sync.Mutex
+	debt  time.Duration
+}
+
+// chargeGranularity is the smallest amount worth sleeping for.
+const chargeGranularity = time.Millisecond
+
+// Charge blocks the caller for d (scaled), holding the host CPU.
+func (c *CPU) Charge(d time.Duration) {
+	if c.model == nil || c.model.Scale == 0 || d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.debt += time.Duration(float64(d) * c.model.Scale)
+	if c.debt < chargeGranularity {
+		return
+	}
+	owed := c.debt
+	c.debt = 0
+	time.Sleep(owed)
+}
+
+type outFrame struct {
+	dst       NodeID // ignored when broadcast
+	broadcast bool
+	payload   []byte
+}
+
+type inbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Frame
+	stopped bool
+	gen     uint64 // incarnation; bumped on restart
+}
+
+// Node is one host: a NIC on the shared segment plus a CPU.
+type Node struct {
+	id   NodeID
+	name string
+	net  *Network
+	cpu  CPU
+
+	inbox inbox
+
+	crashed atomic.Bool
+	out     chan outFrame
+	outDone chan struct{}
+}
+
+// ID returns the node's network identifier.
+func (nd *Node) ID() NodeID { return nd.id }
+
+// Name returns the debugging name given at AddNode.
+func (nd *Node) Name() string { return nd.name }
+
+// CPU returns the node's CPU for processing charges.
+func (nd *Node) CPU() *CPU { return &nd.cpu }
+
+// Network returns the segment the node is attached to.
+func (nd *Node) Network() *Network { return nd.net }
+
+// String implements fmt.Stringer.
+func (nd *Node) String() string { return fmt.Sprintf("node %d (%s)", nd.id, nd.name) }
+
+// Unicast queues a frame to dst. Delivery is asynchronous; per-sender FIFO
+// order is preserved. The payload is not copied: callers must not mutate it
+// after sending.
+func (nd *Node) Unicast(dst NodeID, payload []byte) error {
+	return nd.send(outFrame{dst: dst, payload: payload})
+}
+
+// Broadcast queues a frame to every other node on the segment in a single
+// transmission (Ethernet multicast).
+func (nd *Node) Broadcast(payload []byte) error {
+	return nd.send(outFrame{broadcast: true, payload: payload})
+}
+
+func (nd *Node) send(f outFrame) error {
+	if nd.crashed.Load() {
+		return ErrCrashed
+	}
+	// Per-packet protocol processing on the sending host.
+	nd.cpu.Charge(nd.net.model.PacketCPU)
+	select {
+	case nd.out <- f:
+		return nil
+	default:
+		// NIC transmit queue overflow: drop, as real hardware would.
+		nd.net.stats.framesDropped.Add(1)
+		return nil
+	}
+}
+
+// transmitLoop serializes this node's transmissions: one NIC puts one frame
+// on the wire at a time, which preserves per-sender FIFO delivery order.
+// Per-frame wire times are far below the sleep granularity, so they
+// accumulate as debt and are slept off in chunks, keeping the average
+// transmission rate calibrated.
+func (nd *Node) transmitLoop() {
+	var txDebt time.Duration
+	model := nd.net.model
+	for f := range nd.out {
+		if nd.crashed.Load() {
+			nd.net.stats.framesDropped.Add(1)
+			continue
+		}
+		if model.Scale > 0 {
+			txDebt += time.Duration(float64(model.TxTime(len(f.payload))) * model.Scale)
+			if txDebt >= chargeGranularity {
+				time.Sleep(txDebt)
+				txDebt = 0
+			}
+		}
+		nd.net.stats.framesSent.Add(1)
+		nd.net.stats.bytesSent.Add(uint64(len(f.payload)))
+		frame := Frame{Src: nd.id, Broadcast: f.broadcast, Payload: f.payload}
+		if f.broadcast {
+			for _, dst := range nd.net.Nodes() {
+				if dst.id == nd.id {
+					continue
+				}
+				nd.deliverTo(dst, frame)
+			}
+		} else if dst := nd.net.Node(f.dst); dst != nil {
+			nd.deliverTo(dst, frame)
+		} else {
+			nd.net.stats.framesDropped.Add(1)
+		}
+	}
+	close(nd.outDone)
+}
+
+func (nd *Node) deliverTo(dst *Node, frame Frame) {
+	if !nd.net.reachable(nd.id, dst.id) || nd.net.shouldDrop(nd.id, dst.id, frame.Payload) {
+		nd.net.stats.framesDropped.Add(1)
+		return
+	}
+	if dst.enqueue(frame) {
+		nd.net.stats.framesDelivered.Add(1)
+	} else {
+		nd.net.stats.framesDropped.Add(1)
+	}
+}
+
+func (nd *Node) enqueue(frame Frame) bool {
+	nd.inbox.mu.Lock()
+	defer nd.inbox.mu.Unlock()
+	if nd.inbox.stopped || len(nd.inbox.queue) >= maxInboxDepth {
+		return false
+	}
+	nd.inbox.queue = append(nd.inbox.queue, frame)
+	nd.inbox.cond.Signal()
+	return true
+}
+
+// Recv blocks until a frame arrives and returns it. It returns ok=false
+// when the node crashes (or was crashed at call time). The caller should
+// charge PacketCPU for received frames via CPU().Charge; the FLIP layer
+// does this automatically.
+func (nd *Node) Recv() (Frame, bool) {
+	nd.inbox.mu.Lock()
+	defer nd.inbox.mu.Unlock()
+	gen := nd.inbox.gen
+	for len(nd.inbox.queue) == 0 {
+		if nd.inbox.stopped || nd.inbox.gen != gen {
+			return Frame{}, false
+		}
+		nd.inbox.cond.Wait()
+	}
+	if nd.inbox.stopped || nd.inbox.gen != gen {
+		return Frame{}, false
+	}
+	f := nd.inbox.queue[0]
+	nd.inbox.queue = nd.inbox.queue[1:]
+	return f, true
+}
+
+// Crash fail-stops the node: pending and future frames are dropped and all
+// blocked Recv calls return. Disk contents (internal/vdisk) are unaffected.
+func (nd *Node) Crash() {
+	nd.crashed.Store(true)
+	nd.inbox.mu.Lock()
+	nd.inbox.stopped = true
+	nd.inbox.queue = nil
+	nd.inbox.cond.Broadcast()
+	nd.inbox.mu.Unlock()
+}
+
+// Restart brings a crashed node back with an empty inbox. Recv calls made
+// before the crash do not resume; the restarted software stack must call
+// Recv afresh.
+func (nd *Node) Restart() {
+	nd.inbox.mu.Lock()
+	nd.inbox.stopped = false
+	nd.inbox.queue = nil
+	nd.inbox.gen++
+	nd.inbox.cond.Broadcast()
+	nd.inbox.mu.Unlock()
+	nd.crashed.Store(false)
+}
+
+// Crashed reports whether the node is currently fail-stopped.
+func (nd *Node) Crashed() bool { return nd.crashed.Load() }

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestNet(t *testing.T) *Network {
+	t.Helper()
+	return NewNetwork(FastModel(), 1)
+}
+
+func recvOrFail(t *testing.T, nd *Node) Frame {
+	t.Helper()
+	type result struct {
+		f  Frame
+		ok bool
+	}
+	ch := make(chan result, 1)
+	go func() {
+		f, ok := nd.Recv()
+		ch <- result{f, ok}
+	}()
+	select {
+	case r := <-ch:
+		if !r.ok {
+			t.Fatalf("%v: Recv returned not-ok", nd)
+		}
+		return r.f
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%v: Recv timed out", nd)
+		return Frame{}
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	net := newTestNet(t)
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+
+	if err := a.Unicast(b.ID(), []byte("hello")); err != nil {
+		t.Fatalf("Unicast: %v", err)
+	}
+	f := recvOrFail(t, b)
+	if f.Src != a.ID() || string(f.Payload) != "hello" || f.Broadcast {
+		t.Fatalf("got frame %+v", f)
+	}
+}
+
+func TestPerSenderFIFO(t *testing.T) {
+	net := newTestNet(t)
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Unicast(b.ID(), []byte{byte(i)}); err != nil {
+			t.Fatalf("Unicast %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		f := recvOrFail(t, b)
+		if f.Payload[0] != byte(i) {
+			t.Fatalf("frame %d out of order: got %d", i, f.Payload[0])
+		}
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	net := newTestNet(t)
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+	c := net.AddNode("c")
+
+	before := net.Stats().FramesSent
+	if err := a.Broadcast([]byte("all")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	for _, nd := range []*Node{b, c} {
+		f := recvOrFail(t, nd)
+		if !f.Broadcast || string(f.Payload) != "all" {
+			t.Fatalf("%v: got frame %+v", nd, f)
+		}
+	}
+	// Ethernet multicast: one transmission regardless of receiver count.
+	if got := net.Stats().FramesSent - before; got != 1 {
+		t.Fatalf("broadcast consumed %d frames on the wire, want 1", got)
+	}
+	// Sender must not hear its own broadcast.
+	a.inbox.mu.Lock()
+	pending := len(a.inbox.queue)
+	a.inbox.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("sender received its own broadcast (%d queued)", pending)
+	}
+}
+
+func TestPartitionBlocksAndHealRestores(t *testing.T) {
+	net := newTestNet(t)
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+
+	net.Partition([]NodeID{a.ID()}, []NodeID{b.ID()})
+	if err := a.Unicast(b.ID(), []byte("x")); err != nil {
+		t.Fatalf("Unicast: %v", err)
+	}
+	// Give the transmit loop time to drop the frame.
+	waitFor(t, func() bool { return net.Stats().FramesDropped >= 1 })
+
+	net.Heal()
+	if err := a.Unicast(b.ID(), []byte("y")); err != nil {
+		t.Fatalf("Unicast after heal: %v", err)
+	}
+	f := recvOrFail(t, b)
+	if string(f.Payload) != "y" {
+		t.Fatalf("after heal got %q, want y", f.Payload)
+	}
+}
+
+func TestCrashDropsTrafficAndUnblocksRecv(t *testing.T) {
+	net := newTestNet(t)
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := b.Recv()
+		done <- ok
+	}()
+	b.Crash()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Recv on crashed node returned ok")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock on crash")
+	}
+
+	if err := b.Unicast(a.ID(), []byte("x")); err != ErrCrashed {
+		t.Fatalf("send from crashed node: err = %v, want ErrCrashed", err)
+	}
+	droppedBefore := net.Stats().FramesDropped
+	if err := a.Unicast(b.ID(), []byte("x")); err != nil {
+		t.Fatalf("send to crashed node should not error at sender: %v", err)
+	}
+	// Wait until the in-flight frame is dropped before restarting, so the
+	// restarted node observes an empty wire.
+	waitFor(t, func() bool { return net.Stats().FramesDropped > droppedBefore })
+
+	b.Restart()
+	if err := a.Unicast(b.ID(), []byte("again")); err != nil {
+		t.Fatalf("Unicast after restart: %v", err)
+	}
+	f := recvOrFail(t, b)
+	if string(f.Payload) != "again" {
+		t.Fatalf("after restart got %q", f.Payload)
+	}
+}
+
+func TestDropFilterForcesLoss(t *testing.T) {
+	net := newTestNet(t)
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+
+	dropped := 0
+	var mu sync.Mutex
+	net.SetDropFilter(func(src, dst NodeID, payload []byte) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if dropped == 0 {
+			dropped++
+			return true
+		}
+		return false
+	})
+
+	if err := a.Unicast(b.ID(), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Unicast(b.ID(), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	f := recvOrFail(t, b)
+	if string(f.Payload) != "2" {
+		t.Fatalf("got %q, want the second frame only", f.Payload)
+	}
+}
+
+func TestStatsCountBytes(t *testing.T) {
+	net := newTestNet(t)
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+	payload := make([]byte, 100)
+	if err := a.Unicast(b.ID(), payload); err != nil {
+		t.Fatal(err)
+	}
+	recvOrFail(t, b)
+	s := net.Stats()
+	if s.BytesSent != 100 || s.FramesSent != 1 || s.FramesDelivered != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLatencyModelSleepScales(t *testing.T) {
+	m := ScaledPaperModel(0.001)
+	start := time.Now()
+	m.Sleep(100 * time.Millisecond) // scaled to 100µs
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("scaled sleep took %v, want ~100µs", elapsed)
+	}
+	FastModel().Sleep(time.Hour) // must return immediately
+}
+
+func TestTxTime(t *testing.T) {
+	m := PaperModel()
+	small := m.TxTime(64)
+	large := m.TxTime(1024)
+	if large <= small {
+		t.Fatalf("TxTime not monotone: %v vs %v", small, large)
+	}
+	// 1024 bytes at 10 Mbit/s ≈ 0.82 ms + wire delay.
+	if large < 800*time.Microsecond || large > 900*time.Microsecond {
+		t.Fatalf("TxTime(1024) = %v, want ≈ 830µs", large)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

@@ -1,0 +1,103 @@
+package vdisk
+
+import "fmt"
+
+// Storage is the block-device interface shared by whole disks and
+// partitions. The directory server's admin data and its Bullet server's
+// file store live on partitions of the same physical disk, as in the
+// paper's configuration (Fig. 3: each directory server, Bullet server and
+// disk server triple shares one disk), so they contend for the same arm.
+type Storage interface {
+	Blocks() int
+	ReadBlock(i int) ([]byte, error)
+	WriteBlock(i int, data []byte) error
+	WriteBlockSeq(i int, data []byte) error
+	WriteRun(start int, data []byte) error
+	WriteRunSeq(start int, data []byte) error
+	ReadRun(start, length int) ([]byte, error)
+}
+
+var (
+	_ Storage = (*Disk)(nil)
+	_ Storage = (*Partition)(nil)
+)
+
+// Partition exposes a contiguous block range of a disk as a Storage. All
+// latency and arm contention comes from the underlying disk.
+type Partition struct {
+	disk  *Disk
+	start int
+	n     int
+}
+
+// NewPartition carves blocks [start, start+n) out of disk.
+func NewPartition(disk *Disk, start, n int) (*Partition, error) {
+	if start < 0 || n <= 0 || start+n > disk.Blocks() {
+		return nil, fmt.Errorf("partition [%d,%d) on %d-block disk: %w", start, start+n, disk.Blocks(), ErrOutOfRange)
+	}
+	return &Partition{disk: disk, start: start, n: n}, nil
+}
+
+// Blocks returns the partition size in blocks.
+func (p *Partition) Blocks() int { return p.n }
+
+func (p *Partition) translate(i, span int) (int, error) {
+	if i < 0 || span < 0 || i+span > p.n {
+		return 0, fmt.Errorf("partition blocks [%d,%d): %w", i, i+span, ErrOutOfRange)
+	}
+	return p.start + i, nil
+}
+
+// ReadBlock reads one block of the partition.
+func (p *Partition) ReadBlock(i int) ([]byte, error) {
+	abs, err := p.translate(i, 1)
+	if err != nil {
+		return nil, err
+	}
+	return p.disk.ReadBlock(abs)
+}
+
+// WriteBlock writes one block of the partition.
+func (p *Partition) WriteBlock(i int, data []byte) error {
+	abs, err := p.translate(i, 1)
+	if err != nil {
+		return err
+	}
+	return p.disk.WriteBlock(abs, data)
+}
+
+// WriteBlockSeq writes one block, charged as a short seek.
+func (p *Partition) WriteBlockSeq(i int, data []byte) error {
+	abs, err := p.translate(i, 1)
+	if err != nil {
+		return err
+	}
+	return p.disk.WriteBlockSeq(abs, data)
+}
+
+// WriteRun writes a contiguous run inside the partition.
+func (p *Partition) WriteRun(start int, data []byte) error {
+	abs, err := p.translate(start, blocksFor(len(data)))
+	if err != nil {
+		return err
+	}
+	return p.disk.WriteRun(abs, data)
+}
+
+// WriteRunSeq writes a contiguous run, charged as a short seek.
+func (p *Partition) WriteRunSeq(start int, data []byte) error {
+	abs, err := p.translate(start, blocksFor(len(data)))
+	if err != nil {
+		return err
+	}
+	return p.disk.WriteRunSeq(abs, data)
+}
+
+// ReadRun reads a contiguous run inside the partition.
+func (p *Partition) ReadRun(start, length int) ([]byte, error) {
+	abs, err := p.translate(start, blocksFor(length))
+	if err != nil {
+		return nil, err
+	}
+	return p.disk.ReadRun(abs, length)
+}

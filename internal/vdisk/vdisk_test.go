@@ -1,0 +1,179 @@
+package vdisk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dirsvc/internal/sim"
+)
+
+func newDisk(t *testing.T, blocks int) *Disk {
+	t.Helper()
+	return New(sim.FastModel(), blocks)
+}
+
+func TestWriteReadBlock(t *testing.T) {
+	d := newDisk(t, 8)
+	data := []byte("commit block contents")
+	if err := d.WriteBlock(0, data); err != nil {
+		t.Fatalf("WriteBlock: %v", err)
+	}
+	got, err := d.ReadBlock(0)
+	if err != nil {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+	if len(got) != BlockSize {
+		t.Fatalf("block size = %d, want %d", len(got), BlockSize)
+	}
+	if !bytes.Equal(got[:len(data)], data) {
+		t.Fatalf("got %q", got[:len(data)])
+	}
+	// Remainder must be zero padded.
+	for _, b := range got[len(data):] {
+		if b != 0 {
+			t.Fatal("block not zero padded")
+		}
+	}
+}
+
+func TestUnwrittenBlockReadsZero(t *testing.T) {
+	d := newDisk(t, 4)
+	got, err := d.ReadBlock(3)
+	if err != nil {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+	if !bytes.Equal(got, make([]byte, BlockSize)) {
+		t.Fatal("unwritten block not zero")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := newDisk(t, 4)
+	tests := []struct {
+		name string
+		fn   func() error
+	}{
+		{"read high", func() error { _, err := d.ReadBlock(4); return err }},
+		{"read negative", func() error { _, err := d.ReadBlock(-1); return err }},
+		{"write high", func() error { return d.WriteBlock(4, nil) }},
+		{"run over end", func() error { return d.WriteRun(3, make([]byte, 2*BlockSize)) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.fn(); !errors.Is(err, ErrOutOfRange) {
+				t.Fatalf("err = %v, want ErrOutOfRange", err)
+			}
+		})
+	}
+}
+
+func TestWriteTooLarge(t *testing.T) {
+	d := newDisk(t, 4)
+	if err := d.WriteBlock(0, make([]byte, BlockSize+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestWriteRunReadRun(t *testing.T) {
+	d := newDisk(t, 16)
+	data := bytes.Repeat([]byte("0123456789abcdef"), 100) // 1600 bytes, 4 blocks
+	if err := d.WriteRun(2, data); err != nil {
+		t.Fatalf("WriteRun: %v", err)
+	}
+	got, err := d.ReadRun(2, len(data))
+	if err != nil {
+		t.Fatalf("ReadRun: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("run round trip mismatch")
+	}
+}
+
+func TestMediaFailure(t *testing.T) {
+	d := newDisk(t, 4)
+	if err := d.WriteBlock(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	d.FailMedia()
+	if !d.Failed() {
+		t.Fatal("Failed() = false after FailMedia")
+	}
+	if _, err := d.ReadBlock(0); !errors.Is(err, ErrMediaFailure) {
+		t.Fatalf("read after head crash: %v", err)
+	}
+	if err := d.WriteBlock(0, []byte("y")); !errors.Is(err, ErrMediaFailure) {
+		t.Fatalf("write after head crash: %v", err)
+	}
+}
+
+func TestStatsDistinguishSeqWrites(t *testing.T) {
+	d := newDisk(t, 4)
+	_ = d.WriteBlock(0, nil)
+	_ = d.WriteBlockSeq(1, nil)
+	_ = d.WriteBlockSeq(1, nil)
+	_, _ = d.ReadBlock(0)
+	s := d.Stats()
+	if s.Writes != 1 || s.SeqWrites != 2 || s.Reads != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestQuickRunRoundTrip(t *testing.T) {
+	d := newDisk(t, 64)
+	f := func(raw []byte) bool {
+		if len(raw) > 20*BlockSize {
+			raw = raw[:20*BlockSize]
+		}
+		if err := d.WriteRun(0, raw); err != nil {
+			return false
+		}
+		got, err := d.ReadRun(0, len(raw))
+		return err == nil && bytes.Equal(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNVRAMReadWrite(t *testing.T) {
+	n := NewNVRAM(sim.FastModel(), 128)
+	if n.Size() != 128 {
+		t.Fatalf("Size = %d", n.Size())
+	}
+	if err := n.Write(10, []byte("journal")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := n.Read(10, 7)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if string(got) != "journal" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNVRAMBounds(t *testing.T) {
+	n := NewNVRAM(sim.FastModel(), 16)
+	if err := n.Write(10, make([]byte, 7)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("overflowing write: %v", err)
+	}
+	if _, err := n.Read(-1, 4); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("negative read: %v", err)
+	}
+	if _, err := n.Read(0, 17); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("long read: %v", err)
+	}
+}
+
+func TestNVRAMSnapshotIsCopy(t *testing.T) {
+	n := NewNVRAM(sim.FastModel(), 8)
+	_ = n.Write(0, []byte{1})
+	snap := n.Snapshot()
+	snap[0] = 99
+	got, _ := n.Read(0, 1)
+	if got[0] != 1 {
+		t.Fatal("Snapshot aliases internal buffer")
+	}
+}

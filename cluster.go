@@ -410,6 +410,23 @@ func (c *Cluster) ForceRecover(id int) error {
 	return nil
 }
 
+// GroupSends returns the total number of write-path group broadcasts the
+// cluster's directory servers have issued so far. Zero for non-group
+// kinds. Batching and coalescing make this grow far slower than the
+// update count — the measurement behind the batch benchmark.
+func (c *Cluster) GroupSends() uint64 {
+	var total uint64
+	for _, m := range c.machines {
+		m.mu.Lock()
+		srv := m.core
+		m.mu.Unlock()
+		if srv != nil {
+			total += srv.GroupSends()
+		}
+	}
+	return total
+}
+
 // DiskStats returns the disk statistics of replica id.
 func (c *Cluster) DiskStats(id int) vdisk.Stats { return c.machine(id).disk.Stats() }
 

@@ -1,0 +1,34 @@
+package faultdir
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindGroup:      "group",
+		KindGroupNVRAM: "group+nvram",
+		KindRPC:        "rpc",
+		KindLocal:      "local",
+		Kind(0):        "kind(0)",
+		Kind(99):       "kind(99)",
+	}
+	for kind, want := range cases {
+		if got := kind.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(kind), got, want)
+		}
+	}
+}
+
+func TestKindServers(t *testing.T) {
+	cases := map[Kind]int{
+		KindGroup:      3, // triplicated (§3)
+		KindGroupNVRAM: 3, // triplicated + NVRAM (§4.1)
+		KindRPC:        2, // duplicated (§1)
+		KindLocal:      1, // unreplicated baseline
+		Kind(99):       1,
+	}
+	for kind, want := range cases {
+		if got := kind.Servers(); got != want {
+			t.Errorf("Kind(%d).Servers() = %d, want %d", int(kind), got, want)
+		}
+	}
+}

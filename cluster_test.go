@@ -1,6 +1,7 @@
 package faultdir
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -11,6 +12,9 @@ import (
 	"dirsvc/internal/dirsvc"
 	"dirsvc/internal/sim"
 )
+
+// bgCtx is the unbounded context used where no deadline applies.
+var bgCtx = context.Background()
 
 const testHeartbeat = 15 * time.Millisecond
 
@@ -41,38 +45,38 @@ func TestAllKindsBasicOperations(t *testing.T) {
 			}
 			defer cleanup()
 
-			root, err := client.Root()
+			root, err := client.Root(bgCtx)
 			if err != nil {
 				t.Fatalf("Root: %v", err)
 			}
-			dir, err := client.CreateDir()
+			dir, err := client.CreateDir(bgCtx)
 			if err != nil {
 				t.Fatalf("CreateDir: %v", err)
 			}
-			if err := client.Append(root, "projects", dir, nil); err != nil {
+			if err := client.Append(bgCtx, root, "projects", dir, nil); err != nil {
 				t.Fatalf("Append: %v", err)
 			}
-			got, err := client.Lookup(root, "projects")
+			got, err := client.Lookup(bgCtx, root, "projects")
 			if err != nil {
 				t.Fatalf("Lookup: %v", err)
 			}
 			if got != dir {
 				t.Fatalf("Lookup = %v, want %v", got, dir)
 			}
-			rows, err := client.List(root, 0)
+			rows, err := client.List(bgCtx, root, 0)
 			if err != nil {
 				t.Fatalf("List: %v", err)
 			}
 			if len(rows) != 1 || rows[0].Name != "projects" {
 				t.Fatalf("List = %+v", rows)
 			}
-			if err := client.Delete(root, "projects"); err != nil {
+			if err := client.Delete(bgCtx, root, "projects"); err != nil {
 				t.Fatalf("Delete: %v", err)
 			}
-			if _, err := client.Lookup(root, "projects"); !errors.Is(err, dirsvc.ErrNotFound) {
+			if _, err := client.Lookup(bgCtx, root, "projects"); !errors.Is(err, dirsvc.ErrNotFound) {
 				t.Fatalf("Lookup after delete: %v", err)
 			}
-			if err := client.DeleteDir(dir); err != nil {
+			if err := client.DeleteDir(bgCtx, dir); err != nil {
 				t.Fatalf("DeleteDir: %v", err)
 			}
 		})
@@ -86,15 +90,15 @@ func TestAppendDuplicateNameRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	target, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	target, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "dup", target, nil); err != nil {
+	if err := client.Append(bgCtx, root, "dup", target, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "dup", target, nil); !errors.Is(err, dirsvc.ErrExists) {
+	if err := client.Append(bgCtx, root, "dup", target, nil); !errors.Is(err, dirsvc.ErrExists) {
 		t.Fatalf("second append: %v, want ErrExists", err)
 	}
 }
@@ -106,12 +110,12 @@ func TestCapabilityRightsEnforced(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "d", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "d", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 	readOnly, err := capability.Restrict(dir, capability.RightRead)
@@ -119,15 +123,15 @@ func TestCapabilityRightsEnforced(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Read allowed, write refused.
-	if _, err := client.List(readOnly, 0); err != nil {
+	if _, err := client.List(bgCtx, readOnly, 0); err != nil {
 		t.Fatalf("List with read-only cap: %v", err)
 	}
-	if err := client.Append(readOnly, "x", dir, nil); !errors.Is(err, capability.ErrNoRights) {
+	if err := client.Append(bgCtx, readOnly, "x", dir, nil); !errors.Is(err, capability.ErrNoRights) {
 		t.Fatalf("Append with read-only cap: %v", err)
 	}
 	forged := dir
 	forged.Check = capability.Check{1, 1, 1, 1, 1, 1}
-	if _, err := client.List(forged, 0); !errors.Is(err, capability.ErrBadCapability) {
+	if _, err := client.List(bgCtx, forged, 0); !errors.Is(err, capability.ErrBadCapability) {
 		t.Fatalf("List with forged cap: %v", err)
 	}
 }
@@ -145,11 +149,11 @@ func TestReadYourWritesAcrossServers(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer cleanup()
-			root, err := client.Root()
+			root, err := client.Root(bgCtx)
 			if err != nil {
 				t.Fatal(err)
 			}
-			dir, err := client.CreateDir()
+			dir, err := client.CreateDir(bgCtx)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -158,16 +162,16 @@ func TestReadYourWritesAcrossServers(t *testing.T) {
 			// of which server the port cache picked.
 			for i := 0; i < 25; i++ {
 				name := fmt.Sprintf("f%d", i)
-				if err := client.Append(root, name, dir, nil); err != nil {
+				if err := client.Append(bgCtx, root, name, dir, nil); err != nil {
 					t.Fatalf("append %d: %v", i, err)
 				}
-				if _, err := client.Lookup(root, name); err != nil {
+				if _, err := client.Lookup(bgCtx, root, name); err != nil {
 					t.Fatalf("lookup %d after append: %v", i, err)
 				}
-				if err := client.Delete(root, name); err != nil {
+				if err := client.Delete(bgCtx, root, name); err != nil {
 					t.Fatalf("delete %d: %v", i, err)
 				}
-				if _, err := client.Lookup(root, name); !errors.Is(err, dirsvc.ErrNotFound) {
+				if _, err := client.Lookup(bgCtx, root, name); !errors.Is(err, dirsvc.ErrNotFound) {
 					t.Fatalf("lookup %d after delete: %v (stale read)", i, err)
 				}
 			}
@@ -182,12 +186,12 @@ func TestGroupSurvivesOneServerCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "before-crash", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "before-crash", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -197,17 +201,17 @@ func TestGroupSurvivesOneServerCrash(t *testing.T) {
 	// may need to fail over (NOTHERE / timeouts), hence the retry loop.
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		if err := client.Append(root, "after-crash", dir, nil); err == nil {
+		if err := client.Append(bgCtx, root, "after-crash", dir, nil); err == nil {
 			break
 		} else if time.Now().After(deadline) {
 			t.Fatalf("append never succeeded after crash: %v", err)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if _, err := client.Lookup(root, "before-crash"); err != nil {
+	if _, err := client.Lookup(bgCtx, root, "before-crash"); err != nil {
 		t.Fatalf("pre-crash data lost: %v", err)
 	}
-	if _, err := client.Lookup(root, "after-crash"); err != nil {
+	if _, err := client.Lookup(bgCtx, root, "after-crash"); err != nil {
 		t.Fatalf("post-crash write lost: %v", err)
 	}
 }
@@ -219,12 +223,12 @@ func TestGroupRecoveryAfterRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "f1", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "f1", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -243,8 +247,8 @@ func TestGroupRecoveryAfterRestart(t *testing.T) {
 	// sheer repetition across the port-cache heuristic).
 	deadline := time.Now().Add(30 * time.Second)
 	for i := 0; ; i++ {
-		_, err1 := client.Lookup(root, "f1")
-		_, err2 := client.Lookup(root, "f2")
+		_, err1 := client.Lookup(bgCtx, root, "f1")
+		_, err2 := client.Lookup(bgCtx, root, "f2")
 		if err1 == nil && err2 == nil && i > 20 {
 			break
 		}
@@ -265,12 +269,12 @@ func TestMinorityPartitionRefusesReads(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "foo", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "foo", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -293,7 +297,7 @@ func TestMinorityPartitionRefusesReads(t *testing.T) {
 	)
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		_, err := minClient.List(root, 0)
+		_, err := minClient.List(bgCtx, root, 0)
 		if errors.Is(err, dirsvc.ErrNoMajority) {
 			break // refused, as required
 		}
@@ -307,8 +311,8 @@ func TestMinorityPartitionRefusesReads(t *testing.T) {
 	c.Heal()
 	deadline = time.Now().Add(60 * time.Second)
 	for {
-		_, e1 := client.Lookup(root, "foo")
-		_, e2 := client.Lookup(root, "bar")
+		_, e1 := client.Lookup(bgCtx, root, "foo")
+		_, e2 := client.Lookup(bgCtx, root, "bar")
 		if e1 == nil && e2 == nil {
 			break
 		}
@@ -334,12 +338,12 @@ func TestNVRAMTmpFileOptimization(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "tmpdir", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "tmpdir", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(50 * time.Millisecond)
@@ -353,10 +357,10 @@ func TestNVRAMTmpFileOptimization(t *testing.T) {
 	}
 	for i := 0; i < 5; i++ {
 		name := fmt.Sprintf("tmp%d", i)
-		if err := client.Append(dir, name, root, nil); err != nil {
+		if err := client.Append(bgCtx, dir, name, root, nil); err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
-		if err := client.Delete(dir, name); err != nil {
+		if err := client.Delete(bgCtx, dir, name); err != nil {
 			t.Fatalf("delete %d: %v", i, err)
 		}
 	}
@@ -383,12 +387,12 @@ func TestNVRAMSurvivesCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "logged-only", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "logged-only", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -400,7 +404,7 @@ func TestNVRAMSurvivesCrash(t *testing.T) {
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		if _, err := client.Lookup(root, "logged-only"); err == nil {
+		if _, err := client.Lookup(bgCtx, root, "logged-only"); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -417,18 +421,18 @@ func TestRPCServiceSurvivesPeerCrashDegraded(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "pre", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "pre", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 	c.CrashServer(2)
 	// The RPC service continues alone (degraded, §1 semantics).
 	appendWithRetry(t, client, root, "post", dir, 30*time.Second)
-	if _, err := client.Lookup(root, "post"); err != nil {
+	if _, err := client.Lookup(bgCtx, root, "post"); err != nil {
 		t.Fatalf("lookup after degraded append: %v", err)
 	}
 }
@@ -440,8 +444,8 @@ func TestGroupNoMajorityRefusesUpdates(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -450,7 +454,7 @@ func TestGroupNoMajorityRefusesUpdates(t *testing.T) {
 	c.CrashServer(3)
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		err := client.Append(root, "nope", dir, nil)
+		err := client.Append(bgCtx, root, "nope", dir, nil)
 		if errors.Is(err, dirsvc.ErrNoMajority) {
 			return // refused, as required
 		}
@@ -471,7 +475,7 @@ func appendWithRetry(t *testing.T, client *dirclient.Client, parent capability.C
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for {
-		err := client.Append(parent, name, target, nil)
+		err := client.Append(bgCtx, parent, name, target, nil)
 		if err == nil {
 			return
 		}
@@ -515,12 +519,12 @@ func TestImprovementAllowsStayedUpRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "f1", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "f1", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -537,8 +541,8 @@ func TestImprovementAllowsStayedUpRecovery(t *testing.T) {
 	}
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		_, e1 := client.Lookup(root, "f1")
-		_, e2 := client.Lookup(root, "f2")
+		_, e1 := client.Lookup(bgCtx, root, "f1")
+		_, e2 := client.Lookup(bgCtx, root, "f2")
 		if e1 == nil && e2 == nil {
 			break
 		}
@@ -569,12 +573,12 @@ func TestStrictSkeenRefusesWithoutLastServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "f1", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "f1", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -591,7 +595,7 @@ func TestStrictSkeenRefusesWithoutLastServer(t *testing.T) {
 	go func() { restartErrs <- c.RestartServer(3) }()
 	// Give recovery ample time; every read must keep failing.
 	time.Sleep(2 * time.Second)
-	if _, err := client.Lookup(root, "f1"); err == nil {
+	if _, err := client.Lookup(bgCtx, root, "f1"); err == nil {
 		t.Fatal("{1,3} served a read although server 2 may hold the latest update")
 	}
 
@@ -607,8 +611,8 @@ func TestStrictSkeenRefusesWithoutLastServer(t *testing.T) {
 	}
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		_, e1 := client.Lookup(root, "f1")
-		_, e2 := client.Lookup(root, "f2")
+		_, e1 := client.Lookup(bgCtx, root, "f1")
+		_, e2 := client.Lookup(bgCtx, root, "f2")
 		if e1 == nil && e2 == nil {
 			break
 		}
@@ -631,12 +635,12 @@ func TestSimultaneousRestartSyncsFromHighest(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "f1", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "f1", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 	c.CrashServer(3)
@@ -657,8 +661,8 @@ func TestSimultaneousRestartSyncsFromHighest(t *testing.T) {
 	// port cache visits all three.
 	deadline := time.Now().Add(60 * time.Second)
 	for i := 0; ; i++ {
-		_, e1 := client.Lookup(root, "f1")
-		_, e2 := client.Lookup(root, "f2")
+		_, e1 := client.Lookup(bgCtx, root, "f1")
+		_, e2 := client.Lookup(bgCtx, root, "f2")
 		if e1 == nil && e2 == nil && i > 30 {
 			return
 		}
@@ -682,12 +686,12 @@ func TestForceRecoverEscapeHatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "precious", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "precious", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Two head crashes: servers 2 and 3 are gone forever.
@@ -697,7 +701,7 @@ func TestForceRecoverEscapeHatch(t *testing.T) {
 	// Without the escape, the survivor refuses.
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		_, err := client.Lookup(root, "precious")
+		_, err := client.Lookup(bgCtx, root, "precious")
 		if errors.Is(err, dirsvc.ErrNoMajority) {
 			break
 		}
@@ -713,7 +717,7 @@ func TestForceRecoverEscapeHatch(t *testing.T) {
 	}
 	deadline = time.Now().Add(30 * time.Second)
 	for {
-		if _, err := client.Lookup(root, "precious"); err == nil {
+		if _, err := client.Lookup(bgCtx, root, "precious"); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -721,7 +725,7 @@ func TestForceRecoverEscapeHatch(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if err := client.Append(root, "post-force", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "post-force", dir, nil); err != nil {
 		t.Fatalf("forced server refused an update: %v", err)
 	}
 }
@@ -738,18 +742,18 @@ func TestDirectoryDeletionSurvivesFullRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	root, _ := client.Root()
-	dir, err := client.CreateDir()
+	root, _ := client.Root(bgCtx)
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(root, "doomed", dir, nil); err != nil {
+	if err := client.Append(bgCtx, root, "doomed", dir, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Delete(root, "doomed"); err != nil {
+	if err := client.Delete(bgCtx, root, "doomed"); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.DeleteDir(dir); err != nil {
+	if err := client.DeleteDir(bgCtx, dir); err != nil {
 		t.Fatal(err)
 	}
 
@@ -769,7 +773,7 @@ func TestDirectoryDeletionSurvivesFullRestart(t *testing.T) {
 	// The deleted directory must stay deleted at every replica.
 	deadline := time.Now().Add(30 * time.Second)
 	for i := 0; ; i++ {
-		_, err := client.List(dir, 0)
+		_, err := client.List(bgCtx, dir, 0)
 		if errors.Is(err, dirsvc.ErrNotFound) || errors.Is(err, capability.ErrBadCapability) {
 			if i > 20 {
 				return
@@ -796,27 +800,27 @@ func TestColumnVisibilityEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	dir, err := client.CreateDir() // columns: owner, group, other
+	dir, err := client.CreateDir(bgCtx) // columns: owner, group, other
 	if err != nil {
 		t.Fatal(err)
 	}
-	target, err := client.CreateDir()
+	target, err := client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// "public" is visible to everyone read-only; "secret" has no rights
 	// in the third column and must be invisible there.
-	if err := client.Append(dir, "public", target,
+	if err := client.Append(bgCtx, dir, "public", target,
 		[]capability.Rights{capability.AllRights, capability.RightRead, capability.RightRead}); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Append(dir, "secret", target,
+	if err := client.Append(bgCtx, dir, "secret", target,
 		[]capability.Rights{capability.AllRights, capability.AllRights, 0}); err != nil {
 		t.Fatal(err)
 	}
 
 	// Owner column: both rows, full rights on "secret".
-	rows, err := client.List(dir, 0)
+	rows, err := client.List(bgCtx, dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -824,7 +828,7 @@ func TestColumnVisibilityEndToEnd(t *testing.T) {
 		t.Fatalf("owner sees %d rows, want 2", len(rows))
 	}
 	// Third column: only "public", and its capability is restricted.
-	rows, err = client.List(dir, 2)
+	rows, err = client.List(bgCtx, dir, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | all")
+		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | all")
 		window     = flag.Duration("window", 2*time.Second, "measurement window per throughput point")
 		pairs      = flag.Int("pairs", 10, "append-delete pairs per latency measurement")
 		scale      = flag.Float64("scale", 1.0, "latency scale factor (1.0 = paper hardware)")
@@ -52,8 +52,10 @@ func run(experiment string, window time.Duration, pairs int, scale float64) erro
 		return headline(model, window, scale)
 	case "bounds":
 		return bounds(model)
+	case "batch":
+		return batchAmortization(model, scale)
 	case "all":
-		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds"} {
+		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch"} {
 			if err := run(exp, window, pairs, scale); err != nil {
 				return fmt.Errorf("%s: %w", exp, err)
 			}
@@ -174,6 +176,28 @@ func bounds(model *sim.LatencyModel) error {
 	fmt.Printf("group write bound ≈ %.1f pairs/s (paper: 5)\n", float64(time.Second)/float64(groupPair))
 	nvramPair := 2 * (model.UpdateCPU + 4*model.PacketCPU + model.NVRAMWrite)
 	fmt.Printf("nvram write bound ≈ %.1f pairs/s (paper: 45)\n", float64(time.Second)/float64(nvramPair))
+	return nil
+}
+
+// batchAmortization measures the redesign's batch win on the group
+// service: B updates as sequential singles pay B totally-ordered group
+// broadcasts; the same B updates as one atomic dir.Batch pay one.
+func batchAmortization(model *sim.LatencyModel, scale float64) error {
+	fmt.Println("== Batch amortization: group broadcasts and latency for B updates (singles vs one atomic batch)")
+	c, err := newCluster(faultdir.KindGroup, model)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for _, b := range []int{4, 16, 64} {
+		singles, batched, err := harness.MeasureBatchAmortization(c, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("B=%-3d singles: %2d broadcasts, %8.1f ms    batch: %2d broadcast(s), %8.1f ms\n",
+			b, singles.Broadcasts, float64(descale(singles.Elapsed, scale))/float64(time.Millisecond),
+			batched.Broadcasts, float64(descale(batched.Elapsed, scale))/float64(time.Millisecond))
+	}
 	return nil
 }
 

@@ -21,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,9 @@ import (
 
 	"dirsvc/internal/sim"
 )
+
+// bgCtx is the unbounded context used where no deadline applies.
+var bgCtx = context.Background()
 
 func main() {
 	var (
@@ -76,7 +80,7 @@ func run(kindName string, scale float64) error {
 		return err
 	}
 	defer cleanup()
-	root, err := client.Root()
+	root, err := client.Root(bgCtx)
 	if err != nil {
 		return fmt.Errorf("fetch root: %w", err)
 	}
@@ -99,14 +103,14 @@ func run(kindName string, scale float64) error {
 		case "ls":
 			dir := root
 			if len(args) == 1 {
-				c, err := client.Lookup(root, args[0])
+				c, err := client.Lookup(bgCtx, root, args[0])
 				if err != nil {
 					fmt.Println("error:", err)
 					continue
 				}
 				dir = c
 			}
-			rows, err := client.List(dir, 0)
+			rows, err := client.List(bgCtx, dir, 0)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -120,12 +124,12 @@ func run(kindName string, scale float64) error {
 				fmt.Println("usage: mkdir <name>")
 				continue
 			}
-			dir, err := client.CreateDir()
+			dir, err := client.CreateDir(bgCtx)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			if err := client.Append(root, args[0], dir, nil); err != nil {
+			if err := client.Append(bgCtx, root, args[0], dir, nil); err != nil {
 				fmt.Println("error:", err)
 			}
 		case "rm":
@@ -133,7 +137,7 @@ func run(kindName string, scale float64) error {
 				fmt.Println("usage: rm <name>")
 				continue
 			}
-			if err := client.Delete(root, args[0]); err != nil {
+			if err := client.Delete(bgCtx, root, args[0]); err != nil {
 				fmt.Println("error:", err)
 			}
 		case "put":
@@ -146,7 +150,7 @@ func run(kindName string, scale float64) error {
 				fmt.Println("error:", err)
 				continue
 			}
-			if err := client.Append(root, args[0], fcap, nil); err != nil {
+			if err := client.Append(bgCtx, root, args[0], fcap, nil); err != nil {
 				fmt.Println("error:", err)
 			}
 		case "cat":
@@ -154,7 +158,7 @@ func run(kindName string, scale float64) error {
 				fmt.Println("usage: cat <name>")
 				continue
 			}
-			fcap, err := client.Lookup(root, args[0])
+			fcap, err := client.Lookup(bgCtx, root, args[0])
 			if err != nil {
 				fmt.Println("error:", err)
 				continue

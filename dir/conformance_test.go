@@ -1,0 +1,476 @@
+// Conformance suite: the same dir.Directory scenarios run against all
+// four cluster kinds (the paper's Fig. 7 configurations), proving the
+// public API behaves identically whatever the replication strategy
+// behind it — including atomic batches and context cancellation.
+package dir_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	faultdir "dirsvc"
+
+	"dirsvc/dir"
+	"dirsvc/internal/sim"
+)
+
+var bgCtx = context.Background()
+
+var allKinds = []faultdir.Kind{
+	faultdir.KindGroup, faultdir.KindGroupNVRAM, faultdir.KindRPC, faultdir.KindLocal,
+}
+
+func newCluster(t *testing.T, kind faultdir.Kind) (*faultdir.Cluster, dir.Directory) {
+	t.Helper()
+	c, err := faultdir.New(kind, faultdir.Options{
+		Model:             sim.FastModel(),
+		HeartbeatInterval: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New(%v): %v", kind, err)
+	}
+	t.Cleanup(c.Close)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(cleanup)
+	return c, client
+}
+
+func TestConformance(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(t *testing.T, d dir.Directory)
+	}{
+		{"RootAndCreate", scenarioRootAndCreate},
+		{"RowLifecycle", scenarioRowLifecycle},
+		{"SentinelErrors", scenarioSentinelErrors},
+		{"Sets", scenarioSets},
+		{"BatchAtomicCommit", scenarioBatchAtomicCommit},
+		{"BatchAtomicAbort", scenarioBatchAtomicAbort},
+		{"BatchCreateAndUse", scenarioBatchCreateAndUse},
+	}
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			_, d := newCluster(t, kind)
+			for _, sc := range scenarios {
+				t.Run(sc.name, func(t *testing.T) { sc.run(t, d) })
+			}
+		})
+	}
+}
+
+func scenarioRootAndCreate(t *testing.T, d dir.Directory) {
+	root, err := d.Root(bgCtx)
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	if root.IsZero() {
+		t.Fatal("zero root capability")
+	}
+	again, err := d.Root(bgCtx)
+	if err != nil || again != root {
+		t.Fatalf("Root not stable: %v vs %v (%v)", again, root, err)
+	}
+	sub, err := d.CreateDir(bgCtx, "owner", "group")
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	if sub.IsZero() || sub == root {
+		t.Fatalf("bad new directory capability %v", sub)
+	}
+	if err := d.Append(bgCtx, root, "conf-sub", sub, nil); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	got, err := d.Lookup(bgCtx, root, "conf-sub")
+	if err != nil || got != sub {
+		t.Fatalf("Lookup: %v, %v (want %v)", got, err, sub)
+	}
+	if err := d.DeleteDir(bgCtx, sub); err != nil {
+		t.Fatalf("DeleteDir: %v", err)
+	}
+	if _, err := d.List(bgCtx, sub, 0); !errors.Is(err, dir.ErrNotFound) {
+		t.Fatalf("List after DeleteDir: err = %v, want ErrNotFound", err)
+	}
+	if err := d.Delete(bgCtx, root, "conf-sub"); err != nil {
+		t.Fatalf("cleanup Delete: %v", err)
+	}
+}
+
+func scenarioRowLifecycle(t *testing.T, d dir.Directory) {
+	work, err := d.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	if err := d.Append(bgCtx, work, "row", work, nil); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	masks := []dir.Rights{3, 1, 0}
+	if err := d.Chmod(bgCtx, work, "row", masks); err != nil {
+		t.Fatalf("Chmod: %v", err)
+	}
+	rows, err := d.List(bgCtx, work, 0)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Name != "row" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if len(rows[0].ColMasks) == 0 || rows[0].ColMasks[0] != 3 {
+		t.Fatalf("masks not applied: %+v", rows[0].ColMasks)
+	}
+	if err := d.Delete(bgCtx, work, "row"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := d.Lookup(bgCtx, work, "row"); !errors.Is(err, dir.ErrNotFound) {
+		t.Fatalf("Lookup after Delete: err = %v, want ErrNotFound", err)
+	}
+}
+
+func scenarioSentinelErrors(t *testing.T, d dir.Directory) {
+	work, err := d.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	if _, err := d.Lookup(bgCtx, work, "missing"); !errors.Is(err, dir.ErrNotFound) {
+		t.Errorf("missing lookup: err = %v, want ErrNotFound", err)
+	}
+	if err := d.Append(bgCtx, work, "dup", work, nil); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := d.Append(bgCtx, work, "dup", work, nil); !errors.Is(err, dir.ErrExists) {
+		t.Errorf("duplicate append: err = %v, want ErrExists", err)
+	}
+	if err := d.Delete(bgCtx, work, "missing"); !errors.Is(err, dir.ErrNotFound) {
+		t.Errorf("missing delete: err = %v, want ErrNotFound", err)
+	}
+	// A foreign capability (random check field) is rejected.
+	bogus := work
+	bogus.Check[0] ^= 0xFF
+	if err := d.Append(bgCtx, bogus, "x", work, nil); !errors.Is(err, dir.ErrBadCapability) && !errors.Is(err, dir.ErrNoRights) {
+		t.Errorf("forged capability: err = %v, want ErrBadCapability/ErrNoRights", err)
+	}
+}
+
+func scenarioSets(t *testing.T, d dir.Directory) {
+	work, err := d.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	for _, name := range []string{"a", "b"} {
+		if err := d.Append(bgCtx, work, name, work, nil); err != nil {
+			t.Fatalf("Append %s: %v", name, err)
+		}
+	}
+	caps, err := d.LookupSet(bgCtx, work, []string{"a", "nope", "b"})
+	if err != nil {
+		t.Fatalf("LookupSet: %v", err)
+	}
+	if len(caps) != 3 || caps[0].IsZero() || !caps[1].IsZero() || caps[2].IsZero() {
+		t.Fatalf("LookupSet caps = %+v", caps)
+	}
+	other, err := d.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	old, err := d.ReplaceSet(bgCtx, work, []dir.SetItem{{Name: "a", Cap: other}, {Name: "b", Cap: other}})
+	if err != nil {
+		t.Fatalf("ReplaceSet: %v", err)
+	}
+	if len(old) != 2 || old[0] != work || old[1] != work {
+		t.Fatalf("ReplaceSet old caps = %+v", old)
+	}
+	got, err := d.Lookup(bgCtx, work, "a")
+	if err != nil || got != other {
+		t.Fatalf("Lookup after replace: %v, %v", got, err)
+	}
+}
+
+func scenarioBatchAtomicCommit(t *testing.T, d dir.Directory) {
+	work, err := d.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	b := dir.NewBatch().
+		Append(work, "one", work, nil).
+		Append(work, "two", work, nil).
+		Chmod(work, "one", []dir.Rights{7, 7, 7}).
+		Delete(work, "two")
+	res, err := d.Apply(bgCtx, b)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(res.Results) != 4 {
+		t.Fatalf("got %d step results, want 4", len(res.Results))
+	}
+	if res.Seq == 0 {
+		t.Error("batch committed without a sequence number")
+	}
+	rows, err := d.List(bgCtx, work, 0)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Name != "one" {
+		t.Fatalf("rows after batch = %+v", rows)
+	}
+	// Empty batch: trivially OK, no round trip.
+	if _, err := d.Apply(bgCtx, dir.NewBatch()); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+func scenarioBatchAtomicAbort(t *testing.T, d dir.Directory) {
+	work, err := d.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	// Step 1 fails (deleting a name that does not exist), so step 0 must
+	// not take effect either.
+	b := dir.NewBatch().
+		Append(work, "ghost", work, nil).
+		Delete(work, "never-existed")
+	_, err = d.Apply(bgCtx, b)
+	if !errors.Is(err, dir.ErrNotFound) {
+		t.Fatalf("Apply: err = %v, want ErrNotFound", err)
+	}
+	var be *dir.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("Apply error %T does not carry a BatchError", err)
+	}
+	if be.Index != 1 {
+		t.Errorf("failing step = %d, want 1", be.Index)
+	}
+	if _, err := d.Lookup(bgCtx, work, "ghost"); !errors.Is(err, dir.ErrNotFound) {
+		t.Fatalf("aborted batch leaked step 0: err = %v", err)
+	}
+}
+
+func scenarioBatchCreateAndUse(t *testing.T, d dir.Directory) {
+	root, err := d.Root(bgCtx)
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	res, err := d.Apply(bgCtx, dir.NewBatch().CreateDir("owner", "group", "other").CreateDir())
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(res.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(res.Results))
+	}
+	c0, c1 := res.Results[0].Cap, res.Results[1].Cap
+	if c0.IsZero() || c1.IsZero() || c0 == c1 {
+		t.Fatalf("bad created capabilities %v, %v", c0, c1)
+	}
+	// The minted capabilities are live: register and use them.
+	if err := d.Append(bgCtx, root, "batch-made", c0, nil); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := d.Append(bgCtx, c0, "inner", c1, nil); err != nil {
+		t.Fatalf("Append into created dir: %v", err)
+	}
+	got, err := d.Lookup(bgCtx, c0, "inner")
+	if err != nil || got != c1 {
+		t.Fatalf("Lookup in created dir: %v, %v", got, err)
+	}
+	if err := d.Delete(bgCtx, root, "batch-made"); err != nil {
+		t.Fatalf("cleanup: %v", err)
+	}
+}
+
+// TestBatchOneBroadcast is the headline measurement of this redesign: a
+// B-step batch on the group kind costs ~1 totally-ordered group
+// broadcast, where B sequential single updates cost B.
+func TestBatchOneBroadcast(t *testing.T) {
+	c, d := newCluster(t, faultdir.KindGroup)
+	work, err := d.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	const B = 16
+
+	base := c.GroupSends()
+	for i := 0; i < B; i++ {
+		if err := d.Append(bgCtx, work, names[i], work, nil); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	singles := c.GroupSends() - base
+	if singles != B {
+		t.Fatalf("B sequential singles cost %d broadcasts, want %d", singles, B)
+	}
+
+	b := dir.NewBatch()
+	for i := 0; i < B; i++ {
+		b.Delete(work, names[i])
+	}
+	base = c.GroupSends()
+	if _, err := d.Apply(bgCtx, b); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	batched := c.GroupSends() - base
+	if batched != 1 {
+		t.Fatalf("a %d-step batch cost %d broadcasts, want 1", B, batched)
+	}
+	t.Logf("%d updates: %d broadcasts sequentially, %d as a batch", B, singles, batched)
+}
+
+var names = func() []string {
+	out := make([]string, 64)
+	for i := range out {
+		out[i] = "n" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+	}
+	return out
+}()
+
+// TestConcurrentSinglesCoalesce bounds the write path: concurrently
+// submitted single updates never cost more than one broadcast each, and
+// any backlog behind an in-flight broadcast rides a shared one (the
+// deterministic packing contract is pinned by core's TestDrainCoalesce).
+func TestConcurrentSinglesCoalesce(t *testing.T) {
+	c, err := faultdir.New(faultdir.KindGroup, faultdir.Options{
+		// Paper-hardware timing at 1/20 scale: a group broadcast takes
+		// long enough that concurrent submissions pile up behind it and
+		// the sender packs them into shared broadcasts.
+		Model:             sim.ScaledPaperModel(0.05),
+		HeartbeatInterval: 50 * time.Millisecond,
+		Servers:           1,
+		Workers:           8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	setup, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+	work, err := setup.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	base := c.GroupSends()
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		client, cleanup, err := c.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cleanup)
+		go func(i int, d dir.Directory) {
+			errs <- d.Append(bgCtx, work, names[i], work, nil)
+		}(i, client)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent append: %v", err)
+		}
+	}
+	sends := c.GroupSends() - base
+	if sends == 0 || sends > clients {
+		t.Fatalf("%d concurrent singles cost %d broadcasts, want 1..%d", clients, sends, clients)
+	}
+	t.Logf("%d concurrent singles: %d broadcasts", clients, sends)
+}
+
+// TestContextCancellation verifies a context aborts an in-flight client
+// wait: with every server partitioned away, the operation would
+// otherwise retry/transact for many seconds.
+func TestContextCancellation(t *testing.T) {
+	c, d := newCluster(t, faultdir.KindGroup)
+	work, err := d.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	c.PartitionServers(1, 2, 3) // client now alone on its side
+
+	t.Run("deadline", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(bgCtx, 50*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		err := d.Append(ctx, work, "unreachable", work, nil)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want DeadlineExceeded", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("deadline did not abort the wait (took %v)", elapsed)
+		}
+	})
+	t.Run("cancel", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(bgCtx)
+		go func() {
+			time.Sleep(50 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		_, err := d.Apply(ctx, dir.NewBatch().Append(work, "nope", work, nil))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("cancel did not abort the wait (took %v)", elapsed)
+		}
+	})
+
+	c.Heal()
+}
+
+// BenchmarkSequentialSingles and BenchmarkBatchedUpdates time B updates
+// issued one group broadcast at a time versus one broadcast per batch.
+func BenchmarkSequentialSingles(b *testing.B) {
+	benchUpdates(b, false)
+}
+
+func BenchmarkBatchedUpdates(b *testing.B) {
+	benchUpdates(b, true)
+}
+
+func benchUpdates(b *testing.B, batched bool) {
+	c, err := faultdir.New(faultdir.KindGroup, faultdir.Options{Model: sim.FastModel()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cleanup()
+	work, err := client.CreateDir(bgCtx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const B = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			batch := dir.NewBatch()
+			for j := 0; j < B; j++ {
+				batch.Append(work, names[j], work, nil)
+			}
+			for j := 0; j < B; j++ {
+				batch.Delete(work, names[j])
+			}
+			if _, err := client.Apply(bgCtx, batch); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for j := 0; j < B; j++ {
+				if err := client.Append(bgCtx, work, names[j], work, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for j := 0; j < B; j++ {
+				if err := client.Delete(bgCtx, work, names[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(c.GroupSends())/float64(b.N), "broadcasts/op")
+}

@@ -1,0 +1,170 @@
+// Package dir defines the stable, transport-agnostic API of the
+// fault-tolerant directory service: the paper's Fig. 2 operation set as
+// a Go interface, with context-aware cancellation, typed sentinel
+// errors, and atomic multi-step batches.
+//
+// Every backend — the triplicated group service (§3), its NVRAM variant
+// (§4.1), the RPC-duplicated predecessor (§1), and the unreplicated
+// baseline — is driven through the same Directory interface, so code
+// written against it is oblivious to the replication strategy behind the
+// service port. Later scaling work (sharding, caching, multi-backend)
+// programs against this surface.
+package dir
+
+import (
+	"context"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirdata"
+	"dirsvc/internal/dirsvc"
+)
+
+// Core types of the service, re-exported so users of the public API need
+// no internal imports.
+type (
+	// Capability names an object and carries rights over it (Amoeba §2).
+	Capability = capability.Capability
+	// Rights is a per-column rights mask.
+	Rights = capability.Rights
+	// Row is one directory row: a name, a capability, and per-column
+	// rights masks.
+	Row = dirdata.Row
+	// SetItem is one element of a lookup/replace set.
+	SetItem = dirsvc.SetItem
+)
+
+// AllRights grants every right.
+const AllRights = capability.AllRights
+
+// MaxBatchSteps bounds one atomic batch.
+const MaxBatchSteps = dirsvc.MaxBatchSteps
+
+// Typed sentinel errors. Implementations return errors matching these
+// via errors.Is, whatever the transport.
+var (
+	ErrNotFound      = dirsvc.ErrNotFound
+	ErrExists        = dirsvc.ErrExists
+	ErrNoMajority    = dirsvc.ErrNoMajority
+	ErrConflict      = dirsvc.ErrConflict
+	ErrBadRequest    = dirsvc.ErrBadRequest
+	ErrServer        = dirsvc.ErrServer
+	ErrBadCapability = capability.ErrBadCapability
+	ErrNoRights      = capability.ErrNoRights
+)
+
+// BatchError reports the failing step of a rejected batch; the batch as
+// a whole had no effect. Retrieve it with errors.As.
+type BatchError = dirsvc.BatchError
+
+// StepResult is the per-step outcome of an applied batch.
+type StepResult = dirsvc.BatchStepResult
+
+// Directory is the paper's Fig. 2 operation set. Every operation takes a
+// context honored as deadline/cancellation down through the transport;
+// an aborted wait returns ctx.Err().
+//
+// Reads (Root, List, Lookup, LookupSet) execute at one server without
+// replication traffic. Updates are replicated according to the backend's
+// protocol; Apply replicates an entire batch as a single unit — on the
+// group backends, one totally-ordered broadcast regardless of the number
+// of steps.
+type Directory interface {
+	// Root returns the root directory capability (bootstrap).
+	Root(ctx context.Context) (Capability, error)
+	// CreateDir creates a directory (Fig. 2: Create dir) and returns its
+	// owner capability. Default columns apply when none are given.
+	CreateDir(ctx context.Context, columns ...string) (Capability, error)
+	// DeleteDir deletes a directory (Fig. 2: Delete dir).
+	DeleteDir(ctx context.Context, dir Capability) error
+	// List returns the rows visible through column col (Fig. 2: List dir).
+	List(ctx context.Context, dir Capability, col int) ([]Row, error)
+	// Append stores target under name in dir (Fig. 2: Append row); nil
+	// masks mean full rights in every column.
+	Append(ctx context.Context, dir Capability, name string, target Capability, masks []Rights) error
+	// Delete removes the named row (Fig. 2: Delete row).
+	Delete(ctx context.Context, dir Capability, name string) error
+	// Chmod replaces the rights masks of the named row (Fig. 2: Chmod row).
+	Chmod(ctx context.Context, dir Capability, name string, masks []Rights) error
+	// Lookup resolves one name (a one-element Fig. 2 Lookup set).
+	Lookup(ctx context.Context, dir Capability, name string) (Capability, error)
+	// LookupSet resolves several names at once (Fig. 2: Lookup set);
+	// missing names yield zero capabilities.
+	LookupSet(ctx context.Context, dir Capability, names []string) ([]Capability, error)
+	// ReplaceSet atomically replaces the capabilities of several rows
+	// (Fig. 2: Replace set), returning the previous capabilities.
+	ReplaceSet(ctx context.Context, dir Capability, items []SetItem) ([]Capability, error)
+	// Apply executes an atomic batch: either every step takes effect, in
+	// order, under one service sequence number, or none do. A failure
+	// carries a *BatchError naming the offending step.
+	Apply(ctx context.Context, b *Batch) (*BatchResult, error)
+}
+
+// Batch accumulates update steps for atomic application via
+// Directory.Apply. The zero value is an empty batch; methods chain.
+type Batch struct {
+	steps []*dirsvc.Request
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Len returns the number of accumulated steps.
+func (b *Batch) Len() int { return len(b.steps) }
+
+// CreateDir adds a create-dir step. The new directory's capability is
+// returned in the step's result after Apply.
+func (b *Batch) CreateDir(columns ...string) *Batch {
+	b.steps = append(b.steps, &dirsvc.Request{Op: dirsvc.OpCreateDir, Columns: columns})
+	return b
+}
+
+// DeleteDir adds a delete-dir step.
+func (b *Batch) DeleteDir(dir Capability) *Batch {
+	b.steps = append(b.steps, &dirsvc.Request{Op: dirsvc.OpDeleteDir, Dir: dir})
+	return b
+}
+
+// Append adds an append-row step; nil masks mean full rights in every
+// column.
+func (b *Batch) Append(dir Capability, name string, target Capability, masks []Rights) *Batch {
+	if masks == nil {
+		masks = []Rights{AllRights, AllRights, AllRights}
+	}
+	b.steps = append(b.steps, &dirsvc.Request{
+		Op: dirsvc.OpAppendRow, Dir: dir, Name: name, Cap: target, Masks: masks,
+	})
+	return b
+}
+
+// Delete adds a delete-row step.
+func (b *Batch) Delete(dir Capability, name string) *Batch {
+	b.steps = append(b.steps, &dirsvc.Request{Op: dirsvc.OpDeleteRow, Dir: dir, Name: name})
+	return b
+}
+
+// Chmod adds a chmod-row step.
+func (b *Batch) Chmod(dir Capability, name string, masks []Rights) *Batch {
+	b.steps = append(b.steps, &dirsvc.Request{Op: dirsvc.OpChmodRow, Dir: dir, Name: name, Masks: masks})
+	return b
+}
+
+// ReplaceSet adds a replace-set step.
+func (b *Batch) ReplaceSet(dir Capability, items []SetItem) *Batch {
+	b.steps = append(b.steps, &dirsvc.Request{Op: dirsvc.OpReplaceSet, Dir: dir, Set: items})
+	return b
+}
+
+// Request encodes the batch as a single OpBatch wire request (transport
+// clients; not needed by API users).
+func (b *Batch) Request() *dirsvc.Request {
+	return dirsvc.NewBatchRequest(b.steps)
+}
+
+// BatchResult is the outcome of a successfully applied batch.
+type BatchResult struct {
+	// Seq is the service-wide sequence number the whole batch committed
+	// under (one number: the batch is one update).
+	Seq uint64
+	// Results holds one entry per step, in submission order.
+	Results []StepResult
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -16,6 +17,9 @@ import (
 	"dirsvc/internal/dirsvc"
 	"dirsvc/internal/sim"
 )
+
+// bgCtx is the unbounded context used where no deadline applies.
+var bgCtx = context.Background()
 
 func main() {
 	cluster, err := faultdir.New(faultdir.KindGroup, faultdir.Options{
@@ -31,20 +35,20 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cleanup()
-	root, err := client.Root()
+	root, err := client.Root(bgCtx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dir, err := client.CreateDir()
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	must(client.Append(root, "data", dir, nil))
+	must(client.Append(bgCtx, root, "data", dir, nil))
 	fmt.Println("1. triplicated service running; stored \"data\"")
 
 	// --- Scenario 1: crash one replica; service continues. ---
 	cluster.CrashServer(3)
-	mustEventually(func() error { return client.Append(root, "written-while-3-down", dir, nil) })
+	mustEventually(func() error { return client.Append(bgCtx, root, "written-while-3-down", dir, nil) })
 	fmt.Println("2. server 3 crashed; majority {1,2} accepted a write")
 
 	// --- Scenario 2: restart; recovery pulls the missed update. ---
@@ -53,7 +57,7 @@ func main() {
 
 	// --- Scenario 3: partition the network; minority refuses. ---
 	cluster.PartitionServers(3)
-	mustEventually(func() error { return client.Append(root, "written-in-partition", dir, nil) })
+	mustEventually(func() error { return client.Append(bgCtx, root, "written-in-partition", dir, nil) })
 	fmt.Println("4. network partitioned {1,2} | {3}; majority side still writes")
 
 	minClient, minCleanup, err := cluster.NewClient()
@@ -68,7 +72,7 @@ func main() {
 	refused := false
 	deadline := time.Now().Add(time.Minute)
 	for time.Now().Before(deadline) {
-		_, err := minClient.List(root, 0)
+		_, err := minClient.List(bgCtx, root, 0)
 		if errors.Is(err, dirsvc.ErrNoMajority) {
 			refused = true
 			break
@@ -83,7 +87,7 @@ func main() {
 	// --- Scenario 4: heal; everything reunites. ---
 	cluster.Heal()
 	mustEventually(func() error {
-		_, err := client.Lookup(root, "written-in-partition")
+		_, err := client.Lookup(bgCtx, root, "written-in-partition")
 		return err
 	})
 	fmt.Println("6. partition healed; service reunified with consistent state")
@@ -92,7 +96,7 @@ func main() {
 	var rows []dirdata.Row
 	mustEventually(func() error {
 		var err error
-		rows, err = client.List(root, 0)
+		rows, err = client.List(bgCtx, root, 0)
 		return err
 	})
 	fmt.Println("final directory contents:")

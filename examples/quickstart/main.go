@@ -1,17 +1,23 @@
 // Quickstart: boot a triplicated group directory service, store and look
-// up capabilities, and survive a server crash — the paper's §3 system in
-// thirty lines of client code.
+// up capabilities through the public dir.Directory API, apply an atomic
+// batch in one group broadcast, and survive a server crash — the paper's
+// §3 system in forty lines of client code.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	faultdir "dirsvc"
 
+	"dirsvc/dir"
 	"dirsvc/internal/sim"
 )
+
+// bgCtx is the unbounded context used where no deadline applies.
+var bgCtx = context.Background()
 
 func main() {
 	// A complete simulated deployment: three directory servers, three
@@ -32,36 +38,49 @@ func main() {
 	defer cleanup()
 
 	// The directory service maps ASCII names to capabilities (§2).
-	root, err := client.Root()
+	root, err := client.Root(bgCtx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	projects, err := client.CreateDir()
+	projects, err := client.CreateDir(bgCtx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := client.Append(root, "projects", projects, nil); err != nil {
+	if err := client.Append(bgCtx, root, "projects", projects, nil); err != nil {
 		log.Fatal(err)
 	}
-	got, err := client.Lookup(root, "projects")
+	got, err := client.Lookup(bgCtx, root, "projects")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("stored and resolved %q -> %v\n", "projects", got)
+
+	// An atomic batch: every step commits under one totally-ordered
+	// group broadcast, or none do. With a two-second deadline.
+	ctx, cancel := context.WithTimeout(bgCtx, 2*time.Second)
+	res, err := client.Apply(ctx, dir.NewBatch().
+		Append(projects, "alpha", projects, nil).
+		Append(projects, "beta", projects, nil).
+		Delete(projects, "alpha"))
+	cancel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch of 3 updates committed atomically as seq %d\n", res.Seq)
 
 	// Kill one of the three replicas: the majority keeps serving.
 	cluster.CrashServer(3)
 	fmt.Println("crashed server 3; service continues on the majority:")
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		if err := client.Append(root, "after-crash", projects, nil); err == nil {
+		if err := client.Append(bgCtx, root, "after-crash", projects, nil); err == nil {
 			break
 		} else if time.Now().After(deadline) {
 			log.Fatalf("service did not recover: %v", err)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	rows, err := client.List(root, 0)
+	rows, err := client.List(bgCtx, root, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -17,6 +18,9 @@ import (
 
 	"dirsvc/internal/sim"
 )
+
+// bgCtx is the unbounded context used where no deadline applies.
+var bgCtx = context.Background()
 
 func main() {
 	cluster, err := faultdir.New(faultdir.KindGroupNVRAM, faultdir.Options{
@@ -34,15 +38,15 @@ func main() {
 	defer cleanup()
 	files := cluster.NewFileClient(client)
 
-	root, err := client.Root()
+	root, err := client.Root(bgCtx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tmp, err := client.CreateDir()
+	tmp, err := client.CreateDir(bgCtx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := client.Append(root, "tmp", tmp, nil); err != nil {
+	if err := client.Append(bgCtx, root, "tmp", tmp, nil); err != nil {
 		log.Fatal(err)
 	}
 
@@ -57,19 +61,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := client.Append(tmp, name, fcap, nil); err != nil {
+		if err := client.Append(bgCtx, tmp, name, fcap, nil); err != nil {
 			log.Fatal(err)
 		}
 
 		// Phase 2 picks it up by name and consumes it.
-		got, err := client.Lookup(tmp, name)
+		got, err := client.Lookup(bgCtx, tmp, name)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if _, err := files.Read(got); err != nil {
 			log.Fatal(err)
 		}
-		if err := client.Delete(tmp, name); err != nil {
+		if err := client.Delete(bgCtx, tmp, name); err != nil {
 			log.Fatal(err)
 		}
 		if err := files.Delete(fcap); err != nil {

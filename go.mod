@@ -1,0 +1,3 @@
+module dirsvc
+
+go 1.24

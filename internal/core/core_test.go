@@ -135,10 +135,11 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestNewCheckSeedUnique(t *testing.T) {
-	a := newCheckSeed(1, 5)
-	b := newCheckSeed(1, 6)
-	c := newCheckSeed(2, 5)
-	if string(a) == string(b) || string(a) == string(c) {
+	a := newCheckSeed(1, 5, 0)
+	b := newCheckSeed(1, 6, 0)
+	c := newCheckSeed(2, 5, 0)
+	d := newCheckSeed(1, 5, 1)
+	if string(a) == string(b) || string(a) == string(c) || string(a) == string(d) {
 		t.Fatal("check seeds collide")
 	}
 }

@@ -26,6 +26,11 @@ func (s *Server) recover() error {
 	}
 	s.recovering = true
 	s.era++
+	// Waiting initiators exit on the era change; whatever they left in
+	// the result/ack tables is abandoned, and any update still queued
+	// for the sender belongs to the old era (the sender drops it).
+	s.results = make(map[uint64]*dirsvc.Reply)
+	s.sendAcked = make(map[uint64]bool)
 	old := s.member
 	s.member = nil
 	// Derive the recovery sequence number before touching anything:

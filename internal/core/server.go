@@ -98,15 +98,26 @@ type Server struct {
 	neverDown   bool   // true while this process has been up since its last recovery
 	lastUpdate  time.Time
 	results     map[uint64]*dirsvc.Reply
+	sendAcked   map[uint64]bool // broadcast reached its resilience degree
 	opCounter   uint64
 	closed      bool
 
 	forced atomic.Bool // ForceRecover invoked: serve without a majority
 
+	groupSends atomic.Uint64 // successful group broadcasts (write path)
+
+	sendCh    chan coalesceOp
 	cleanupCh chan capability.Capability
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	stopRPC   []func()
+}
+
+// coalesceOp is one client update queued for the coalescing sender.
+type coalesceOp struct {
+	opID uint64
+	era  uint64 // server era at submission; stale ops are dropped
+	raw  []byte // encoded dirsvc.Request
 }
 
 // NewServer boots a directory server replica on stack. It formats fresh
@@ -138,6 +149,8 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 		model:     model,
 		bc:        bullet.NewClient(rc, dirsvc.BulletPort(cfg.Service, cfg.ID)),
 		results:   make(map[uint64]*dirsvc.Reply),
+		sendAcked: make(map[uint64]bool),
+		sendCh:    make(chan coalesceOp, 4*maxCoalesce),
 		cleanupCh: make(chan capability.Capability, 4096),
 		stop:      make(chan struct{}),
 	}
@@ -189,6 +202,8 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 
 	s.wg.Add(1)
 	go s.groupThread()
+	s.wg.Add(1)
+	go s.sendLoop()
 	if s.nvlog != nil {
 		s.wg.Add(1)
 		go s.flushLoop()
@@ -336,58 +351,80 @@ func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
 }
 
 // handleUpdate implements the write path: majority check, pre-generate
-// the check field, broadcast through the group, wait until our own group
-// thread has applied the operation, and return its result (Fig. 5).
+// the check fields, hand the update to the coalescing sender (which packs
+// it — alone or with concurrent updates — into one totally-ordered group
+// broadcast), wait until our own group thread has applied the operation,
+// and return its result (Fig. 5).
 func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
 	s.mu.Lock()
 	if !s.majorityLocked() {
 		s.mu.Unlock()
 		return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
 	}
-	member := s.member
 	era := s.era
 	s.opCounter++
 	opID := uint64(s.cfg.ID)<<48 | s.opCounter
 	s.mu.Unlock()
 
-	if req.Op == dirsvc.OpCreateDir && len(req.CheckSeed) == 0 {
-		// All replicas must mint the same capability: the initiator
-		// chooses the check-field material (§3.1).
-		req.CheckSeed = newCheckSeed(s.cfg.ID, opID)
+	// All replicas must mint the same capabilities: the initiator chooses
+	// the check-field material (§3.1) — for every create step of a batch.
+	switch {
+	case req.Op == dirsvc.OpCreateDir && len(req.CheckSeed) == 0:
+		req.CheckSeed = newCheckSeed(s.cfg.ID, opID, 0)
+	case req.Op == dirsvc.OpBatch:
+		steps, err := dirsvc.DecodeBatchSteps(req.Blob)
+		if err != nil {
+			return dirsvc.ErrorReply(err)
+		}
+		if dirsvc.EnsureBatchSeeds(steps, func(i int) []byte {
+			return newCheckSeed(s.cfg.ID, opID, i+1)
+		}) {
+			req.Blob = dirsvc.EncodeBatchSteps(steps)
+		}
 	}
 	req.Server = s.cfg.ID
 
-	payload := make([]byte, 8, 8+64)
-	binary.BigEndian.PutUint64(payload, opID)
-	payload = append(payload, req.Encode()...)
-
 	s.stack.Node().CPU().Charge(s.model.UpdateCPU)
-	if _, err := member.Send(payload); err != nil {
+	select {
+	case s.sendCh <- coalesceOp{opID: opID, era: era, raw: req.Encode()}:
+	case <-s.stop:
 		return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
 	}
 
-	// Wait until the group thread has received and executed the request.
+	// Wait until the group thread has received and executed the request
+	// AND the broadcast has reached its resilience degree — the local
+	// apply can precede the peers' accepts, and replying then would
+	// acknowledge an update that might not survive this server (§3).
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if reply, ok := s.results[opID]; ok {
+		if reply, ok := s.results[opID]; ok && s.sendAcked[opID] {
 			delete(s.results, opID)
+			delete(s.sendAcked, opID)
 			return reply
 		}
 		if s.closed || s.era != era {
 			// Recovery intervened; the client must retry elsewhere.
+			delete(s.results, opID)
+			delete(s.sendAcked, opID)
 			return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
 		}
 		s.cond.Wait()
 	}
 }
 
-func newCheckSeed(id int, opID uint64) []byte {
-	seed := make([]byte, 12)
+func newCheckSeed(id int, opID uint64, step int) []byte {
+	seed := make([]byte, 16)
 	binary.BigEndian.PutUint32(seed[:4], uint32(id))
-	binary.BigEndian.PutUint64(seed[4:], opID)
+	binary.BigEndian.PutUint64(seed[4:12], opID)
+	binary.BigEndian.PutUint32(seed[12:], uint32(step))
 	return seed
 }
+
+// GroupSends returns the number of group broadcasts this server has
+// issued on the write path (benchmark instrumentation: batches and
+// coalescing make this ≪ the number of updates).
+func (s *Server) GroupSends() uint64 { return s.groupSends.Load() }
 
 // majorityLocked: at least ⌈(N+1)/2⌉ servers must be up and in our group.
 func (s *Server) majorityLocked() bool {
@@ -501,32 +538,46 @@ func (s *Server) processGroupMsg(msg group.Msg) {
 	default:
 		return
 	}
-	if len(msg.Payload) < 8 {
-		return
-	}
-	opID := binary.BigEndian.Uint64(msg.Payload[:8])
-	req, err := dirsvc.DecodeRequest(msg.Payload[8:])
+	entries, err := unpackGroupEntries(msg.Payload)
 	if err != nil {
+		// Unparseable payload: still advance the group cursor so reads
+		// waiting on buffered messages are not stuck forever.
+		s.mu.Lock()
+		s.groupSeq = msg.Seq
+		s.cond.Broadcast()
+		s.mu.Unlock()
 		return
 	}
 
-	s.mu.Lock()
-	seq := s.appliedSeq + 1
-	s.lastUpdate = time.Now()
-	s.mu.Unlock()
-
-	reply := s.applyUpdate(req, seq)
-
-	s.mu.Lock()
-	s.appliedSeq = seq
-	s.groupSeq = msg.Seq
-	if req.Server == s.cfg.ID {
-		s.results[opID] = reply
-		// Bound the table against abandoned initiators.
-		if len(s.results) > 10000 {
-			s.results = map[uint64]*dirsvc.Reply{opID: reply}
+	// One broadcast may carry several updates (a coalesced packet); each
+	// entry is applied in order under its own service sequence number.
+	for _, ent := range entries {
+		req, err := dirsvc.DecodeRequest(ent.raw)
+		if err != nil {
+			continue
 		}
+		s.mu.Lock()
+		seq := s.appliedSeq + 1
+		s.lastUpdate = time.Now()
+		s.mu.Unlock()
+
+		reply := s.applyUpdate(req, seq)
+
+		s.mu.Lock()
+		s.appliedSeq = seq
+		if req.Server == s.cfg.ID {
+			s.results[ent.opID] = reply
+			// Bound the table against abandoned initiators.
+			if len(s.results) > 10000 {
+				s.results = map[uint64]*dirsvc.Reply{ent.opID: reply}
+			}
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
+
+	s.mu.Lock()
+	s.groupSeq = msg.Seq
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
@@ -545,7 +596,7 @@ func (s *Server) applyUpdate(req *dirsvc.Request, seq uint64) *dirsvc.Reply {
 	}
 	res, err := s.applier.ApplyUpdate(req, seq, durable)
 	if err != nil {
-		return &dirsvc.Reply{Status: dirsvc.StatusOf(err)}
+		return dirsvc.ErrorReply(err)
 	}
 	if durable {
 		if res.DeletedDir {
@@ -618,9 +669,12 @@ func (s *Server) flushLoop() {
 }
 
 // flushNVRAM writes every dirty directory through to Bullet and the
-// object table, then clears the log.
+// object table, then clears the log. The work list comes from the
+// object table's RAM-dirty set, which — unlike parsing the logged
+// requests — also covers created directories (object numbers assigned
+// at apply time), batch steps, and deletions.
 func (s *Server) flushNVRAM() {
-	for _, obj := range s.nvlog.DirtyObjects() {
+	for _, obj := range s.table.RAMDirtyObjects() {
 		olds, err := s.applier.FlushObject(obj)
 		if err != nil {
 			return // disk trouble: keep the log, retry next round

@@ -1,11 +1,21 @@
 // Package dirclient is the user-side library of the directory service:
-// the Fig. 2 operations issued over Amoeba-style RPC. Server selection
-// uses the RPC layer's port cache (first HEREIS wins, NOTHERE evicts), so
-// a client sticks to one directory server until that server is busy or
-// gone — the behavior behind Fig. 8's load distribution.
+// the wire implementation of the public dir.Directory interface, issued
+// over Amoeba-style RPC against any of the server backends. Server
+// selection uses the RPC layer's port cache (first HEREIS wins, NOTHERE
+// evicts), so a client sticks to one directory server until that server
+// is busy or gone — the behavior behind Fig. 8's load distribution.
+//
+// Every operation takes a context.Context: cancellation or an expired
+// deadline aborts the transaction, including an in-flight wait for a
+// reply, and returns ctx.Err().
 package dirclient
 
 import (
+	"context"
+	"fmt"
+	"sync"
+
+	"dirsvc/dir"
 	"dirsvc/internal/capability"
 	"dirsvc/internal/dirdata"
 	"dirsvc/internal/dirsvc"
@@ -13,12 +23,19 @@ import (
 	"dirsvc/internal/rpc"
 )
 
-// Client talks to one directory service.
+// Client talks to one directory service. It implements dir.Directory and
+// is safe for concurrent use (transactions serialize on the underlying
+// RPC client, as Amoeba serialized per kernel transaction slot).
 type Client struct {
 	rpc  *rpc.Client
 	port capability.Port
-	root capability.Capability
+
+	mu   sync.Mutex
+	root capability.Capability // cached root capability
 }
+
+// Client is the wire-transport implementation of the public API.
+var _ dir.Directory = (*Client)(nil)
 
 // New creates a client for the named service on the given stack.
 func New(stack *flip.Stack, service string) (*Client, error) {
@@ -41,12 +58,8 @@ func (c *Client) Close() { c.rpc.Close() }
 // same port cache).
 func (c *Client) RPC() *rpc.Client { return c.rpc }
 
-func (c *Client) trans(req *dirsvc.Request) (*dirsvc.Reply, error) {
-	raw, err := c.rpc.Trans(c.port, req.Encode())
-	if err != nil {
-		return nil, err
-	}
-	reply, err := dirsvc.DecodeReply(raw)
+func (c *Client) trans(ctx context.Context, req *dirsvc.Request) (*dirsvc.Reply, error) {
+	reply, err := c.transRaw(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -56,23 +69,39 @@ func (c *Client) trans(req *dirsvc.Request) (*dirsvc.Reply, error) {
 	return reply, nil
 }
 
-// Root returns (and caches) the root directory capability.
-func (c *Client) Root() (capability.Capability, error) {
-	if !c.root.IsZero() {
-		return c.root, nil
+// transRaw performs the transaction and decodes the reply without
+// converting a non-OK status to an error (the batch path needs the
+// reply's blob alongside the status).
+func (c *Client) transRaw(ctx context.Context, req *dirsvc.Request) (*dirsvc.Reply, error) {
+	raw, err := c.rpc.TransCtx(ctx, c.port, req.Encode())
+	if err != nil {
+		return nil, err
 	}
-	reply, err := c.trans(&dirsvc.Request{Op: dirsvc.OpGetRoot})
+	return dirsvc.DecodeReply(raw)
+}
+
+// Root returns (and caches) the root directory capability.
+func (c *Client) Root(ctx context.Context) (capability.Capability, error) {
+	c.mu.Lock()
+	root := c.root
+	c.mu.Unlock()
+	if !root.IsZero() {
+		return root, nil
+	}
+	reply, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpGetRoot})
 	if err != nil {
 		return capability.Capability{}, err
 	}
+	c.mu.Lock()
 	c.root = reply.Cap
+	c.mu.Unlock()
 	return reply.Cap, nil
 }
 
 // CreateDir creates a new directory (Fig. 2: Create dir) and returns its
 // owner capability. Default columns apply when none are given.
-func (c *Client) CreateDir(columns ...string) (capability.Capability, error) {
-	reply, err := c.trans(&dirsvc.Request{Op: dirsvc.OpCreateDir, Columns: columns})
+func (c *Client) CreateDir(ctx context.Context, columns ...string) (capability.Capability, error) {
+	reply, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpCreateDir, Columns: columns})
 	if err != nil {
 		return capability.Capability{}, err
 	}
@@ -80,15 +109,15 @@ func (c *Client) CreateDir(columns ...string) (capability.Capability, error) {
 }
 
 // DeleteDir deletes a directory (Fig. 2: Delete dir).
-func (c *Client) DeleteDir(dir capability.Capability) error {
-	_, err := c.trans(&dirsvc.Request{Op: dirsvc.OpDeleteDir, Dir: dir})
+func (c *Client) DeleteDir(ctx context.Context, dir capability.Capability) error {
+	_, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpDeleteDir, Dir: dir})
 	return err
 }
 
 // List returns the rows of a directory visible through column col
 // (Fig. 2: List dir).
-func (c *Client) List(dir capability.Capability, col int) ([]dirdata.Row, error) {
-	reply, err := c.trans(&dirsvc.Request{Op: dirsvc.OpListDir, Dir: dir, Column: col})
+func (c *Client) List(ctx context.Context, dir capability.Capability, col int) ([]dirdata.Row, error) {
+	reply, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpListDir, Dir: dir, Column: col})
 	if err != nil {
 		return nil, err
 	}
@@ -98,11 +127,11 @@ func (c *Client) List(dir capability.Capability, col int) ([]dirdata.Row, error)
 // Append stores target under name in dir (Fig. 2: Append row). masks
 // gives the per-column rights; nil means full owner rights in every
 // column.
-func (c *Client) Append(dir capability.Capability, name string, target capability.Capability, masks []capability.Rights) error {
+func (c *Client) Append(ctx context.Context, dir capability.Capability, name string, target capability.Capability, masks []capability.Rights) error {
 	if masks == nil {
 		masks = []capability.Rights{capability.AllRights, capability.AllRights, capability.AllRights}
 	}
-	_, err := c.trans(&dirsvc.Request{
+	_, err := c.trans(ctx, &dirsvc.Request{
 		Op:    dirsvc.OpAppendRow,
 		Dir:   dir,
 		Name:  name,
@@ -113,21 +142,21 @@ func (c *Client) Append(dir capability.Capability, name string, target capabilit
 }
 
 // Delete removes the named row (Fig. 2: Delete row).
-func (c *Client) Delete(dir capability.Capability, name string) error {
-	_, err := c.trans(&dirsvc.Request{Op: dirsvc.OpDeleteRow, Dir: dir, Name: name})
+func (c *Client) Delete(ctx context.Context, dir capability.Capability, name string) error {
+	_, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpDeleteRow, Dir: dir, Name: name})
 	return err
 }
 
 // Chmod replaces the rights masks of the named row (Fig. 2: Chmod row).
-func (c *Client) Chmod(dir capability.Capability, name string, masks []capability.Rights) error {
-	_, err := c.trans(&dirsvc.Request{Op: dirsvc.OpChmodRow, Dir: dir, Name: name, Masks: masks})
+func (c *Client) Chmod(ctx context.Context, dir capability.Capability, name string, masks []capability.Rights) error {
+	_, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpChmodRow, Dir: dir, Name: name, Masks: masks})
 	return err
 }
 
 // Lookup returns the capability stored under name (a one-element
 // Fig. 2 Lookup set).
-func (c *Client) Lookup(dir capability.Capability, name string) (capability.Capability, error) {
-	caps, err := c.LookupSet(dir, []string{name})
+func (c *Client) Lookup(ctx context.Context, dir capability.Capability, name string) (capability.Capability, error) {
+	caps, err := c.LookupSet(ctx, dir, []string{name})
 	if err != nil {
 		return capability.Capability{}, err
 	}
@@ -139,12 +168,12 @@ func (c *Client) Lookup(dir capability.Capability, name string) (capability.Capa
 
 // LookupSet looks up several names at once (Fig. 2: Lookup set). Missing
 // names yield zero capabilities.
-func (c *Client) LookupSet(dir capability.Capability, names []string) ([]capability.Capability, error) {
+func (c *Client) LookupSet(ctx context.Context, dir capability.Capability, names []string) ([]capability.Capability, error) {
 	set := make([]dirsvc.SetItem, len(names))
 	for i, n := range names {
 		set[i] = dirsvc.SetItem{Name: n}
 	}
-	reply, err := c.trans(&dirsvc.Request{Op: dirsvc.OpLookupSet, Dir: dir, Set: set})
+	reply, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpLookupSet, Dir: dir, Set: set})
 	if err != nil {
 		return nil, err
 	}
@@ -153,10 +182,39 @@ func (c *Client) LookupSet(dir capability.Capability, names []string) ([]capabil
 
 // ReplaceSet atomically replaces the capabilities of several rows
 // (Fig. 2: Replace set), returning the previous capabilities.
-func (c *Client) ReplaceSet(dir capability.Capability, items []dirsvc.SetItem) ([]capability.Capability, error) {
-	reply, err := c.trans(&dirsvc.Request{Op: dirsvc.OpReplaceSet, Dir: dir, Set: items})
+func (c *Client) ReplaceSet(ctx context.Context, dir capability.Capability, items []dirsvc.SetItem) ([]capability.Capability, error) {
+	reply, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpReplaceSet, Dir: dir, Set: items})
 	if err != nil {
 		return nil, err
 	}
 	return reply.Caps, nil
+}
+
+// Apply executes an atomic batch as one wire request — on the group
+// backends, one totally-ordered group broadcast regardless of the number
+// of steps. Either every step takes effect or none do; a rejected batch
+// returns a *dir.BatchError naming the failing step.
+func (c *Client) Apply(ctx context.Context, b *dir.Batch) (*dir.BatchResult, error) {
+	if b.Len() == 0 {
+		return &dir.BatchResult{}, nil
+	}
+	if b.Len() > dir.MaxBatchSteps {
+		return nil, fmt.Errorf("batch of %d steps exceeds the %d-step limit: %w",
+			b.Len(), dir.MaxBatchSteps, dir.ErrBadRequest)
+	}
+	reply, err := c.transRaw(ctx, b.Request())
+	if err != nil {
+		return nil, err
+	}
+	if serr := reply.Status.Err(); serr != nil {
+		if idx, ok := dirsvc.DecodeBatchFailIndex(reply.Blob); ok {
+			return nil, &dirsvc.BatchError{Index: idx, Err: serr}
+		}
+		return nil, serr
+	}
+	results, err := dirsvc.DecodeBatchResults(reply.Blob)
+	if err != nil {
+		return nil, err
+	}
+	return &dir.BatchResult{Seq: reply.Seq, Results: results}, nil
 }

@@ -1,6 +1,7 @@
 package dirclient
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -12,6 +13,9 @@ import (
 	"dirsvc/internal/sim"
 	"dirsvc/internal/vdisk"
 )
+
+// bgCtx is the unbounded context used where no deadline applies.
+var bgCtx = context.Background()
 
 // newService boots a single-server directory service with its Bullet
 // backend — enough to exercise the full client surface.
@@ -60,11 +64,11 @@ func newService(t *testing.T) *Client {
 
 func TestRootCached(t *testing.T) {
 	c := newService(t)
-	r1, err := c.Root()
+	r1, err := c.Root(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := c.Root()
+	r2, err := c.Root(bgCtx)
 	if err != nil || r1 != r2 {
 		t.Fatalf("Root not cached: %v vs %v (%v)", r1, r2, err)
 	}
@@ -72,24 +76,24 @@ func TestRootCached(t *testing.T) {
 
 func TestFullOperationSurface(t *testing.T) {
 	c := newService(t)
-	root, err := c.Root()
+	root, err := c.Root(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := c.CreateDir("owner", "other")
+	sub, err := c.CreateDir(bgCtx, "owner", "other")
 	if err != nil {
 		t.Fatalf("CreateDir: %v", err)
 	}
 	masks := []capability.Rights{capability.AllRights, capability.RightRead, capability.RightRead}
-	if err := c.Append(root, "sub", sub, masks); err != nil {
+	if err := c.Append(bgCtx, root, "sub", sub, masks); err != nil {
 		t.Fatalf("Append with masks: %v", err)
 	}
 	// Chmod.
-	if err := c.Chmod(root, "sub", []capability.Rights{capability.AllRights, 0, 0}); err != nil {
+	if err := c.Chmod(bgCtx, root, "sub", []capability.Rights{capability.AllRights, 0, 0}); err != nil {
 		t.Fatalf("Chmod: %v", err)
 	}
 	// LookupSet with a missing entry: zero capability in its slot.
-	caps, err := c.LookupSet(root, []string{"sub", "ghost"})
+	caps, err := c.LookupSet(bgCtx, root, []string{"sub", "ghost"})
 	if err != nil {
 		t.Fatalf("LookupSet: %v", err)
 	}
@@ -97,40 +101,40 @@ func TestFullOperationSurface(t *testing.T) {
 		t.Fatalf("LookupSet = %v", caps)
 	}
 	// ReplaceSet returns old capabilities.
-	other, err := c.CreateDir()
+	other, err := c.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	olds, err := c.ReplaceSet(root, []dirsvc.SetItem{{Name: "sub", Cap: other}})
+	olds, err := c.ReplaceSet(bgCtx, root, []dirsvc.SetItem{{Name: "sub", Cap: other}})
 	if err != nil {
 		t.Fatalf("ReplaceSet: %v", err)
 	}
 	if len(olds) != 1 || olds[0] != sub {
 		t.Fatalf("ReplaceSet olds = %v, want [%v]", olds, sub)
 	}
-	got, err := c.Lookup(root, "sub")
+	got, err := c.Lookup(bgCtx, root, "sub")
 	if err != nil || got != other {
 		t.Fatalf("Lookup after replace = %v, %v", got, err)
 	}
 	// ReplaceSet on a missing name fails.
-	if _, err := c.ReplaceSet(root, []dirsvc.SetItem{{Name: "nope", Cap: other}}); !errors.Is(err, dirsvc.ErrNotFound) {
+	if _, err := c.ReplaceSet(bgCtx, root, []dirsvc.SetItem{{Name: "nope", Cap: other}}); !errors.Is(err, dirsvc.ErrNotFound) {
 		t.Fatalf("ReplaceSet missing: %v", err)
 	}
-	if err := c.Delete(root, "sub"); err != nil {
+	if err := c.Delete(bgCtx, root, "sub"); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	if err := c.DeleteDir(other); err != nil {
+	if err := c.DeleteDir(bgCtx, other); err != nil {
 		t.Fatalf("DeleteDir: %v", err)
 	}
-	if err := c.DeleteDir(sub); err != nil {
+	if err := c.DeleteDir(bgCtx, sub); err != nil {
 		t.Fatalf("DeleteDir sub: %v", err)
 	}
 }
 
 func TestLookupMissingIsNotFound(t *testing.T) {
 	c := newService(t)
-	root, _ := c.Root()
-	if _, err := c.Lookup(root, "missing"); !errors.Is(err, dirsvc.ErrNotFound) {
+	root, _ := c.Root(bgCtx)
+	if _, err := c.Lookup(bgCtx, root, "missing"); !errors.Is(err, dirsvc.ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
 }

@@ -215,6 +215,8 @@ func (a *Applier) ApplyUpdate(req *Request, seq uint64, durable bool) (*ApplyRes
 		return a.deleteDirLocked(req, seq, durable)
 	case OpAppendRow, OpChmodRow, OpDeleteRow, OpReplaceSet:
 		return a.mutateDirLocked(req, seq, durable)
+	case OpBatch:
+		return a.applyBatchLocked(req, seq, durable)
 	default:
 		return nil, ErrBadRequest
 	}
@@ -350,6 +352,9 @@ func (a *Applier) mutateDirLocked(req *Request, seq uint64, durable bool) (*Appl
 // object table (the NVRAM background flush). It returns the superseded
 // Bullet file, if any.
 func (a *Applier) FlushObject(obj uint32) ([]capability.Capability, error) {
+	if obj == 0 {
+		return nil, nil
+	}
 	a.mu.Lock()
 	d, live := a.cache[obj]
 	var img []byte
@@ -360,9 +365,11 @@ func (a *Applier) FlushObject(obj uint32) ([]capability.Capability, error) {
 
 	e, known := a.table.Get(obj)
 	if !live {
-		// Deleted: drop the table entry and the old file.
+		// Deleted: drop the table entry and the old file. When the RAM
+		// delete already cleared the entry (DeleteRAM), the slot still
+		// has to reach the disk, or a restart resurrects the directory.
 		if !known {
-			return nil, nil
+			return nil, a.table.FlushBlocks([]uint32{obj})
 		}
 		if err := a.table.Delete(obj); err != nil {
 			return nil, err

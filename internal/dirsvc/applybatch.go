@@ -1,0 +1,245 @@
+package dirsvc
+
+import (
+	"fmt"
+	"sort"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirdata"
+)
+
+// batchOverlay is the staging area of one atomic batch: every step reads
+// through it and writes into it, so nothing touches the replica state
+// until all steps have validated.
+type batchOverlay struct {
+	dirs    map[uint32]*dirdata.Directory // working images of touched dirs
+	entries map[uint32]ObjectEntry        // working object entries
+	created map[uint32]bool               // allocated by this batch
+	deleted map[uint32]bool               // deleted by this batch
+}
+
+func newBatchOverlay() *batchOverlay {
+	return &batchOverlay{
+		dirs:    make(map[uint32]*dirdata.Directory),
+		entries: make(map[uint32]ObjectEntry),
+		created: make(map[uint32]bool),
+		deleted: make(map[uint32]bool),
+	}
+}
+
+// entry reads an object entry through the overlay.
+func (ov *batchOverlay) entry(a *Applier, obj uint32) (ObjectEntry, bool) {
+	if ov.deleted[obj] {
+		return ObjectEntry{}, false
+	}
+	if e, ok := ov.entries[obj]; ok {
+		return e, true
+	}
+	return a.table.Get(obj)
+}
+
+// dir reads a directory image through the overlay, cloning the cached
+// image on first touch so the cache stays untouched until commit.
+func (ov *batchOverlay) dir(a *Applier, obj uint32) (*dirdata.Directory, bool) {
+	if ov.deleted[obj] {
+		return nil, false
+	}
+	if d, ok := ov.dirs[obj]; ok {
+		return d, true
+	}
+	cached := a.cache[obj]
+	if cached == nil {
+		return nil, false
+	}
+	d := cached.Clone()
+	ov.dirs[obj] = d
+	return d, true
+}
+
+// verify resolves a directory capability through the overlay.
+func (ov *batchOverlay) verify(a *Applier, c capability.Capability, need capability.Rights) (ObjectEntry, error) {
+	if c.Port != a.port {
+		return ObjectEntry{}, capability.ErrBadCapability
+	}
+	e, ok := ov.entry(a, c.Object)
+	if !ok {
+		return ObjectEntry{}, ErrNotFound
+	}
+	if err := capability.Require(c, e.Secret, need); err != nil {
+		return ObjectEntry{}, err
+	}
+	return e, nil
+}
+
+// applyBatchLocked executes an OpBatch atomically: a validation pass
+// computes the post-batch state in an overlay (any step error leaves the
+// replica untouched), then a commit pass writes the overlay through in
+// one go. Called with a.mu held.
+func (a *Applier) applyBatchLocked(req *Request, seq uint64, durable bool) (*ApplyResult, error) {
+	steps, err := DecodeBatchSteps(req.Blob)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: validate every step against the overlay.
+	ov := newBatchOverlay()
+	results := make([]BatchStepResult, len(steps))
+	for i, st := range steps {
+		if err := a.batchStepLocked(ov, st, seq, &results[i]); err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+	}
+
+	// Pass 2: commit. In durable mode all new Bullet files are created
+	// before the first object-table write, so a Bullet failure still
+	// leaves the replica unchanged (orphan files are the only leak).
+	res := &ApplyResult{
+		Reply: &Reply{Status: StatusOK, Seq: seq, Blob: EncodeBatchResults(results)},
+	}
+
+	surviving := make([]uint32, 0, len(ov.dirs))
+	for obj := range ov.dirs {
+		if !ov.deleted[obj] {
+			surviving = append(surviving, obj)
+		}
+	}
+	sort.Slice(surviving, func(i, j int) bool { return surviving[i] < surviving[j] })
+	removed := make([]uint32, 0, len(ov.deleted))
+	for obj := range ov.deleted {
+		if !ov.created[obj] { // created and deleted in one batch: net nothing
+			removed = append(removed, obj)
+		}
+	}
+	sort.Slice(removed, func(i, j int) bool { return removed[i] < removed[j] })
+
+	newCaps := make(map[uint32]capability.Capability, len(surviving))
+	if durable {
+		written := make([]capability.Capability, 0, len(surviving))
+		for _, obj := range surviving {
+			bcap, err := a.bullet.Create(ov.dirs[obj].Encode())
+			if err != nil {
+				for _, c := range written {
+					_ = a.bullet.Delete(c)
+				}
+				return nil, fmt.Errorf("store batch directory %d: %w", obj, err)
+			}
+			newCaps[obj] = bcap
+			written = append(written, bcap)
+		}
+	}
+
+	for _, obj := range removed {
+		prior, known := a.table.Get(obj)
+		if durable {
+			if err := a.table.Delete(obj); err != nil {
+				return nil, err
+			}
+		} else {
+			a.table.DeleteRAM(obj)
+		}
+		delete(a.cache, obj)
+		res.DeletedDir = true
+		res.DirtyObjects = append(res.DirtyObjects, obj)
+		if durable && known && !prior.Cap.IsZero() {
+			res.OldBullet = append(res.OldBullet, prior.Cap)
+		}
+	}
+	for _, obj := range surviving {
+		prior, known := a.table.Get(obj)
+		entry := ov.entries[obj]
+		if durable {
+			entry.Cap = newCaps[obj]
+			if err := a.table.Set(obj, entry); err != nil {
+				return nil, err
+			}
+			if known && !prior.Cap.IsZero() {
+				res.OldBullet = append(res.OldBullet, prior.Cap)
+			}
+		} else {
+			entry.Cap = prior.Cap // stale until the NVRAM flush rewrites it
+			a.table.SetRAM(obj, entry)
+		}
+		a.cache[obj] = ov.dirs[obj]
+		res.DirtyObjects = append(res.DirtyObjects, obj)
+	}
+	return res, nil
+}
+
+// batchStepLocked validates and stages one batch step in the overlay.
+func (a *Applier) batchStepLocked(ov *batchOverlay, st *Request, seq uint64, result *BatchStepResult) error {
+	switch st.Op {
+	case OpCreateDir:
+		if len(st.CheckSeed) == 0 {
+			return fmt.Errorf("create-dir without check seed: %w", ErrBadRequest)
+		}
+		obj := a.table.NextFreeExcept(ov.created)
+		if obj == 0 {
+			return fmt.Errorf("object table full: %w", ErrServer)
+		}
+		d := dirdata.New(st.Columns...)
+		d.Seq = seq
+		entry := ObjectEntry{Seq: seq, Secret: capability.NewSecret(st.CheckSeed)}
+		ov.created[obj] = true
+		ov.entries[obj] = entry
+		ov.dirs[obj] = d
+		result.Cap = capability.Mint(a.port, obj, entry.Secret)
+		return nil
+
+	case OpDeleteDir:
+		if st.Dir.Object == RootObject {
+			return fmt.Errorf("cannot delete the root directory: %w", ErrBadRequest)
+		}
+		if _, err := ov.verify(a, st.Dir, capability.RightDelete); err != nil {
+			return err
+		}
+		obj := st.Dir.Object
+		ov.deleted[obj] = true
+		delete(ov.dirs, obj)
+		delete(ov.entries, obj)
+		return nil
+
+	case OpAppendRow, OpChmodRow, OpDeleteRow, OpReplaceSet:
+		need := capability.RightWrite
+		switch st.Op {
+		case OpDeleteRow:
+			need = capability.RightDelete
+		case OpChmodRow:
+			need = capability.RightAdmin
+		}
+		e, err := ov.verify(a, st.Dir, need)
+		if err != nil {
+			return err
+		}
+		obj := st.Dir.Object
+		d, ok := ov.dir(a, obj)
+		if !ok {
+			return ErrNotFound
+		}
+		switch st.Op {
+		case OpAppendRow:
+			err = d.Append(st.Name, st.Cap, st.Masks)
+		case OpChmodRow:
+			err = d.Chmod(st.Name, st.Masks)
+		case OpDeleteRow:
+			err = d.Delete(st.Name)
+		case OpReplaceSet:
+			for _, it := range st.Set {
+				old, rerr := d.Replace(it.Name, it.Cap)
+				if rerr != nil {
+					err = rerr
+					break
+				}
+				result.Caps = append(result.Caps, old)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		d.Seq = seq
+		ov.entries[obj] = ObjectEntry{Seq: seq, Secret: e.Secret, Cap: e.Cap}
+		return nil
+
+	default:
+		return ErrBadRequest
+	}
+}

@@ -1,0 +1,116 @@
+package dirsvc
+
+import (
+	"errors"
+	"testing"
+
+	"dirsvc/internal/vdisk"
+)
+
+// TestBatchApplyAtomic exercises the staged-overlay batch applier
+// directly: a failing step must leave the replica state — cache, table,
+// and RAM-dirty tracking — completely untouched.
+func TestBatchApplyAtomic(t *testing.T) {
+	f := newApplier(t)
+	root, err := f.applier.RootCap()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Failing batch: step 1 deletes a missing row.
+	req := NewBatchRequest([]*Request{
+		{Op: OpAppendRow, Dir: root, Name: "ghost", Cap: root, Masks: ownerMasks()},
+		{Op: OpDeleteRow, Dir: root, Name: "missing"},
+	})
+	_, err = f.applier.ApplyUpdate(req, 1, false)
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != 1 || StatusOf(err) != StatusNotFound {
+		t.Fatalf("err = %v, want BatchError{Index: 1} mapping to StatusNotFound", err)
+	}
+	reply := f.applier.Read(&Request{Op: OpLookupSet, Dir: root, Set: []SetItem{{Name: "ghost"}}})
+	if !reply.Caps[0].IsZero() {
+		t.Fatal("aborted batch leaked step 0")
+	}
+	if dirty := f.table.RAMDirtyObjects(); len(dirty) != 0 {
+		t.Fatalf("aborted batch left RAM-dirty objects %v", dirty)
+	}
+}
+
+// TestBatchFlushDurability pins the NVRAM-flush fix: a batch applied in
+// RAM (non-durable) must reach the disk through the object table's
+// RAM-dirty work list — including the created directory, whose object
+// number exists nowhere in the logged request — and a RAM deletion must
+// clear its on-disk slot rather than resurrect on reload.
+func TestBatchFlushDurability(t *testing.T) {
+	f := newApplier(t)
+	root, err := f.applier.RootCap()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := NewBatchRequest([]*Request{
+		{Op: OpCreateDir, CheckSeed: []byte("batch-seed")},
+		{Op: OpAppendRow, Dir: root, Name: "kept", Cap: root, Masks: ownerMasks()},
+	})
+	res, err := f.applier.ApplyUpdate(req, 2, false /* RAM only */)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	results, err := DecodeBatchResults(res.Reply.Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	created := results[0].Cap
+
+	// The background flush works off the table's RAM-dirty set.
+	dirty := f.table.RAMDirtyObjects()
+	if len(dirty) != 2 {
+		t.Fatalf("RAM-dirty = %v, want the created dir and the root", dirty)
+	}
+	for _, obj := range dirty {
+		if _, err := f.applier.FlushObject(obj); err != nil {
+			t.Fatalf("flush %d: %v", obj, err)
+		}
+	}
+	if left := f.table.RAMDirtyObjects(); len(left) != 0 {
+		t.Fatalf("objects still dirty after flush: %v", left)
+	}
+
+	// Reload from disk, as a restart would.
+	reload := func() *Applier {
+		admin, err := vdisk.NewPartition(f.disk, 0, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := OpenObjectTable(admin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := NewApplier(f.applier.port, table, f.applier.bullet)
+		if err := a.LoadAll(); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a2 := reload()
+	reply := a2.Read(&Request{Op: OpLookupSet, Dir: root, Set: []SetItem{{Name: "kept"}}})
+	if reply.Status != StatusOK || reply.Caps[0].IsZero() {
+		t.Fatalf("root row lost across flush+reload: %+v", reply)
+	}
+	if reply := a2.Read(&Request{Op: OpListDir, Dir: created}); reply.Status != StatusOK {
+		t.Fatalf("created directory lost across flush+reload: %+v", reply)
+	}
+
+	// RAM deletion: the flush must persist the cleared slot.
+	if _, err := f.applier.ApplyUpdate(&Request{Op: OpDeleteDir, Dir: created}, 3, false); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	for _, obj := range f.table.RAMDirtyObjects() {
+		if _, err := f.applier.FlushObject(obj); err != nil {
+			t.Fatalf("flush deletion %d: %v", obj, err)
+		}
+	}
+	if reply := reload().Read(&Request{Op: OpListDir, Dir: created}); reply.Status != StatusNotFound {
+		t.Fatalf("deleted directory resurrected after flush+reload: %+v", reply)
+	}
+}

@@ -1,0 +1,182 @@
+package dirsvc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dirsvc/internal/capability"
+)
+
+// BatchVersion is the wire version of the OpBatch payload. Decoders
+// reject other versions, so the format can evolve without silent
+// misinterpretation.
+const BatchVersion = 1
+
+// MaxBatchSteps bounds one batch (wire sanity limit).
+const MaxBatchSteps = 1024
+
+// ErrBatchVersion is returned when an OpBatch payload carries an
+// unsupported version byte.
+var ErrBatchVersion = fmt.Errorf("unsupported batch version: %w", ErrBadRequest)
+
+// BatchError reports which step of an atomic batch failed. The batch as a
+// whole had no effect.
+type BatchError struct {
+	Index int   // zero-based step index
+	Err   error // the step's failure
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("batch step %d: %v", e.Index, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// BatchStepResult is the per-step outcome of a successfully applied
+// batch.
+type BatchStepResult struct {
+	Cap  capability.Capability   // create-dir: the new directory's capability
+	Caps []capability.Capability // replace-set: the previous capabilities
+}
+
+// NewBatchRequest packs update steps into a single OpBatch request.
+func NewBatchRequest(steps []*Request) *Request {
+	return &Request{Op: OpBatch, Blob: EncodeBatchSteps(steps)}
+}
+
+// EncodeBatchSteps serializes batch steps as the versioned OpBatch blob.
+func EncodeBatchSteps(steps []*Request) []byte {
+	w := newWriter()
+	w.u8(BatchVersion)
+	w.u16(uint16(len(steps)))
+	for _, st := range steps {
+		w.bytes(st.Encode())
+	}
+	return w.buf
+}
+
+// DecodeBatchSteps parses an OpBatch blob. Every step must itself be an
+// update operation; nested batches and reads are rejected.
+func DecodeBatchSteps(blob []byte) ([]*Request, error) {
+	if len(blob) < 1 {
+		return nil, ErrBadRequest
+	}
+	if blob[0] != BatchVersion {
+		return nil, ErrBatchVersion
+	}
+	rd := &byteReader{buf: blob, off: 1}
+	n := int(rd.u16())
+	if rd.failed || n == 0 || n > MaxBatchSteps {
+		return nil, ErrBadRequest
+	}
+	steps := make([]*Request, 0, n)
+	for i := 0; i < n; i++ {
+		raw := rd.lenBytes()
+		if rd.failed {
+			return nil, ErrBadRequest
+		}
+		st, err := DecodeRequest(raw)
+		if err != nil {
+			return nil, err
+		}
+		if st.Op == OpBatch || !st.Op.IsUpdate() {
+			return nil, fmt.Errorf("batch step %d: op %v not allowed: %w", i, st.Op, ErrBadRequest)
+		}
+		steps = append(steps, st)
+	}
+	if rd.off != len(blob) {
+		return nil, ErrBadRequest
+	}
+	return steps, nil
+}
+
+// EncodeBatchResults serializes the per-step results of an applied batch
+// (the reply blob).
+func EncodeBatchResults(results []BatchStepResult) []byte {
+	w := newWriter()
+	w.u8(BatchVersion)
+	w.u16(uint16(len(results)))
+	for _, res := range results {
+		w.cap(res.Cap)
+		w.u16(uint16(len(res.Caps)))
+		for _, c := range res.Caps {
+			w.cap(c)
+		}
+	}
+	return w.buf
+}
+
+// DecodeBatchResults parses a batch reply blob.
+func DecodeBatchResults(blob []byte) ([]BatchStepResult, error) {
+	if len(blob) < 1 {
+		return nil, ErrBadRequest
+	}
+	if blob[0] != BatchVersion {
+		return nil, ErrBatchVersion
+	}
+	rd := &byteReader{buf: blob, off: 1}
+	n := int(rd.u16())
+	if rd.failed || n > MaxBatchSteps {
+		return nil, ErrBadRequest
+	}
+	results := make([]BatchStepResult, 0, n)
+	for i := 0; i < n; i++ {
+		var res BatchStepResult
+		res.Cap = rd.cap()
+		nc := int(rd.u16())
+		if rd.failed || nc > MaxBatchSteps {
+			return nil, ErrBadRequest
+		}
+		for j := 0; j < nc; j++ {
+			res.Caps = append(res.Caps, rd.cap())
+		}
+		results = append(results, res)
+	}
+	if rd.failed || rd.off != len(blob) {
+		return nil, ErrBadRequest
+	}
+	return results, nil
+}
+
+// EncodeBatchFailIndex serializes the failing step index for an error
+// reply's blob.
+func EncodeBatchFailIndex(idx int) []byte {
+	return binary.BigEndian.AppendUint32(nil, uint32(idx))
+}
+
+// DecodeBatchFailIndex recovers the failing step index from an error
+// reply's blob; ok is false when the blob does not carry one.
+func DecodeBatchFailIndex(blob []byte) (int, bool) {
+	if len(blob) != 4 {
+		return 0, false
+	}
+	return int(binary.BigEndian.Uint32(blob)), true
+}
+
+// EnsureBatchSeeds fills the CheckSeed of every create-dir step that has
+// none, using seed(i) for step i. The initiator must do this before an
+// update is replicated so every replica mints identical capabilities
+// (§3.1). It reports whether any seed was added (the request blob must
+// then be re-encoded).
+func EnsureBatchSeeds(steps []*Request, seed func(step int) []byte) bool {
+	changed := false
+	for i, st := range steps {
+		if st.Op == OpCreateDir && len(st.CheckSeed) == 0 {
+			st.CheckSeed = seed(i)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ErrorReply builds the error reply for a failed update, carrying the
+// failing step index when the update was a batch.
+func ErrorReply(err error) *Reply {
+	reply := &Reply{Status: StatusOf(err)}
+	var be *BatchError
+	if errors.As(err, &be) {
+		reply.Blob = EncodeBatchFailIndex(be.Index)
+	}
+	return reply
+}

@@ -1,0 +1,224 @@
+package dirsvc
+
+import (
+	"errors"
+	"testing"
+
+	"dirsvc/internal/capability"
+)
+
+func batchCap(obj uint32, tag string) capability.Capability {
+	return capability.Mint(capability.PortFromString("batch-test"), obj, capability.NewSecret([]byte(tag)))
+}
+
+func sampleSteps() []*Request {
+	return []*Request{
+		{Op: OpCreateDir, Columns: []string{"a", "b"}, CheckSeed: []byte("seed-0")},
+		{Op: OpAppendRow, Dir: batchCap(7, "d"), Name: "file", Cap: batchCap(9, "t"),
+			Masks: []capability.Rights{capability.AllRights, 3, 0}},
+		{Op: OpChmodRow, Dir: batchCap(7, "d"), Name: "file", Masks: []capability.Rights{1, 2, 3}},
+		{Op: OpReplaceSet, Dir: batchCap(7, "d"), Set: []SetItem{
+			{Name: "x", Cap: batchCap(11, "x")}, {Name: "y", Cap: batchCap(12, "y")},
+		}},
+		{Op: OpDeleteRow, Dir: batchCap(7, "d"), Name: "file"},
+		{Op: OpDeleteDir, Dir: batchCap(8, "gone")},
+	}
+}
+
+func TestBatchStepsRoundTrip(t *testing.T) {
+	steps := sampleSteps()
+	blob := EncodeBatchSteps(steps)
+	got, err := DecodeBatchSteps(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(steps) {
+		t.Fatalf("got %d steps, want %d", len(got), len(steps))
+	}
+	for i, st := range steps {
+		g := got[i]
+		if g.Op != st.Op || g.Dir != st.Dir || g.Name != st.Name || g.Cap != st.Cap {
+			t.Errorf("step %d: got %+v want %+v", i, g, st)
+		}
+		if len(g.Masks) != len(st.Masks) || len(g.Set) != len(st.Set) || len(g.Columns) != len(st.Columns) {
+			t.Errorf("step %d: slice fields differ", i)
+		}
+		if string(g.CheckSeed) != string(st.CheckSeed) {
+			t.Errorf("step %d: check seed differs", i)
+		}
+	}
+	// An OpBatch request survives a full request round-trip too.
+	req := NewBatchRequest(steps)
+	parsed, err := DecodeRequest(req.Encode())
+	if err != nil {
+		t.Fatalf("request round-trip: %v", err)
+	}
+	if parsed.Op != OpBatch {
+		t.Fatalf("op = %v, want %v", parsed.Op, OpBatch)
+	}
+	if _, err := DecodeBatchSteps(parsed.Blob); err != nil {
+		t.Fatalf("decode after round-trip: %v", err)
+	}
+}
+
+func TestDecodeBatchStepsErrors(t *testing.T) {
+	valid := EncodeBatchSteps(sampleSteps())
+
+	if _, err := DecodeBatchSteps(nil); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("empty blob: err = %v, want ErrBadRequest", err)
+	}
+	bad := append([]byte(nil), valid...)
+	bad[0] = BatchVersion + 1
+	if _, err := DecodeBatchSteps(bad); !errors.Is(err, ErrBatchVersion) {
+		t.Errorf("bad version: err = %v, want ErrBatchVersion", err)
+	}
+	// Every truncation must error out, never panic or succeed.
+	for n := 0; n < len(valid); n++ {
+		if _, err := DecodeBatchSteps(valid[:n]); err == nil {
+			t.Fatalf("truncated to %d bytes: decode succeeded", n)
+		}
+	}
+	// Trailing garbage is rejected.
+	if _, err := DecodeBatchSteps(append(append([]byte(nil), valid...), 0xFF)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	// Zero steps are rejected.
+	if _, err := DecodeBatchSteps(EncodeBatchSteps(nil)); err == nil {
+		t.Error("empty batch accepted")
+	}
+	// Read operations cannot ride in a batch.
+	if _, err := DecodeBatchSteps(EncodeBatchSteps([]*Request{{Op: OpListDir}})); !errors.Is(err, ErrBadRequest) {
+		t.Error("read op accepted in batch")
+	}
+	// Nested batches are rejected.
+	nested := NewBatchRequest([]*Request{{Op: OpDeleteRow, Name: "x"}})
+	if _, err := DecodeBatchSteps(EncodeBatchSteps([]*Request{nested})); !errors.Is(err, ErrBadRequest) {
+		t.Error("nested batch accepted")
+	}
+}
+
+func TestBatchResultsRoundTrip(t *testing.T) {
+	results := []BatchStepResult{
+		{Cap: batchCap(3, "new")},
+		{},
+		{Caps: []capability.Capability{batchCap(4, "old"), {}}},
+	}
+	blob := EncodeBatchResults(results)
+	got, err := DecodeBatchResults(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("got %d results, want %d", len(got), len(results))
+	}
+	if got[0].Cap != results[0].Cap || len(got[1].Caps) != 0 || len(got[2].Caps) != 2 {
+		t.Fatalf("results differ: %+v", got)
+	}
+	if got[2].Caps[0] != results[2].Caps[0] || !got[2].Caps[1].IsZero() {
+		t.Fatalf("caps differ: %+v", got[2].Caps)
+	}
+	for n := 0; n < len(blob); n++ {
+		if _, err := DecodeBatchResults(blob[:n]); err == nil {
+			t.Fatalf("truncated to %d bytes: decode succeeded", n)
+		}
+	}
+}
+
+func TestBatchFailIndex(t *testing.T) {
+	blob := EncodeBatchFailIndex(17)
+	idx, ok := DecodeBatchFailIndex(blob)
+	if !ok || idx != 17 {
+		t.Fatalf("got (%d, %v), want (17, true)", idx, ok)
+	}
+	if _, ok := DecodeBatchFailIndex(nil); ok {
+		t.Error("nil blob decoded")
+	}
+	if _, ok := DecodeBatchFailIndex([]byte{1, 2, 3}); ok {
+		t.Error("short blob decoded")
+	}
+}
+
+func TestErrorReplyBatch(t *testing.T) {
+	err := &BatchError{Index: 3, Err: ErrNotFound}
+	reply := ErrorReply(err)
+	if reply.Status != StatusNotFound {
+		t.Fatalf("status = %v, want %v", reply.Status, StatusNotFound)
+	}
+	if idx, ok := DecodeBatchFailIndex(reply.Blob); !ok || idx != 3 {
+		t.Fatalf("fail index = (%d, %v), want (3, true)", idx, ok)
+	}
+	// Non-batch errors carry no index.
+	if reply := ErrorReply(ErrExists); len(reply.Blob) != 0 {
+		t.Error("plain error reply carries a blob")
+	}
+	// errors.Is sees through the wrapper.
+	if !errors.Is(err, ErrNotFound) {
+		t.Error("BatchError does not unwrap")
+	}
+}
+
+func TestEnsureBatchSeeds(t *testing.T) {
+	steps := []*Request{
+		{Op: OpCreateDir},
+		{Op: OpDeleteRow, Name: "x"},
+		{Op: OpCreateDir, CheckSeed: []byte("preset")},
+		{Op: OpCreateDir},
+	}
+	changed := EnsureBatchSeeds(steps, func(i int) []byte { return []byte{byte(i)} })
+	if !changed {
+		t.Fatal("no change reported")
+	}
+	if string(steps[0].CheckSeed) != "\x00" || string(steps[3].CheckSeed) != "\x03" {
+		t.Fatalf("seeds not filled: %q %q", steps[0].CheckSeed, steps[3].CheckSeed)
+	}
+	if string(steps[2].CheckSeed) != "preset" {
+		t.Fatal("preset seed overwritten")
+	}
+	if len(steps[1].CheckSeed) != 0 {
+		t.Fatal("non-create step seeded")
+	}
+	if EnsureBatchSeeds(steps, func(i int) []byte { return nil }) {
+		t.Fatal("second pass reported changes")
+	}
+}
+
+func TestDecodeRequestTruncated(t *testing.T) {
+	raw := sampleSteps()[1].Encode()
+	for n := 0; n < len(raw); n++ {
+		if _, err := DecodeRequest(raw[:n]); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("truncated to %d bytes: err = %v, want ErrBadRequest", n, err)
+		}
+	}
+}
+
+func TestDecodeReplyTruncated(t *testing.T) {
+	reply := &Reply{
+		Status: StatusOK,
+		Cap:    batchCap(5, "c"),
+		Caps:   []capability.Capability{batchCap(6, "d")},
+		Seq:    42,
+		Blob:   []byte("blob"),
+	}
+	raw := reply.Encode()
+	for n := 0; n < len(raw); n++ {
+		if _, err := DecodeReply(raw[:n]); err == nil {
+			t.Fatalf("truncated to %d bytes: decode succeeded", n)
+		}
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	const bogus = OpCode(200)
+	if bogus.IsUpdate() {
+		t.Error("unknown op classified as update")
+	}
+	if s := bogus.String(); s != "op(200)" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := OpBatch.String(); s != "batch" {
+		t.Errorf("OpBatch.String() = %q", s)
+	}
+	if !OpBatch.IsUpdate() {
+		t.Error("OpBatch not an update")
+	}
+}

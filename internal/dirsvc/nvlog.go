@@ -186,6 +186,11 @@ func (l *NVLog) cancellableAppendLocked(dirObj uint32, name string) int {
 
 // touches reports whether the record affects (dirObj, name).
 func (r *nvRecord) touches(dirObj uint32, name string) bool {
+	if r.op == OpBatch {
+		// A batch may touch any directory and name; be conservative so
+		// the cancel optimization never reorders across one.
+		return true
+	}
 	if r.dirObj != dirObj {
 		// Directory-level ops on the same object still count.
 		if (r.op == OpCreateDir || r.op == OpDeleteDir) && r.dirObj == dirObj {

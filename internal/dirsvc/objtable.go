@@ -34,9 +34,10 @@ const entriesPerBlock = vdisk.BlockSize / entrySlot
 type ObjectTable struct {
 	admin vdisk.Storage
 
-	mu      sync.Mutex
-	entries map[uint32]ObjectEntry
-	max     uint32 // highest object number the partition can hold
+	mu       sync.Mutex
+	entries  map[uint32]ObjectEntry
+	ramDirty map[uint32]bool // RAM-only changes not yet persisted to disk
+	max      uint32          // highest object number the partition can hold
 }
 
 // OpenObjectTable loads the table from the admin partition (blocks 1..end).
@@ -46,9 +47,10 @@ func OpenObjectTable(admin vdisk.Storage) (*ObjectTable, error) {
 		return nil, fmt.Errorf("object table: admin partition too small")
 	}
 	t := &ObjectTable{
-		admin:   admin,
-		entries: make(map[uint32]ObjectEntry),
-		max:     uint32(blocks * entriesPerBlock),
+		admin:    admin,
+		entries:  make(map[uint32]ObjectEntry),
+		ramDirty: make(map[uint32]bool),
+		max:      uint32(blocks * entriesPerBlock),
 	}
 	// One sequential scan of the partition (boot/recovery only): a
 	// single seek plus per-block transfers, like reading a raw
@@ -109,11 +111,16 @@ func (t *ObjectTable) Objects() []uint32 {
 // NextFree returns the lowest unused object number. Because every replica
 // applies updates in the same total order to the same table, this choice
 // is deterministic across the group.
-func (t *ObjectTable) NextFree() uint32 {
+func (t *ObjectTable) NextFree() uint32 { return t.NextFreeExcept(nil) }
+
+// NextFreeExcept returns the lowest unused object number that is also
+// not in skip — the allocator for batches, where several creations must
+// pick distinct numbers before any of them commits.
+func (t *ObjectTable) NextFreeExcept(skip map[uint32]bool) uint32 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for obj := uint32(1); obj <= t.max; obj++ {
-		if _, used := t.entries[obj]; !used {
+		if _, used := t.entries[obj]; !used && !skip[obj] {
 			return obj
 		}
 	}
@@ -143,6 +150,7 @@ func (t *ObjectTable) Set(obj uint32, e ObjectEntry) error {
 		return fmt.Errorf("object %d out of range (max %d)", obj, t.max)
 	}
 	t.entries[obj] = e
+	delete(t.ramDirty, obj)
 	raw := t.encodeBlockLocked(blockOf(obj))
 	t.mu.Unlock()
 	return t.admin.WriteBlock(blockOf(obj), raw)
@@ -151,6 +159,7 @@ func (t *ObjectTable) Set(obj uint32, e ObjectEntry) error {
 // Delete clears obj's slot and writes the containing block.
 func (t *ObjectTable) Delete(obj uint32) error {
 	t.mu.Lock()
+	delete(t.ramDirty, obj)
 	if _, ok := t.entries[obj]; !ok {
 		t.mu.Unlock()
 		return nil
@@ -173,6 +182,7 @@ func (t *ObjectTable) ReplaceAll(entries map[uint32]ObjectEntry) error {
 		dirty[blockOf(obj)] = true
 	}
 	t.entries = make(map[uint32]ObjectEntry, len(entries))
+	t.ramDirty = make(map[uint32]bool)
 	for k, v := range entries {
 		t.entries[k] = v
 	}
@@ -194,19 +204,39 @@ func (t *ObjectTable) ReplaceAll(entries map[uint32]ObjectEntry) error {
 	return nil
 }
 
-// SetRAM updates obj's entry in memory only. The NVRAM variant of the
-// service uses this on its critical path; FlushBlocks persists later.
+// SetRAM updates obj's entry in memory only, marking the object dirty
+// for the background flush. The NVRAM variant of the service uses this
+// on its critical path; FlushBlocks persists later.
 func (t *ObjectTable) SetRAM(obj uint32, e ObjectEntry) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.entries[obj] = e
+	t.ramDirty[obj] = true
 }
 
-// DeleteRAM clears obj's slot in memory only.
+// DeleteRAM clears obj's slot in memory only, marking the object dirty
+// for the background flush.
 func (t *ObjectTable) DeleteRAM(obj uint32) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.entries, obj)
+	t.ramDirty[obj] = true
+}
+
+// RAMDirtyObjects returns, in ascending order, every object whose RAM
+// state (entry changed, created, or deleted) has not been persisted —
+// the authoritative work list for the background flush. Unlike parsing
+// the operation log, this covers creations (whose object numbers are
+// assigned at apply time) and batch steps.
+func (t *ObjectTable) RAMDirtyObjects() []uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]uint32, 0, len(t.ramDirty))
+	for obj := range t.ramDirty {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // FlushBlocks writes the blocks containing the given objects, each block
@@ -230,6 +260,11 @@ func (t *ObjectTable) FlushBlocks(objs []uint32) error {
 			return err
 		}
 	}
+	t.mu.Lock()
+	for _, obj := range objs {
+		delete(t.ramDirty, obj)
+	}
+	t.mu.Unlock()
 	return nil
 }
 

@@ -36,13 +36,17 @@ const (
 	OpApplyLazy // rpcdir: apply a committed intention in the background
 	OpReadDir   // recovery helper: fetch one directory image
 	OpStatus    // monitoring: server status snapshot
+
+	// OpBatch carries a sequence of update steps applied atomically and
+	// replicated as a single unit (one group broadcast per batch).
+	OpBatch
 )
 
 // IsUpdate reports whether the op modifies directories (requires the
 // write path / replication).
 func (op OpCode) IsUpdate() bool {
 	switch op {
-	case OpCreateDir, OpDeleteDir, OpAppendRow, OpChmodRow, OpDeleteRow, OpReplaceSet:
+	case OpCreateDir, OpDeleteDir, OpAppendRow, OpChmodRow, OpDeleteRow, OpReplaceSet, OpBatch:
 		return true
 	default:
 		return false
@@ -82,6 +86,8 @@ func (op OpCode) String() string {
 		return "read-dir"
 	case OpStatus:
 		return "status"
+	case OpBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -15,11 +16,15 @@ import (
 
 	faultdir "dirsvc"
 
+	"dirsvc/dir"
 	"dirsvc/internal/capability"
 	"dirsvc/internal/dirclient"
 	"dirsvc/internal/dirsvc"
 	"dirsvc/internal/rpc"
 )
+
+// bgCtx is the unbounded context used where no deadline applies.
+var bgCtx = context.Background()
 
 // Latencies holds one Fig. 7 cell set for one service kind.
 type Latencies struct {
@@ -35,12 +40,12 @@ func setupBench(c *faultdir.Cluster) (*dirclient.Client, func(), capability.Capa
 	if err != nil {
 		return nil, nil, capability.Capability{}, capability.Capability{}, err
 	}
-	root, err := client.Root()
+	root, err := client.Root(bgCtx)
 	if err != nil {
 		cleanup()
 		return nil, nil, capability.Capability{}, capability.Capability{}, err
 	}
-	dir, err := client.CreateDir()
+	dir, err := client.CreateDir(bgCtx)
 	if err != nil {
 		cleanup()
 		return nil, nil, capability.Capability{}, capability.Capability{}, err
@@ -71,10 +76,10 @@ func MeasureAppendDelete(c *faultdir.Cluster, pairs int) (time.Duration, error) 
 }
 
 func pairOp(client *dirclient.Client, dir capability.Capability, name string) error {
-	if err := retryTransient(func() error { return client.Append(dir, name, dir, nil) }); err != nil {
+	if err := retryTransient(func() error { return client.Append(bgCtx, dir, name, dir, nil) }); err != nil {
 		return fmt.Errorf("append: %w", err)
 	}
-	if err := retryTransient(func() error { return client.Delete(dir, name) }); err != nil {
+	if err := retryTransient(func() error { return client.Delete(bgCtx, dir, name) }); err != nil {
 		return fmt.Errorf("delete: %w", err)
 	}
 	return nil
@@ -117,17 +122,17 @@ func MeasureTmpFile(c *faultdir.Cluster, iterations int) (time.Duration, error) 
 		if err != nil {
 			return fmt.Errorf("create file: %w", err)
 		}
-		if err := client.Append(dir, name, fcap, nil); err != nil {
+		if err := client.Append(bgCtx, dir, name, fcap, nil); err != nil {
 			return fmt.Errorf("register: %w", err)
 		}
-		got, err := client.Lookup(dir, name)
+		got, err := client.Lookup(bgCtx, dir, name)
 		if err != nil {
 			return fmt.Errorf("lookup: %w", err)
 		}
 		if _, err := files.Read(got); err != nil {
 			return fmt.Errorf("read file: %w", err)
 		}
-		if err := client.Delete(dir, name); err != nil {
+		if err := client.Delete(bgCtx, dir, name); err != nil {
 			return fmt.Errorf("delete name: %w", err)
 		}
 		return files.Delete(fcap)
@@ -152,15 +157,15 @@ func MeasureLookup(c *faultdir.Cluster, lookups int) (time.Duration, error) {
 		return 0, err
 	}
 	defer cleanup()
-	if err := client.Append(dir, "target", dir, nil); err != nil {
+	if err := client.Append(bgCtx, dir, "target", dir, nil); err != nil {
 		return 0, err
 	}
-	if _, err := client.Lookup(dir, "target"); err != nil { // warm
+	if _, err := client.Lookup(bgCtx, dir, "target"); err != nil { // warm
 		return 0, err
 	}
 	start := time.Now()
 	for i := 0; i < lookups; i++ {
-		if _, err := client.Lookup(dir, "target"); err != nil {
+		if _, err := client.Lookup(bgCtx, dir, "target"); err != nil {
 			return 0, err
 		}
 	}
@@ -183,7 +188,7 @@ func MeasureLookupThroughput(c *faultdir.Cluster, clients int, window time.Durat
 		return Throughput{}, err
 	}
 	defer cleanup0()
-	if err := client0.Append(dir, "target", dir, nil); err != nil {
+	if err := client0.Append(bgCtx, dir, "target", dir, nil); err != nil {
 		return Throughput{}, err
 	}
 
@@ -203,7 +208,7 @@ func MeasureLookupThroughput(c *faultdir.Cluster, clients int, window time.Durat
 			defer wg.Done()
 			for time.Now().Before(deadline) {
 				err := retryTransient(func() error {
-					_, lerr := client.Lookup(dir, "target")
+					_, lerr := client.Lookup(bgCtx, dir, "target")
 					return lerr
 				})
 				if err != nil {
@@ -283,7 +288,7 @@ func MeasureMixedWorkload(c *faultdir.Cluster, clients int, readPct int, window 
 		return Throughput{}, err
 	}
 	defer cleanup0()
-	if err := client0.Append(dir, "hot", dir, nil); err != nil {
+	if err := client0.Append(bgCtx, dir, "hot", dir, nil); err != nil {
 		return Throughput{}, err
 	}
 
@@ -303,7 +308,7 @@ func MeasureMixedWorkload(c *faultdir.Cluster, clients int, readPct int, window 
 			defer wg.Done()
 			for j := 0; time.Now().Before(deadline); j++ {
 				if j%100 < readPct {
-					if _, err := client.Lookup(dir, "hot"); err != nil {
+					if _, err := client.Lookup(bgCtx, dir, "hot"); err != nil {
 						errs <- err
 						return
 					}
@@ -329,6 +334,49 @@ func MeasureMixedWorkload(c *faultdir.Cluster, clients int, readPct int, window 
 		total += n
 	}
 	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds()}, nil
+}
+
+// BatchCost is one side of the batch-amortization measurement: what B
+// updates cost in group broadcasts and wall-clock time.
+type BatchCost struct {
+	Broadcasts uint64
+	Elapsed    time.Duration
+}
+
+// MeasureBatchAmortization issues B updates twice against a group
+// cluster: as sequential single operations (B broadcasts) and as one
+// atomic batch (one broadcast), returning both costs.
+func MeasureBatchAmortization(c *faultdir.Cluster, b int) (singles, batched BatchCost, err error) {
+	client, cleanup, _, work, err := setupBench(c)
+	if err != nil {
+		return BatchCost{}, BatchCost{}, err
+	}
+	defer cleanup()
+
+	base := c.GroupSends()
+	start := time.Now()
+	for i := 0; i < b; i++ {
+		name := fmt.Sprintf("amort%04d", i)
+		if err := retryTransient(func() error { return client.Append(bgCtx, work, name, work, nil) }); err != nil {
+			return BatchCost{}, BatchCost{}, fmt.Errorf("single append: %w", err)
+		}
+	}
+	singles = BatchCost{Broadcasts: c.GroupSends() - base, Elapsed: time.Since(start)}
+
+	batch := dir.NewBatch()
+	for i := 0; i < b; i++ {
+		batch.Delete(work, fmt.Sprintf("amort%04d", i))
+	}
+	base = c.GroupSends()
+	start = time.Now()
+	if err := retryTransient(func() error {
+		_, aerr := client.Apply(bgCtx, batch)
+		return aerr
+	}); err != nil {
+		return BatchCost{}, BatchCost{}, fmt.Errorf("batch apply: %w", err)
+	}
+	batched = BatchCost{Broadcasts: c.GroupSends() - base, Elapsed: time.Since(start)}
+	return singles, batched, nil
 }
 
 // RenderFig7 formats measured latencies next to the paper's numbers.

@@ -110,17 +110,28 @@ func (s *Server) handle(req *rpc.Request) []byte {
 func (s *Server) update(req *dirsvc.Request) *dirsvc.Reply {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if req.Op == dirsvc.OpCreateDir && len(req.CheckSeed) == 0 {
+	switch {
+	case req.Op == dirsvc.OpCreateDir && len(req.CheckSeed) == 0:
 		seed := make([]byte, 8)
 		for i := range seed {
 			seed[i] = byte(s.seq >> (8 * i))
 		}
 		req.CheckSeed = append(seed, byte(len(seed)))
+	case req.Op == dirsvc.OpBatch:
+		steps, derr := dirsvc.DecodeBatchSteps(req.Blob)
+		if derr != nil {
+			return dirsvc.ErrorReply(derr)
+		}
+		if dirsvc.EnsureBatchSeeds(steps, func(i int) []byte {
+			return fmt.Appendf(nil, "local:%d:%d", s.seq, i)
+		}) {
+			req.Blob = dirsvc.EncodeBatchSteps(steps)
+		}
 	}
 	seq := s.seq + 1
 	res, err := s.applier.ApplyUpdate(req, seq, false /* RAM apply */)
 	if err != nil {
-		return &dirsvc.Reply{Status: dirsvc.StatusOf(err)}
+		return dirsvc.ErrorReply(err)
 	}
 	s.seq = seq
 	// The one synchronous write: the directory's metadata block.

@@ -1,6 +1,7 @@
 package localdir
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -12,6 +13,9 @@ import (
 	"dirsvc/internal/sim"
 	"dirsvc/internal/vdisk"
 )
+
+// bgCtx is the unbounded context used where no deadline applies.
+var bgCtx = context.Background()
 
 type fixture struct {
 	client *dirclient.Client
@@ -66,25 +70,25 @@ func newFixture(t *testing.T) *fixture {
 
 func TestBasicOperations(t *testing.T) {
 	f := newFixture(t)
-	root, err := f.client.Root()
+	root, err := f.client.Root(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dir, err := f.client.CreateDir()
+	dir, err := f.client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := f.client.Append(root, "x", dir, nil); err != nil {
+	if err := f.client.Append(bgCtx, root, "x", dir, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := f.client.Lookup(root, "x")
+	got, err := f.client.Lookup(bgCtx, root, "x")
 	if err != nil || got != dir {
 		t.Fatalf("Lookup = %v, %v", got, err)
 	}
-	if err := f.client.Delete(root, "x"); err != nil {
+	if err := f.client.Delete(bgCtx, root, "x"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.client.Lookup(root, "x"); !errors.Is(err, dirsvc.ErrNotFound) {
+	if _, err := f.client.Lookup(bgCtx, root, "x"); !errors.Is(err, dirsvc.ErrNotFound) {
 		t.Fatalf("after delete: %v", err)
 	}
 }
@@ -93,20 +97,20 @@ func TestBasicOperations(t *testing.T) {
 // synchronous metadata write per update, none for reads.
 func TestUpdateCostsOneDiskWrite(t *testing.T) {
 	f := newFixture(t)
-	root, _ := f.client.Root()
-	dir, err := f.client.CreateDir()
+	root, _ := f.client.Root(bgCtx)
+	dir, err := f.client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := f.disk.Stats()
-	if err := f.client.Append(root, "one-write", dir, nil); err != nil {
+	if err := f.client.Append(bgCtx, root, "one-write", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 	mid := f.disk.Stats()
 	if got := mid.Writes - before.Writes; got != 1 {
 		t.Fatalf("append cost %d disk writes, want 1 (the SunOS metadata write)", got)
 	}
-	if _, err := f.client.Lookup(root, "one-write"); err != nil {
+	if _, err := f.client.Lookup(bgCtx, root, "one-write"); err != nil {
 		t.Fatal(err)
 	}
 	after := f.disk.Stats()
@@ -119,19 +123,19 @@ func TestRightsStillEnforced(t *testing.T) {
 	// No fault tolerance does not mean no protection: capabilities are
 	// still checked.
 	f := newFixture(t)
-	root, _ := f.client.Root()
-	dir, err := f.client.CreateDir()
+	root, _ := f.client.Root(bgCtx)
+	dir, err := f.client.CreateDir(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := f.client.Append(root, "p", dir, nil); err != nil {
+	if err := f.client.Append(bgCtx, root, "p", dir, nil); err != nil {
 		t.Fatal(err)
 	}
 	ro, err := capability.Restrict(dir, capability.RightRead)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := f.client.Append(ro, "q", dir, nil); !errors.Is(err, capability.ErrNoRights) {
+	if err := f.client.Append(bgCtx, ro, "q", dir, nil); !errors.Is(err, capability.ErrNoRights) {
 		t.Fatalf("append via read-only cap: %v", err)
 	}
 }

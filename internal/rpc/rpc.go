@@ -15,6 +15,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -119,6 +120,14 @@ func (c *Client) CachedServers(port capability.Port) []sim.NodeID {
 // contract the paper's services are built on (§2: "it does not support
 // failure-free operations for clients").
 func (c *Client) Trans(port capability.Port, req []byte) ([]byte, error) {
+	return c.TransCtx(context.Background(), port, req)
+}
+
+// TransCtx is Trans bounded by a context: cancellation or an expired
+// deadline aborts the transaction — including an in-flight wait for a
+// reply — and returns ctx.Err(). The Amoeba kernel had no such handle;
+// every operation blocked until the kernel-level timeout fired.
+func (c *Client) TransCtx(ctx context.Context, port capability.Port, req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.txid++
@@ -126,14 +135,22 @@ func (c *Client) Trans(port capability.Port, req []byte) ([]byte, error) {
 
 	located := false
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
-		server, ok := c.pickServerLocked(port, &located)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		server, ok := c.pickServerLocked(ctx, port, &located)
 		if !ok {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			return nil, fmt.Errorf("port %v: %w", port, ErrNoServer)
 		}
-		reply, verdict := c.transactOnce(server, port, tx, req)
+		reply, verdict := c.transactOnce(ctx, server, port, tx, req)
 		switch verdict {
 		case verdictReply:
 			return reply, nil
+		case verdictCanceled:
+			return nil, ctx.Err()
 		case verdictNotHere, verdictDead:
 			c.evictLocked(port, server)
 		}
@@ -147,14 +164,18 @@ const (
 	verdictReply verdict = iota + 1
 	verdictNotHere
 	verdictDead
+	verdictCanceled
 )
 
 // transactOnce sends the request to one server and waits for its reply,
 // retransmitting on silence. It is called with c.mu held (transactions are
 // serialized per client).
-func (c *Client) transactOnce(server sim.NodeID, port capability.Port, tx uint64, req []byte) ([]byte, verdict) {
+func (c *Client) transactOnce(ctx context.Context, server sim.NodeID, port capability.Port, tx uint64, req []byte) ([]byte, verdict) {
 	wire := encodeRequest(tx, c.replyPort, req)
 	for send := 0; send <= c.retransmits; send++ {
+		if ctx.Err() != nil {
+			return nil, verdictCanceled
+		}
 		if err := c.stack.Send(server, port, wire); err != nil {
 			return nil, verdictDead
 		}
@@ -164,7 +185,10 @@ func (c *Client) transactOnce(server sim.NodeID, port capability.Port, tx uint64
 			if remain <= 0 {
 				break
 			}
-			m, ok, timedOut := c.replies.RecvTimeout(remain)
+			m, ok, timedOut, canceled := c.recvReply(ctx, remain)
+			if canceled {
+				return nil, verdictCanceled
+			}
 			if timedOut {
 				break
 			}
@@ -189,17 +213,38 @@ func (c *Client) transactOnce(server sim.NodeID, port capability.Port, tx uint64
 	return nil, verdictDead
 }
 
+// recvReply waits up to d for a reply message, aborting early when ctx is
+// done.
+func (c *Client) recvReply(ctx context.Context, d time.Duration) (m flip.Msg, ok, timedOut, canceled bool) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m, ok = <-c.replies.Chan():
+		return m, ok, false, false
+	case <-timer.C:
+		return flip.Msg{}, false, true, false
+	case <-ctx.Done():
+		return flip.Msg{}, false, false, true
+	}
+}
+
 // pickServerLocked returns the preferred server for port, locating the
 // service if the cache is empty. located tracks whether this transaction
 // already performed a locate, limiting it to two rounds.
-func (c *Client) pickServerLocked(port capability.Port, located *bool) (sim.NodeID, bool) {
+func (c *Client) pickServerLocked(ctx context.Context, port capability.Port, located *bool) (sim.NodeID, bool) {
 	if servers := c.cache[port]; len(servers) > 0 {
 		return servers[0], true
 	}
 	if *located {
 		// One re-locate per transaction round is enough; give other
 		// servers time to come up before the next attempt.
-		time.Sleep(c.locateWindow)
+		timer := time.NewTimer(c.locateWindow)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return 0, false
+		}
 	}
 	*located = true
 	found, err := c.stack.Locate(port, c.locateWindow, 0)

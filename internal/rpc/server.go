@@ -167,10 +167,11 @@ func (s *Server) handleRequest(m flip.Msg, tx uint64) {
 
 	s.mu.Lock()
 	if e, seen := s.dups[key]; seen {
+		done, payload := e.done, e.payload
 		s.mu.Unlock()
-		if e.done {
+		if done {
 			// Retransmitted request whose reply was lost: resend it.
-			_ = s.stack.Send(m.Src, replyPort, encodeReply(tx, e.payload))
+			_ = s.stack.Send(m.Src, replyPort, encodeReply(tx, payload))
 		}
 		// In progress: drop; the worker's Reply will reach the client.
 		return

@@ -197,8 +197,10 @@ func (s *Server) handleClientRPC(req *rpc.Request) []byte {
 
 // handleRead serves reads locally. If the peer proposed an intention for
 // the directory that we have not applied yet, apply it first so the read
-// observes every acknowledged update.
+// observes every acknowledged update. Creates and batches pend under
+// object 0, so that slot is always drained.
 func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
+	s.applyPendingFor(0)
 	if obj := req.Dir.Object; obj != 0 {
 		s.applyPendingFor(obj)
 	}
@@ -211,8 +213,19 @@ func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
 
-	if req.Op == dirsvc.OpCreateDir && len(req.CheckSeed) == 0 {
+	switch {
+	case req.Op == dirsvc.OpCreateDir && len(req.CheckSeed) == 0:
 		req.CheckSeed = fmt.Appendf(nil, "rpcdir:%d:%d", s.cfg.ID, time.Now().UnixNano())
+	case req.Op == dirsvc.OpBatch:
+		steps, err := dirsvc.DecodeBatchSteps(req.Blob)
+		if err != nil {
+			return dirsvc.ErrorReply(err)
+		}
+		if dirsvc.EnsureBatchSeeds(steps, func(i int) []byte {
+			return fmt.Appendf(nil, "rpcdir:%d:%d:%d", s.cfg.ID, time.Now().UnixNano(), i)
+		}) {
+			req.Blob = dirsvc.EncodeBatchSteps(steps)
+		}
 	}
 	req.Server = s.cfg.ID
 
@@ -260,7 +273,7 @@ func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
 			drop := &dirsvc.Request{Op: dirsvc.OpApplyLazy, Seq: agreedSeq, Server: s.cfg.ID, Column: 1}
 			_, _ = s.peerRPC.Trans(PeerPort(s.cfg.Service, peer), drop.Encode())
 		}
-		return &dirsvc.Reply{Status: dirsvc.StatusOf(aerr)}
+		return dirsvc.ErrorReply(aerr)
 	}
 	s.mu.Lock()
 	s.seq = agreedSeq

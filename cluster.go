@@ -8,6 +8,14 @@
 // server has its own Bullet file server, and the two share one physical
 // disk (the admin partition for the commit block and object table, the
 // rest for Bullet files).
+//
+// A cluster may be sharded (Options.Shards): the directory object space
+// is partitioned across G independent replica groups, each a full
+// N-replica instance of the paper's protocol with its own commit block,
+// object table, NVRAM log, group stream, and recovery. Requests route to
+// the shard owning the directory's object number (dir.ShardOf); faults
+// are per shard — losing a majority in one shard leaves every other
+// shard serving.
 package faultdir
 
 import (
@@ -72,8 +80,14 @@ type Options struct {
 	// Model is the latency model (default sim.FastModel; benchmarks use
 	// sim.PaperModel).
 	Model *sim.LatencyModel
-	// Servers overrides the replication degree (0 → the paper's).
+	// Servers overrides the per-shard replication degree (0 → the
+	// paper's).
 	Servers int
+	// Shards is the number of independent replica groups the directory
+	// object space is partitioned across (default 1 — the paper's single
+	// service). Each shard is a complete N-replica instance of the
+	// protocol; shard s owns the object numbers ≡ s+1 (mod Shards).
+	Shards int
 	// Workers is the number of server threads per directory server.
 	Workers int
 	// Resilience overrides the group resilience degree r (default N-1).
@@ -118,14 +132,22 @@ type machine struct {
 	core *core.Server // set for group kinds (admin operations)
 }
 
+// shardGroup is one independent replica group: a full instance of the
+// paper's service owning one residue class of the object-number space.
+type shardGroup struct {
+	index    int
+	service  string // shard-local service name (ports derive from it)
+	machines []*machine
+}
+
 // Cluster is a complete simulated deployment of one directory service.
 type Cluster struct {
 	Kind    Kind
 	Net     *sim.Network
 	Service string
 
-	opts     Options
-	machines []*machine
+	opts   Options
+	shards []*shardGroup
 
 	mu      sync.Mutex
 	clients []func()
@@ -140,6 +162,9 @@ func New(kind Kind, opts Options) (*Cluster, error) {
 	}
 	if opts.Servers == 0 {
 		opts.Servers = kind.Servers()
+	}
+	if opts.Shards < 1 {
+		opts.Shards = 1
 	}
 	if opts.DiskBlocks == 0 {
 		opts.DiskBlocks = 4096
@@ -156,22 +181,33 @@ func New(kind Kind, opts Options) (*Cluster, error) {
 	}
 
 	n := opts.Servers
-	for i := 1; i <= n; i++ {
-		m, err := c.buildMachine(i)
-		if err != nil {
-			c.Close()
-			return nil, err
+	for s := 0; s < opts.Shards; s++ {
+		sg := &shardGroup{
+			index:   s,
+			service: dirsvc.ShardService(c.Service, s, opts.Shards),
 		}
-		c.machines = append(c.machines, m)
+		c.shards = append(c.shards, sg)
+		for i := 1; i <= n; i++ {
+			m, err := c.buildMachine(sg, i)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			sg.machines = append(sg.machines, m)
+		}
 	}
 
-	// Boot every directory server concurrently: the group service's
-	// recovery protocol needs a majority to assemble.
-	errs := make(chan error, n)
-	for _, m := range c.machines {
-		go func(m *machine) { errs <- c.bootServer(m) }(m)
+	// Boot every directory server of every shard concurrently: each
+	// group service's recovery protocol needs a majority to assemble.
+	errs := make(chan error, opts.Shards*n)
+	total := 0
+	for _, sg := range c.shards {
+		for _, m := range sg.machines {
+			total++
+			go func(sg *shardGroup, m *machine) { errs <- c.bootServer(sg, m) }(sg, m)
+		}
 	}
-	for range c.machines {
+	for i := 0; i < total; i++ {
 		if err := <-errs; err != nil {
 			c.Close()
 			return nil, err
@@ -180,8 +216,24 @@ func New(kind Kind, opts Options) (*Cluster, error) {
 	return c, nil
 }
 
-// buildMachine creates the hardware and the Bullet server of replica id.
-func (c *Cluster) buildMachine(id int) (*machine, error) {
+// Shards returns the number of replica groups in the deployment.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// ServersPerShard returns the replication degree of each shard.
+func (c *Cluster) ServersPerShard() int { return c.opts.Servers }
+
+// nodeName labels a simulated host; single-shard deployments keep the
+// historical names.
+func (c *Cluster) nodeName(prefix string, shard, id int) string {
+	if c.opts.Shards <= 1 {
+		return fmt.Sprintf("%s-%d", prefix, id)
+	}
+	return fmt.Sprintf("%s-s%d-%d", prefix, shard, id)
+}
+
+// buildMachine creates the hardware and the Bullet server of replica id
+// of one shard.
+func (c *Cluster) buildMachine(sg *shardGroup, id int) (*machine, error) {
 	m := &machine{id: id}
 	m.disk = vdisk.New(c.opts.Model, c.opts.DiskBlocks)
 	var err error
@@ -198,35 +250,37 @@ func (c *Cluster) buildMachine(id int) (*machine, error) {
 		m.nvram = vdisk.NewNVRAM(c.opts.Model, c.opts.NVRAMSize)
 	}
 
-	m.bulletNode = c.Net.AddNode(fmt.Sprintf("bullet-%d", id))
+	m.bulletNode = c.Net.AddNode(c.nodeName("bullet", sg.index, id))
 	m.bulletStack = flip.NewStack(m.bulletNode)
-	store, err := bullet.NewStore(dirsvc.BulletPort(c.Service, id), m.bulletPart)
+	store, err := bullet.NewStore(dirsvc.BulletPort(sg.service, id), m.bulletPart)
 	if err != nil {
 		return nil, err
 	}
 	m.bulletSrv, err = bullet.NewServer(m.bulletStack, store, 2,
-		dirsvc.BulletPort(c.Service, id), dirsvc.PublicBulletPort(c.Service))
+		dirsvc.BulletPort(sg.service, id), dirsvc.PublicBulletPort(sg.service))
 	if err != nil {
 		return nil, err
 	}
 
-	m.dirNode = c.Net.AddNode(fmt.Sprintf("dir-%d", id))
+	m.dirNode = c.Net.AddNode(c.nodeName("dir", sg.index, id))
 	return m, nil
 }
 
-// bootServer starts the directory server process on machine m.
-func (c *Cluster) bootServer(m *machine) error {
+// bootServer starts the directory server process on machine m of shard sg.
+func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 	m.dirStack = flip.NewStack(m.dirNode)
 	switch c.Kind {
 	case KindGroup, KindGroupNVRAM:
-		peers := make(map[int]sim.NodeID, len(c.machines))
-		for _, mm := range c.machines {
+		peers := make(map[int]sim.NodeID, len(sg.machines))
+		for _, mm := range sg.machines {
 			peers[mm.id] = mm.dirNode.ID()
 		}
 		srv, err := core.NewServer(m.dirStack, core.Config{
-			Service:                  c.Service,
+			Service:                  sg.service,
 			ID:                       m.id,
 			N:                        c.opts.Servers,
+			Shard:                    sg.index,
+			Shards:                   c.opts.Shards,
 			Peers:                    peers,
 			Admin:                    m.admin,
 			NVRAM:                    m.nvram,
@@ -238,7 +292,7 @@ func (c *Cluster) bootServer(m *machine) error {
 			IdleFlush:                c.opts.IdleFlush,
 		})
 		if err != nil {
-			return fmt.Errorf("boot group server %d: %w", m.id, err)
+			return fmt.Errorf("boot group server %d (shard %d): %w", m.id, sg.index, err)
 		}
 		m.mu.Lock()
 		m.stop = srv.Close
@@ -246,26 +300,30 @@ func (c *Cluster) bootServer(m *machine) error {
 		m.mu.Unlock()
 	case KindRPC:
 		srv, err := rpcdir.NewServer(m.dirStack, rpcdir.Config{
-			Service: c.Service,
+			Service: sg.service,
 			ID:      m.id,
 			Admin:   m.admin,
 			Staging: m.staging,
 			Workers: c.opts.Workers,
+			Shard:   sg.index,
+			Shards:  c.opts.Shards,
 		})
 		if err != nil {
-			return fmt.Errorf("boot rpc server %d: %w", m.id, err)
+			return fmt.Errorf("boot rpc server %d (shard %d): %w", m.id, sg.index, err)
 		}
 		m.mu.Lock()
 		m.stop = srv.Close
 		m.mu.Unlock()
 	case KindLocal:
 		srv, err := localdir.NewServer(m.dirStack, localdir.Config{
-			Service: c.Service,
+			Service: sg.service,
 			Admin:   m.admin,
 			Workers: c.opts.Workers,
+			Shard:   sg.index,
+			Shards:  c.opts.Shards,
 		})
 		if err != nil {
-			return fmt.Errorf("boot local server: %w", err)
+			return fmt.Errorf("boot local server (shard %d): %w", sg.index, err)
 		}
 		m.mu.Lock()
 		m.stop = srv.Close
@@ -276,11 +334,12 @@ func (c *Cluster) bootServer(m *machine) error {
 	return nil
 }
 
-// NewClient creates a directory client on a fresh client host. The
-// returned cleanup releases the client's resources.
+// NewClient creates a directory client on a fresh client host, routing
+// across every shard of the deployment. The returned cleanup releases
+// the client's resources.
 func (c *Cluster) NewClient() (*dirclient.Client, func(), error) {
 	stack := flip.NewStack(c.Net.AddNode("client"))
-	client, err := dirclient.New(stack, c.Service)
+	client, err := dirclient.NewSharded(stack, c.Service, c.opts.Shards)
 	if err != nil {
 		stack.Close()
 		return nil, nil, err
@@ -297,6 +356,8 @@ func (c *Cluster) NewClient() (*dirclient.Client, func(), error) {
 
 // NewFileClient creates a Bullet client on the public file-service port
 // (the paper's tmp-file workload), sharing the directory client's host.
+// Files are served by shard 0's Bullet servers; file storage is not
+// sharded.
 func (c *Cluster) NewFileClient(dc *dirclient.Client) *bullet.Client {
 	return bullet.NewClient(dc.RPC(), dirsvc.PublicBulletPort(c.Service))
 }
@@ -319,10 +380,14 @@ func (c *Cluster) NewRawClient() (*rpc.Client, func(), error) {
 	return rc, cleanup, nil
 }
 
-// CrashServer fail-stops directory server id (its Bullet server and disk
-// keep running, per the paper's separate-machine layout).
-func (c *Cluster) CrashServer(id int) {
-	m := c.machine(id)
+// CrashServer fail-stops directory server id of shard 0 (its Bullet
+// server and disk keep running, per the paper's separate-machine
+// layout).
+func (c *Cluster) CrashServer(id int) { c.CrashShardServer(0, id) }
+
+// CrashShardServer fail-stops directory server id of the given shard.
+func (c *Cluster) CrashShardServer(shard, id int) {
+	m := c.shardMachine(shard, id)
 	m.mu.Lock()
 	stop := m.stop
 	m.stop = nil
@@ -334,49 +399,57 @@ func (c *Cluster) CrashServer(id int) {
 }
 
 // CrashMachine fail-stops both the directory server and its Bullet
-// server (whole-replica failure). Disk contents survive.
+// server of shard 0 (whole-replica failure). Disk contents survive.
 func (c *Cluster) CrashMachine(id int) {
-	c.CrashServer(id)
-	c.machine(id).bulletNode.Crash()
+	c.CrashShardServer(0, id)
+	c.shardMachine(0, id).bulletNode.Crash()
 }
 
-// RestartServer reboots directory server id from its surviving disk (and
-// NVRAM). For the group service this runs the Fig. 6 recovery protocol
-// before the server accepts requests again.
-func (c *Cluster) RestartServer(id int) error {
-	m := c.machine(id)
+// RestartServer reboots directory server id of shard 0 from its
+// surviving disk (and NVRAM). For the group service this runs the
+// Fig. 6 recovery protocol before the server accepts requests again.
+func (c *Cluster) RestartServer(id int) error { return c.RestartShardServer(0, id) }
+
+// RestartShardServer reboots directory server id of the given shard.
+func (c *Cluster) RestartShardServer(shard, id int) error {
+	sg := c.shard(shard)
+	m := c.shardMachine(shard, id)
 	if m.bulletNode.Crashed() {
-		if err := c.restartBullet(m); err != nil {
+		if err := c.restartBullet(sg, m); err != nil {
 			return err
 		}
 	}
 	m.dirNode.Restart()
-	return c.bootServer(m)
+	return c.bootServer(sg, m)
 }
 
-func (c *Cluster) restartBullet(m *machine) error {
+func (c *Cluster) restartBullet(sg *shardGroup, m *machine) error {
 	m.bulletNode.Restart()
 	m.bulletStack = flip.NewStack(m.bulletNode)
-	store, err := bullet.OpenStore(dirsvc.BulletPort(c.Service, m.id), m.bulletPart)
+	store, err := bullet.OpenStore(dirsvc.BulletPort(sg.service, m.id), m.bulletPart)
 	if err != nil {
 		return err
 	}
 	m.bulletSrv, err = bullet.NewServer(m.bulletStack, store, 2,
-		dirsvc.BulletPort(c.Service, m.id), dirsvc.PublicBulletPort(c.Service))
+		dirsvc.BulletPort(sg.service, m.id), dirsvc.PublicBulletPort(sg.service))
 	return err
 }
 
-// PartitionServers splits the network: the machines (directory + Bullet
-// hosts) of the given server ids on one side, everything else — other
-// replicas and all clients — on the other.
-func (c *Cluster) PartitionServers(ids ...int) {
+// PartitionServers splits the network: the shard-0 machines (directory +
+// Bullet hosts) of the given server ids on one side, everything else —
+// other replicas and all clients — on the other.
+func (c *Cluster) PartitionServers(ids ...int) { c.PartitionShardServers(0, ids...) }
+
+// PartitionShardServers splits the network with the given servers of one
+// shard on the minority side.
+func (c *Cluster) PartitionShardServers(shard int, ids ...int) {
 	inGroup := make(map[int]bool, len(ids))
 	for _, id := range ids {
 		inGroup[id] = true
 	}
 	var side, rest []sim.NodeID
 	taken := make(map[sim.NodeID]bool)
-	for _, m := range c.machines {
+	for _, m := range c.shard(shard).machines {
 		if inGroup[m.id] {
 			side = append(side, m.dirNode.ID(), m.bulletNode.ID())
 			taken[m.dirNode.ID()] = true
@@ -395,48 +468,69 @@ func (c *Cluster) PartitionServers(ids ...int) {
 func (c *Cluster) Heal() { c.Net.Heal() }
 
 // ForceRecover invokes the administrator escape hatch on a group
-// directory server (§3.1): it will serve — and recover — without a
-// majority, abandoning the partition guarantee. Only valid for group
-// cluster kinds.
-func (c *Cluster) ForceRecover(id int) error {
-	m := c.machine(id)
+// directory server of shard 0 (§3.1): it will serve — and recover —
+// without a majority, abandoning the partition guarantee. Only valid for
+// group cluster kinds.
+func (c *Cluster) ForceRecover(id int) error { return c.ForceRecoverShard(0, id) }
+
+// ForceRecoverShard invokes ForceRecover on a server of the given shard.
+func (c *Cluster) ForceRecoverShard(shard, id int) error {
+	m := c.shardMachine(shard, id)
 	m.mu.Lock()
 	srv := m.core
 	m.mu.Unlock()
 	if srv == nil {
-		return fmt.Errorf("faultdir: server %d is not a group directory server", id)
+		return fmt.Errorf("faultdir: server %d of shard %d is not a group directory server", id, shard)
 	}
 	srv.ForceRecover()
 	return nil
 }
 
 // GroupSends returns the total number of write-path group broadcasts the
-// cluster's directory servers have issued so far. Zero for non-group
-// kinds. Batching and coalescing make this grow far slower than the
-// update count — the measurement behind the batch benchmark.
+// cluster's directory servers have issued so far, summed over every
+// shard. Zero for non-group kinds. Batching and coalescing make this
+// grow far slower than the update count — the measurement behind the
+// batch benchmark.
 func (c *Cluster) GroupSends() uint64 {
 	var total uint64
-	for _, m := range c.machines {
-		m.mu.Lock()
-		srv := m.core
-		m.mu.Unlock()
-		if srv != nil {
-			total += srv.GroupSends()
+	for _, sg := range c.shards {
+		for _, m := range sg.machines {
+			m.mu.Lock()
+			srv := m.core
+			m.mu.Unlock()
+			if srv != nil {
+				total += srv.GroupSends()
+			}
 		}
 	}
 	return total
 }
 
-// DiskStats returns the disk statistics of replica id.
-func (c *Cluster) DiskStats(id int) vdisk.Stats { return c.machine(id).disk.Stats() }
+// DiskStats returns the disk statistics of replica id of shard 0.
+func (c *Cluster) DiskStats(id int) vdisk.Stats { return c.shardMachine(0, id).disk.Stats() }
 
-func (c *Cluster) machine(id int) *machine {
-	for _, m := range c.machines {
+// ShardDiskStats returns the disk statistics of replica id of a shard.
+func (c *Cluster) ShardDiskStats(shard, id int) vdisk.Stats {
+	return c.shardMachine(shard, id).disk.Stats()
+}
+
+func (c *Cluster) shard(s int) *shardGroup {
+	if s < 0 || s >= len(c.shards) {
+		panic(fmt.Sprintf("faultdir: no shard %d", s))
+	}
+	return c.shards[s]
+}
+
+// machine returns replica id of shard 0 (tests).
+func (c *Cluster) machine(id int) *machine { return c.shardMachine(0, id) }
+
+func (c *Cluster) shardMachine(shard, id int) *machine {
+	for _, m := range c.shard(shard).machines {
 		if m.id == id {
 			return m
 		}
 	}
-	panic(fmt.Sprintf("faultdir: no machine %d", id))
+	panic(fmt.Sprintf("faultdir: no machine %d in shard %d", id, shard))
 }
 
 // Close tears the whole cluster down.
@@ -448,22 +542,24 @@ func (c *Cluster) Close() {
 	for _, cleanup := range clients {
 		cleanup()
 	}
-	for _, m := range c.machines {
-		m.mu.Lock()
-		stop := m.stop
-		m.stop = nil
-		m.mu.Unlock()
-		if stop != nil {
-			stop()
-		}
-		if m.dirStack != nil {
-			m.dirStack.Close()
-		}
-		if m.bulletSrv != nil {
-			m.bulletSrv.Close()
-		}
-		if m.bulletStack != nil {
-			m.bulletStack.Close()
+	for _, sg := range c.shards {
+		for _, m := range sg.machines {
+			m.mu.Lock()
+			stop := m.stop
+			m.stop = nil
+			m.mu.Unlock()
+			if stop != nil {
+				stop()
+			}
+			if m.dirStack != nil {
+				m.dirStack.Close()
+			}
+			if m.bulletSrv != nil {
+				m.bulletSrv.Close()
+			}
+			if m.bulletStack != nil {
+				m.bulletStack.Close()
+			}
 		}
 	}
 }

@@ -1,0 +1,192 @@
+package faultdir
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dirsvc/dir"
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirclient"
+)
+
+// retryNoMajority retries fn while it fails with ErrNoMajority — the
+// transient window of a freshly booted (or resetting) replica group.
+func retryNoMajority(t *testing.T, what string, fn func() (capability.Capability, error)) capability.Capability {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		c, err := fn()
+		if err == nil {
+			return c
+		}
+		if !errors.Is(err, dir.ErrNoMajority) || time.Now().After(deadline) {
+			t.Fatalf("%s: %v", what, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func rootRetry(t *testing.T, client *dirclient.Client) capability.Capability {
+	t.Helper()
+	return retryNoMajority(t, "Root", func() (capability.Capability, error) {
+		return client.Root(bgCtx)
+	})
+}
+
+func createDirOnRetry(t *testing.T, client *dirclient.Client, shard int) capability.Capability {
+	t.Helper()
+	return retryNoMajority(t, fmt.Sprintf("CreateDirOn(%d)", shard), func() (capability.Capability, error) {
+		return client.CreateDirOn(bgCtx, shard)
+	})
+}
+
+// shardTestCluster boots a sharded group cluster with the fast model.
+func shardTestCluster(t *testing.T, kind Kind, shards int) (*Cluster, *dirclient.Client) {
+	t.Helper()
+	opts := testOptions()
+	opts.Shards = shards
+	c, err := New(kind, opts)
+	if err != nil {
+		t.Fatalf("New(%v, shards=%d): %v", kind, shards, err)
+	}
+	t.Cleanup(c.Close)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+	return c, client
+}
+
+// TestShardFaultIsolation is the availability contract of the sharded
+// service: killing a majority of ONE shard's replicas makes only that
+// shard's objects unavailable (dir.ErrNoMajority); every other shard
+// keeps serving reads and writes. Restarting the replicas runs the
+// Fig. 6 recovery per shard and restores service.
+func TestShardFaultIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded cluster test: run by the dedicated CI lane and the full suite")
+	}
+	const shards = 3
+	c, client := shardTestCluster(t, KindGroup, shards)
+
+	root := rootRetry(t, client)
+	dirs := make([]capability.Capability, shards)
+	for s := 0; s < shards; s++ {
+		dirs[s] = createDirOnRetry(t, client, s)
+		appendWithRetry(t, client, root, fmt.Sprintf("d%d", s), dirs[s], 30*time.Second)
+	}
+
+	// Kill a majority (2 of 3) of shard 1's replicas.
+	const down = 1
+	c.CrashShardServer(down, 1)
+	c.CrashShardServer(down, 2)
+
+	// Shard 1's objects become unavailable: the survivor refuses both
+	// reads and writes with ErrNoMajority (the accessible-copies rule,
+	// applied per shard). The client may need a few attempts while its
+	// port cache evicts the dead servers.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, err := client.List(bgCtx, dirs[down], 0)
+		if errors.Is(err, dir.ErrNoMajority) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %d read: err = %v, want ErrNoMajority", down, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := client.Append(bgCtx, dirs[down], "w", dirs[down], nil); !errors.Is(err, dir.ErrNoMajority) {
+		t.Fatalf("shard %d write: err = %v, want ErrNoMajority", down, err)
+	}
+
+	// Every other shard — including shard 0's root — keeps serving reads
+	// AND writes, undisturbed by shard 1's outage.
+	for s := 0; s < shards; s++ {
+		if s == down {
+			continue
+		}
+		if _, err := client.List(bgCtx, dirs[s], 0); err != nil {
+			t.Fatalf("shard %d read during shard-%d outage: %v", s, down, err)
+		}
+		if err := client.Append(bgCtx, dirs[s], "during-outage", dirs[s], nil); err != nil {
+			t.Fatalf("shard %d write during shard-%d outage: %v", s, down, err)
+		}
+	}
+	if _, err := client.Lookup(bgCtx, root, "d0"); err != nil {
+		t.Fatalf("root lookup during outage: %v", err)
+	}
+
+	// Restart the crashed replicas: shard 1 recovers (Fig. 6) and serves
+	// again; the whole object space is available.
+	if err := c.RestartShardServer(down, 1); err != nil {
+		t.Fatalf("restart shard %d server 1: %v", down, err)
+	}
+	if err := c.RestartShardServer(down, 2); err != nil {
+		t.Fatalf("restart shard %d server 2: %v", down, err)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		err := client.Append(bgCtx, dirs[down], "after-recovery", dirs[down], nil)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %d never recovered: %v", down, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShardPartitionIsolation: partitioning one shard's majority away
+// from the clients refuses only that shard, and healing reunites it.
+func TestShardPartitionIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded cluster test: run by the dedicated CI lane and the full suite")
+	}
+	const shards = 2
+	c, client := shardTestCluster(t, KindGroup, shards)
+
+	d0 := createDirOnRetry(t, client, 0)
+	d1 := createDirOnRetry(t, client, 1)
+
+	// Cut all of shard 1 off from the clients (and from shard 0).
+	c.PartitionShardServers(1, 1, 2, 3)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, err := client.List(bgCtx, d1, 0)
+		if err != nil && !errors.Is(err, dir.ErrNoMajority) {
+			// The whole shard is unreachable; transport errors (timeouts,
+			// no server) are acceptable refusals too.
+			break
+		}
+		if errors.Is(err, dir.ErrNoMajority) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("partitioned shard still serving: err = %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Shard 0 is untouched.
+	if err := client.Append(bgCtx, d0, "fine", d0, nil); err != nil {
+		t.Fatalf("shard 0 write during shard-1 partition: %v", err)
+	}
+
+	c.Heal()
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		err := client.Append(bgCtx, d1, "healed", d1, nil)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 1 did not reunite: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	dirbench -experiment fig7
 //	dirbench -experiment fig8 -window 2s
+//	dirbench -experiment shard -out BENCH_shard.json
 //	dirbench -experiment all -scale 0.1
 //
 // With -scale below 1 the simulated hardware runs proportionally faster;
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,21 +27,27 @@ import (
 	"dirsvc/internal/sim"
 )
 
+// defaultOut is the committed record of the calibrated paper-hardware
+// shard experiment.
+const defaultOut = "BENCH_shard.json"
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | all")
+		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | all")
 		window     = flag.Duration("window", 2*time.Second, "measurement window per throughput point")
 		pairs      = flag.Int("pairs", 10, "append-delete pairs per latency measurement")
 		scale      = flag.Float64("scale", 1.0, "latency scale factor (1.0 = paper hardware)")
+		clients    = flag.Int("clients", 12, "client count for the shard experiment")
+		out        = flag.String("out", defaultOut, "machine-readable results file (shard experiment)")
 	)
 	flag.Parse()
-	if err := run(*experiment, *window, *pairs, *scale); err != nil {
+	if err := run(*experiment, *window, *pairs, *scale, *clients, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "dirbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, window time.Duration, pairs int, scale float64) error {
+func run(experiment string, window time.Duration, pairs int, scale float64, clients int, out string) error {
 	model := sim.ScaledPaperModel(scale)
 	switch experiment {
 	case "fig7":
@@ -54,9 +62,19 @@ func run(experiment string, window time.Duration, pairs int, scale float64) erro
 		return bounds(model)
 	case "batch":
 		return batchAmortization(model, scale)
+	case "shard":
+		return shardScaling(model, window, scale, clients, out)
 	case "all":
-		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch"} {
-			if err := run(exp, window, pairs, scale); err != nil {
+		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard"} {
+			// The committed BENCH_shard.json records the calibrated
+			// paper-hardware run; an `all` sweep (often scaled down)
+			// must not overwrite it unless -out was set explicitly.
+			expOut := out
+			if exp == "shard" && out == defaultOut {
+				fmt.Println("(all sweep: not writing", defaultOut, "— use -experiment shard, or pass -out explicitly)")
+				expOut = ""
+			}
+			if err := run(exp, window, pairs, scale, clients, expOut); err != nil {
 				return fmt.Errorf("%s: %w", exp, err)
 			}
 			fmt.Println()
@@ -198,6 +216,75 @@ func batchAmortization(model *sim.LatencyModel, scale float64) error {
 			b, singles.Broadcasts, float64(descale(singles.Elapsed, scale))/float64(time.Millisecond),
 			batched.Broadcasts, float64(descale(batched.Elapsed, scale))/float64(time.Millisecond))
 	}
+	return nil
+}
+
+// shardPoint is one measured point of the shard-scaling experiment.
+type shardPoint struct {
+	Shards    int     `json:"shards"`
+	Clients   int     `json:"clients"`
+	OpsPerSec float64 `json:"ops_per_sec"` // append-delete pairs/s, paper-hardware time
+	Speedup   float64 `json:"speedup_vs_1"`
+}
+
+// shardResult is the machine-readable record written to -out.
+type shardResult struct {
+	Experiment string       `json:"experiment"`
+	Kind       string       `json:"kind"`
+	Clients    int          `json:"clients"`
+	WindowMS   int64        `json:"window_ms"`
+	Scale      float64      `json:"scale"`
+	Points     []shardPoint `json:"points"`
+}
+
+// shardScaling measures write throughput at G ∈ {1, 2, 4} shards: the
+// same client count drives append-delete pairs against per-client
+// working directories spread across the shards. Each shard is an
+// independent instance of the paper's protocol, so the global write
+// bottleneck — one totally-ordered broadcast stream — multiplies by G.
+func shardScaling(model *sim.LatencyModel, window time.Duration, scale float64, clients int, out string) error {
+	kind := faultdir.KindGroupNVRAM
+	fmt.Printf("== Shard scaling: %d clients, append-delete pairs/s vs shard count (%v kind)\n", clients, kind)
+	res := shardResult{
+		Experiment: "shard",
+		Kind:       kind.String(),
+		Clients:    clients,
+		WindowMS:   window.Milliseconds(),
+		Scale:      scale,
+	}
+	var base float64
+	for _, g := range []int{1, 2, 4} {
+		c, err := faultdir.New(kind, faultdir.Options{Model: model, Shards: g})
+		if err != nil {
+			return err
+		}
+		tp, err := harness.MeasureShardedUpdateThroughput(c, clients, window)
+		c.Close()
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", g, err)
+		}
+		ops := tp.OpsPerSec * scale // de-scale back to paper hardware speed
+		if g == 1 {
+			base = ops
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = ops / base
+		}
+		res.Points = append(res.Points, shardPoint{Shards: g, Clients: clients, OpsPerSec: ops, Speedup: speedup})
+		fmt.Printf("shards=%d  %8.1f pairs/s  (%.2fx vs 1 shard)\n", g, ops, speedup)
+	}
+	if out == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("results written to %s\n", out)
 	return nil
 }
 

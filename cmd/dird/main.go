@@ -5,17 +5,18 @@
 //
 // Usage:
 //
-//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01]
+//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01] [-shards 4]
 //
 // Commands (type "help" at the prompt):
 //
 //	ls [name]              list a directory (default: root)
-//	mkdir <name>           create a directory and register it
+//	mkdir <name> [shard]   create a directory (optionally pinned to a shard) and register it
 //	rm <name>              delete a row
 //	put <name>             register a fresh 4-byte file
 //	cat <name>             read a registered file
 //	crash <id> | restart <id> | partition <id...> | heal
-//	status                 per-server status
+//	                       (sharded: address servers as <shard>/<id>)
+//	status                 per-server status, per shard
 //	quit
 package main
 
@@ -30,6 +31,7 @@ import (
 
 	faultdir "dirsvc"
 
+	"dirsvc/dir"
 	"dirsvc/internal/sim"
 )
 
@@ -40,12 +42,28 @@ func main() {
 	var (
 		kindName = flag.String("kind", "group", "group | group+nvram | rpc | local")
 		scale    = flag.Float64("scale", 0.01, "hardware latency scale (1.0 = paper speed)")
+		shards   = flag.Int("shards", 1, "number of independent replica groups")
 	)
 	flag.Parse()
-	if err := run(*kindName, *scale); err != nil {
+	if err := run(*kindName, *scale, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "dird:", err)
 		os.Exit(1)
 	}
+}
+
+// parseServer parses "<id>" (shard 0) or "<shard>/<id>".
+func parseServer(arg string, shards, servers int) (shard, id int, err error) {
+	idPart := arg
+	if head, tail, found := strings.Cut(arg, "/"); found {
+		if shard, err = strconv.Atoi(head); err != nil || shard < 0 || shard >= shards {
+			return 0, 0, fmt.Errorf("bad shard %q", head)
+		}
+		idPart = tail
+	}
+	if id, err = strconv.Atoi(idPart); err != nil || id < 1 || id > servers {
+		return 0, 0, fmt.Errorf("bad server id %q", idPart)
+	}
+	return shard, id, nil
 }
 
 func parseKind(name string) (faultdir.Kind, error) {
@@ -63,13 +81,16 @@ func parseKind(name string) (faultdir.Kind, error) {
 	}
 }
 
-func run(kindName string, scale float64) error {
+func run(kindName string, scale float64, shards int) error {
 	kind, err := parseKind(kindName)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("booting %v cluster (%d servers, scale %g)...\n", kind, kind.Servers(), scale)
-	cluster, err := faultdir.New(kind, faultdir.Options{Model: sim.ScaledPaperModel(scale)})
+	if shards < 1 {
+		shards = 1
+	}
+	fmt.Printf("booting %v cluster (%d shard(s) × %d servers, scale %g)...\n", kind, shards, kind.Servers(), scale)
+	cluster, err := faultdir.New(kind, faultdir.Options{Model: sim.ScaledPaperModel(scale), Shards: shards})
 	if err != nil {
 		return err
 	}
@@ -98,8 +119,11 @@ func run(kindName string, scale float64) error {
 		case "quit", "exit":
 			return nil
 		case "help":
-			fmt.Println("ls [name] | mkdir <name> | rm <name> | put <name> | cat <name>")
+			fmt.Println("ls [name] | mkdir <name> [shard] | rm <name> | put <name> | cat <name>")
 			fmt.Println("crash <id> | restart <id> | partition <id...> | heal | status | quit")
+			if cluster.Shards() > 1 {
+				fmt.Println("sharded: address servers as <shard>/<id>, e.g. crash 2/1")
+			}
 		case "ls":
 			dir := root
 			if len(args) == 1 {
@@ -120,16 +144,27 @@ func run(kindName string, scale float64) error {
 			}
 			fmt.Printf("(%d rows)\n", len(rows))
 		case "mkdir":
-			if len(args) != 1 {
-				fmt.Println("usage: mkdir <name>")
+			if len(args) != 1 && len(args) != 2 {
+				fmt.Println("usage: mkdir <name> [shard]")
 				continue
 			}
-			dir, err := client.CreateDir(bgCtx)
+			newDir := client.CreateDir
+			if len(args) == 2 {
+				shard, cerr := strconv.Atoi(args[1])
+				if cerr != nil || shard < 0 || shard >= cluster.Shards() {
+					fmt.Println("bad shard", args[1])
+					continue
+				}
+				newDir = func(ctx context.Context, columns ...string) (dir.Capability, error) {
+					return client.CreateDirOn(ctx, shard, columns...)
+				}
+			}
+			d, err := newDir(bgCtx)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			if err := client.Append(bgCtx, root, args[0], dir, nil); err != nil {
+			if err := client.Append(bgCtx, root, args[0], d, nil); err != nil {
 				fmt.Println("error:", err)
 			}
 		case "rm":
@@ -171,42 +206,58 @@ func run(kindName string, scale float64) error {
 			fmt.Printf("%q\n", data)
 		case "crash", "restart":
 			if len(args) != 1 {
-				fmt.Printf("usage: %s <server-id>\n", cmd)
+				fmt.Printf("usage: %s [shard/]<server-id>\n", cmd)
 				continue
 			}
-			id, err := strconv.Atoi(args[0])
-			if err != nil || id < 1 || id > kind.Servers() {
-				fmt.Println("bad server id")
+			shard, id, err := parseServer(args[0], cluster.Shards(), cluster.ServersPerShard())
+			if err != nil {
+				fmt.Println(err)
 				continue
 			}
 			if cmd == "crash" {
-				cluster.CrashServer(id)
-				fmt.Printf("server %d crashed\n", id)
-			} else if err := cluster.RestartServer(id); err != nil {
+				cluster.CrashShardServer(shard, id)
+				fmt.Printf("server %d/%d crashed\n", shard, id)
+			} else if err := cluster.RestartShardServer(shard, id); err != nil {
 				fmt.Println("error:", err)
 			} else {
-				fmt.Printf("server %d recovered\n", id)
+				fmt.Printf("server %d/%d recovered\n", shard, id)
 			}
 		case "partition":
+			// All named servers must be in one shard; that shard's side is
+			// cut off from everything else.
+			shard := -1
 			ids := make([]int, 0, len(args))
+			ok := true
 			for _, a := range args {
-				id, err := strconv.Atoi(a)
+				s, id, err := parseServer(a, cluster.Shards(), cluster.ServersPerShard())
 				if err != nil {
-					fmt.Println("bad server id", a)
-					continue
+					fmt.Println(err)
+					ok = false
+					break
 				}
+				if shard >= 0 && s != shard {
+					fmt.Println("partition: all servers must be in one shard")
+					ok = false
+					break
+				}
+				shard = s
 				ids = append(ids, id)
 			}
-			cluster.PartitionServers(ids...)
-			fmt.Printf("servers %v partitioned away\n", ids)
+			if !ok || len(ids) == 0 {
+				continue
+			}
+			cluster.PartitionShardServers(shard, ids...)
+			fmt.Printf("shard %d servers %v partitioned away\n", shard, ids)
 		case "heal":
 			cluster.Heal()
 			fmt.Println("network healed")
 		case "status":
-			for id := 1; id <= kind.Servers(); id++ {
-				s := cluster.DiskStats(id)
-				fmt.Printf("server %d: disk reads=%d writes=%d seqWrites=%d\n",
-					id, s.Reads, s.Writes, s.SeqWrites)
+			for shard := 0; shard < cluster.Shards(); shard++ {
+				for id := 1; id <= cluster.ServersPerShard(); id++ {
+					s := cluster.ShardDiskStats(shard, id)
+					fmt.Printf("shard %d server %d: disk reads=%d writes=%d seqWrites=%d\n",
+						shard, id, s.Reads, s.Writes, s.SeqWrites)
+				}
 			}
 			st := cluster.Net.Stats()
 			fmt.Printf("network: %d frames sent, %d delivered, %d dropped\n",

@@ -1,35 +1,68 @@
 // Conformance suite: the same dir.Directory scenarios run against all
-// four cluster kinds (the paper's Fig. 7 configurations), proving the
-// public API behaves identically whatever the replication strategy
-// behind it — including atomic batches and context cancellation.
+// four cluster kinds (the paper's Fig. 7 configurations) at several
+// shard counts, proving the public API behaves identically whatever the
+// replication strategy — and however many replica groups — behind it,
+// including atomic batches and context cancellation.
 package dir_test
 
 import (
 	"context"
 	"errors"
+	"flag"
+	"fmt"
 	"testing"
 	"time"
 
 	faultdir "dirsvc"
 
 	"dirsvc/dir"
+	"dirsvc/internal/dirclient"
 	"dirsvc/internal/sim"
 )
 
 var bgCtx = context.Background()
 
+// -shards pins the conformance suite to a single shard count (CI runs
+// the race-enabled sharded job with -shards 4); 0 runs {1, 2, 4}.
+var shardsFlag = flag.Int("shards", 0, "run conformance at this shard count only (0 = {1,2,4})")
+
+func shardCounts() []int {
+	if *shardsFlag > 0 {
+		return []int{*shardsFlag}
+	}
+	if testing.Short() {
+		// The -short lane shares CPU with every other package's
+		// simulated clusters; keep its load at the seed's level. CI's
+		// dedicated sharded job runs -shards=4 race-enabled on this
+		// package alone, and the plain `go test ./...` tier runs the
+		// full {1,2,4} matrix.
+		return []int{1}
+	}
+	return []int{1, 2, 4}
+}
+
+// skipShardedInShortLane skips cluster-heavy sharded tests in the
+// shared -short lane unless a shard count was pinned explicitly.
+func skipShardedInShortLane(t *testing.T) {
+	t.Helper()
+	if testing.Short() && *shardsFlag == 0 {
+		t.Skip("sharded cluster test: covered by the dedicated -shards lane and the full suite")
+	}
+}
+
 var allKinds = []faultdir.Kind{
 	faultdir.KindGroup, faultdir.KindGroupNVRAM, faultdir.KindRPC, faultdir.KindLocal,
 }
 
-func newCluster(t *testing.T, kind faultdir.Kind) (*faultdir.Cluster, dir.Directory) {
+func newShardedCluster(t *testing.T, kind faultdir.Kind, shards int) (*faultdir.Cluster, *dirclient.Client) {
 	t.Helper()
 	c, err := faultdir.New(kind, faultdir.Options{
 		Model:             sim.FastModel(),
 		HeartbeatInterval: 15 * time.Millisecond,
+		Shards:            shards,
 	})
 	if err != nil {
-		t.Fatalf("New(%v): %v", kind, err)
+		t.Fatalf("New(%v, shards=%d): %v", kind, shards, err)
 	}
 	t.Cleanup(c.Close)
 	client, cleanup, err := c.NewClient()
@@ -38,6 +71,30 @@ func newCluster(t *testing.T, kind faultdir.Kind) (*faultdir.Cluster, dir.Direct
 	}
 	t.Cleanup(cleanup)
 	return c, client
+}
+
+func newCluster(t *testing.T, kind faultdir.Kind) (*faultdir.Cluster, dir.Directory) {
+	t.Helper()
+	c, client := newShardedCluster(t, kind, 1)
+	return c, client
+}
+
+// createDirOn creates a directory on one shard, riding out the
+// transient no-majority window a freshly booted (or resetting) replica
+// group can expose under heavy load.
+func createDirOn(t *testing.T, client *dirclient.Client, shard int) dir.Capability {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		c, err := client.CreateDirOn(bgCtx, shard)
+		if err == nil {
+			return c
+		}
+		if !errors.Is(err, dir.ErrNoMajority) || time.Now().After(deadline) {
+			t.Fatalf("CreateDirOn(%d): %v", shard, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func TestConformance(t *testing.T) {
@@ -53,13 +110,120 @@ func TestConformance(t *testing.T) {
 		{"BatchAtomicAbort", scenarioBatchAtomicAbort},
 		{"BatchCreateAndUse", scenarioBatchCreateAndUse},
 	}
-	for _, kind := range allKinds {
-		t.Run(kind.String(), func(t *testing.T) {
-			_, d := newCluster(t, kind)
-			for _, sc := range scenarios {
-				t.Run(sc.name, func(t *testing.T) { sc.run(t, d) })
+	for _, shards := range shardCounts() {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			for _, kind := range allKinds {
+				t.Run(kind.String(), func(t *testing.T) {
+					_, d := newShardedCluster(t, kind, shards)
+					for _, sc := range scenarios {
+						t.Run(sc.name, func(t *testing.T) { sc.run(t, d) })
+					}
+				})
 			}
 		})
+	}
+}
+
+// TestCrossShardBatch pins the single-shard atomicity contract on every
+// kind: a batch naming directories on two shards is refused client-side
+// with the typed dir.ErrCrossShardBatch before any step executes, while
+// the same steps split into per-shard batches commit.
+func TestCrossShardBatch(t *testing.T) {
+	skipShardedInShortLane(t)
+	shards := 2
+	if *shardsFlag > 1 {
+		shards = *shardsFlag
+	}
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			_, client := newShardedCluster(t, kind, shards)
+			d0 := createDirOn(t, client, 0)
+			d1 := createDirOn(t, client, 1)
+			if s0, s1 := dir.ShardOf(d0, shards), dir.ShardOf(d1, shards); s0 != 0 || s1 != 1 {
+				t.Fatalf("placement: ShardOf(d0)=%d ShardOf(d1)=%d, want 0, 1", s0, s1)
+			}
+
+			b := dir.NewBatch().
+				Append(d0, "x", d0, nil).
+				Append(d1, "y", d1, nil)
+			_, err := client.Apply(bgCtx, b)
+			if !errors.Is(err, dir.ErrCrossShardBatch) {
+				t.Fatalf("cross-shard Apply: err = %v, want ErrCrossShardBatch", err)
+			}
+			// Fail-fast: no step may have executed.
+			for _, probe := range []struct {
+				d    dir.Capability
+				name string
+			}{{d0, "x"}, {d1, "y"}} {
+				if _, err := client.Lookup(bgCtx, probe.d, probe.name); !errors.Is(err, dir.ErrNotFound) {
+					t.Fatalf("cross-shard batch leaked step %q: err = %v", probe.name, err)
+				}
+			}
+
+			// The same steps, one batch per shard, commit fine.
+			if _, err := client.Apply(bgCtx, dir.NewBatch().Append(d0, "x", d0, nil)); err != nil {
+				t.Fatalf("shard-0 batch: %v", err)
+			}
+			if _, err := client.Apply(bgCtx, dir.NewBatch().Append(d1, "y", d1, nil)); err != nil {
+				t.Fatalf("shard-1 batch: %v", err)
+			}
+		})
+	}
+}
+
+// TestShardPlacementAndRouting proves the routing rule end to end on a
+// 4-shard cluster: CreateDir spreads round-robin, object numbers alone
+// identify home shards, and rows may point across shards while every
+// directory stays reachable through its own replica group.
+func TestShardPlacementAndRouting(t *testing.T) {
+	skipShardedInShortLane(t)
+	const shards = 4
+	_, client := newShardedCluster(t, faultdir.KindGroup, shards)
+	root, err := client.Root(bgCtx)
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	if s := dir.ShardOf(root, shards); s != 0 {
+		t.Fatalf("root homed on shard %d, want 0", s)
+	}
+
+	// One directory per shard, registered under the (shard-0) root: a
+	// directory tree spanning every replica group.
+	caps := make([]dir.Capability, shards)
+	for s := 0; s < shards; s++ {
+		caps[s] = createDirOn(t, client, s)
+		if got := dir.ShardOf(caps[s], shards); got != s {
+			t.Fatalf("CreateDirOn(%d) minted object %d homed on shard %d", s, caps[s].Object, got)
+		}
+		if err := client.Append(bgCtx, root, fmt.Sprintf("shard%d", s), caps[s], nil); err != nil {
+			t.Fatalf("Append shard%d: %v", s, err)
+		}
+	}
+	for s := 0; s < shards; s++ {
+		got, err := client.Lookup(bgCtx, root, fmt.Sprintf("shard%d", s))
+		if err != nil || got != caps[s] {
+			t.Fatalf("Lookup shard%d: %v, %v", s, got, err)
+		}
+		if err := client.Append(bgCtx, caps[s], "here", got, nil); err != nil {
+			t.Fatalf("write on shard %d: %v", s, err)
+		}
+	}
+
+	// Default placement is round-robin: 2×shards creations cover every
+	// shard at least once. The counter behind it is process-global, so
+	// this assertion relies on the package's tests running sequentially
+	// (no t.Parallel()) — concurrent creations elsewhere would steal
+	// residues from the sequence.
+	seen := make(map[int]bool)
+	for i := 0; i < 2*shards; i++ {
+		c, err := client.CreateDir(bgCtx)
+		if err != nil {
+			t.Fatalf("CreateDir: %v", err)
+		}
+		seen[dir.ShardOf(c, shards)] = true
+	}
+	if len(seen) != shards {
+		t.Fatalf("round-robin placement covered %d of %d shards", len(seen), shards)
 	}
 }
 

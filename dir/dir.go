@@ -13,6 +13,7 @@ package dir
 
 import (
 	"context"
+	"errors"
 
 	"dirsvc/internal/capability"
 	"dirsvc/internal/dirdata"
@@ -51,6 +52,25 @@ var (
 	ErrBadCapability = capability.ErrBadCapability
 	ErrNoRights      = capability.ErrNoRights
 )
+
+// ErrCrossShardBatch rejects a batch whose steps address directories on
+// more than one shard. Atomicity is a property of one replica group's
+// totally-ordered broadcast stream, so a batch must stay within the
+// shard that commits it; the client detects the violation before any
+// step executes, and the batch has no effect.
+var ErrCrossShardBatch = errors.New("dir: batch spans more than one shard")
+
+// ShardOf returns the home shard of a capability in a deployment of
+// `shards` independent replica groups: shard s owns the object numbers
+// ≡ s+1 (mod shards), so the object number alone routes a request. The
+// root directory (object 1) is on shard 0. With shards ≤ 1 everything
+// is on shard 0 — the unsharded service.
+func ShardOf(c Capability, shards int) int {
+	if shards <= 1 || c.Object == 0 {
+		return 0
+	}
+	return int((c.Object - 1) % uint32(shards))
+}
 
 // BatchError reports the failing step of a rejected batch; the batch as
 // a whole had no effect. Retrieve it with errors.As.
@@ -96,6 +116,12 @@ type Directory interface {
 	// Apply executes an atomic batch: either every step takes effect, in
 	// order, under one service sequence number, or none do. A failure
 	// carries a *BatchError naming the offending step.
+	//
+	// Atomicity is per shard: in a sharded deployment every step must
+	// address directories homed on one shard (ShardOf), and a batch that
+	// spans shards fails fast with ErrCrossShardBatch before any step
+	// executes. Batches of only CreateDir steps have no home and are
+	// placed like single CreateDir calls.
 	Apply(ctx context.Context, b *Batch) (*BatchResult, error)
 }
 
@@ -158,6 +184,25 @@ func (b *Batch) ReplaceSet(dir Capability, items []SetItem) *Batch {
 // clients; not needed by API users).
 func (b *Batch) Request() *dirsvc.Request {
 	return dirsvc.NewBatchRequest(b.steps)
+}
+
+// Shard returns the single home shard addressed by the batch's
+// directory-bearing steps. ok is false when no step names a directory —
+// a batch of only CreateDir steps may be committed on any shard. Steps
+// naming directories on two different shards yield ErrCrossShardBatch.
+func (b *Batch) Shard(shards int) (shard int, ok bool, err error) {
+	for _, st := range b.steps {
+		if st.Dir.Object == 0 {
+			continue // CreateDir step: homed wherever the batch commits
+		}
+		s := ShardOf(st.Dir, shards)
+		if !ok {
+			shard, ok = s, true
+		} else if s != shard {
+			return 0, false, ErrCrossShardBatch
+		}
+	}
+	return shard, ok, nil
 }
 
 // BatchResult is the outcome of a successfully applied batch.

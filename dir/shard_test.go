@@ -1,0 +1,68 @@
+package dir_test
+
+import (
+	"errors"
+	"testing"
+
+	"dirsvc/dir"
+)
+
+func capOf(obj uint32) dir.Capability {
+	var c dir.Capability
+	c.Object = obj
+	return c
+}
+
+func TestShardOf(t *testing.T) {
+	cases := []struct {
+		obj    uint32
+		shards int
+		want   int
+	}{
+		{1, 1, 0}, {9, 1, 0}, // unsharded: everything on shard 0
+		{0, 4, 0},            // zero capability: defined as shard 0
+		{1, 4, 0},            // root
+		{2, 4, 1}, {3, 4, 2}, {4, 4, 3}, {5, 4, 0}, // residue classes
+		{1, 2, 0}, {2, 2, 1}, {3, 2, 0},
+	}
+	for _, c := range cases {
+		if got := dir.ShardOf(capOf(c.obj), c.shards); got != c.want {
+			t.Errorf("ShardOf(obj=%d, shards=%d) = %d, want %d", c.obj, c.shards, got, c.want)
+		}
+	}
+}
+
+func TestBatchShard(t *testing.T) {
+	const shards = 4
+	d1 := capOf(2) // shard 1
+	d5 := capOf(6) // shard 1
+	d2 := capOf(3) // shard 2
+
+	// All steps on one shard.
+	shard, ok, err := dir.NewBatch().Append(d1, "a", d1, nil).Delete(d5, "b").Shard(shards)
+	if err != nil || !ok || shard != 1 {
+		t.Fatalf("single-shard batch: shard=%d ok=%v err=%v, want 1 true nil", shard, ok, err)
+	}
+
+	// CreateDir steps are shard-agnostic and do not pin the batch.
+	shard, ok, err = dir.NewBatch().CreateDir().Append(d2, "a", d1, nil).Shard(shards)
+	if err != nil || !ok || shard != 2 {
+		t.Fatalf("create+update batch: shard=%d ok=%v err=%v, want 2 true nil", shard, ok, err)
+	}
+
+	// A batch of only creations has no home.
+	if _, ok, err := dir.NewBatch().CreateDir().CreateDir().Shard(shards); ok || err != nil {
+		t.Fatalf("create-only batch: ok=%v err=%v, want false nil", ok, err)
+	}
+
+	// Steps on two shards are refused with the typed sentinel.
+	_, _, err = dir.NewBatch().Append(d1, "a", d1, nil).Append(d2, "b", d2, nil).Shard(shards)
+	if !errors.Is(err, dir.ErrCrossShardBatch) {
+		t.Fatalf("cross-shard batch: err = %v, want ErrCrossShardBatch", err)
+	}
+
+	// With one shard nothing can cross.
+	if _, _, err := dir.NewBatch().Append(d1, "a", d1, nil).Append(d2, "b", d2, nil).Shard(1); err != nil {
+		t.Fatalf("unsharded batch: err = %v", err)
+	}
+}

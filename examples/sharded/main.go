@@ -1,0 +1,132 @@
+// Sharded walks through the scale-out deployment of the directory
+// service: four independent replica groups (shards), each a complete
+// triplicated instance of the paper's protocol, with the object space
+// partitioned across them by object number. It then kills a majority of
+// one shard's replicas and shows the outage is contained: only that
+// shard's directories go unavailable (dir.ErrNoMajority); the other
+// three shards — and the root, on shard 0 — keep serving reads and
+// writes. Restarting the replicas runs the per-shard Fig. 6 recovery
+// and restores the full object space.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	faultdir "dirsvc"
+
+	"dirsvc/dir"
+	"dirsvc/internal/sim"
+)
+
+// bgCtx is the unbounded context used where no deadline applies.
+var bgCtx = context.Background()
+
+const shards = 4
+
+func main() {
+	cluster, err := faultdir.New(faultdir.KindGroup, faultdir.Options{
+		Model:  sim.ScaledPaperModel(0.005),
+		Shards: shards,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, cleanup, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	root, err := client.Root(bgCtx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. %d-shard cluster running: %d replica groups × %d servers, root on shard %d\n",
+		shards, shards, cluster.ServersPerShard(), dir.ShardOf(root, shards))
+
+	// One working directory per shard, all registered under the root — a
+	// single directory tree spanning every replica group.
+	dirs := make([]dir.Capability, shards)
+	for s := 0; s < shards; s++ {
+		dirs[s], err = client.CreateDirOn(bgCtx, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		must(client.Append(bgCtx, root, fmt.Sprintf("user%d", s), dirs[s], nil))
+		must(client.Append(bgCtx, dirs[s], "hello", dirs[s], nil))
+	}
+	fmt.Printf("2. one directory per shard registered in the (shard-0) root; writes spread over %d group streams\n", shards)
+
+	// --- Kill a majority of shard 2's replicas. ---
+	const down = 2
+	cluster.CrashShardServer(down, 1)
+	cluster.CrashShardServer(down, 2)
+	fmt.Printf("3. crashed 2 of 3 replicas of shard %d — that shard has no majority\n", down)
+
+	// Shard 2's objects are refused (the accessible-copies rule, applied
+	// per shard)...
+	refused := false
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		_, err := client.List(bgCtx, dirs[down], 0)
+		if errors.Is(err, dir.ErrNoMajority) {
+			refused = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !refused {
+		log.Fatalf("shard %d kept serving without a majority", down)
+	}
+	fmt.Printf("4. shard %d refuses service: dir.ErrNoMajority\n", down)
+
+	// ...while every other shard keeps serving reads AND writes.
+	for s := 0; s < shards; s++ {
+		if s == down {
+			continue
+		}
+		if _, err := client.Lookup(bgCtx, dirs[s], "hello"); err != nil {
+			log.Fatalf("shard %d read failed during shard-%d outage: %v", s, down, err)
+		}
+		mustEventually(func() error {
+			return client.Append(bgCtx, dirs[s], "written-during-outage", dirs[s], nil)
+		})
+	}
+	if _, err := client.Lookup(bgCtx, root, fmt.Sprintf("user%d", down)); err != nil {
+		log.Fatalf("root lookup failed: %v", err)
+	}
+	fmt.Printf("5. shards 0, 1, 3 (and the root) served reads and writes throughout the outage\n")
+
+	// --- Restart: per-shard Fig. 6 recovery restores the shard. ---
+	must(cluster.RestartShardServer(down, 1))
+	must(cluster.RestartShardServer(down, 2))
+	mustEventually(func() error {
+		return client.Append(bgCtx, dirs[down], "after-recovery", dirs[down], nil)
+	})
+	fmt.Printf("6. shard %d replicas restarted and recovered; full object space available again\n", down)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustEventually(fn func() error) {
+	deadline := time.Now().Add(time.Minute)
+	for {
+		err := fn()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("never succeeded: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -45,6 +45,11 @@ type Config struct {
 	// (3 in the paper, but any N ≥ 1 works — §3: "though four or more
 	// replicas are also possible, without changing the protocol").
 	ID, N int
+	// Shard and Shards place this replica group in a sharded deployment:
+	// the object table then allocates only numbers homed on Shard (see
+	// ObjectTable.ConfigureShard), so capabilities minted here route back
+	// by object number alone. Zero values mean unsharded.
+	Shard, Shards int
 	// Peers maps server ids (1..N) to their host node ids, so config
 	// vectors can be kept when group membership changes.
 	Peers map[int]sim.NodeID
@@ -166,6 +171,7 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("open object table: %w", err)
 	}
+	table.ConfigureShard(cfg.Shard, cfg.Shards)
 	s.table = table
 	s.applier = dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, s.bc)
 	if cfg.NVRAM != nil {

@@ -5,6 +5,15 @@
 // evicts), so a client sticks to one directory server until that server
 // is busy or gone — the behavior behind Fig. 8's load distribution.
 //
+// In a sharded deployment the client is also the routing layer: every
+// operation is sent to the replica group owning the directory it names,
+// computed from the object number alone (dir.ShardOf). The root lives
+// on shard 0; new directories are placed round-robin across shards for
+// load spread; batches must stay within one shard (dir.ErrCrossShardBatch
+// otherwise). Each shard has its own rpc.Client — its own port cache and
+// transaction slot — so operations on different shards proceed in
+// parallel.
+//
 // Every operation takes a context.Context: cancellation or an expired
 // deadline aborts the transaction, including an in-flight wait for a
 // reply, and returns ctx.Err().
@@ -14,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dirsvc/dir"
 	"dirsvc/internal/capability"
@@ -23,12 +33,26 @@ import (
 	"dirsvc/internal/rpc"
 )
 
-// Client talks to one directory service. It implements dir.Directory and
-// is safe for concurrent use (transactions serialize on the underlying
-// RPC client, as Amoeba serialized per kernel transaction slot).
-type Client struct {
+// createSeq drives round-robin placement of new directories. It is
+// shared by every client in the process, so concurrent clients spread
+// their creations across shards instead of all starting on shard 0.
+var createSeq atomic.Uint64
+
+// conn is the client's endpoint to one shard: a dedicated RPC client
+// (its own port cache and transaction serialization) and the shard's
+// service port.
+type conn struct {
 	rpc  *rpc.Client
 	port capability.Port
+}
+
+// Client talks to one directory service deployment — one replica group,
+// or several when the service is sharded. It implements dir.Directory
+// and is safe for concurrent use (transactions serialize per shard on
+// the underlying RPC client, as Amoeba serialized per kernel
+// transaction slot).
+type Client struct {
+	conns []conn // one per shard; index = shard number
 
 	mu   sync.Mutex
 	root capability.Capability // cached root capability
@@ -37,29 +61,71 @@ type Client struct {
 // Client is the wire-transport implementation of the public API.
 var _ dir.Directory = (*Client)(nil)
 
-// New creates a client for the named service on the given stack.
+// New creates a client for the named unsharded service on the given
+// stack.
 func New(stack *flip.Stack, service string) (*Client, error) {
-	rc, err := rpc.NewClient(stack)
-	if err != nil {
-		return nil, err
+	return NewSharded(stack, service, 1)
+}
+
+// NewSharded creates a client for a service partitioned across shards
+// independent replica groups, with one RPC endpoint per shard.
+func NewSharded(stack *flip.Stack, service string, shards int) (*Client, error) {
+	if shards < 1 {
+		shards = 1
 	}
-	return &Client{rpc: rc, port: dirsvc.ServicePort(service)}, nil
+	c := &Client{conns: make([]conn, shards)}
+	for s := 0; s < shards; s++ {
+		rc, err := rpc.NewClient(stack)
+		if err != nil {
+			for _, cn := range c.conns[:s] {
+				cn.rpc.Close()
+			}
+			return nil, err
+		}
+		c.conns[s] = conn{
+			rpc:  rc,
+			port: dirsvc.ServicePort(dirsvc.ShardService(service, s, shards)),
+		}
+	}
+	return c, nil
 }
 
-// NewWithRPC wraps an existing RPC client (shared port cache).
+// NewWithRPC wraps an existing RPC client (shared port cache) as an
+// unsharded client.
 func NewWithRPC(rc *rpc.Client, service string) *Client {
-	return &Client{rpc: rc, port: dirsvc.ServicePort(service)}
+	return &Client{conns: []conn{{rpc: rc, port: dirsvc.ServicePort(service)}}}
 }
 
-// Close releases the client's RPC endpoint.
-func (c *Client) Close() { c.rpc.Close() }
+// Close releases the client's RPC endpoints.
+func (c *Client) Close() {
+	for _, cn := range c.conns {
+		cn.rpc.Close()
+	}
+}
 
-// RPC exposes the underlying RPC client (for Bullet access sharing the
+// Shards returns the number of shards this client routes across.
+func (c *Client) Shards() int { return len(c.conns) }
+
+// RPC exposes the shard-0 RPC client (for Bullet access sharing the
 // same port cache).
-func (c *Client) RPC() *rpc.Client { return c.rpc }
+func (c *Client) RPC() *rpc.Client { return c.conns[0].rpc }
 
-func (c *Client) trans(ctx context.Context, req *dirsvc.Request) (*dirsvc.Reply, error) {
-	reply, err := c.transRaw(ctx, req)
+// shardOf routes a directory capability to its home shard.
+func (c *Client) shardOf(d capability.Capability) int {
+	return dir.ShardOf(d, len(c.conns))
+}
+
+// nextCreateShard picks the shard for a new directory: round-robin
+// across the deployment, shared process-wide.
+func (c *Client) nextCreateShard() int {
+	if len(c.conns) == 1 {
+		return 0
+	}
+	return int((createSeq.Add(1) - 1) % uint64(len(c.conns)))
+}
+
+func (c *Client) trans(ctx context.Context, shard int, req *dirsvc.Request) (*dirsvc.Reply, error) {
+	reply, err := c.transRaw(ctx, shard, req)
 	if err != nil {
 		return nil, err
 	}
@@ -69,18 +135,20 @@ func (c *Client) trans(ctx context.Context, req *dirsvc.Request) (*dirsvc.Reply,
 	return reply, nil
 }
 
-// transRaw performs the transaction and decodes the reply without
-// converting a non-OK status to an error (the batch path needs the
-// reply's blob alongside the status).
-func (c *Client) transRaw(ctx context.Context, req *dirsvc.Request) (*dirsvc.Reply, error) {
-	raw, err := c.rpc.TransCtx(ctx, c.port, req.Encode())
+// transRaw performs the transaction against one shard and decodes the
+// reply without converting a non-OK status to an error (the batch path
+// needs the reply's blob alongside the status).
+func (c *Client) transRaw(ctx context.Context, shard int, req *dirsvc.Request) (*dirsvc.Reply, error) {
+	cn := c.conns[shard]
+	raw, err := cn.rpc.TransCtx(ctx, cn.port, req.Encode())
 	if err != nil {
 		return nil, err
 	}
 	return dirsvc.DecodeReply(raw)
 }
 
-// Root returns (and caches) the root directory capability.
+// Root returns (and caches) the root directory capability. The root is
+// always homed on shard 0.
 func (c *Client) Root(ctx context.Context) (capability.Capability, error) {
 	c.mu.Lock()
 	root := c.root
@@ -88,7 +156,7 @@ func (c *Client) Root(ctx context.Context) (capability.Capability, error) {
 	if !root.IsZero() {
 		return root, nil
 	}
-	reply, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpGetRoot})
+	reply, err := c.trans(ctx, 0, &dirsvc.Request{Op: dirsvc.OpGetRoot})
 	if err != nil {
 		return capability.Capability{}, err
 	}
@@ -99,9 +167,20 @@ func (c *Client) Root(ctx context.Context) (capability.Capability, error) {
 }
 
 // CreateDir creates a new directory (Fig. 2: Create dir) and returns its
-// owner capability. Default columns apply when none are given.
+// owner capability. Default columns apply when none are given. In a
+// sharded deployment the new directory is placed round-robin across the
+// shards.
 func (c *Client) CreateDir(ctx context.Context, columns ...string) (capability.Capability, error) {
-	reply, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpCreateDir, Columns: columns})
+	return c.CreateDirOn(ctx, c.nextCreateShard(), columns...)
+}
+
+// CreateDirOn creates a new directory homed on the given shard —
+// explicit placement for tests, benchmarks, and locality-aware callers.
+func (c *Client) CreateDirOn(ctx context.Context, shard int, columns ...string) (capability.Capability, error) {
+	if shard < 0 || shard >= len(c.conns) {
+		return capability.Capability{}, fmt.Errorf("shard %d of %d: %w", shard, len(c.conns), dirsvc.ErrBadRequest)
+	}
+	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpCreateDir, Columns: columns})
 	if err != nil {
 		return capability.Capability{}, err
 	}
@@ -110,14 +189,14 @@ func (c *Client) CreateDir(ctx context.Context, columns ...string) (capability.C
 
 // DeleteDir deletes a directory (Fig. 2: Delete dir).
 func (c *Client) DeleteDir(ctx context.Context, dir capability.Capability) error {
-	_, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpDeleteDir, Dir: dir})
+	_, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpDeleteDir, Dir: dir})
 	return err
 }
 
 // List returns the rows of a directory visible through column col
 // (Fig. 2: List dir).
 func (c *Client) List(ctx context.Context, dir capability.Capability, col int) ([]dirdata.Row, error) {
-	reply, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpListDir, Dir: dir, Column: col})
+	reply, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpListDir, Dir: dir, Column: col})
 	if err != nil {
 		return nil, err
 	}
@@ -126,12 +205,13 @@ func (c *Client) List(ctx context.Context, dir capability.Capability, col int) (
 
 // Append stores target under name in dir (Fig. 2: Append row). masks
 // gives the per-column rights; nil means full owner rights in every
-// column.
+// column. The target capability is stored opaquely, so rows may point
+// at objects on any shard.
 func (c *Client) Append(ctx context.Context, dir capability.Capability, name string, target capability.Capability, masks []capability.Rights) error {
 	if masks == nil {
 		masks = []capability.Rights{capability.AllRights, capability.AllRights, capability.AllRights}
 	}
-	_, err := c.trans(ctx, &dirsvc.Request{
+	_, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{
 		Op:    dirsvc.OpAppendRow,
 		Dir:   dir,
 		Name:  name,
@@ -143,13 +223,13 @@ func (c *Client) Append(ctx context.Context, dir capability.Capability, name str
 
 // Delete removes the named row (Fig. 2: Delete row).
 func (c *Client) Delete(ctx context.Context, dir capability.Capability, name string) error {
-	_, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpDeleteRow, Dir: dir, Name: name})
+	_, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpDeleteRow, Dir: dir, Name: name})
 	return err
 }
 
 // Chmod replaces the rights masks of the named row (Fig. 2: Chmod row).
 func (c *Client) Chmod(ctx context.Context, dir capability.Capability, name string, masks []capability.Rights) error {
-	_, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpChmodRow, Dir: dir, Name: name, Masks: masks})
+	_, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpChmodRow, Dir: dir, Name: name, Masks: masks})
 	return err
 }
 
@@ -173,7 +253,7 @@ func (c *Client) LookupSet(ctx context.Context, dir capability.Capability, names
 	for i, n := range names {
 		set[i] = dirsvc.SetItem{Name: n}
 	}
-	reply, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpLookupSet, Dir: dir, Set: set})
+	reply, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpLookupSet, Dir: dir, Set: set})
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +263,7 @@ func (c *Client) LookupSet(ctx context.Context, dir capability.Capability, names
 // ReplaceSet atomically replaces the capabilities of several rows
 // (Fig. 2: Replace set), returning the previous capabilities.
 func (c *Client) ReplaceSet(ctx context.Context, dir capability.Capability, items []dirsvc.SetItem) ([]capability.Capability, error) {
-	reply, err := c.trans(ctx, &dirsvc.Request{Op: dirsvc.OpReplaceSet, Dir: dir, Set: items})
+	reply, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpReplaceSet, Dir: dir, Set: items})
 	if err != nil {
 		return nil, err
 	}
@@ -194,6 +274,11 @@ func (c *Client) ReplaceSet(ctx context.Context, dir capability.Capability, item
 // backends, one totally-ordered group broadcast regardless of the number
 // of steps. Either every step takes effect or none do; a rejected batch
 // returns a *dir.BatchError naming the failing step.
+//
+// Atomicity is per shard: every step must address directories homed on
+// one shard, and a batch spanning shards fails with
+// dir.ErrCrossShardBatch before anything is sent. A batch of only
+// CreateDir steps is placed round-robin, like single CreateDir calls.
 func (c *Client) Apply(ctx context.Context, b *dir.Batch) (*dir.BatchResult, error) {
 	if b.Len() == 0 {
 		return &dir.BatchResult{}, nil
@@ -202,7 +287,14 @@ func (c *Client) Apply(ctx context.Context, b *dir.Batch) (*dir.BatchResult, err
 		return nil, fmt.Errorf("batch of %d steps exceeds the %d-step limit: %w",
 			b.Len(), dir.MaxBatchSteps, dir.ErrBadRequest)
 	}
-	reply, err := c.transRaw(ctx, b.Request())
+	shard, ok, err := b.Shard(len(c.conns))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		shard = c.nextCreateShard()
+	}
+	reply, err := c.transRaw(ctx, shard, b.Request())
 	if err != nil {
 		return nil, err
 	}

@@ -205,6 +205,65 @@ func TestObjectTableNextFreeIsDeterministic(t *testing.T) {
 	}
 }
 
+func TestShardServiceNaming(t *testing.T) {
+	// Shard 0 keeps the base name — wire-compatible with the unsharded
+	// service — while other shards get their own (and thus their own
+	// ports); single-shard deployments are the identity.
+	if got := ShardService("svc", 0, 1); got != "svc" {
+		t.Fatalf("ShardService(svc,0,1) = %q", got)
+	}
+	if got := ShardService("svc", 0, 4); got != "svc" {
+		t.Fatalf("ShardService(svc,0,4) = %q", got)
+	}
+	got1, got2 := ShardService("svc", 1, 4), ShardService("svc", 2, 4)
+	if got1 == "svc" || got2 == "svc" || got1 == got2 {
+		t.Fatalf("shard names not distinct: %q, %q", got1, got2)
+	}
+	if ServicePort(got1) == ServicePort(got2) || ServicePort(got1) == ServicePort("svc") {
+		t.Fatal("shard service ports collide")
+	}
+}
+
+func TestObjectTableShardAllocation(t *testing.T) {
+	// Shard 2 of 4 allocates only numbers ≡ 3 (mod 4): the residue class
+	// that dir.ShardOf routes back to shard 2.
+	table, _ := newTestTable(t)
+	table.ConfigureShard(2, 4)
+	if got := table.NextFree(); got != 3 {
+		t.Fatalf("NextFree = %d, want 3", got)
+	}
+	_ = table.Set(3, ObjectEntry{Seq: 1})
+	if got := table.NextFree(); got != 7 {
+		t.Fatalf("NextFree after 3 = %d, want 7", got)
+	}
+	// The shard's own root (object 1, outside its residue class) does not
+	// disturb allocation.
+	_ = table.Set(1, ObjectEntry{Seq: 1})
+	if got := table.NextFree(); got != 7 {
+		t.Fatalf("NextFree with root = %d, want 7", got)
+	}
+	// Batch allocation skips both used and reserved numbers, staying in
+	// the residue class.
+	if got := table.NextFreeExcept(map[uint32]bool{7: true}); got != 11 {
+		t.Fatalf("NextFreeExcept = %d, want 11", got)
+	}
+
+	// Shard 0 of 4 owns 1, 5, 9, ... and the root occupies 1.
+	t0, _ := newTestTable(t)
+	t0.ConfigureShard(0, 4)
+	_ = t0.Set(1, ObjectEntry{Seq: 1})
+	if got := t0.NextFree(); got != 5 {
+		t.Fatalf("shard-0 NextFree = %d, want 5", got)
+	}
+
+	// ConfigureShard with one shard is the identity.
+	t1, _ := newTestTable(t)
+	t1.ConfigureShard(0, 1)
+	if got := t1.NextFree(); got != 1 {
+		t.Fatalf("unsharded NextFree = %d, want 1", got)
+	}
+}
+
 func TestObjectTablePersistsAcrossOpen(t *testing.T) {
 	table, disk := newTestTable(t)
 	e1 := ObjectEntry{Cap: testCap(1), Seq: 3, Secret: capability.NewSecret([]byte("a"))}

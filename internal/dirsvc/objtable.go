@@ -38,6 +38,8 @@ type ObjectTable struct {
 	entries  map[uint32]ObjectEntry
 	ramDirty map[uint32]bool // RAM-only changes not yet persisted to disk
 	max      uint32          // highest object number the partition can hold
+	allocMod uint32          // total shards G (allocation stride, ≥ 1)
+	allocRes uint32          // this shard's index s: allocates obj ≡ s+1 (mod G)
 }
 
 // OpenObjectTable loads the table from the admin partition (blocks 1..end).
@@ -51,6 +53,7 @@ func OpenObjectTable(admin vdisk.Storage) (*ObjectTable, error) {
 		entries:  make(map[uint32]ObjectEntry),
 		ramDirty: make(map[uint32]bool),
 		max:      uint32(blocks * entriesPerBlock),
+		allocMod: 1,
 	}
 	// One sequential scan of the partition (boot/recovery only): a
 	// single seek plus per-block transfers, like reading a raw
@@ -108,18 +111,35 @@ func (t *ObjectTable) Objects() []uint32 {
 	return out
 }
 
-// NextFree returns the lowest unused object number. Because every replica
-// applies updates in the same total order to the same table, this choice
-// is deterministic across the group.
+// ConfigureShard restricts allocation to one shard's residue class of
+// the object-number space: shard s of G allocates only numbers obj with
+// (obj-1) mod G == s, so an object number alone identifies its home
+// shard (the routing rule behind dir.ShardOf) and numbers never collide
+// across shards. Shard 0 owns the root object (1). Call before the
+// table allocates; a no-op for unsharded deployments (shards ≤ 1).
+func (t *ObjectTable) ConfigureShard(shard, shards int) {
+	if shards <= 1 {
+		return
+	}
+	t.mu.Lock()
+	t.allocMod = uint32(shards)
+	t.allocRes = uint32(shard)
+	t.mu.Unlock()
+}
+
+// NextFree returns the lowest unused object number homed on this shard.
+// Because every replica of a shard applies updates in the same total
+// order to the same table, this choice is deterministic across the group.
 func (t *ObjectTable) NextFree() uint32 { return t.NextFreeExcept(nil) }
 
-// NextFreeExcept returns the lowest unused object number that is also
-// not in skip — the allocator for batches, where several creations must
-// pick distinct numbers before any of them commits.
+// NextFreeExcept returns the lowest unused object number homed on this
+// shard that is also not in skip — the allocator for batches, where
+// several creations must pick distinct numbers before any of them
+// commits.
 func (t *ObjectTable) NextFreeExcept(skip map[uint32]bool) uint32 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for obj := uint32(1); obj <= t.max; obj++ {
+	for obj := t.allocRes + 1; obj <= t.max; obj += t.allocMod {
 		if _, used := t.entries[obj]; !used && !skip[obj] {
 			return obj
 		}

@@ -13,6 +13,19 @@ func ServicePort(service string) capability.Port {
 	return capability.PortFromString("dir:" + service)
 }
 
+// ShardService names shard s of a G-shard deployment. Shard 0 keeps the
+// base service name, so a single-shard deployment — and shard 0 of any
+// deployment — stays wire-compatible with the unsharded service; every
+// other shard gets its own name, and with it its own service, group,
+// recovery, and Bullet ports: a full independent instance of the
+// paper's protocol.
+func ShardService(service string, shard, shards int) string {
+	if shards <= 1 || shard == 0 {
+		return service
+	}
+	return fmt.Sprintf("%s~s%d", service, shard)
+}
+
 // BulletPort returns the private port of directory server i's own Bullet
 // server (paper Fig. 3: each directory server only uses one Bullet
 // server).

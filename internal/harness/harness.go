@@ -232,15 +232,24 @@ func MeasureLookupThroughput(c *faultdir.Cluster, clients int, window time.Durat
 	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds()}, nil
 }
 
-// MeasureUpdateThroughput reproduces Fig. 9: n clients issue
-// append-delete pairs; the result is pairs per second (the paper notes
-// actual write throughput is twice this).
-func MeasureUpdateThroughput(c *faultdir.Cluster, clients int, window time.Duration) (Throughput, error) {
-	_, cleanup0, _, dir, err := setupBench(c)
-	if err != nil {
-		return Throughput{}, err
+// measurePairThroughput runs n concurrent clients, each issuing
+// back-to-back append-delete pairs against the working directory dirFor
+// assigns it, for one measurement window. The result is total pairs per
+// second.
+func measurePairThroughput(c *faultdir.Cluster, clients int, window time.Duration, dirFor func(i int, client *dirclient.Client) (capability.Capability, error)) (Throughput, error) {
+	workers := make([]*dirclient.Client, clients)
+	dirs := make([]capability.Capability, clients)
+	for i := 0; i < clients; i++ {
+		client, cleanup, err := c.NewClient()
+		if err != nil {
+			return Throughput{}, err
+		}
+		defer cleanup()
+		workers[i] = client
+		if dirs[i], err = dirFor(i, client); err != nil {
+			return Throughput{}, err
+		}
 	}
-	defer cleanup0()
 
 	counts := make([]int, clients)
 	errs := make(chan error, clients)
@@ -248,13 +257,8 @@ func MeasureUpdateThroughput(c *faultdir.Cluster, clients int, window time.Durat
 	start := time.Now()
 	deadline := start.Add(window)
 	for i := 0; i < clients; i++ {
-		client, cleanup, err := c.NewClient()
-		if err != nil {
-			return Throughput{}, err
-		}
-		defer cleanup()
 		wg.Add(1)
-		go func(i int, client *dirclient.Client) {
+		go func(i int, client *dirclient.Client, dir capability.Capability) {
 			defer wg.Done()
 			for j := 0; time.Now().Before(deadline); j++ {
 				if err := pairOp(client, dir, fmt.Sprintf("c%dn%d", i, j)); err != nil {
@@ -263,7 +267,7 @@ func MeasureUpdateThroughput(c *faultdir.Cluster, clients int, window time.Durat
 				}
 				counts[i]++
 			}
-		}(i, client)
+		}(i, workers[i], dirs[i])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -276,6 +280,41 @@ func MeasureUpdateThroughput(c *faultdir.Cluster, clients int, window time.Durat
 		total += n
 	}
 	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds()}, nil
+}
+
+// MeasureUpdateThroughput reproduces Fig. 9: n clients issue
+// append-delete pairs against one shared directory; the result is pairs
+// per second (the paper notes actual write throughput is twice this).
+func MeasureUpdateThroughput(c *faultdir.Cluster, clients int, window time.Duration) (Throughput, error) {
+	_, cleanup0, _, dir, err := setupBench(c)
+	if err != nil {
+		return Throughput{}, err
+	}
+	defer cleanup0()
+	return measurePairThroughput(c, clients, window,
+		func(int, *dirclient.Client) (capability.Capability, error) { return dir, nil })
+}
+
+// MeasureShardedUpdateThroughput measures aggregate write throughput
+// with per-client working directories: client i's directory is placed on
+// shard i mod G, so the offered write load spreads across every replica
+// group. With G=1 this degenerates to independent directories on the
+// single group — the baseline the shard experiment compares against.
+// The result is append-delete pairs per second summed over all clients.
+func MeasureShardedUpdateThroughput(c *faultdir.Cluster, clients int, window time.Duration) (Throughput, error) {
+	shards := c.Shards()
+	return measurePairThroughput(c, clients, window,
+		func(i int, client *dirclient.Client) (capability.Capability, error) {
+			var d capability.Capability
+			if err := retryTransient(func() error {
+				var cerr error
+				d, cerr = client.CreateDirOn(bgCtx, i%shards)
+				return cerr
+			}); err != nil {
+				return capability.Capability{}, fmt.Errorf("create working dir on shard %d: %w", i%shards, err)
+			}
+			return d, nil
+		})
 }
 
 // MeasureMixedWorkload drives the workload shape the paper reports from

@@ -31,6 +31,9 @@ type Config struct {
 	Service string
 	Admin   vdisk.Storage
 	Workers int
+	// Shard and Shards place this server in a sharded deployment (see
+	// dirsvc.ObjectTable.ConfigureShard). Zero values mean unsharded.
+	Shard, Shards int
 }
 
 // Server is the unreplicated directory server.
@@ -61,6 +64,7 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("localdir: %w", err)
 	}
+	table.ConfigureShard(cfg.Shard, cfg.Shards)
 	s := &Server{
 		cfg:     cfg,
 		stack:   stack,

@@ -41,6 +41,9 @@ type Config struct {
 	// Staging is the fixed intentions block (same disk, short seek).
 	Staging vdisk.Storage
 	Workers int
+	// Shard and Shards place this server pair in a sharded deployment
+	// (see dirsvc.ObjectTable.ConfigureShard). Zero values mean unsharded.
+	Shard, Shards int
 }
 
 // pendingIntention is an update the peer has proposed and we have
@@ -94,6 +97,7 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpcdir: %w", err)
 	}
+	table.ConfigureShard(cfg.Shard, cfg.Shards)
 	s := &Server{
 		cfg:       cfg,
 		stack:     stack,

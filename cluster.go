@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"dirsvc/dir"
 	"dirsvc/internal/bullet"
 	"dirsvc/internal/core"
 	"dirsvc/internal/dirclient"
@@ -107,6 +108,10 @@ type Options struct {
 	NVRAMSize int
 	// IdleFlush tunes the NVRAM flush idle threshold.
 	IdleFlush time.Duration
+	// ClientCache configures the read cache of every client the cluster
+	// creates (NewClient). The zero value — cache off — is the paper's
+	// original client behavior. See dir.CacheOptions.
+	ClientCache dir.CacheOptions
 }
 
 // adminBlocks is the admin partition size: commit block + object table.
@@ -149,8 +154,9 @@ type Cluster struct {
 	opts   Options
 	shards []*shardGroup
 
-	mu      sync.Mutex
-	clients []func()
+	mu         sync.Mutex
+	clients    []func()
+	dirClients []*dirclient.Client
 }
 
 var clusterSeq int
@@ -335,11 +341,19 @@ func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 }
 
 // NewClient creates a directory client on a fresh client host, routing
-// across every shard of the deployment. The returned cleanup releases
-// the client's resources.
+// across every shard of the deployment, with the read cache configured
+// by Options.ClientCache. The returned cleanup releases the client's
+// resources.
 func (c *Cluster) NewClient() (*dirclient.Client, func(), error) {
+	return c.NewCachedClient(c.opts.ClientCache)
+}
+
+// NewCachedClient creates a directory client with an explicit read-cache
+// configuration, overriding Options.ClientCache (see dir.CacheOptions;
+// the zero value disables the cache).
+func (c *Cluster) NewCachedClient(opts dir.CacheOptions) (*dirclient.Client, func(), error) {
 	stack := flip.NewStack(c.Net.AddNode("client"))
-	client, err := dirclient.NewSharded(stack, c.Service, c.opts.Shards)
+	client, err := dirclient.NewShardedCached(stack, c.Service, c.opts.Shards, opts)
 	if err != nil {
 		stack.Close()
 		return nil, nil, err
@@ -350,8 +364,26 @@ func (c *Cluster) NewClient() (*dirclient.Client, func(), error) {
 	}
 	c.mu.Lock()
 	c.clients = append(c.clients, cleanup)
+	c.dirClients = append(c.dirClients, client)
 	c.mu.Unlock()
 	return client, cleanup, nil
+}
+
+// CacheStats sums the read-cache counters over every client the cluster
+// has created (zero when caching is disabled everywhere).
+func (c *Cluster) CacheStats() dir.CacheStats {
+	c.mu.Lock()
+	clients := append([]*dirclient.Client(nil), c.dirClients...)
+	c.mu.Unlock()
+	var total dir.CacheStats
+	for _, cl := range clients {
+		s := cl.CacheStats()
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Invalidations += s.Invalidations
+		total.Evictions += s.Evictions
+	}
+	return total
 }
 
 // NewFileClient creates a Bullet client on the public file-service port

@@ -1,13 +1,18 @@
 // Command dirbench regenerates the paper's evaluation (§4): Fig. 7's
 // latency table, the Fig. 8 and Fig. 9 throughput sweeps, the §1/§6
 // headline numbers, and the §4.2 upper-bound analysis, printing measured
-// values next to the paper's.
+// values next to the paper's. Two experiments cover this repo's own
+// additions: `shard` (write-throughput scaling across replica groups)
+// and `cache` (the client read cache on the paper's 98%-read mix); both
+// write machine-readable JSON records (BENCH_shard.json,
+// BENCH_cache.json).
 //
 // Usage:
 //
 //	dirbench -experiment fig7
 //	dirbench -experiment fig8 -window 2s
 //	dirbench -experiment shard -out BENCH_shard.json
+//	dirbench -experiment cache
 //	dirbench -experiment all -scale 0.1
 //
 // With -scale below 1 the simulated hardware runs proportionally faster;
@@ -23,28 +28,42 @@ import (
 
 	faultdir "dirsvc"
 
+	"dirsvc/dir"
 	"dirsvc/internal/harness"
 	"dirsvc/internal/sim"
 )
 
-// defaultOut is the committed record of the calibrated paper-hardware
-// shard experiment.
-const defaultOut = "BENCH_shard.json"
+// Committed records of the calibrated paper-hardware runs. `-out auto`
+// resolves to them when the experiment is invoked directly; an `all`
+// sweep (often scaled down) never overwrites them.
+const (
+	defaultShardOut = "BENCH_shard.json"
+	defaultCacheOut = "BENCH_cache.json"
+)
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | all")
+		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | all")
 		window     = flag.Duration("window", 2*time.Second, "measurement window per throughput point")
 		pairs      = flag.Int("pairs", 10, "append-delete pairs per latency measurement")
 		scale      = flag.Float64("scale", 1.0, "latency scale factor (1.0 = paper hardware)")
-		clients    = flag.Int("clients", 12, "client count for the shard experiment")
-		out        = flag.String("out", defaultOut, "machine-readable results file (shard experiment)")
+		clients    = flag.Int("clients", 12, "client count for the shard and cache experiments")
+		out        = flag.String("out", "auto", "results file for shard/cache ('auto' = the experiment's BENCH_*.json, '' = don't write)")
 	)
 	flag.Parse()
 	if err := run(*experiment, *window, *pairs, *scale, *clients, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "dirbench:", err)
 		os.Exit(1)
 	}
+}
+
+// resolveOut maps the -out flag to a concrete path for one experiment
+// ("" = don't write).
+func resolveOut(out, experimentDefault string) string {
+	if out == "auto" {
+		return experimentDefault
+	}
+	return out
 }
 
 func run(experiment string, window time.Duration, pairs int, scale float64, clients int, out string) error {
@@ -63,15 +82,18 @@ func run(experiment string, window time.Duration, pairs int, scale float64, clie
 	case "batch":
 		return batchAmortization(model, scale)
 	case "shard":
-		return shardScaling(model, window, scale, clients, out)
+		return shardScaling(model, window, scale, clients, resolveOut(out, defaultShardOut))
+	case "cache":
+		return cacheSpeedup(model, window, scale, clients, resolveOut(out, defaultCacheOut))
 	case "all":
-		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard"} {
-			// The committed BENCH_shard.json records the calibrated
-			// paper-hardware run; an `all` sweep (often scaled down)
-			// must not overwrite it unless -out was set explicitly.
+		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache"} {
 			expOut := out
-			if exp == "shard" && out == defaultOut {
-				fmt.Println("(all sweep: not writing", defaultOut, "— use -experiment shard, or pass -out explicitly)")
+			if expOut == "auto" {
+				// Don't overwrite the committed calibrated records from a
+				// (typically scaled-down) sweep.
+				if exp == "shard" || exp == "cache" {
+					fmt.Printf("(all sweep: not writing BENCH_%s.json — use -experiment %s, or pass -out explicitly)\n", exp, exp)
+				}
 				expOut = ""
 			}
 			if err := run(exp, window, pairs, scale, clients, expOut); err != nil {
@@ -273,6 +295,105 @@ func shardScaling(model *sim.LatencyModel, window time.Duration, scale float64, 
 		}
 		res.Points = append(res.Points, shardPoint{Shards: g, Clients: clients, OpsPerSec: ops, Speedup: speedup})
 		fmt.Printf("shards=%d  %8.1f pairs/s  (%.2fx vs 1 shard)\n", g, ops, speedup)
+	}
+	if out == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("results written to %s\n", out)
+	return nil
+}
+
+// cachePoint is one measured configuration of the cache experiment.
+type cachePoint struct {
+	Cache         bool    `json:"cache"`
+	OpsPerSec     float64 `json:"ops_per_sec"` // mixed ops/s, paper-hardware time
+	SpeedupVsOff  float64 `json:"speedup_vs_off"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Invalidations uint64  `json:"invalidations"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// cacheResult is the machine-readable record written to -out.
+type cacheResult struct {
+	Experiment string       `json:"experiment"`
+	Kind       string       `json:"kind"`
+	Shards     int          `json:"shards"`
+	Clients    int          `json:"clients"`
+	ReadPct    int          `json:"read_pct"`
+	WindowMS   int64        `json:"window_ms"`
+	Scale      float64      `json:"scale"`
+	Points     []cachePoint `json:"points"`
+}
+
+// cacheSpeedup measures the client read cache on the paper's production
+// workload shape (98% reads, §2): the same mixed load runs once with the
+// cache off — every lookup an RPC round-trip, the paper's client — and
+// once with it on, where repeat lookups are served from the per-shard
+// client cache and only invalidated by sequence-number advances.
+func cacheSpeedup(model *sim.LatencyModel, window time.Duration, scale float64, clients int, out string) error {
+	const (
+		kind    = faultdir.KindGroupNVRAM
+		shards  = 2
+		readPct = 98
+	)
+	fmt.Printf("== Client read cache: %d clients, %d%% reads, %v kind, %d shards — ops/s with cache off vs on\n",
+		clients, readPct, kind, shards)
+	res := cacheResult{
+		Experiment: "cache",
+		Kind:       kind.String(),
+		Shards:     shards,
+		Clients:    clients,
+		ReadPct:    readPct,
+		WindowMS:   window.Milliseconds(),
+		Scale:      scale,
+	}
+	var base float64
+	for _, cached := range []bool{false, true} {
+		c, err := faultdir.New(kind, faultdir.Options{
+			Model:       model,
+			Shards:      shards,
+			ClientCache: dir.CacheOptions{Enabled: cached},
+		})
+		if err != nil {
+			return err
+		}
+		tp, err := harness.MeasureMixedWorkload(c, clients, readPct, window)
+		stats := c.CacheStats()
+		c.Close()
+		if err != nil {
+			return fmt.Errorf("cache=%v: %w", cached, err)
+		}
+		ops := tp.OpsPerSec * scale // de-scale back to paper hardware speed
+		if !cached {
+			base = ops
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = ops / base
+		}
+		res.Points = append(res.Points, cachePoint{
+			Cache:         cached,
+			OpsPerSec:     ops,
+			SpeedupVsOff:  speedup,
+			Hits:          stats.Hits,
+			Misses:        stats.Misses,
+			Invalidations: stats.Invalidations,
+			HitRate:       stats.HitRate(),
+		})
+		if cached {
+			fmt.Printf("cache=on   %10.1f ops/s  (%.2fx vs off; hit rate %.1f%%, %d invalidations)\n",
+				ops, speedup, 100*stats.HitRate(), stats.Invalidations)
+		} else {
+			fmt.Printf("cache=off  %10.1f ops/s\n", ops)
+		}
 	}
 	if out == "" {
 		return nil

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01] [-shards 4]
+//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01] [-shards 4] [-cache]
+//
+// With -cache the shell's client runs the per-shard read cache
+// (dir.CacheOptions): repeat ls/cat lookups are served locally and the
+// status command shows the hit/miss/invalidation counters.
 //
 // Commands (type "help" at the prompt):
 //
@@ -43,9 +47,10 @@ func main() {
 		kindName = flag.String("kind", "group", "group | group+nvram | rpc | local")
 		scale    = flag.Float64("scale", 0.01, "hardware latency scale (1.0 = paper speed)")
 		shards   = flag.Int("shards", 1, "number of independent replica groups")
+		cache    = flag.Bool("cache", false, "enable the client read cache")
 	)
 	flag.Parse()
-	if err := run(*kindName, *scale, *shards); err != nil {
+	if err := run(*kindName, *scale, *shards, *cache); err != nil {
 		fmt.Fprintln(os.Stderr, "dird:", err)
 		os.Exit(1)
 	}
@@ -81,7 +86,7 @@ func parseKind(name string) (faultdir.Kind, error) {
 	}
 }
 
-func run(kindName string, scale float64, shards int) error {
+func run(kindName string, scale float64, shards int, cache bool) error {
 	kind, err := parseKind(kindName)
 	if err != nil {
 		return err
@@ -89,8 +94,13 @@ func run(kindName string, scale float64, shards int) error {
 	if shards < 1 {
 		shards = 1
 	}
-	fmt.Printf("booting %v cluster (%d shard(s) × %d servers, scale %g)...\n", kind, shards, kind.Servers(), scale)
-	cluster, err := faultdir.New(kind, faultdir.Options{Model: sim.ScaledPaperModel(scale), Shards: shards})
+	fmt.Printf("booting %v cluster (%d shard(s) × %d servers, scale %g, cache %v)...\n",
+		kind, shards, kind.Servers(), scale, cache)
+	cluster, err := faultdir.New(kind, faultdir.Options{
+		Model:       sim.ScaledPaperModel(scale),
+		Shards:      shards,
+		ClientCache: dir.CacheOptions{Enabled: cache},
+	})
 	if err != nil {
 		return err
 	}
@@ -262,6 +272,10 @@ func run(kindName string, scale float64, shards int) error {
 			st := cluster.Net.Stats()
 			fmt.Printf("network: %d frames sent, %d delivered, %d dropped\n",
 				st.FramesSent, st.FramesDelivered, st.FramesDropped)
+			if cs := client.CacheStats(); cs.Hits+cs.Misses > 0 {
+				fmt.Printf("client cache: %d hits, %d misses (%.1f%% hit rate), %d invalidations, %d evictions\n",
+					cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Invalidations, cs.Evictions)
+			}
 		default:
 			fmt.Println("unknown command; type \"help\"")
 		}

@@ -1,0 +1,145 @@
+// Command docscheck is the CI documentation gate: every package in the
+// module must carry a package-level doc comment, and every exported
+// top-level symbol of the public API package (dir) must carry a doc
+// comment. It exits non-zero listing the offenders.
+//
+// Usage (from the module root):
+//
+//	go run ./cmd/docscheck
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// publicPackages are the import paths (relative to the module root)
+// whose exported symbols must all be documented, not just the package.
+var publicPackages = map[string]bool{"dir": true}
+
+func main() {
+	var problems []string
+	pkgDirs := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			pkgDirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+
+	for dir := range pkgDirs {
+		problems = append(problems, checkPackage(dir)...)
+	}
+	if len(problems) > 0 {
+		for _, p := range sorted(problems) {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d packages documented\n", len(pkgDirs))
+}
+
+// checkPackage parses one directory and reports missing documentation.
+func checkPackage(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", dir, err)}
+	}
+	var problems []string
+	for _, pkg := range pkgs {
+		hasDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				hasDoc = true
+				break
+			}
+		}
+		if !hasDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package doc comment", dir, pkg.Name))
+		}
+		if publicPackages[filepath.ToSlash(dir)] {
+			problems = append(problems, checkExported(fset, pkg)...)
+		}
+	}
+	return problems
+}
+
+// checkExported reports exported top-level symbols without doc comments.
+func checkExported(fset *token.FileSet, pkg *ast.Package) []string {
+	var problems []string
+	undocumented := func(name string, doc *ast.CommentGroup, pos token.Pos) {
+		if doc == nil || len(strings.TrimSpace(doc.Text())) == 0 {
+			p := fset.Position(pos)
+			problems = append(problems, fmt.Sprintf("%s:%d: exported %s has no doc comment", p.Filename, p.Line, name))
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() {
+					undocumented(d.Name.Name, d.Doc, d.Pos())
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							undocumented(s.Name.Name, firstDoc(s.Doc, d.Doc), d.Pos())
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() {
+								undocumented(n.Name, firstDoc(s.Doc, d.Doc), d.Pos())
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// firstDoc prefers the spec's own comment over the grouped decl's.
+func firstDoc(specDoc, declDoc *ast.CommentGroup) *ast.CommentGroup {
+	if specDoc != nil {
+		return specDoc
+	}
+	return declDoc
+}
+
+// sorted returns the problems in stable order (insertion sort: the list
+// is short).
+func sorted(s []string) []string {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s
+}

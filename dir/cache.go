@@ -1,0 +1,76 @@
+package dir
+
+// DefaultCacheEntries is the per-shard entry bound used when
+// CacheOptions.MaxEntries is zero.
+const DefaultCacheEntries = 1024
+
+// CacheOptions configures the client-side read cache.
+//
+// The paper's production workload is 98% reads (§2), yet every Lookup,
+// LookupSet, and List pays a full RPC round-trip. With the cache enabled
+// the client keeps recent read results — List rows and looked-up
+// capabilities, keyed by (capability, operation) — in a per-shard LRU
+// cache and serves repeat reads locally, without any network traffic.
+//
+// # Consistency model
+//
+// Every reply from a shard carries that shard's service-wide commit
+// sequence number (Seq). The client tracks a per-shard high-water mark:
+// any reply whose Seq advances past it proves updates committed that the
+// cache has not seen, and invalidates that shard's entries. When the
+// advance is exactly the client's own single update (or one atomic
+// batch), only the touched directories' entries are dropped — the
+// per-object refinement; otherwise the whole shard's entries go
+// (coarse). Read replies also carry the directory's own last-change
+// sequence number (ObjSeq), which tags entries so a cached result is
+// never replaced by an older one.
+//
+// The guarantees, per client:
+//
+//   - Read-your-writes. A client's update reply invalidates the affected
+//     entries before the update returns, so its subsequent reads observe
+//     its own writes (the server read path already guarantees a cache
+//     miss sees all committed updates, §3.1).
+//   - Monotonic reads per shard. Cached data is never older than the
+//     newest reply the client has seen from that shard.
+//   - Staleness is bounded by the client's own traffic to the shard: a
+//     cached read may miss another client's committed update until this
+//     client next hears from the shard (any miss, update, or failed read
+//     carries the invalidating Seq). There is no cross-client
+//     notification protocol — exactly the trade the paper's 98%-read
+//     workload makes profitable.
+//
+// Reads through a disabled (zero) CacheOptions behave exactly as before:
+// every read is an RPC, and the service's one-copy serializability is
+// unweakened.
+type CacheOptions struct {
+	// Enabled turns the read cache on. The zero value — cache off — is
+	// the paper's original client behavior.
+	Enabled bool
+	// MaxEntries bounds the number of cached results per shard; least
+	// recently used entries are evicted beyond it. Zero means
+	// DefaultCacheEntries.
+	MaxEntries int
+}
+
+// CacheStats are the client read-cache counters. A hit is a read
+// operation answered entirely from the cache (no RPC); a miss is a read
+// that had to go to the server (and then filled the cache); an
+// invalidation is a cached result dropped because a reply's sequence
+// number proved it could be stale; an eviction is a drop forced by the
+// MaxEntries bound.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+	Evictions     uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 when no reads were counted.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

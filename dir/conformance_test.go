@@ -1,8 +1,9 @@
 // Conformance suite: the same dir.Directory scenarios run against all
 // four cluster kinds (the paper's Fig. 7 configurations) at several
-// shard counts, proving the public API behaves identically whatever the
-// replication strategy — and however many replica groups — behind it,
-// including atomic batches and context cancellation.
+// shard counts, with the client read cache both off and on, proving the
+// public API behaves identically whatever the replication strategy — and
+// however many replica groups, and whatever the caching mode — behind
+// it, including atomic batches and context cancellation.
 package dir_test
 
 import (
@@ -56,10 +57,16 @@ var allKinds = []faultdir.Kind{
 
 func newShardedCluster(t *testing.T, kind faultdir.Kind, shards int) (*faultdir.Cluster, *dirclient.Client) {
 	t.Helper()
+	return newCachedCluster(t, kind, shards, dir.CacheOptions{})
+}
+
+func newCachedCluster(t *testing.T, kind faultdir.Kind, shards int, cache dir.CacheOptions) (*faultdir.Cluster, *dirclient.Client) {
+	t.Helper()
 	c, err := faultdir.New(kind, faultdir.Options{
 		Model:             sim.FastModel(),
 		HeartbeatInterval: 15 * time.Millisecond,
 		Shards:            shards,
+		ClientCache:       cache,
 	})
 	if err != nil {
 		t.Fatalf("New(%v, shards=%d): %v", kind, shards, err)
@@ -112,11 +119,19 @@ func TestConformance(t *testing.T) {
 	}
 	for _, shards := range shardCounts() {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			for _, kind := range allKinds {
-				t.Run(kind.String(), func(t *testing.T) {
-					_, d := newShardedCluster(t, kind, shards)
-					for _, sc := range scenarios {
-						t.Run(sc.name, func(t *testing.T) { sc.run(t, d) })
+			for _, cached := range []bool{false, true} {
+				t.Run(fmt.Sprintf("cache=%v", cached), func(t *testing.T) {
+					for _, kind := range allKinds {
+						t.Run(kind.String(), func(t *testing.T) {
+							_, d := newCachedCluster(t, kind, shards, dir.CacheOptions{Enabled: cached})
+							// Ride out the transient no-majority window a
+							// freshly booted group can expose when many
+							// simulated clusters share the machine.
+							createDirOn(t, d, 0)
+							for _, sc := range scenarios {
+								t.Run(sc.name, func(t *testing.T) { sc.run(t, d) })
+							}
+						})
 					}
 				})
 			}
@@ -136,7 +151,10 @@ func TestCrossShardBatch(t *testing.T) {
 	}
 	for _, kind := range allKinds {
 		t.Run(kind.String(), func(t *testing.T) {
-			_, client := newShardedCluster(t, kind, shards)
+			// The cached client pins two extra properties: a fail-fast
+			// batch leaves the cache untouched, and a committed batch
+			// invalidates the cached negatives its steps supersede.
+			_, client := newCachedCluster(t, kind, shards, dir.CacheOptions{Enabled: true})
 			d0 := createDirOn(t, client, 0)
 			d1 := createDirOn(t, client, 1)
 			if s0, s1 := dir.ShardOf(d0, shards), dir.ShardOf(d1, shards); s0 != 0 || s1 != 1 {
@@ -160,12 +178,22 @@ func TestCrossShardBatch(t *testing.T) {
 				}
 			}
 
-			// The same steps, one batch per shard, commit fine.
+			// The same steps, one batch per shard, commit fine — and the
+			// commits invalidate the cached negative lookups from the
+			// fail-fast probes above.
 			if _, err := client.Apply(bgCtx, dir.NewBatch().Append(d0, "x", d0, nil)); err != nil {
 				t.Fatalf("shard-0 batch: %v", err)
 			}
 			if _, err := client.Apply(bgCtx, dir.NewBatch().Append(d1, "y", d1, nil)); err != nil {
 				t.Fatalf("shard-1 batch: %v", err)
+			}
+			for _, probe := range []struct {
+				d    dir.Capability
+				name string
+			}{{d0, "x"}, {d1, "y"}} {
+				if got, err := client.Lookup(bgCtx, probe.d, probe.name); err != nil || got != probe.d {
+					t.Fatalf("post-batch Lookup %q: %v, %v — cached negative survived the commit", probe.name, got, err)
+				}
 			}
 		})
 	}

@@ -180,6 +180,23 @@ func (b *Batch) ReplaceSet(dir Capability, items []SetItem) *Batch {
 	return b
 }
 
+// Objects returns the distinct directory object numbers named by the
+// batch's steps, in first-appearance order. CreateDir steps name no
+// directory and contribute nothing. Clients use this for fine-grained
+// cache invalidation after a batch commits.
+func (b *Batch) Objects() []uint32 {
+	seen := make(map[uint32]bool, len(b.steps))
+	var out []uint32
+	for _, st := range b.steps {
+		if st.Dir.Object == 0 || seen[st.Dir.Object] {
+			continue
+		}
+		seen[st.Dir.Object] = true
+		out = append(out, st.Dir.Object)
+	}
+	return out
+}
+
 // Request encodes the batch as a single OpBatch wire request (transport
 // clients; not needed by API users).
 func (b *Batch) Request() *dirsvc.Request {

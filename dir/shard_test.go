@@ -20,8 +20,8 @@ func TestShardOf(t *testing.T) {
 		want   int
 	}{
 		{1, 1, 0}, {9, 1, 0}, // unsharded: everything on shard 0
-		{0, 4, 0},            // zero capability: defined as shard 0
-		{1, 4, 0},            // root
+		{0, 4, 0},                                  // zero capability: defined as shard 0
+		{1, 4, 0},                                  // root
 		{2, 4, 1}, {3, 4, 2}, {4, 4, 3}, {5, 4, 0}, // residue classes
 		{1, 2, 0}, {2, 2, 1}, {3, 2, 0},
 	}

@@ -352,8 +352,16 @@ func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
 			return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
 		}
 	}
+	// Sample the applied sequence number before executing the read: the
+	// data returned is at least that fresh, so the stamp is a safe
+	// (conservative) freshness bound for client read caches.
+	s.mu.Lock()
+	svcSeq := s.appliedSeq
+	s.mu.Unlock()
 	s.stack.Node().CPU().Charge(s.model.LookupCPU)
-	return s.applier.Read(req)
+	reply := s.applier.Read(req)
+	reply.Seq = svcSeq
+	return reply
 }
 
 // handleUpdate implements the write path: majority check, pre-generate

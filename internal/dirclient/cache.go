@@ -1,0 +1,290 @@
+package dirclient
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"dirsvc/dir"
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirdata"
+)
+
+// Cached read operations.
+const (
+	cacheList   uint8 = iota + 1 // List rows for one (capability, column)
+	cacheLookup                  // resolved capability for one (capability, name)
+)
+
+// cacheKey identifies one cached read result. The key carries the full
+// capability — not just the object number — so a forged or
+// rights-restricted capability can never hit an entry filled through a
+// valid one; it must go to the server, which verifies the check field.
+type cacheKey struct {
+	dir  capability.Capability
+	kind uint8
+	col  int    // cacheList: column selector
+	name string // cacheLookup: row name
+}
+
+// cacheEntry is one cached result, tagged with the per-object sequence
+// number of the reply that filled it so a newer result is never
+// overwritten by an older in-flight one.
+type cacheEntry struct {
+	objSeq uint64
+	rows   []dirdata.Row         // cacheList
+	cap    capability.Capability // cacheLookup; zero = cached "not found"
+	elem   *list.Element         // position in the shard's LRU list
+}
+
+// shardCache holds one shard's entries and its invalidation state. Each
+// shard has an independent sequence-number stream (its own commit
+// block), so high-water tracking is per shard.
+type shardCache struct {
+	mu      sync.Mutex
+	seq     uint64 // high-water commit Seq observed in replies from this shard
+	epoch   uint64 // bumped on every invalidation; guards in-flight fills
+	entries map[cacheKey]*cacheEntry
+	lru     list.List // front = most recently used; values are cacheKey
+}
+
+// readCache is the client's per-shard read cache with sequence-number
+// invalidation (see dir.CacheOptions for the consistency model). A nil
+// *readCache is a disabled cache: every method no-ops.
+type readCache struct {
+	maxEntries int
+	shards     []*shardCache
+
+	hits, misses, invalidations, evictions atomic.Uint64
+}
+
+// newReadCache builds a cache for a deployment of `shards` replica
+// groups, or returns nil (disabled) when opts.Enabled is false.
+func newReadCache(shards int, opts dir.CacheOptions) *readCache {
+	if !opts.Enabled {
+		return nil
+	}
+	maxEntries := opts.MaxEntries
+	if maxEntries <= 0 {
+		maxEntries = dir.DefaultCacheEntries
+	}
+	rc := &readCache{maxEntries: maxEntries, shards: make([]*shardCache, shards)}
+	for i := range rc.shards {
+		rc.shards[i] = &shardCache{entries: make(map[cacheKey]*cacheEntry)}
+	}
+	return rc
+}
+
+// stats returns a snapshot of the counters.
+func (rc *readCache) stats() dir.CacheStats {
+	if rc == nil {
+		return dir.CacheStats{}
+	}
+	return dir.CacheStats{
+		Hits:          rc.hits.Load(),
+		Misses:        rc.misses.Load(),
+		Invalidations: rc.invalidations.Load(),
+		Evictions:     rc.evictions.Load(),
+	}
+}
+
+// epochOf snapshots the shard's invalidation epoch; a fill started under
+// this epoch installs only if no invalidation intervened (or the fill's
+// own reply advanced the sequence, making it the freshest data known).
+func (rc *readCache) epochOf(shard int) uint64 {
+	if rc == nil {
+		return 0
+	}
+	sc := rc.shards[shard]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.epoch
+}
+
+// getList returns the cached List rows for (d, col). The rows are a
+// fresh copy, made under the shard lock: callers may mutate them without
+// corrupting the cache, and in-place refills never race the read.
+func (rc *readCache) getList(shard int, d capability.Capability, col int) ([]dirdata.Row, bool) {
+	if rc == nil {
+		return nil, false
+	}
+	sc := rc.shards[shard]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	e, ok := sc.entries[cacheKey{dir: d, kind: cacheList, col: col}]
+	if !ok {
+		return nil, false
+	}
+	sc.lru.MoveToFront(e.elem)
+	return cloneRows(e.rows), true
+}
+
+// getLookup returns the cached capability for (d, name); a zero
+// capability with ok=true is a cached "not found".
+func (rc *readCache) getLookup(shard int, d capability.Capability, name string) (capability.Capability, bool) {
+	if rc == nil {
+		return capability.Capability{}, false
+	}
+	sc := rc.shards[shard]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	e, ok := sc.entries[cacheKey{dir: d, kind: cacheLookup, name: name}]
+	if !ok {
+		return capability.Capability{}, false
+	}
+	sc.lru.MoveToFront(e.elem)
+	return e.cap, true
+}
+
+// hit and miss record one read operation's outcome (operation-level, not
+// per key: a LookupSet counts once however many names it carries).
+func (rc *readCache) hit() {
+	if rc != nil {
+		rc.hits.Add(1)
+	}
+}
+
+func (rc *readCache) miss() {
+	if rc != nil {
+		rc.misses.Add(1)
+	}
+}
+
+// fillList installs a List result read from the server. epoch must be
+// the epochOf snapshot taken before the RPC was issued.
+func (rc *readCache) fillList(shard int, epoch uint64, d capability.Capability, col int, rows []dirdata.Row, objSeq, seq uint64) {
+	if rc == nil {
+		return
+	}
+	rc.fill(shard, epoch, seq, []cacheKey{{dir: d, kind: cacheList, col: col}},
+		func(i int) cacheEntry { return cacheEntry{objSeq: objSeq, rows: cloneRows(rows)} })
+}
+
+// fillLookups installs a LookupSet result: one entry per name, including
+// negative entries for names that resolved to nothing.
+func (rc *readCache) fillLookups(shard int, epoch uint64, d capability.Capability, names []string, caps []capability.Capability, objSeq, seq uint64) {
+	if rc == nil || len(caps) != len(names) {
+		return
+	}
+	keys := make([]cacheKey, len(names))
+	for i, n := range names {
+		keys[i] = cacheKey{dir: d, kind: cacheLookup, name: n}
+	}
+	rc.fill(shard, epoch, seq, keys,
+		func(i int) cacheEntry { return cacheEntry{objSeq: objSeq, cap: caps[i]} })
+}
+
+// fill observes the reply's sequence number, then installs the entries —
+// unless the reply is not provably as fresh as everything the client has
+// already seen from the shard: an invalidation raced with the RPC, or
+// the reply's sequence number sits below the high-water mark (a read
+// served by a replica lagging behind one we heard from earlier).
+// Installing in either case could resurrect a stale result and break the
+// monotonic-reads guarantee, so the entries are simply not cached.
+func (rc *readCache) fill(shard int, epoch, seq uint64, keys []cacheKey, entryAt func(i int) cacheEntry) {
+	sc := rc.shards[shard]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	advanced := rc.observeLocked(sc, seq, nil)
+	if !advanced && (sc.epoch != epoch || seq < sc.seq) {
+		return
+	}
+	for i, key := range keys {
+		e := entryAt(i)
+		if old, ok := sc.entries[key]; ok {
+			if old.objSeq > e.objSeq {
+				continue // an in-flight older reply must not clobber newer data
+			}
+			old.objSeq, old.rows, old.cap = e.objSeq, e.rows, e.cap
+			sc.lru.MoveToFront(old.elem)
+			continue
+		}
+		ne := &cacheEntry{objSeq: e.objSeq, rows: e.rows, cap: e.cap}
+		ne.elem = sc.lru.PushFront(key)
+		sc.entries[key] = ne
+		if len(sc.entries) > rc.maxEntries {
+			oldest := sc.lru.Back()
+			delete(sc.entries, oldest.Value.(cacheKey))
+			sc.lru.Remove(oldest)
+			rc.evictions.Add(1)
+		}
+	}
+}
+
+// noteWrite records a successful update this client committed: seq is
+// the reply's commit sequence number, objs the directory objects the
+// update touched (including created ones). If the sequence advanced by
+// exactly this one update, only the touched objects' entries are
+// invalid; a larger jump means other clients' updates committed in
+// between, touching unknown objects — the whole shard is dropped.
+func (rc *readCache) noteWrite(shard int, seq uint64, objs ...uint32) {
+	if rc == nil {
+		return
+	}
+	sc := rc.shards[shard]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	rc.observeLocked(sc, seq, objs)
+}
+
+// noteReply records a reply sequence number with no object information
+// (failed reads still prove commits happened); coarse invalidation only.
+func (rc *readCache) noteReply(shard int, seq uint64) {
+	if rc == nil || seq == 0 {
+		return
+	}
+	sc := rc.shards[shard]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	rc.observeLocked(sc, seq, nil)
+}
+
+// observeLocked advances the shard's high-water sequence number and
+// invalidates accordingly. It reports whether seq advanced the mark.
+// Must hold sc.mu.
+func (rc *readCache) observeLocked(sc *shardCache, seq uint64, objs []uint32) bool {
+	if seq <= sc.seq {
+		return false
+	}
+	if objs != nil && seq == sc.seq+1 {
+		// The only unseen commit is the caller's own update: drop just
+		// the entries of the directories it touched (per-object
+		// refinement).
+		touched := make(map[uint32]bool, len(objs))
+		for _, o := range objs {
+			touched[o] = true
+		}
+		for key, e := range sc.entries {
+			if touched[key.dir.Object] {
+				sc.lru.Remove(e.elem)
+				delete(sc.entries, key)
+				rc.invalidations.Add(1)
+			}
+		}
+	} else {
+		// Unknown commits: every entry of the shard may be stale.
+		n := len(sc.entries)
+		sc.entries = make(map[cacheKey]*cacheEntry)
+		sc.lru.Init()
+		rc.invalidations.Add(uint64(n))
+	}
+	sc.seq = seq
+	sc.epoch++
+	return true
+}
+
+// cloneRows deep-copies List rows so cache and callers never share
+// mutable state.
+func cloneRows(rows []dirdata.Row) []dirdata.Row {
+	if rows == nil {
+		return nil
+	}
+	out := make([]dirdata.Row, len(rows))
+	for i, r := range rows {
+		out[i] = r
+		if r.ColMasks != nil {
+			out[i].ColMasks = append([]capability.Rights(nil), r.ColMasks...)
+		}
+	}
+	return out
+}

@@ -14,6 +14,13 @@
 // transaction slot — so operations on different shards proceed in
 // parallel.
 //
+// The client can also cache reads (NewShardedCached): List rows and
+// looked-up capabilities are kept in a per-shard LRU cache and repeat
+// reads are answered locally, with no RPC at all. Invalidation rides the
+// sequence numbers every reply already carries — see dir.CacheOptions
+// for the exact consistency model. The root capability is cached
+// unconditionally (it can never change for a given service).
+//
 // Every operation takes a context.Context: cancellation or an expired
 // deadline aborts the transaction, including an in-flight wait for a
 // reply, and returns ctx.Err().
@@ -52,7 +59,8 @@ type conn struct {
 // the underlying RPC client, as Amoeba serialized per kernel
 // transaction slot).
 type Client struct {
-	conns []conn // one per shard; index = shard number
+	conns []conn     // one per shard; index = shard number
+	cache *readCache // nil = caching disabled
 
 	mu   sync.Mutex
 	root capability.Capability // cached root capability
@@ -68,12 +76,19 @@ func New(stack *flip.Stack, service string) (*Client, error) {
 }
 
 // NewSharded creates a client for a service partitioned across shards
-// independent replica groups, with one RPC endpoint per shard.
+// independent replica groups, with one RPC endpoint per shard. The read
+// cache is disabled; use NewShardedCached to enable it.
 func NewSharded(stack *flip.Stack, service string, shards int) (*Client, error) {
+	return NewShardedCached(stack, service, shards, dir.CacheOptions{})
+}
+
+// NewShardedCached creates a sharded client with the read cache
+// configured by opts (see dir.CacheOptions; the zero value disables it).
+func NewShardedCached(stack *flip.Stack, service string, shards int, opts dir.CacheOptions) (*Client, error) {
 	if shards < 1 {
 		shards = 1
 	}
-	c := &Client{conns: make([]conn, shards)}
+	c := &Client{conns: make([]conn, shards), cache: newReadCache(shards, opts)}
 	for s := 0; s < shards; s++ {
 		rc, err := rpc.NewClient(stack)
 		if err != nil {
@@ -106,6 +121,10 @@ func (c *Client) Close() {
 // Shards returns the number of shards this client routes across.
 func (c *Client) Shards() int { return len(c.conns) }
 
+// CacheStats returns the read-cache counters (zero when the cache is
+// disabled).
+func (c *Client) CacheStats() dir.CacheStats { return c.cache.stats() }
+
 // RPC exposes the shard-0 RPC client (for Bullet access sharing the
 // same port cache).
 func (c *Client) RPC() *rpc.Client { return c.conns[0].rpc }
@@ -130,6 +149,10 @@ func (c *Client) trans(ctx context.Context, shard int, req *dirsvc.Request) (*di
 		return nil, err
 	}
 	if err := reply.Status.Err(); err != nil {
+		// Even a failed read carries the shard's sequence number and may
+		// prove commits the cache has not seen (e.g. the directory was
+		// deleted by another client).
+		c.cache.noteReply(shard, reply.Seq)
 		return nil, err
 	}
 	return reply, nil
@@ -184,22 +207,36 @@ func (c *Client) CreateDirOn(ctx context.Context, shard int, columns ...string) 
 	if err != nil {
 		return capability.Capability{}, err
 	}
+	c.cache.noteWrite(shard, reply.Seq, reply.Cap.Object)
 	return reply.Cap, nil
 }
 
 // DeleteDir deletes a directory (Fig. 2: Delete dir).
 func (c *Client) DeleteDir(ctx context.Context, dir capability.Capability) error {
-	_, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpDeleteDir, Dir: dir})
-	return err
+	shard := c.shardOf(dir)
+	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpDeleteDir, Dir: dir})
+	if err != nil {
+		return err
+	}
+	c.cache.noteWrite(shard, reply.Seq, dir.Object)
+	return nil
 }
 
 // List returns the rows of a directory visible through column col
 // (Fig. 2: List dir).
 func (c *Client) List(ctx context.Context, dir capability.Capability, col int) ([]dirdata.Row, error) {
-	reply, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpListDir, Dir: dir, Column: col})
+	shard := c.shardOf(dir)
+	if rows, ok := c.cache.getList(shard, dir, col); ok {
+		c.cache.hit()
+		return rows, nil
+	}
+	epoch := c.cache.epochOf(shard)
+	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpListDir, Dir: dir, Column: col})
 	if err != nil {
 		return nil, err
 	}
+	c.cache.miss()
+	c.cache.fillList(shard, epoch, dir, col, reply.Rows, reply.ObjSeq, reply.Seq)
 	return reply.Rows, nil
 }
 
@@ -211,26 +248,41 @@ func (c *Client) Append(ctx context.Context, dir capability.Capability, name str
 	if masks == nil {
 		masks = []capability.Rights{capability.AllRights, capability.AllRights, capability.AllRights}
 	}
-	_, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{
+	shard := c.shardOf(dir)
+	reply, err := c.trans(ctx, shard, &dirsvc.Request{
 		Op:    dirsvc.OpAppendRow,
 		Dir:   dir,
 		Name:  name,
 		Cap:   target,
 		Masks: masks,
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	c.cache.noteWrite(shard, reply.Seq, dir.Object)
+	return nil
 }
 
 // Delete removes the named row (Fig. 2: Delete row).
 func (c *Client) Delete(ctx context.Context, dir capability.Capability, name string) error {
-	_, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpDeleteRow, Dir: dir, Name: name})
-	return err
+	shard := c.shardOf(dir)
+	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpDeleteRow, Dir: dir, Name: name})
+	if err != nil {
+		return err
+	}
+	c.cache.noteWrite(shard, reply.Seq, dir.Object)
+	return nil
 }
 
 // Chmod replaces the rights masks of the named row (Fig. 2: Chmod row).
 func (c *Client) Chmod(ctx context.Context, dir capability.Capability, name string, masks []capability.Rights) error {
-	_, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpChmodRow, Dir: dir, Name: name, Masks: masks})
-	return err
+	shard := c.shardOf(dir)
+	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpChmodRow, Dir: dir, Name: name, Masks: masks})
+	if err != nil {
+		return err
+	}
+	c.cache.noteWrite(shard, reply.Seq, dir.Object)
+	return nil
 }
 
 // Lookup returns the capability stored under name (a one-element
@@ -247,26 +299,50 @@ func (c *Client) Lookup(ctx context.Context, dir capability.Capability, name str
 }
 
 // LookupSet looks up several names at once (Fig. 2: Lookup set). Missing
-// names yield zero capabilities.
+// names yield zero capabilities. The set is answered from the cache only
+// when every name is cached (including cached negatives); otherwise the
+// whole set goes to the server and every name is cached from the reply.
 func (c *Client) LookupSet(ctx context.Context, dir capability.Capability, names []string) ([]capability.Capability, error) {
+	shard := c.shardOf(dir)
+	if c.cache != nil {
+		caps := make([]capability.Capability, len(names))
+		allCached := true
+		for i, n := range names {
+			cp, ok := c.cache.getLookup(shard, dir, n)
+			if !ok {
+				allCached = false
+				break
+			}
+			caps[i] = cp
+		}
+		if allCached {
+			c.cache.hit()
+			return caps, nil
+		}
+	}
+	epoch := c.cache.epochOf(shard)
 	set := make([]dirsvc.SetItem, len(names))
 	for i, n := range names {
 		set[i] = dirsvc.SetItem{Name: n}
 	}
-	reply, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpLookupSet, Dir: dir, Set: set})
+	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpLookupSet, Dir: dir, Set: set})
 	if err != nil {
 		return nil, err
 	}
+	c.cache.miss()
+	c.cache.fillLookups(shard, epoch, dir, names, reply.Caps, reply.ObjSeq, reply.Seq)
 	return reply.Caps, nil
 }
 
 // ReplaceSet atomically replaces the capabilities of several rows
 // (Fig. 2: Replace set), returning the previous capabilities.
 func (c *Client) ReplaceSet(ctx context.Context, dir capability.Capability, items []dirsvc.SetItem) ([]capability.Capability, error) {
-	reply, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpReplaceSet, Dir: dir, Set: items})
+	shard := c.shardOf(dir)
+	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpReplaceSet, Dir: dir, Set: items})
 	if err != nil {
 		return nil, err
 	}
+	c.cache.noteWrite(shard, reply.Seq, dir.Object)
 	return reply.Caps, nil
 }
 
@@ -308,5 +384,14 @@ func (c *Client) Apply(ctx context.Context, b *dir.Batch) (*dir.BatchResult, err
 	if err != nil {
 		return nil, err
 	}
+	// One batch commits under one sequence number: the touched
+	// directories are the steps' targets plus any created ones.
+	objs := b.Objects()
+	for _, r := range results {
+		if r.Cap.Object != 0 {
+			objs = append(objs, r.Cap.Object)
+		}
+	}
+	c.cache.noteWrite(shard, reply.Seq, objs...)
 	return &dir.BatchResult{Seq: reply.Seq, Results: results}, nil
 }

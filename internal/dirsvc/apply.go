@@ -150,6 +150,10 @@ func (a *Applier) verify(c capability.Capability, need capability.Rights) (Objec
 }
 
 // Read executes a read-only operation (no replication, no disk — §3.1).
+// Replies carry the per-object sequence number (ObjSeq) of the directory
+// read; the calling server stamps Reply.Seq with its applied service
+// sequence number, sampled before the read, so client caches get a
+// conservative freshness bound.
 func (a *Applier) Read(req *Request) *Reply {
 	switch req.Op {
 	case OpGetRoot:
@@ -172,7 +176,7 @@ func (a *Applier) Read(req *Request) *Reply {
 		if err != nil {
 			return &Reply{Status: StatusOf(err)}
 		}
-		return &Reply{Status: StatusOK, Rows: rows, Seq: d.Seq}
+		return &Reply{Status: StatusOK, Rows: rows, ObjSeq: d.Seq}
 	case OpLookupSet:
 		if _, err := a.verify(req.Dir, capability.RightRead); err != nil {
 			return &Reply{Status: StatusOf(err)}
@@ -183,7 +187,7 @@ func (a *Applier) Read(req *Request) *Reply {
 		if d == nil {
 			return &Reply{Status: StatusNotFound}
 		}
-		reply := &Reply{Status: StatusOK, Seq: d.Seq}
+		reply := &Reply{Status: StatusOK, ObjSeq: d.Seq}
 		for _, it := range req.Set {
 			row, err := d.Lookup(it.Name)
 			if err != nil {

@@ -101,8 +101,8 @@ func TestApplierCreateAppendLookup(t *testing.T) {
 	if reply.Status != StatusOK || len(reply.Caps) != 1 || reply.Caps[0] != dirCap {
 		t.Fatalf("lookup reply = %+v", reply)
 	}
-	if reply.Seq != 2 {
-		t.Fatalf("directory seq = %d, want 2", reply.Seq)
+	if reply.ObjSeq != 2 {
+		t.Fatalf("directory seq = %d, want 2", reply.ObjSeq)
 	}
 }
 

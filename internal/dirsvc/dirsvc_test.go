@@ -79,9 +79,10 @@ func TestReplyEncodeDecodeRoundTrip(t *testing.T) {
 		Rows: []dirdata.Row{
 			{Name: "x", Cap: testCap(1), ColMasks: []capability.Rights{1, 2, 3}},
 		},
-		Caps: []capability.Capability{testCap(2), {}},
-		Seq:  17,
-		Blob: []byte("state"),
+		Caps:   []capability.Capability{testCap(2), {}},
+		Seq:    17,
+		ObjSeq: 9,
+		Blob:   []byte("state"),
 	}
 	got, err := DecodeReply(reply.Encode())
 	if err != nil {

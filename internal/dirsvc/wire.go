@@ -202,7 +202,17 @@ type Reply struct {
 	Cap    capability.Capability
 	Rows   []dirdata.Row
 	Caps   []capability.Capability
-	Seq    uint64
+	// Seq is the shard's service-wide commit sequence number: on a
+	// successful update, the number the change committed under; on a
+	// read, the server's applied sequence number sampled before the read
+	// executed (so the returned data is at least that fresh). Clients use
+	// it as the invalidation signal for their per-shard read caches.
+	Seq uint64
+	// ObjSeq, set on read replies, is the sequence number of the last
+	// update that touched the directory being read (the per-object Seq of
+	// its ObjectEntry) — a finer-grained freshness tag than the
+	// shard-wide Seq.
+	ObjSeq uint64
 	Blob   []byte
 }
 
@@ -296,6 +306,7 @@ func (r *Reply) Encode() []byte {
 		w.cap(c)
 	}
 	w.u64(r.Seq)
+	w.u64(r.ObjSeq)
 	w.bytes(r.Blob)
 	return w.buf
 }
@@ -331,6 +342,7 @@ func DecodeReply(buf []byte) (*Reply, error) {
 		r.Caps = append(r.Caps, rd.cap())
 	}
 	r.Seq = rd.u64()
+	r.ObjSeq = rd.u64()
 	r.Blob = rd.lenBytes()
 	if rd.failed {
 		return nil, ErrBadRequest

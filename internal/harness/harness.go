@@ -320,7 +320,11 @@ func MeasureShardedUpdateThroughput(c *faultdir.Cluster, clients int, window tim
 // MeasureMixedWorkload drives the workload shape the paper reports from
 // three weeks of production use (§2): 98% of operations are reads. It
 // returns the sustained operations per second for the given read
-// fraction — the regime both services optimize for.
+// fraction — the regime both services optimize for, and the regime the
+// client read cache (Options.ClientCache) is built to exploit: with the
+// cache on, repeat lookups of the hot name are served locally and only
+// the write traffic still pays RPC round-trips. Aggregate hit counters
+// are available afterwards from Cluster.CacheStats.
 func MeasureMixedWorkload(c *faultdir.Cluster, clients int, readPct int, window time.Duration) (Throughput, error) {
 	client0, cleanup0, _, dir, err := setupBench(c)
 	if err != nil {
@@ -347,7 +351,11 @@ func MeasureMixedWorkload(c *faultdir.Cluster, clients int, readPct int, window 
 			defer wg.Done()
 			for j := 0; time.Now().Before(deadline); j++ {
 				if j%100 < readPct {
-					if _, err := client.Lookup(bgCtx, dir, "hot"); err != nil {
+					err := retryTransient(func() error {
+						_, lerr := client.Lookup(bgCtx, dir, "hot")
+						return lerr
+					})
+					if err != nil {
 						errs <- err
 						return
 					}

@@ -101,8 +101,13 @@ func (s *Server) handle(req *rpc.Request) []byte {
 		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
 	}
 	if !dreq.Op.IsUpdate() {
+		s.mu.Lock()
+		svcSeq := s.seq
+		s.mu.Unlock()
 		s.stack.Node().CPU().Charge(s.model.LookupCPU + nfsExtraLookup)
-		return s.applier.Read(dreq).Encode()
+		reply := s.applier.Read(dreq)
+		reply.Seq = svcSeq
+		return reply.Encode()
 	}
 	s.stack.Node().CPU().Charge(s.model.UpdateCPU)
 	return s.update(dreq).Encode()

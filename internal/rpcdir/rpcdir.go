@@ -208,8 +208,15 @@ func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
 	if obj := req.Dir.Object; obj != 0 {
 		s.applyPendingFor(obj)
 	}
+	// Sample the sequence number before the read so the stamp is a
+	// conservative freshness bound for client read caches.
+	s.mu.Lock()
+	svcSeq := s.seq
+	s.mu.Unlock()
 	s.stack.Node().CPU().Charge(s.model.LookupCPU)
-	return s.applier.Read(req)
+	reply := s.applier.Read(req)
+	reply.Seq = svcSeq
+	return reply
 }
 
 // handleUpdate is the paper's §1 write protocol.

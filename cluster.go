@@ -112,6 +112,12 @@ type Options struct {
 	// creates (NewClient). The zero value — cache off — is the paper's
 	// original client behavior. See dir.CacheOptions.
 	ClientCache dir.CacheOptions
+	// ReadBalance makes every client the cluster creates spread its
+	// reads across all replicas of a shard (session-consistent via
+	// Request.MinSeq) instead of pinning to the first HEREIS responder.
+	// Off — the default — preserves the paper's §4.2 selection heuristic
+	// and Fig. 8's load skew.
+	ReadBalance bool
 }
 
 // adminBlocks is the admin partition size: commit block + object table.
@@ -350,10 +356,21 @@ func (c *Cluster) NewClient() (*dirclient.Client, func(), error) {
 
 // NewCachedClient creates a directory client with an explicit read-cache
 // configuration, overriding Options.ClientCache (see dir.CacheOptions;
-// the zero value disables the cache).
+// the zero value disables the cache). Read balancing follows
+// Options.ReadBalance.
 func (c *Cluster) NewCachedClient(opts dir.CacheOptions) (*dirclient.Client, func(), error) {
+	return c.NewBalancedClient(opts, c.opts.ReadBalance)
+}
+
+// NewBalancedClient creates a directory client with explicit read-cache
+// and read-balancing configuration, overriding the cluster options.
+func (c *Cluster) NewBalancedClient(cache dir.CacheOptions, balance bool) (*dirclient.Client, func(), error) {
 	stack := flip.NewStack(c.Net.AddNode("client"))
-	client, err := dirclient.NewShardedCached(stack, c.Service, c.opts.Shards, opts)
+	client, err := dirclient.NewWithOptions(stack, c.Service, dirclient.Options{
+		Shards:      c.opts.Shards,
+		Cache:       cache,
+		ReadBalance: balance,
+	})
 	if err != nil {
 		stack.Close()
 		return nil, nil, err
@@ -536,6 +553,23 @@ func (c *Cluster) GroupSends() uint64 {
 		}
 	}
 	return total
+}
+
+// ShardReadCounts returns the number of read operations each replica of
+// one shard has served, keyed by server id — the per-server load
+// distribution behind Fig. 8 and the read-balancing experiments. Only
+// group-kind replicas count reads; other kinds yield an empty map.
+func (c *Cluster) ShardReadCounts(shard int) map[int]uint64 {
+	out := make(map[int]uint64)
+	for _, m := range c.shard(shard).machines {
+		m.mu.Lock()
+		srv := m.core
+		m.mu.Unlock()
+		if srv != nil {
+			out[m.id] = srv.ReadsServed()
+		}
+	}
+	return out
 }
 
 // DiskStats returns the disk statistics of replica id of shard 0.

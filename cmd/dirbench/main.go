@@ -1,11 +1,13 @@
 // Command dirbench regenerates the paper's evaluation (§4): Fig. 7's
 // latency table, the Fig. 8 and Fig. 9 throughput sweeps, the §1/§6
 // headline numbers, and the §4.2 upper-bound analysis, printing measured
-// values next to the paper's. Two experiments cover this repo's own
-// additions: `shard` (write-throughput scaling across replica groups)
-// and `cache` (the client read cache on the paper's 98%-read mix); both
-// write machine-readable JSON records (BENCH_shard.json,
-// BENCH_cache.json).
+// values next to the paper's. Three experiments cover this repo's own
+// additions: `shard` (write-throughput scaling across replica groups),
+// `cache` (the client read cache on the paper's 98%-read mix), and
+// `readscale` (read throughput with replica-balanced selection and the
+// concurrent RPC transport, vs the paper's pinned first-responder
+// heuristic); all write machine-readable JSON records (BENCH_shard.json,
+// BENCH_cache.json, BENCH_readscale.json) with p50/p99 latencies.
 //
 // Usage:
 //
@@ -13,6 +15,7 @@
 //	dirbench -experiment fig8 -window 2s
 //	dirbench -experiment shard -out BENCH_shard.json
 //	dirbench -experiment cache
+//	dirbench -experiment readscale
 //	dirbench -experiment all -scale 0.1
 //
 // With -scale below 1 the simulated hardware runs proportionally faster;
@@ -37,13 +40,14 @@ import (
 // resolves to them when the experiment is invoked directly; an `all`
 // sweep (often scaled down) never overwrites them.
 const (
-	defaultShardOut = "BENCH_shard.json"
-	defaultCacheOut = "BENCH_cache.json"
+	defaultShardOut     = "BENCH_shard.json"
+	defaultCacheOut     = "BENCH_cache.json"
+	defaultReadScaleOut = "BENCH_readscale.json"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | all")
+		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | readscale | all")
 		window     = flag.Duration("window", 2*time.Second, "measurement window per throughput point")
 		pairs      = flag.Int("pairs", 10, "append-delete pairs per latency measurement")
 		scale      = flag.Float64("scale", 1.0, "latency scale factor (1.0 = paper hardware)")
@@ -85,13 +89,15 @@ func run(experiment string, window time.Duration, pairs int, scale float64, clie
 		return shardScaling(model, window, scale, clients, resolveOut(out, defaultShardOut))
 	case "cache":
 		return cacheSpeedup(model, window, scale, clients, resolveOut(out, defaultCacheOut))
+	case "readscale":
+		return readScale(model, window, scale, clients, resolveOut(out, defaultReadScaleOut))
 	case "all":
-		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache"} {
+		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache", "readscale"} {
 			expOut := out
 			if expOut == "auto" {
 				// Don't overwrite the committed calibrated records from a
 				// (typically scaled-down) sweep.
-				if exp == "shard" || exp == "cache" {
+				if exp == "shard" || exp == "cache" || exp == "readscale" {
 					fmt.Printf("(all sweep: not writing BENCH_%s.json — use -experiment %s, or pass -out explicitly)\n", exp, exp)
 				}
 				expOut = ""
@@ -247,6 +253,8 @@ type shardPoint struct {
 	Clients   int     `json:"clients"`
 	OpsPerSec float64 `json:"ops_per_sec"` // append-delete pairs/s, paper-hardware time
 	Speedup   float64 `json:"speedup_vs_1"`
+	P50MS     float64 `json:"p50_ms"` // median per-pair latency, paper-hardware time
+	P99MS     float64 `json:"p99_ms"`
 }
 
 // shardResult is the machine-readable record written to -out.
@@ -293,8 +301,12 @@ func shardScaling(model *sim.LatencyModel, window time.Duration, scale float64, 
 		if base > 0 {
 			speedup = ops / base
 		}
-		res.Points = append(res.Points, shardPoint{Shards: g, Clients: clients, OpsPerSec: ops, Speedup: speedup})
-		fmt.Printf("shards=%d  %8.1f pairs/s  (%.2fx vs 1 shard)\n", g, ops, speedup)
+		res.Points = append(res.Points, shardPoint{
+			Shards: g, Clients: clients, OpsPerSec: ops, Speedup: speedup,
+			P50MS: ms(tp.P50, scale), P99MS: ms(tp.P99, scale),
+		})
+		fmt.Printf("shards=%d  %8.1f pairs/s  (%.2fx vs 1 shard; p50 %.1f ms, p99 %.1f ms)\n",
+			g, ops, speedup, ms(tp.P50, scale), ms(tp.P99, scale))
 	}
 	if out == "" {
 		return nil
@@ -319,6 +331,8 @@ type cachePoint struct {
 	Misses        uint64  `json:"misses"`
 	Invalidations uint64  `json:"invalidations"`
 	HitRate       float64 `json:"hit_rate"`
+	P50MS         float64 `json:"p50_ms"` // median per-op latency, paper-hardware time
+	P99MS         float64 `json:"p99_ms"`
 }
 
 // cacheResult is the machine-readable record written to -out.
@@ -387,6 +401,8 @@ func cacheSpeedup(model *sim.LatencyModel, window time.Duration, scale float64, 
 			Misses:        stats.Misses,
 			Invalidations: stats.Invalidations,
 			HitRate:       stats.HitRate(),
+			P50MS:         ms(tp.P50, scale),
+			P99MS:         ms(tp.P99, scale),
 		})
 		if cached {
 			fmt.Printf("cache=on   %10.1f ops/s  (%.2fx vs off; hit rate %.1f%%, %d invalidations)\n",
@@ -407,6 +423,141 @@ func cacheSpeedup(model *sim.LatencyModel, window time.Duration, scale float64, 
 	}
 	fmt.Printf("results written to %s\n", out)
 	return nil
+}
+
+// readScalePoint is one measured configuration of the read-scaling
+// experiment.
+type readScalePoint struct {
+	Servers        int            `json:"servers"`
+	ReadBalance    bool           `json:"read_balance"`
+	Clients        int            `json:"clients"`
+	Goroutines     int            `json:"goroutines"`
+	OpsPerSec      float64        `json:"ops_per_sec"` // lookups/s, paper-hardware time
+	P50MS          float64        `json:"p50_ms"`
+	P99MS          float64        `json:"p99_ms"`
+	PerServerReads map[int]uint64 `json:"per_server_reads"`
+}
+
+// readScaleResult is the machine-readable record written to -out.
+type readScaleResult struct {
+	Experiment string           `json:"experiment"`
+	Kind       string           `json:"kind"`
+	WindowMS   int64            `json:"window_ms"`
+	Scale      float64          `json:"scale"`
+	Points     []readScalePoint `json:"points"`
+	// BalancedSpeedupN3 is balanced/pinned read throughput at N=3
+	// replicas for the same client (1 client, 12 goroutines): the
+	// replica-parallelism win over the §4.2 first-responder cache, which
+	// pins all of one client's traffic on a single replica.
+	BalancedSpeedupN3 float64 `json:"balanced_speedup_n3"`
+	// ConcurrencySpeedup is one client's multi-goroutine throughput over
+	// its single-goroutine throughput — what the serialized transport
+	// (one transaction slot per client) could never exceed 1.0 on.
+	ConcurrencySpeedup float64 `json:"concurrency_speedup"`
+}
+
+// readScale measures the read path the paper leaves on the table (§3.1:
+// any replica holding a majority answers reads locally): lookup
+// throughput with reads pinned to the first HEREIS responder versus
+// spread across all N replicas, and — on one client — single-goroutine
+// versus concurrent-goroutine throughput over the multiplexed transport.
+func readScale(model *sim.LatencyModel, window time.Duration, scale float64, clients int, out string) error {
+	kind := faultdir.KindGroupNVRAM
+	fmt.Printf("== Read scaling: lookups/s — pinned vs balanced replica selection, serialized vs concurrent transport (%v kind)\n", kind)
+	res := readScaleResult{
+		Experiment: "readscale",
+		Kind:       kind.String(),
+		WindowMS:   window.Milliseconds(),
+		Scale:      scale,
+	}
+	measure := func(servers int, balance bool, nclients, goroutines int) (readScalePoint, error) {
+		c, err := faultdir.New(kind, faultdir.Options{
+			Model:       model,
+			Servers:     servers,
+			ReadBalance: balance,
+			// Deep worker pools so the experiment measures replica
+			// parallelism, not NOTHERE churn: requests queue on a busy
+			// server's CPU instead of bouncing between replicas.
+			Workers: 16,
+		})
+		if err != nil {
+			return readScalePoint{}, err
+		}
+		rs, err := harness.MeasureReadScale(c, nclients, goroutines, window)
+		c.Close()
+		if err != nil {
+			return readScalePoint{}, fmt.Errorf("servers=%d balance=%v clients=%d goroutines=%d: %w",
+				servers, balance, nclients, goroutines, err)
+		}
+		p := readScalePoint{
+			Servers:        servers,
+			ReadBalance:    balance,
+			Clients:        nclients,
+			Goroutines:     goroutines,
+			OpsPerSec:      rs.OpsPerSec * scale,
+			P50MS:          ms(rs.P50, scale),
+			P99MS:          ms(rs.P99, scale),
+			PerServerReads: rs.PerServerReads,
+		}
+		res.Points = append(res.Points, p)
+		fmt.Printf("servers=%d balance=%-5v clients=%-2d goroutines=%-2d  %8.1f lookups/s  (p50 %.1f ms, p99 %.1f ms, per-server %v)\n",
+			servers, balance, nclients, goroutines, p.OpsPerSec, p.P50MS, p.P99MS, p.PerServerReads)
+		return p, nil
+	}
+
+	// Aggregate sweep at the full client count: N=1 (no replication to
+	// exploit) and N=3 (the paper's degree), pinned vs balanced. With
+	// many independent clients the pinned policy already spreads by
+	// locate-order luck, so the win here is tail latency; the headline
+	// replica-parallelism win is the single-client sweep below.
+	for _, servers := range []int{1, 3} {
+		for _, balance := range []bool{false, true} {
+			if _, err := measure(servers, balance, clients, 1); err != nil {
+				return err
+			}
+		}
+	}
+	// One client, N=3 replicas: the §4.2 port cache pins all of this
+	// client's reads on one replica; balancing spreads them over all
+	// three. Sweeping goroutines additionally isolates the transport
+	// win — 1 goroutine is exactly what the serialized transport
+	// delivered at any concurrency.
+	byKey := make(map[string]readScalePoint)
+	for _, balance := range []bool{false, true} {
+		for _, goroutines := range []int{1, 12} {
+			p, err := measure(3, balance, 1, goroutines)
+			if err != nil {
+				return err
+			}
+			byKey[fmt.Sprintf("b%v-g%d", balance, goroutines)] = p
+		}
+	}
+	if base := byKey["bfalse-g12"]; base.OpsPerSec > 0 {
+		res.BalancedSpeedupN3 = byKey["btrue-g12"].OpsPerSec / base.OpsPerSec
+	}
+	if base := byKey["btrue-g1"]; base.OpsPerSec > 0 {
+		res.ConcurrencySpeedup = byKey["btrue-g12"].OpsPerSec / base.OpsPerSec
+	}
+	fmt.Printf("single-client balanced speedup at N=3: %.2fx; single-client concurrency speedup: %.2fx\n",
+		res.BalancedSpeedupN3, res.ConcurrencySpeedup)
+
+	if out == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("results written to %s\n", out)
+	return nil
+}
+
+// ms renders a measured duration in paper-hardware milliseconds.
+func ms(d time.Duration, scale float64) float64 {
+	return float64(descale(d, scale)) / float64(time.Millisecond)
 }
 
 // descale converts a measured duration back to paper-hardware time.

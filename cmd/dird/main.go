@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01] [-shards 4] [-cache]
+//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01] [-shards 4] [-cache] [-read-balance]
 //
 // With -cache the shell's client runs the per-shard read cache
 // (dir.CacheOptions): repeat ls/cat lookups are served locally and the
-// status command shows the hit/miss/invalidation counters.
+// status command shows the hit/miss/invalidation counters. With
+// -read-balance the client spreads its reads across every replica of a
+// shard (session-consistent via the MinSeq floor) instead of pinning to
+// the first HEREIS responder; status then shows how many reads each
+// replica served.
 //
 // Commands (type "help" at the prompt):
 //
@@ -48,9 +52,10 @@ func main() {
 		scale    = flag.Float64("scale", 0.01, "hardware latency scale (1.0 = paper speed)")
 		shards   = flag.Int("shards", 1, "number of independent replica groups")
 		cache    = flag.Bool("cache", false, "enable the client read cache")
+		balance  = flag.Bool("read-balance", false, "spread reads across all replicas of a shard")
 	)
 	flag.Parse()
-	if err := run(*kindName, *scale, *shards, *cache); err != nil {
+	if err := run(*kindName, *scale, *shards, *cache, *balance); err != nil {
 		fmt.Fprintln(os.Stderr, "dird:", err)
 		os.Exit(1)
 	}
@@ -86,7 +91,7 @@ func parseKind(name string) (faultdir.Kind, error) {
 	}
 }
 
-func run(kindName string, scale float64, shards int, cache bool) error {
+func run(kindName string, scale float64, shards int, cache, balance bool) error {
 	kind, err := parseKind(kindName)
 	if err != nil {
 		return err
@@ -94,12 +99,13 @@ func run(kindName string, scale float64, shards int, cache bool) error {
 	if shards < 1 {
 		shards = 1
 	}
-	fmt.Printf("booting %v cluster (%d shard(s) × %d servers, scale %g, cache %v)...\n",
-		kind, shards, kind.Servers(), scale, cache)
+	fmt.Printf("booting %v cluster (%d shard(s) × %d servers, scale %g, cache %v, read-balance %v)...\n",
+		kind, shards, kind.Servers(), scale, cache, balance)
 	cluster, err := faultdir.New(kind, faultdir.Options{
 		Model:       sim.ScaledPaperModel(scale),
 		Shards:      shards,
 		ClientCache: dir.CacheOptions{Enabled: cache},
+		ReadBalance: balance,
 	})
 	if err != nil {
 		return err
@@ -262,11 +268,17 @@ func run(kindName string, scale float64, shards int, cache bool) error {
 			cluster.Heal()
 			fmt.Println("network healed")
 		case "status":
+			fmt.Printf("read balancing: %v\n", balance)
 			for shard := 0; shard < cluster.Shards(); shard++ {
+				reads := cluster.ShardReadCounts(shard)
 				for id := 1; id <= cluster.ServersPerShard(); id++ {
 					s := cluster.ShardDiskStats(shard, id)
-					fmt.Printf("shard %d server %d: disk reads=%d writes=%d seqWrites=%d\n",
+					fmt.Printf("shard %d server %d: disk reads=%d writes=%d seqWrites=%d",
 						shard, id, s.Reads, s.Writes, s.SeqWrites)
+					if n, ok := reads[id]; ok {
+						fmt.Printf(" readsServed=%d", n)
+					}
+					fmt.Println()
 				}
 			}
 			st := cluster.Net.Stats()

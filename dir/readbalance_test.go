@@ -1,0 +1,117 @@
+// Cross-replica session-consistency tests for the read-balancing client:
+// with reads spread over every replica of a shard, a read may land on a
+// replica other than the one that acknowledged the preceding write, and
+// the MinSeq session floor must keep read-your-writes and monotonic
+// reads intact — with the cache off and on.
+package dir_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	faultdir "dirsvc"
+
+	"dirsvc/dir"
+)
+
+// balancedKinds are the replicated backends, where balanced reads can
+// actually land on a different replica than the write.
+var balancedKinds = []faultdir.Kind{
+	faultdir.KindGroup, faultdir.KindGroupNVRAM, faultdir.KindRPC,
+}
+
+// TestReadBalanceReadYourWrites hammers the write-then-read edge on
+// every replicated kind with balancing on and the cache off: each
+// appended name must be immediately visible to the very next lookup and
+// list, whichever replica answers it.
+func TestReadBalanceReadYourWrites(t *testing.T) {
+	for _, kind := range balancedKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			_, client := newMatrixCluster(t, kind, 1, dir.CacheOptions{}, true)
+			work := createDirOn(t, client, 0)
+			for i := 0; i < 25; i++ {
+				name := fmt.Sprintf("ryw%02d", i)
+				if err := client.Append(bgCtx, work, name, work, nil); err != nil {
+					t.Fatalf("Append %s: %v", name, err)
+				}
+				if _, err := client.Lookup(bgCtx, work, name); err != nil {
+					t.Fatalf("read-your-writes violated at %s: %v", name, err)
+				}
+				rows, err := client.List(bgCtx, work, 0)
+				if err != nil {
+					t.Fatalf("List after %s: %v", name, err)
+				}
+				if len(rows) != i+1 {
+					t.Fatalf("monotonic reads violated after %s: %d rows, want %d", name, len(rows), i+1)
+				}
+			}
+		})
+	}
+}
+
+// TestReadBalanceCachedReadYourWrites runs the same edge with the read
+// cache on: an invalidated entry refills from whichever replica answers,
+// and the MinSeq floor must keep that refill from resurrecting the
+// pre-write state.
+func TestReadBalanceCachedReadYourWrites(t *testing.T) {
+	_, client := newMatrixCluster(t, faultdir.KindGroup, 1, dir.CacheOptions{Enabled: true}, true)
+	work := createDirOn(t, client, 0)
+	for i := 0; i < 25; i++ {
+		name := fmt.Sprintf("cryw%02d", i)
+		if _, err := client.Lookup(bgCtx, work, name); !errors.Is(err, dir.ErrNotFound) {
+			t.Fatalf("pre-write lookup %s: err = %v, want ErrNotFound", name, err)
+		}
+		if err := client.Append(bgCtx, work, name, work, nil); err != nil {
+			t.Fatalf("Append %s: %v", name, err)
+		}
+		// The append invalidated the cached negative; the refill lands on
+		// an arbitrary replica and must observe the write.
+		got, err := client.Lookup(bgCtx, work, name)
+		if err != nil || got != work {
+			t.Fatalf("cached read-your-writes violated at %s: %v, %v", name, got, err)
+		}
+	}
+}
+
+// TestReadBalanceConcurrentClients stresses balanced reads and writes
+// from several goroutines sharing one client (the concurrent transport
+// multiplexes them over one reply port) — run under -race in CI.
+func TestReadBalanceConcurrentClients(t *testing.T) {
+	_, client := newMatrixCluster(t, faultdir.KindGroup, 1, dir.CacheOptions{}, true)
+	work := createDirOn(t, client, 0)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				name := fmt.Sprintf("g%dn%d", g, i)
+				if err := client.Append(bgCtx, work, name, work, nil); err != nil {
+					errs <- fmt.Errorf("append %s: %w", name, err)
+					return
+				}
+				if _, err := client.Lookup(bgCtx, work, name); err != nil {
+					errs <- fmt.Errorf("own write %s invisible: %w", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	rows, err := client.List(bgCtx, work, 0)
+	if err != nil {
+		t.Fatalf("final List: %v", err)
+	}
+	if len(rows) != goroutines*10 {
+		t.Fatalf("final row count = %d, want %d", len(rows), goroutines*10)
+	}
+}

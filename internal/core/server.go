@@ -110,6 +110,11 @@ type Server struct {
 	forced atomic.Bool // ForceRecover invoked: serve without a majority
 
 	groupSends atomic.Uint64 // successful group broadcasts (write path)
+	reads      atomic.Uint64 // read operations answered by this replica
+
+	// minSeqWait bounds how long a read blocks for its session floor
+	// (Request.MinSeq) before telling the client to retry elsewhere.
+	minSeqWait time.Duration
 
 	sendCh    chan coalesceOp
 	cleanupCh chan capability.Capability
@@ -158,6 +163,10 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 		sendCh:    make(chan coalesceOp, 4*maxCoalesce),
 		cleanupCh: make(chan capability.Capability, 4096),
 		stop:      make(chan struct{}),
+	}
+	s.minSeqWait = model.Timeout(15 * time.Second)
+	if s.minSeqWait < time.Second {
+		s.minSeqWait = time.Second
 	}
 	s.cond = sync.NewCond(&s.mu)
 
@@ -337,7 +346,11 @@ func (s *Server) handleClientRPC(req *rpc.Request) []byte {
 // handleRead implements the read path: majority check, then wait until
 // every group message buffered at request arrival has been applied —
 // guaranteeing the read sees all preceding writes (§3.1) — then answer
-// from the cache without any communication or disk access.
+// from the cache without any communication or disk access. A read
+// carrying a session floor (Request.MinSeq, stamped by read-balancing
+// clients) additionally waits until this replica's applied cursor
+// reaches the floor, so landing on a lagging replica cannot violate
+// read-your-writes or monotonic reads.
 func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
 	s.mu.Lock()
 	if !s.majorityLocked() && !s.cfg.DisableReadMajorityCheck {
@@ -352,16 +365,58 @@ func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
 			return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
 		}
 	}
+	if req.MinSeq > 0 && !s.waitMinSeq(req.MinSeq) {
+		// Floor unreachable here (lagging through recovery, or shutdown):
+		// refuse so the client fails over to a caught-up replica.
+		return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
+	}
 	// Sample the applied sequence number before executing the read: the
 	// data returned is at least that fresh, so the stamp is a safe
 	// (conservative) freshness bound for client read caches.
 	s.mu.Lock()
 	svcSeq := s.appliedSeq
 	s.mu.Unlock()
+	s.reads.Add(1)
 	s.stack.Node().CPU().Charge(s.model.LookupCPU)
 	reply := s.applier.Read(req)
 	reply.Seq = svcSeq
 	return reply
+}
+
+// Read serves one read request exactly as an initiator thread would —
+// majority check, buffered-stream wait, session floor — without going
+// through the RPC transport. Fault-injection tests and monitoring tools
+// use it to interrogate one specific replica.
+func (s *Server) Read(req *dirsvc.Request) *dirsvc.Reply {
+	if req.Op.IsUpdate() {
+		return &dirsvc.Reply{Status: dirsvc.StatusBadRequest}
+	}
+	return s.handleRead(req)
+}
+
+// waitMinSeq blocks until the replica's applied sequence number reaches
+// the client's session floor. It gives up — returning false so the
+// client retries elsewhere — after a bounded wait or on shutdown. A
+// recovery (era bump) during the wait is ridden out rather than bailed
+// on: the applied cursor survives recovery and usually reaches the
+// floor the moment the replica has caught up.
+func (s *Server) waitMinSeq(min uint64) bool {
+	deadline := time.Now().Add(s.minSeqWait)
+	wake := time.AfterFunc(s.minSeqWait, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer wake.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.appliedSeq < min {
+		if s.closed || time.Now().After(deadline) {
+			return false
+		}
+		s.cond.Wait()
+	}
+	return true
 }
 
 // handleUpdate implements the write path: majority check, pre-generate
@@ -439,6 +494,11 @@ func newCheckSeed(id int, opID uint64, step int) []byte {
 // issued on the write path (benchmark instrumentation: batches and
 // coalescing make this ≪ the number of updates).
 func (s *Server) GroupSends() uint64 { return s.groupSends.Load() }
+
+// ReadsServed returns the number of read operations this replica has
+// answered — the per-server load-distribution measurement behind the
+// Fig. 8 reproduction and the read-balancing experiments.
+func (s *Server) ReadsServed() uint64 { return s.reads.Load() }
 
 // majorityLocked: at least ⌈(N+1)/2⌉ servers must be up and in our group.
 func (s *Server) majorityLocked() bool {

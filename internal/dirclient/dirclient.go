@@ -1,9 +1,16 @@
 // Package dirclient is the user-side library of the directory service:
 // the wire implementation of the public dir.Directory interface, issued
-// over Amoeba-style RPC against any of the server backends. Server
-// selection uses the RPC layer's port cache (first HEREIS wins, NOTHERE
-// evicts), so a client sticks to one directory server until that server
-// is busy or gone — the behavior behind Fig. 8's load distribution.
+// over Amoeba-style RPC against any of the server backends. By default
+// server selection uses the RPC layer's port cache (first HEREIS wins,
+// NOTHERE evicts), so a client sticks to one directory server until that
+// server is busy or gone — the behavior behind Fig. 8's load
+// distribution. With Options.ReadBalance the client instead spreads its
+// reads across every replica of a shard (any replica holding a majority
+// can answer a read locally, §3.1) and preserves session consistency by
+// stamping each read with the shard's high-water applied sequence number
+// (Request.MinSeq): a read landing on a replica lagging behind one the
+// session already heard from waits there until the replica catches up.
+// Writes always keep first-responder selection.
 //
 // In a sharded deployment the client is also the routing layer: every
 // operation is sent to the replica group owning the directory it names,
@@ -28,9 +35,11 @@ package dirclient
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dirsvc/dir"
 	"dirsvc/internal/capability"
@@ -55,15 +64,37 @@ type conn struct {
 
 // Client talks to one directory service deployment — one replica group,
 // or several when the service is sharded. It implements dir.Directory
-// and is safe for concurrent use (transactions serialize per shard on
-// the underlying RPC client, as Amoeba serialized per kernel
-// transaction slot).
+// and is safe for concurrent use: the RPC transport multiplexes any
+// number of in-flight transactions per shard, so concurrent operations —
+// even on one shard — proceed in parallel.
 type Client struct {
-	conns []conn     // one per shard; index = shard number
-	cache *readCache // nil = caching disabled
+	conns   []conn     // one per shard; index = shard number
+	cache   *readCache // nil = caching disabled
+	balance bool       // spread reads across replicas, stamp MinSeq
+
+	// seqs tracks, per shard, the highest applied sequence number any
+	// reply has shown this client — the session's freshness floor,
+	// maintained even with the read cache off. Balanced reads carry it
+	// as Request.MinSeq.
+	seqs []atomic.Uint64
 
 	mu   sync.Mutex
 	root capability.Capability // cached root capability
+}
+
+// Options configure a Client beyond the service name (see NewWithOptions).
+type Options struct {
+	// Shards is the number of independent replica groups the service is
+	// partitioned across (values below 1 mean unsharded).
+	Shards int
+	// Cache configures the client read cache (zero value: disabled).
+	Cache dir.CacheOptions
+	// ReadBalance spreads read operations across every replica of a
+	// shard — least outstanding first — instead of pinning to the first
+	// HEREIS responder, and stamps reads with the session's MinSeq
+	// floor so read-your-writes and monotonic reads hold across
+	// replicas. Off preserves the paper's §4.2 selection heuristic.
+	ReadBalance bool
 }
 
 // Client is the wire-transport implementation of the public API.
@@ -85,10 +116,22 @@ func NewSharded(stack *flip.Stack, service string, shards int) (*Client, error) 
 // NewShardedCached creates a sharded client with the read cache
 // configured by opts (see dir.CacheOptions; the zero value disables it).
 func NewShardedCached(stack *flip.Stack, service string, shards int, opts dir.CacheOptions) (*Client, error) {
+	return NewWithOptions(stack, service, Options{Shards: shards, Cache: opts})
+}
+
+// NewWithOptions creates a client for the named service with the full
+// option set: sharding, read caching, and read balancing.
+func NewWithOptions(stack *flip.Stack, service string, opts Options) (*Client, error) {
+	shards := opts.Shards
 	if shards < 1 {
 		shards = 1
 	}
-	c := &Client{conns: make([]conn, shards), cache: newReadCache(shards, opts)}
+	c := &Client{
+		conns:   make([]conn, shards),
+		cache:   newReadCache(shards, opts.Cache),
+		balance: opts.ReadBalance,
+		seqs:    make([]atomic.Uint64, shards),
+	}
 	for s := 0; s < shards; s++ {
 		rc, err := rpc.NewClient(stack)
 		if err != nil {
@@ -97,6 +140,7 @@ func NewShardedCached(stack *flip.Stack, service string, shards int, opts dir.Ca
 			}
 			return nil, err
 		}
+		rc.SetReadBalance(opts.ReadBalance)
 		c.conns[s] = conn{
 			rpc:  rc,
 			port: dirsvc.ServicePort(dirsvc.ShardService(service, s, shards)),
@@ -108,7 +152,10 @@ func NewShardedCached(stack *flip.Stack, service string, shards int, opts dir.Ca
 // NewWithRPC wraps an existing RPC client (shared port cache) as an
 // unsharded client.
 func NewWithRPC(rc *rpc.Client, service string) *Client {
-	return &Client{conns: []conn{{rpc: rc, port: dirsvc.ServicePort(service)}}}
+	return &Client{
+		conns: []conn{{rpc: rc, port: dirsvc.ServicePort(service)}},
+		seqs:  make([]atomic.Uint64, 1),
+	}
 }
 
 // Close releases the client's RPC endpoints.
@@ -143,19 +190,100 @@ func (c *Client) nextCreateShard() int {
 	return int((createSeq.Add(1) - 1) % uint64(len(c.conns)))
 }
 
+// noteSeq advances the session's per-shard freshness floor to seq.
+func (c *Client) noteSeq(shard int, seq uint64) {
+	if seq == 0 {
+		return
+	}
+	s := &c.seqs[shard]
+	for {
+		cur := s.Load()
+		if seq <= cur || s.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// floor returns the MinSeq stamp for a read on shard: the session's
+// high-water mark when read balancing is on (replicas may lag each
+// other), zero — no floor — for the pinned legacy policy.
+func (c *Client) floor(shard int) uint64 {
+	if !c.balance {
+		return 0
+	}
+	return c.seqs[shard].Load()
+}
+
+// decodeNoted decodes a raw transaction result and feeds the reply's
+// sequence number into the session floor — the one reply pipeline both
+// the pinned and balanced paths share.
+func (c *Client) decodeNoted(shard int, raw []byte, err error) (*dirsvc.Reply, error) {
+	if err != nil {
+		return nil, err
+	}
+	reply, err := dirsvc.DecodeReply(raw)
+	if err != nil {
+		return nil, err
+	}
+	c.noteSeq(shard, reply.Seq)
+	return reply, nil
+}
+
+// statusErr converts a reply's non-OK status to an error. Even a failed
+// read carries the shard's sequence number and may prove commits the
+// cache has not seen (e.g. the directory was deleted by another
+// client), so the cache observes it before the error surfaces.
+func (c *Client) statusErr(shard int, reply *dirsvc.Reply) error {
+	err := reply.Status.Err()
+	if err != nil {
+		c.cache.noteReply(shard, reply.Seq)
+	}
+	return err
+}
+
 func (c *Client) trans(ctx context.Context, shard int, req *dirsvc.Request) (*dirsvc.Reply, error) {
 	reply, err := c.transRaw(ctx, shard, req)
 	if err != nil {
 		return nil, err
 	}
-	if err := reply.Status.Err(); err != nil {
-		// Even a failed read carries the shard's sequence number and may
-		// prove commits the cache has not seen (e.g. the directory was
-		// deleted by another client).
-		c.cache.noteReply(shard, reply.Seq)
+	if err := c.statusErr(shard, reply); err != nil {
 		return nil, err
 	}
 	return reply, nil
+}
+
+// transRead performs a read transaction: server selection may balance
+// across replicas (Options.ReadBalance), and the request carries the
+// session's freshness floor so a lagging replica waits before answering.
+//
+// A balanced read retries a no-majority refusal a few times: unlike the
+// pinned policy — which sticks to one healthy replica — balancing walks
+// into every replica of the shard, including one that is transiently
+// recovering or below its floor, and a sibling can usually serve the
+// read. A service-wide majority loss still surfaces after the bounded
+// retries.
+func (c *Client) transRead(ctx context.Context, shard int, req *dirsvc.Request) (*dirsvc.Reply, error) {
+	cn := c.conns[shard]
+	for attempt := 0; ; attempt++ {
+		req.MinSeq = c.floor(shard)
+		raw, err := cn.rpc.TransReadCtx(ctx, cn.port, req.Encode())
+		reply, err := c.decodeNoted(shard, raw, err)
+		if err != nil {
+			return nil, err
+		}
+		serr := c.statusErr(shard, reply)
+		if serr == nil {
+			return reply, nil
+		}
+		if !c.balance || attempt >= 3 || !errors.Is(serr, dirsvc.ErrNoMajority) {
+			return nil, serr
+		}
+		select {
+		case <-time.After(time.Duration(attempt+1) * 5 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // transRaw performs the transaction against one shard and decodes the
@@ -164,10 +292,7 @@ func (c *Client) trans(ctx context.Context, shard int, req *dirsvc.Request) (*di
 func (c *Client) transRaw(ctx context.Context, shard int, req *dirsvc.Request) (*dirsvc.Reply, error) {
 	cn := c.conns[shard]
 	raw, err := cn.rpc.TransCtx(ctx, cn.port, req.Encode())
-	if err != nil {
-		return nil, err
-	}
-	return dirsvc.DecodeReply(raw)
+	return c.decodeNoted(shard, raw, err)
 }
 
 // Root returns (and caches) the root directory capability. The root is
@@ -179,7 +304,7 @@ func (c *Client) Root(ctx context.Context) (capability.Capability, error) {
 	if !root.IsZero() {
 		return root, nil
 	}
-	reply, err := c.trans(ctx, 0, &dirsvc.Request{Op: dirsvc.OpGetRoot})
+	reply, err := c.transRead(ctx, 0, &dirsvc.Request{Op: dirsvc.OpGetRoot})
 	if err != nil {
 		return capability.Capability{}, err
 	}
@@ -231,7 +356,7 @@ func (c *Client) List(ctx context.Context, dir capability.Capability, col int) (
 		return rows, nil
 	}
 	epoch := c.cache.epochOf(shard)
-	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpListDir, Dir: dir, Column: col})
+	reply, err := c.transRead(ctx, shard, &dirsvc.Request{Op: dirsvc.OpListDir, Dir: dir, Column: col})
 	if err != nil {
 		return nil, err
 	}
@@ -325,7 +450,7 @@ func (c *Client) LookupSet(ctx context.Context, dir capability.Capability, names
 	for i, n := range names {
 		set[i] = dirsvc.SetItem{Name: n}
 	}
-	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpLookupSet, Dir: dir, Set: set})
+	reply, err := c.transRead(ctx, shard, &dirsvc.Request{Op: dirsvc.OpLookupSet, Dir: dir, Set: set})
 	if err != nil {
 		return nil, err
 	}

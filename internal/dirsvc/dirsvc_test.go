@@ -58,6 +58,15 @@ func TestRequestEncodeDecodeRoundTrip(t *testing.T) {
 				Blob:   []byte{0xde, 0xad},
 			},
 		},
+		{
+			name: "read with session floor",
+			req: Request{
+				Op:     OpListDir,
+				Dir:    testCap(7),
+				Column: 1,
+				MinSeq: 1 << 40,
+			},
+		},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -194,6 +194,14 @@ type Request struct {
 	Server int
 	// Blob carries opaque payload on internal operations.
 	Blob []byte
+	// MinSeq, on read operations, is the client session's freshness
+	// floor: the server must not answer from replica state older than
+	// this applied sequence number. Clients that balance reads across
+	// replicas stamp it with the highest Seq any reply has shown them,
+	// so read-your-writes and monotonic reads survive a read landing on
+	// a replica that lags the one that acknowledged the write. Zero (the
+	// wire default, and what pinned clients send) imposes no floor.
+	MinSeq uint64
 }
 
 // Reply is a directory service reply.
@@ -241,6 +249,7 @@ func (r *Request) Encode() []byte {
 	w.u64(r.Seq)
 	w.u32(uint32(r.Server))
 	w.bytes(r.Blob)
+	w.u64(r.MinSeq)
 	return w.buf
 }
 
@@ -281,6 +290,7 @@ func DecodeRequest(buf []byte) (*Request, error) {
 	r.Seq = rd.u64()
 	r.Server = int(rd.u32())
 	r.Blob = rd.lenBytes()
+	r.MinSeq = rd.u64()
 	if rd.failed {
 		return nil, ErrBadRequest
 	}

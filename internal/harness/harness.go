@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -172,10 +173,42 @@ func MeasureLookup(c *faultdir.Cluster, lookups int) (time.Duration, error) {
 	return time.Since(start) / time.Duration(lookups), nil
 }
 
-// Throughput is one point of Fig. 8 / Fig. 9.
+// Throughput is one point of Fig. 8 / Fig. 9, with per-operation latency
+// percentiles over the measurement window.
 type Throughput struct {
 	Clients   int
 	OpsPerSec float64
+	// P50 and P99 are the median and 99th-percentile per-operation
+	// latencies (an operation is whatever the experiment counts: a
+	// lookup, an append-delete pair, one mixed-workload op).
+	P50, P99 time.Duration
+}
+
+// latSamples accumulates per-operation durations across worker
+// goroutines; each goroutine appends to its own slot, so recording is
+// contention-free.
+type latSamples [][]time.Duration
+
+func newLatSamples(workers int) latSamples { return make(latSamples, workers) }
+
+func (l latSamples) add(worker int, d time.Duration) { l[worker] = append(l[worker], d) }
+
+// percentiles merges and sorts every worker's samples and returns the
+// p50 and p99 latencies (zero when nothing was recorded).
+func (l latSamples) percentiles() (p50, p99 time.Duration) {
+	var all []time.Duration
+	for _, s := range l {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return 0, 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	at := func(p float64) time.Duration {
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	return at(0.50), at(0.99)
 }
 
 // MeasureLookupThroughput reproduces Fig. 8: n clients issue
@@ -193,6 +226,7 @@ func MeasureLookupThroughput(c *faultdir.Cluster, clients int, window time.Durat
 	}
 
 	counts := make([]int, clients)
+	lats := newLatSamples(clients)
 	errs := make(chan error, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -207,6 +241,7 @@ func MeasureLookupThroughput(c *faultdir.Cluster, clients int, window time.Durat
 		go func(i int, client *dirclient.Client) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
+				opStart := time.Now()
 				err := retryTransient(func() error {
 					_, lerr := client.Lookup(bgCtx, dir, "target")
 					return lerr
@@ -215,6 +250,7 @@ func MeasureLookupThroughput(c *faultdir.Cluster, clients int, window time.Durat
 					errs <- err
 					return
 				}
+				lats.add(i, time.Since(opStart))
 				counts[i]++
 			}
 		}(i, client)
@@ -229,7 +265,8 @@ func MeasureLookupThroughput(c *faultdir.Cluster, clients int, window time.Durat
 	for _, n := range counts {
 		total += n
 	}
-	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds()}, nil
+	p50, p99 := lats.percentiles()
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99}, nil
 }
 
 // measurePairThroughput runs n concurrent clients, each issuing
@@ -252,6 +289,7 @@ func measurePairThroughput(c *faultdir.Cluster, clients int, window time.Duratio
 	}
 
 	counts := make([]int, clients)
+	lats := newLatSamples(clients)
 	errs := make(chan error, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -261,10 +299,12 @@ func measurePairThroughput(c *faultdir.Cluster, clients int, window time.Duratio
 		go func(i int, client *dirclient.Client, dir capability.Capability) {
 			defer wg.Done()
 			for j := 0; time.Now().Before(deadline); j++ {
+				opStart := time.Now()
 				if err := pairOp(client, dir, fmt.Sprintf("c%dn%d", i, j)); err != nil {
 					errs <- err
 					return
 				}
+				lats.add(i, time.Since(opStart))
 				counts[i]++
 			}
 		}(i, workers[i], dirs[i])
@@ -279,7 +319,8 @@ func measurePairThroughput(c *faultdir.Cluster, clients int, window time.Duratio
 	for _, n := range counts {
 		total += n
 	}
-	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds()}, nil
+	p50, p99 := lats.percentiles()
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99}, nil
 }
 
 // MeasureUpdateThroughput reproduces Fig. 9: n clients issue
@@ -336,6 +377,7 @@ func MeasureMixedWorkload(c *faultdir.Cluster, clients int, readPct int, window 
 	}
 
 	counts := make([]int, clients)
+	lats := newLatSamples(clients)
 	errs := make(chan error, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -350,6 +392,7 @@ func MeasureMixedWorkload(c *faultdir.Cluster, clients int, readPct int, window 
 		go func(i int, client *dirclient.Client) {
 			defer wg.Done()
 			for j := 0; time.Now().Before(deadline); j++ {
+				opStart := time.Now()
 				if j%100 < readPct {
 					err := retryTransient(func() error {
 						_, lerr := client.Lookup(bgCtx, dir, "hot")
@@ -366,6 +409,7 @@ func MeasureMixedWorkload(c *faultdir.Cluster, clients int, readPct int, window 
 						return
 					}
 				}
+				lats.add(i, time.Since(opStart))
 				counts[i]++
 			}
 		}(i, client)
@@ -380,7 +424,100 @@ func MeasureMixedWorkload(c *faultdir.Cluster, clients int, readPct int, window 
 	for _, n := range counts {
 		total += n
 	}
-	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds()}, nil
+	p50, p99 := lats.percentiles()
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99}, nil
+}
+
+// ReadScale is one point of the read-scaling experiment: aggregate
+// lookup throughput with latency percentiles, plus how the reads
+// distributed over the replicas of shard 0 (group kinds).
+type ReadScale struct {
+	Throughput
+	// Goroutines is how many concurrent goroutines each client ran.
+	Goroutines int
+	// PerServerReads maps replica id to reads served during the window.
+	PerServerReads map[int]uint64
+}
+
+// MeasureReadScale measures the read path under concurrency: `clients`
+// independent clients, each driving `goroutines` concurrent goroutines
+// of back-to-back lookups of one hot name, for the window. Whether the
+// reads pin to one replica (the paper's §4.2 heuristic) or spread across
+// all of them follows the cluster's Options.ReadBalance; with the
+// concurrent RPC transport, one client's goroutines issue overlapping
+// transactions instead of serializing on a per-client lock. The result
+// is total lookups per second, p50/p99 lookup latency, and the
+// per-replica read counts accumulated during the window.
+func MeasureReadScale(c *faultdir.Cluster, clients, goroutines int, window time.Duration) (ReadScale, error) {
+	client0, cleanup0, _, dir, err := setupBench(c)
+	if err != nil {
+		return ReadScale{}, err
+	}
+	defer cleanup0()
+	if err := client0.Append(bgCtx, dir, "target", dir, nil); err != nil {
+		return ReadScale{}, err
+	}
+	before := c.ShardReadCounts(0)
+
+	workers := clients * goroutines
+	counts := make([]int, workers)
+	lats := newLatSamples(workers)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(window)
+	for i := 0; i < clients; i++ {
+		client, cleanup, err := c.NewClient()
+		if err != nil {
+			return ReadScale{}, err
+		}
+		defer cleanup()
+		for g := 0; g < goroutines; g++ {
+			w := i*goroutines + g
+			wg.Add(1)
+			go func(w int, client *dirclient.Client) {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					opStart := time.Now()
+					err := retryTransient(func() error {
+						_, lerr := client.Lookup(bgCtx, dir, "target")
+						return lerr
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+					lats.add(w, time.Since(opStart))
+					counts[w]++
+				}
+			}(w, client)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return ReadScale{}, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	perServer := c.ShardReadCounts(0)
+	for id, n := range before {
+		perServer[id] -= n
+	}
+	p50, p99 := lats.percentiles()
+	return ReadScale{
+		Throughput: Throughput{
+			Clients:   clients,
+			OpsPerSec: float64(total) / elapsed.Seconds(),
+			P50:       p50,
+			P99:       p99,
+		},
+		Goroutines:     goroutines,
+		PerServerReads: perServer,
+	}, nil
 }
 
 // BatchCost is one side of the batch-amortization measurement: what B

@@ -101,6 +101,9 @@ func (s *Server) handle(req *rpc.Request) []byte {
 		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
 	}
 	if !dreq.Op.IsUpdate() {
+		// Request.MinSeq needs no wait here: with a single server, every
+		// floor a client session carries came from this server's own
+		// replies, so s.seq is always at or past it.
 		s.mu.Lock()
 		svcSeq := s.seq
 		s.mu.Unlock()

@@ -1,0 +1,280 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dirsvc/internal/capability"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/sim"
+)
+
+// TestConcurrentTransMultiplex pins the multiplexed transport: while one
+// transaction is parked inside a server handler, a second transaction on
+// the SAME client must complete — the serialized transport held the
+// client mutex across the whole round-trip, so the fast call would have
+// queued behind the slow one.
+func TestConcurrentTransMultiplex(t *testing.T) {
+	f, port, servers := newFixture(t, 1)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	stop := servers[0].ServeFunc(2, func(req *Request) []byte {
+		if string(req.Payload) == "slow" {
+			entered <- struct{}{}
+			<-release
+		}
+		return append([]byte("echo:"), req.Payload...)
+	})
+	t.Cleanup(func() {
+		servers[0].Close()
+		stop()
+	})
+
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := f.client.Trans(port, []byte("slow"))
+		slowDone <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow request never reached the server")
+	}
+
+	fastDone := make(chan error, 1)
+	go func() {
+		reply, err := f.client.Trans(port, []byte("fast"))
+		if err == nil && string(reply) != "echo:fast" {
+			err = fmt.Errorf("fast reply = %q", reply)
+		}
+		fastDone <- err
+	}()
+	select {
+	case err := <-fastDone:
+		if err != nil {
+			t.Fatalf("fast transaction: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fast transaction blocked behind the slow one: transport is serialized")
+	}
+
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow transaction: %v", err)
+	}
+}
+
+// TestConcurrentTransStressFailover hammers one shared client from many
+// goroutines across a server crash: every transaction must receive the
+// echo of its own unique payload (a reply routed to the wrong transaction
+// would corrupt the pairing), and all must complete despite the failover.
+// Run with -race, this is the concurrency gate for the demux routing and
+// port-cache bookkeeping.
+func TestConcurrentTransStressFailover(t *testing.T) {
+	f, port, servers := newFixture(t, 3)
+	for _, srv := range servers {
+		echoWorkers(t, srv, 4)
+	}
+	f.client.SetReadBalance(true)
+
+	const goroutines = 12
+	const opsEach = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	crashed := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				payload := fmt.Sprintf("g%d-i%d", g, i)
+				var reply []byte
+				var err error
+				if i%2 == 0 {
+					reply, err = f.client.TransRead(port, []byte(payload))
+				} else {
+					reply, err = f.client.Trans(port, []byte(payload))
+				}
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d op %d: %w", g, i, err)
+					return
+				}
+				if string(reply) != "echo:"+payload {
+					errs <- fmt.Errorf("goroutine %d op %d: reply %q routed from another transaction", g, i, reply)
+					return
+				}
+				if g == 0 && i == opsEach/2 {
+					// Mid-flight, fail-stop one server every goroutine may
+					// have in its candidate set.
+					f.net.Node(servers[0].stack.Node().ID()).Crash()
+					close(crashed)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	select {
+	case <-crashed:
+	default:
+		t.Fatal("crash never happened; stress did not cover failover")
+	}
+}
+
+// TestRelocateAfterDeadServerEviction is the port-cache staleness fix: a
+// server that stops answering marks the cache stale, so the very next
+// selection re-locates and picks up replicas that were not in the cache —
+// without waiting for the remaining entries to drain away.
+func TestRelocateAfterDeadServerEviction(t *testing.T) {
+	f, port, servers := newFixture(t, 2)
+	echoWorkers(t, servers[0], 1)
+	echoWorkers(t, servers[1], 1)
+
+	if _, err := f.client.Trans(port, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(f.client.CachedServers(port)); n == 0 {
+		t.Fatal("empty port cache after warm transaction")
+	}
+
+	// A third server comes up after the cache was filled: the client
+	// cannot know it yet.
+	ls := flip.NewStack(f.net.AddNode("late-server"))
+	f.stacks = append(f.stacks, ls)
+	late, err := NewServer(ls, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoWorkers(t, late, 1)
+	lateID := ls.Node().ID()
+
+	// Kill the preferred server; the failover must refresh the candidate
+	// set, so the late server joins it even though the cache still held
+	// live entries.
+	preferred := f.client.CachedServers(port)[0]
+	f.net.Node(preferred).Crash()
+	if _, err := f.client.Trans(port, []byte("after-crash")); err != nil {
+		t.Fatalf("Trans after crash: %v", err)
+	}
+	found := false
+	for _, s := range f.client.CachedServers(port) {
+		if s == lateID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("late server %v not re-located after failover; cache = %v",
+			lateID, f.client.CachedServers(port))
+	}
+}
+
+// TestCacheTTLRefresh covers the no-failure staleness bound: past the
+// TTL, the next selection re-locates, so a server that appeared without
+// any eviction happening still joins the candidate set.
+func TestCacheTTLRefresh(t *testing.T) {
+	f, port, servers := newFixture(t, 1)
+	echoWorkers(t, servers[0], 1)
+	if _, err := f.client.Trans(port, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	ls := flip.NewStack(f.net.AddNode("late-server"))
+	f.stacks = append(f.stacks, ls)
+	late, err := NewServer(ls, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoWorkers(t, late, 1)
+
+	f.client.SetCacheTTL(30 * time.Millisecond)
+	time.Sleep(50 * time.Millisecond)
+	if _, err := f.client.Trans(port, []byte("past-ttl")); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range f.client.CachedServers(port) {
+		if s == ls.Node().ID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("TTL expiry did not re-locate; cache = %v", f.client.CachedServers(port))
+	}
+}
+
+// TestReadBalanceSpreadsSingleClient pins both selection policies from
+// one client: balanced reads round-robin across every HEREIS responder;
+// the legacy pinned policy sends everything to the first responder —
+// Fig. 8's skew, preserved behind the knob.
+func TestReadBalanceSpreadsSingleClient(t *testing.T) {
+	net := sim.NewNetwork(sim.FastModel(), 1)
+	port := capability.PortFromString("svc")
+	var mu sync.Mutex
+	perServer := make(map[sim.NodeID]int)
+	for i := 0; i < 3; i++ {
+		ss := flip.NewStack(net.AddNode(fmt.Sprintf("server%d", i)))
+		srv, err := NewServer(ss, port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := ss.Node().ID()
+		stop := srv.ServeFunc(2, func(req *Request) []byte {
+			mu.Lock()
+			perServer[id]++
+			mu.Unlock()
+			return req.Payload
+		})
+		t.Cleanup(func() {
+			srv.Close()
+			stop()
+			ss.Close()
+		})
+	}
+
+	const reads = 60
+	run := func(balance bool) map[sim.NodeID]int {
+		mu.Lock()
+		perServer = make(map[sim.NodeID]int)
+		mu.Unlock()
+		cs := flip.NewStack(net.AddNode("client"))
+		defer cs.Close()
+		client, err := NewClient(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		client.SetReadBalance(balance)
+		for i := 0; i < reads; i++ {
+			if _, err := client.TransRead(port, []byte{byte(i)}); err != nil {
+				t.Fatalf("balance=%v read %d: %v", balance, i, err)
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		out := make(map[sim.NodeID]int, len(perServer))
+		for id, n := range perServer {
+			out[id] = n
+		}
+		return out
+	}
+
+	spread := run(true)
+	if len(spread) != 3 {
+		t.Fatalf("balanced reads reached %d of 3 servers: %v", len(spread), spread)
+	}
+	for id, n := range spread {
+		if n < reads/6 {
+			t.Fatalf("balanced reads skewed: server %v got %d of %d (%v)", id, n, reads, spread)
+		}
+	}
+
+	pinned := run(false)
+	if len(pinned) != 1 {
+		t.Fatalf("pinned policy spread reads across %d servers: %v (legacy Fig. 8 skew lost)", len(pinned), pinned)
+	}
+}

@@ -6,12 +6,26 @@
 // Server location uses the mechanism described in §4.2: the first time a
 // client performs an RPC with a service, it broadcasts a locate for the
 // service port; every listening server answers HEREIS; the client caches
-// all answers in arrival order and sends the request to the first server
-// that replied. If a request reaches a server with no thread blocked in
-// GetRequest, the server answers NOTHERE; the client evicts that server
-// from its port cache and selects another (or locates again). This
-// heuristic is deliberately imperfect — it produces the uneven load
-// distribution and high variance the paper reports in Fig. 8.
+// all answers in arrival order. By default requests go to the first server
+// that replied — the paper's deliberately imperfect heuristic behind the
+// uneven load distribution of Fig. 8. If a request reaches a server with
+// no thread blocked in GetRequest, the server answers NOTHERE; the client
+// evicts that server from its port cache and selects another (or locates
+// again). A server that stops answering altogether marks the cache stale,
+// so the next selection re-locates and a recovered replica rejoins the
+// candidate set immediately instead of waiting for the cache to drain
+// empty; a TTL bounds staleness even without failures.
+//
+// The transport is concurrent: one Client multiplexes any number of
+// in-flight transactions over its single reply port. Replies are routed
+// back to their transaction by id (a demux goroutine), so goroutines
+// sharing a Client never serialize behind each other's round-trips — only
+// transaction-id allocation and port-cache bookkeeping are under the
+// client mutex. Read-mostly callers can additionally opt into replica
+// balancing (SetReadBalance): TransRead then spreads requests across
+// every cached HEREIS responder, least-outstanding first, which is what
+// lets N replicas answer N reads in parallel (§3.1 — any replica holding
+// a majority can answer a read locally).
 package rpc
 
 import (
@@ -47,10 +61,30 @@ var (
 
 var clientSeq atomic.Uint64
 
+// replyChanDepth buffers per-transaction reply routing; retransmissions
+// can produce several replies for one transaction.
+const replyChanDepth = 8
+
+// portCache is the client's knowledge of one service port: the HEREIS
+// responders of the last locate, in arrival order.
+type portCache struct {
+	servers []sim.NodeID
+	// recheckAt is when the entry next warrants a fresh locate: one TTL
+	// after a successful fill; immediately when a cached server stopped
+	// answering (so recovered or substitute replicas rejoin the
+	// candidate set at the next selection instead of waiting for the
+	// shrinking remainder to drain); one locate window after a re-locate
+	// came up empty (serve from the remainder, but keep trying).
+	recheckAt time.Time
+	// rr is the round-robin cursor for balanced picks.
+	rr uint64
+}
+
 // Client issues transactions to servers located by port. A Client is safe
-// for concurrent use; transactions are serialized internally (create one
-// Client per goroutine for parallelism, as Amoeba created one kernel
-// transaction slot per thread).
+// for concurrent use and multiplexes any number of in-flight transactions
+// over one reply port: replies are demultiplexed by transaction id, so
+// concurrent callers proceed in parallel (unlike the Amoeba kernel, which
+// had one transaction slot per thread).
 type Client struct {
 	stack     *flip.Stack
 	replyPort capability.Port
@@ -60,10 +94,18 @@ type Client struct {
 	replyTimeout time.Duration
 	retransmits  int
 	maxAttempts  int
+	cacheTTL     time.Duration
 
-	mu    sync.Mutex
-	cache map[capability.Port][]sim.NodeID
-	txid  uint64
+	balance atomic.Bool
+
+	mu       sync.Mutex
+	cache    map[capability.Port]*portCache
+	locating map[capability.Port]chan struct{}
+	load     map[capability.Port]map[sim.NodeID]int // in-flight requests per server
+	pending  map[uint64]chan flip.Msg               // reply routing by transaction id
+	txid     uint64
+
+	closed chan struct{} // closed when the demux exits (Close or crash)
 }
 
 // NewClient creates a client endpoint on the given stack. Timeouts are
@@ -83,7 +125,11 @@ func NewClient(stack *flip.Stack) (*Client, error) {
 		// retransmissions stay exceptional.
 		replyTimeout = 200 * time.Millisecond
 	}
-	return &Client{
+	cacheTTL := model.Timeout(60 * time.Second)
+	if cacheTTL < 5*time.Second {
+		cacheTTL = 5 * time.Second
+	}
+	c := &Client{
 		stack:        stack,
 		replyPort:    replyPort,
 		replies:      l,
@@ -91,25 +137,84 @@ func NewClient(stack *flip.Stack) (*Client, error) {
 		replyTimeout: replyTimeout,
 		retransmits:  2,
 		maxAttempts:  8,
-		cache:        make(map[capability.Port][]sim.NodeID),
+		cacheTTL:     cacheTTL,
+		cache:        make(map[capability.Port]*portCache),
+		locating:     make(map[capability.Port]chan struct{}),
+		load:         make(map[capability.Port]map[sim.NodeID]int),
+		pending:      make(map[uint64]chan flip.Msg),
 		// Transaction ids carry the client sequence number in the high
 		// bits so that (node, tx) is globally unique even when several
 		// clients share a host.
-		txid: seq << 32,
-	}, nil
+		txid:   seq << 32,
+		closed: make(chan struct{}),
+	}
+	go c.demux()
+	return c, nil
 }
 
-// Close releases the client's reply port.
+// Close releases the client's reply port and unblocks every in-flight
+// transaction with ErrClosed.
 func (c *Client) Close() { c.replies.Close() }
+
+// SetReadBalance selects the server-selection policy TransRead uses:
+// false (the default) pins reads to the first HEREIS responder like every
+// other transaction — the paper's §4.2 heuristic, with Fig. 8's skew;
+// true spreads reads across all cached responders, least-outstanding
+// first with round-robin tie-breaking, so N replicas serve reads in
+// parallel.
+func (c *Client) SetReadBalance(on bool) { c.balance.Store(on) }
 
 // CachedServers returns the client's current port-cache entry, in
 // preference order. Exposed for tests and the load-distribution harness.
 func (c *Client) CachedServers(port capability.Port) []sim.NodeID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]sim.NodeID, len(c.cache[port]))
-	copy(out, c.cache[port])
+	e := c.cache[port]
+	if e == nil {
+		return nil
+	}
+	out := make([]sim.NodeID, len(e.servers))
+	copy(out, e.servers)
 	return out
+}
+
+// SetCacheTTL overrides the port-cache time-to-live (tests and tools;
+// the default derives from the latency model). After the TTL the next
+// server selection re-locates, so replicas that recovered without any
+// failure being observed rejoin the candidate set. Entries already
+// cached are re-clamped to the new TTL.
+func (c *Client) SetCacheTTL(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cacheTTL = d
+	limit := time.Now().Add(d)
+	for _, e := range c.cache {
+		if e.recheckAt.After(limit) {
+			e.recheckAt = limit
+		}
+	}
+}
+
+// demux routes incoming replies to their transaction by id. It exits —
+// closing c.closed, which unblocks every waiter — when the reply listener
+// shuts down (Close or node crash).
+func (c *Client) demux() {
+	defer close(c.closed)
+	for m := range c.replies.Chan() {
+		if len(m.Payload) < 9 {
+			continue
+		}
+		tx := binary.BigEndian.Uint64(m.Payload[1:9])
+		c.mu.Lock()
+		ch := c.pending[tx]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m:
+			default: // waiter overrun: drop, retransmission recovers
+			}
+		}
+	}
 }
 
 // Trans performs one transaction with any server of the service identified
@@ -128,31 +233,77 @@ func (c *Client) Trans(port capability.Port, req []byte) ([]byte, error) {
 // reply — and returns ctx.Err(). The Amoeba kernel had no such handle;
 // every operation blocked until the kernel-level timeout fired.
 func (c *Client) TransCtx(ctx context.Context, port capability.Port, req []byte) ([]byte, error) {
+	return c.transact(ctx, port, req, false)
+}
+
+// TransRead is TransReadCtx with a background context.
+func (c *Client) TransRead(port capability.Port, req []byte) ([]byte, error) {
+	return c.TransReadCtx(context.Background(), port, req)
+}
+
+// TransReadCtx performs a read transaction: identical to TransCtx except
+// that, with SetReadBalance(true), the server is picked by spreading load
+// across every cached HEREIS responder instead of pinning to the first.
+// Callers balancing reads should carry their session's freshness floor in
+// the request payload (the directory protocol's MinSeq), since different
+// replicas may lag one another.
+func (c *Client) TransReadCtx(ctx context.Context, port capability.Port, req []byte) ([]byte, error) {
+	return c.transact(ctx, port, req, c.balance.Load())
+}
+
+func (c *Client) transact(ctx context.Context, port capability.Port, req []byte, balance bool) ([]byte, error) {
+	ch := make(chan flip.Msg, replyChanDepth)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.txid++
 	tx := c.txid
+	c.pending[tx] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, tx)
+		c.mu.Unlock()
+	}()
 
 	located := false
+	noServer := 0
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		server, ok := c.pickServerLocked(ctx, port, &located)
+		server, ok := c.pickServer(ctx, port, balance, &located)
 		if !ok {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			return nil, fmt.Errorf("port %v: %w", port, ErrNoServer)
+			select {
+			case <-c.closed:
+				return nil, ErrClosed
+			default:
+			}
+			// A locate can come up empty transiently (the HEREIS window
+			// is one round-trip wide); retry a bounded number of rounds —
+			// each pick backs off one window first — before declaring the
+			// port serverless.
+			if noServer++; noServer >= 3 {
+				return nil, fmt.Errorf("port %v: %w", port, ErrNoServer)
+			}
+			continue
 		}
-		reply, verdict := c.transactOnce(ctx, server, port, tx, req)
+		reply, verdict := c.transactOnce(ctx, server, port, tx, req, ch)
+		c.release(port, server)
 		switch verdict {
 		case verdictReply:
 			return reply, nil
 		case verdictCanceled:
 			return nil, ctx.Err()
-		case verdictNotHere, verdictDead:
-			c.evictLocked(port, server)
+		case verdictClosed:
+			return nil, ErrClosed
+		case verdictNotHere:
+			// Busy server: drain to the next cached candidate (§4.2).
+			c.evict(port, server, false)
+		case verdictDead:
+			// Silent server: refresh the candidate set on the next pick.
+			c.evict(port, server, true)
 		}
 	}
 	return nil, fmt.Errorf("port %v: %w", port, ErrTimeout)
@@ -165,12 +316,12 @@ const (
 	verdictNotHere
 	verdictDead
 	verdictCanceled
+	verdictClosed
 )
 
-// transactOnce sends the request to one server and waits for its reply,
-// retransmitting on silence. It is called with c.mu held (transactions are
-// serialized per client).
-func (c *Client) transactOnce(ctx context.Context, server sim.NodeID, port capability.Port, tx uint64, req []byte) ([]byte, verdict) {
+// transactOnce sends the request to one server and waits for its routed
+// replies, retransmitting on silence. Runs without the client mutex.
+func (c *Client) transactOnce(ctx context.Context, server sim.NodeID, port capability.Port, tx uint64, req []byte, replies <-chan flip.Msg) ([]byte, verdict) {
 	wire := encodeRequest(tx, c.replyPort, req)
 	for send := 0; send <= c.retransmits; send++ {
 		if ctx.Err() != nil {
@@ -179,91 +330,184 @@ func (c *Client) transactOnce(ctx context.Context, server sim.NodeID, port capab
 		if err := c.stack.Send(server, port, wire); err != nil {
 			return nil, verdictDead
 		}
-		deadline := time.Now().Add(c.replyTimeout)
+		timer := time.NewTimer(c.replyTimeout)
+	recv:
 		for {
-			remain := time.Until(deadline)
-			if remain <= 0 {
-				break
-			}
-			m, ok, timedOut, canceled := c.recvReply(ctx, remain)
-			if canceled {
+			select {
+			case m := <-replies:
+				op, _, payload, err := decodeReply(m.Payload)
+				if err != nil {
+					continue
+				}
+				switch op {
+				case opReply:
+					// A reply is valid whichever server it came from: a
+					// server this transaction already gave up on may
+					// answer late, and its reply is still the result of
+					// this exact request (at-most-once per server).
+					// Third message of the exchange: acknowledge so the
+					// server can drop its duplicate-suppression state.
+					timer.Stop()
+					_ = c.stack.Send(m.Src, port, encodeAck(tx))
+					return payload, verdictReply
+				case opNotHere:
+					if m.Src != server {
+						// Stale NOTHERE from a server this transaction
+						// already failed over from must not evict the
+						// current one.
+						continue
+					}
+					timer.Stop()
+					return nil, verdictNotHere
+				}
+			case <-timer.C:
+				break recv
+			case <-ctx.Done():
+				timer.Stop()
 				return nil, verdictCanceled
-			}
-			if timedOut {
-				break
-			}
-			if !ok {
-				return nil, verdictDead
-			}
-			op, gotTx, payload, err := decodeReply(m.Payload)
-			if err != nil || gotTx != tx {
-				continue // stale reply from an earlier transaction
-			}
-			switch op {
-			case opReply:
-				// Third message of the exchange: acknowledge so the
-				// server can drop its duplicate-suppression state.
-				_ = c.stack.Send(m.Src, port, encodeAck(tx))
-				return payload, verdictReply
-			case opNotHere:
-				return nil, verdictNotHere
+			case <-c.closed:
+				timer.Stop()
+				return nil, verdictClosed
 			}
 		}
 	}
 	return nil, verdictDead
 }
 
-// recvReply waits up to d for a reply message, aborting early when ctx is
-// done.
-func (c *Client) recvReply(ctx context.Context, d time.Duration) (m flip.Msg, ok, timedOut, canceled bool) {
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	select {
-	case m, ok = <-c.replies.Chan():
-		return m, ok, false, false
-	case <-timer.C:
-		return flip.Msg{}, false, true, false
-	case <-ctx.Done():
-		return flip.Msg{}, false, false, true
+// pickServer returns a server for port, locating the service when the
+// cache is empty, stale after a failover, or past its TTL. Concurrent
+// pickers share one locate (single-flight). located tracks whether this
+// transaction already performed a locate, limiting it to one backoff
+// round per attempt.
+func (c *Client) pickServer(ctx context.Context, port capability.Port, balance bool, located *bool) (sim.NodeID, bool) {
+	for {
+		c.mu.Lock()
+		e := c.cache[port]
+		if e != nil && len(e.servers) > 0 && time.Now().Before(e.recheckAt) {
+			server := c.chooseLocked(port, e, balance)
+			c.mu.Unlock()
+			return server, true
+		}
+		if wait, inFlight := c.locating[port]; inFlight {
+			c.mu.Unlock()
+			select {
+			case <-wait:
+				continue // re-check the refreshed cache
+			case <-ctx.Done():
+				return 0, false
+			case <-c.closed:
+				return 0, false
+			}
+		}
+		done := make(chan struct{})
+		c.locating[port] = done
+		c.mu.Unlock()
+
+		found, ok := c.locate(ctx, port, located)
+
+		c.mu.Lock()
+		delete(c.locating, port)
+		close(done)
+		if !ok || len(found) == 0 {
+			// Locate came up empty: fall back to the remainder the cache
+			// still holds (those servers may well be alive; only the
+			// refresh failed) — but only for a short grace, so the next
+			// picks keep retrying the locate until the set is rebuilt.
+			if old := c.cache[port]; old != nil && len(old.servers) > 0 {
+				old.recheckAt = time.Now().Add(c.locateWindow)
+				server := c.chooseLocked(port, old, balance)
+				c.mu.Unlock()
+				return server, true
+			}
+			c.mu.Unlock()
+			return 0, false
+		}
+		e = &portCache{servers: found, recheckAt: time.Now().Add(c.cacheTTL)}
+		c.cache[port] = e
+		server := c.chooseLocked(port, e, balance)
+		c.mu.Unlock()
+		return server, true
 	}
 }
 
-// pickServerLocked returns the preferred server for port, locating the
-// service if the cache is empty. located tracks whether this transaction
-// already performed a locate, limiting it to two rounds.
-func (c *Client) pickServerLocked(ctx context.Context, port capability.Port, located *bool) (sim.NodeID, bool) {
-	if servers := c.cache[port]; len(servers) > 0 {
-		return servers[0], true
-	}
+// locate broadcasts a LOCATE and collects the HEREIS responders. A second
+// locate within one transaction waits one window first, giving servers
+// time to come up.
+func (c *Client) locate(ctx context.Context, port capability.Port, located *bool) ([]sim.NodeID, bool) {
 	if *located {
-		// One re-locate per transaction round is enough; give other
-		// servers time to come up before the next attempt.
 		timer := time.NewTimer(c.locateWindow)
+		defer timer.Stop()
 		select {
 		case <-timer.C:
 		case <-ctx.Done():
-			timer.Stop()
-			return 0, false
+			return nil, false
 		}
 	}
 	*located = true
 	found, err := c.stack.Locate(port, c.locateWindow, 0)
-	if err != nil || len(found) == 0 {
-		return 0, false
+	if err != nil {
+		return nil, false
 	}
-	c.cache[port] = found
-	return found[0], true
+	return found, true
 }
 
-func (c *Client) evictLocked(port capability.Port, server sim.NodeID) {
-	servers := c.cache[port]
-	kept := servers[:0]
-	for _, s := range servers {
+// chooseLocked picks a server from the cache entry and charges it one
+// in-flight request. First-responder order for unbalanced picks; least
+// outstanding (round-robin among ties) for balanced reads. Must hold c.mu.
+func (c *Client) chooseLocked(port capability.Port, e *portCache, balance bool) sim.NodeID {
+	server := e.servers[0]
+	if balance && len(e.servers) > 1 {
+		load := c.load[port]
+		start := int(e.rr % uint64(len(e.servers)))
+		e.rr++
+		server = e.servers[start]
+		best := load[server]
+		for i := 1; i < len(e.servers); i++ {
+			s := e.servers[(start+i)%len(e.servers)]
+			if load[s] < best {
+				server, best = s, load[s]
+			}
+		}
+	}
+	if c.load[port] == nil {
+		c.load[port] = make(map[sim.NodeID]int)
+	}
+	c.load[port][server]++
+	return server
+}
+
+// release returns one in-flight charge for server.
+func (c *Client) release(port capability.Port, server sim.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if load := c.load[port]; load != nil {
+		if load[server]--; load[server] <= 0 {
+			delete(load, server)
+		}
+	}
+}
+
+// evict removes server from the port cache. dead expires the entry so
+// the next selection re-locates (failover refresh) instead of draining
+// the shrinking remainder; NOTHERE evictions keep the paper's drain
+// behavior.
+func (c *Client) evict(port capability.Port, server sim.NodeID, dead bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.cache[port]
+	if e == nil {
+		return
+	}
+	kept := e.servers[:0]
+	for _, s := range e.servers {
 		if s != server {
 			kept = append(kept, s)
 		}
 	}
-	c.cache[port] = kept
+	e.servers = kept
+	if dead {
+		e.recheckAt = time.Time{}
+	}
 }
 
 func encodeRequest(tx uint64, replyPort capability.Port, payload []byte) []byte {

@@ -70,6 +70,10 @@ type Server struct {
 	updateMu sync.Mutex // updates are serialized (paper §4.2)
 	pending  map[uint32]*pendingIntention
 
+	// minSeqWait bounds how long a read waits for the peer's lazy
+	// applies to reach the client's session floor (Request.MinSeq).
+	minSeqWait time.Duration
+
 	cleanupCh chan capability.Capability
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -108,6 +112,10 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 		pending:   make(map[uint32]*pendingIntention),
 		cleanupCh: make(chan capability.Capability, 1024),
 		stop:      make(chan struct{}),
+	}
+	s.minSeqWait = s.model.Timeout(5 * time.Second)
+	if s.minSeqWait < 500*time.Millisecond {
+		s.minSeqWait = 500 * time.Millisecond
 	}
 	s.applier = dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, s.bc)
 
@@ -202,11 +210,22 @@ func (s *Server) handleClientRPC(req *rpc.Request) []byte {
 // handleRead serves reads locally. If the peer proposed an intention for
 // the directory that we have not applied yet, apply it first so the read
 // observes every acknowledged update. Creates and batches pend under
-// object 0, so that slot is always drained.
+// object 0, so that slot is always drained. A read carrying a session
+// floor (Request.MinSeq, stamped by read-balancing clients) drains every
+// stored intention and waits for the peer's lazy applies until the local
+// sequence number reaches the floor, so a read landing on the server
+// that did not originate the write still observes it.
 func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
 	s.applyPendingFor(0)
 	if obj := req.Dir.Object; obj != 0 {
 		s.applyPendingFor(obj)
+	}
+	if req.MinSeq > 0 && !s.waitMinSeq(req.MinSeq) {
+		// Floor unreachable: refuse rather than answer from state the
+		// client has already seen past. Same status as the group kind's
+		// refusal, so the balanced client's failover retry kicks in and
+		// may land on the up-to-date server.
+		return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
 	}
 	// Sample the sequence number before the read so the stamp is a
 	// conservative freshness bound for client read caches.
@@ -404,6 +423,36 @@ func (s *Server) handleApplyLazy(dreq *dirsvc.Request) *dirsvc.Reply {
 	s.mu.Unlock()
 	_ = s.cfg.Staging.WriteBlockSeq(0, nil)
 	return &dirsvc.Reply{Status: dirsvc.StatusOK}
+}
+
+// waitMinSeq drives the local sequence number up to the client's session
+// floor: it applies every stored intention, then briefly polls for the
+// peer's in-flight lazy applies. It reports whether the floor was
+// reached.
+func (s *Server) waitMinSeq(min uint64) bool {
+	deadline := time.Now().Add(s.minSeqWait)
+	for {
+		s.mu.Lock()
+		cur := s.seq
+		var obj uint32
+		found := false
+		for o := range s.pending {
+			obj, found = o, true
+			break
+		}
+		s.mu.Unlock()
+		if cur >= min {
+			return true
+		}
+		if found {
+			s.applyPendingFor(obj)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // applyPendingFor applies a pending intention touching obj before a read.

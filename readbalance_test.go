@@ -1,0 +1,170 @@
+package faultdir
+
+import (
+	"testing"
+	"time"
+
+	"dirsvc/dir"
+	"dirsvc/internal/dirsvc"
+)
+
+// TestMinSeqBlocksOnLaggingReplica pins the session-consistency floor at
+// one specific replica: a read stamped with a MinSeq the replica has not
+// applied yet must block there — not answer from older state — and
+// complete as soon as the replica's applied cursor reaches the floor.
+// This is exactly the lagging-replica case read balancing exposes: the
+// write was acknowledged through one replica, the read lands on another.
+func TestMinSeqBlocksOnLaggingReplica(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	work, err := client.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+
+	// Interrogate replica 3 directly, below the RPC transport. Wait for
+	// the create to finish applying on every replica first, so the floor
+	// computed below is genuinely in the future — not a commit still in
+	// flight to a lagging replica.
+	replica := c.machine(3).core
+	if replica == nil {
+		t.Fatal("no core server on machine 3")
+	}
+	applied := replica.Status().AppliedSeq
+	settle := time.Now().Add(10 * time.Second)
+	for {
+		a1 := c.machine(1).core.Status().AppliedSeq
+		a2 := c.machine(2).core.Status().AppliedSeq
+		applied = replica.Status().AppliedSeq
+		if a1 == applied && a2 == applied && applied > 0 {
+			break
+		}
+		if time.Now().After(settle) {
+			t.Fatalf("replicas never quiesced: applied = %d/%d/%d", a1, a2, applied)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	floor := applied + 1 // the next write's sequence number — not yet applied anywhere
+
+	done := make(chan *dirsvc.Reply, 1)
+	go func() {
+		done <- replica.Read(&dirsvc.Request{Op: dirsvc.OpListDir, Dir: work, MinSeq: floor})
+	}()
+	select {
+	case reply := <-done:
+		t.Fatalf("read with MinSeq=%d returned %v before the floor was applied (applied=%d)",
+			floor, reply.Status, applied)
+	case <-time.After(150 * time.Millisecond):
+		// Still blocked: the floor is doing its job.
+	}
+
+	// Commit the write the floor anticipates; the blocked read must now
+	// complete and observe it.
+	if err := client.Append(bgCtx, work, "fresh", work, nil); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	select {
+	case reply := <-done:
+		if reply.Status != dirsvc.StatusOK {
+			t.Fatalf("unblocked read status = %v, want OK", reply.Status)
+		}
+		if reply.Seq < floor {
+			t.Fatalf("unblocked read stamped Seq=%d, below its own floor %d", reply.Seq, floor)
+		}
+		found := false
+		for _, row := range reply.Rows {
+			if row.Name == "fresh" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("unblocked read missed the write that released it: rows = %+v", reply.Rows)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read stayed blocked after the floor was applied")
+	}
+}
+
+// TestMinSeqUnreachableFloorRefused: a floor the replica cannot reach is
+// refused (no-majority, prompting client failover) after a bounded wait —
+// never answered with data older than the floor.
+func TestMinSeqUnreachableFloorRefused(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	work, err := client.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	replica := c.machine(1).core
+	reply := replica.Read(&dirsvc.Request{
+		Op:     dirsvc.OpListDir,
+		Dir:    work,
+		MinSeq: replica.Status().AppliedSeq + 1000,
+	})
+	if reply.Status != dirsvc.StatusNoMajority {
+		t.Fatalf("unreachable floor: status = %v, want NoMajority (stale data must not leak)", reply.Status)
+	}
+}
+
+// TestReadBalanceLoadDistribution is the Fig. 8-style assertion on the
+// full stack: with read balancing on, one client's lookups spread across
+// all three replicas of the group; with the legacy knob off, they pin to
+// the first HEREIS responder — the paper's skew, preserved for the
+// Fig. 8 reproduction.
+func TestReadBalanceLoadDistribution(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	const lookups = 90
+
+	run := func(balance bool) (perServer map[int]uint64, total uint64) {
+		client, cleanup, err := c.NewBalancedClient(dir.CacheOptions{}, balance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cleanup()
+		work, err := client.CreateDir(bgCtx)
+		if err != nil {
+			t.Fatalf("CreateDir: %v", err)
+		}
+		appendWithRetry(t, client, work, "target", work, 30*time.Second)
+		before := c.ShardReadCounts(0)
+		for i := 0; i < lookups; i++ {
+			if _, err := client.Lookup(bgCtx, work, "target"); err != nil {
+				t.Fatalf("balance=%v lookup %d: %v", balance, i, err)
+			}
+		}
+		perServer = c.ShardReadCounts(0)
+		for id, n := range before {
+			perServer[id] -= n
+			total += perServer[id]
+		}
+		return perServer, total
+	}
+
+	spread, total := run(true)
+	for id := 1; id <= 3; id++ {
+		if share := float64(spread[id]) / float64(total); share < 0.15 {
+			t.Fatalf("balanced reads skewed: server %d served %.0f%% of %d (%v)",
+				id, 100*share, total, spread)
+		}
+	}
+
+	pinned, total := run(false)
+	var top uint64
+	for _, n := range pinned {
+		if n > top {
+			top = n
+		}
+	}
+	if float64(top)/float64(total) < 0.9 {
+		t.Fatalf("legacy pinned policy lost its skew: top server served %d of %d (%v)",
+			top, total, pinned)
+	}
+}

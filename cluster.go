@@ -118,6 +118,12 @@ type Options struct {
 	// Off — the default — preserves the paper's §4.2 selection heuristic
 	// and Fig. 8's load skew.
 	ReadBalance bool
+	// TxAbortTimeout is the presumed-abort horizon for cross-shard
+	// transactions: a prepared transaction left undecided this long is
+	// resolved by the shards themselves, whatever the cluster kind
+	// (fault injection tests shrink it). Zero means a model-scaled
+	// default.
+	TxAbortTimeout time.Duration
 }
 
 // adminBlocks is the admin partition size: commit block + object table.
@@ -289,10 +295,12 @@ func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 		}
 		srv, err := core.NewServer(m.dirStack, core.Config{
 			Service:                  sg.service,
+			BaseService:              c.Service,
 			ID:                       m.id,
 			N:                        c.opts.Servers,
 			Shard:                    sg.index,
 			Shards:                   c.opts.Shards,
+			TxAbortTimeout:           c.opts.TxAbortTimeout,
 			Peers:                    peers,
 			Admin:                    m.admin,
 			NVRAM:                    m.nvram,
@@ -312,13 +320,15 @@ func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 		m.mu.Unlock()
 	case KindRPC:
 		srv, err := rpcdir.NewServer(m.dirStack, rpcdir.Config{
-			Service: sg.service,
-			ID:      m.id,
-			Admin:   m.admin,
-			Staging: m.staging,
-			Workers: c.opts.Workers,
-			Shard:   sg.index,
-			Shards:  c.opts.Shards,
+			Service:        sg.service,
+			BaseService:    c.Service,
+			ID:             m.id,
+			Admin:          m.admin,
+			Staging:        m.staging,
+			Workers:        c.opts.Workers,
+			Shard:          sg.index,
+			Shards:         c.opts.Shards,
+			TxAbortTimeout: c.opts.TxAbortTimeout,
 		})
 		if err != nil {
 			return fmt.Errorf("boot rpc server %d (shard %d): %w", m.id, sg.index, err)
@@ -328,11 +338,13 @@ func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 		m.mu.Unlock()
 	case KindLocal:
 		srv, err := localdir.NewServer(m.dirStack, localdir.Config{
-			Service: sg.service,
-			Admin:   m.admin,
-			Workers: c.opts.Workers,
-			Shard:   sg.index,
-			Shards:  c.opts.Shards,
+			Service:        sg.service,
+			BaseService:    c.Service,
+			Admin:          m.admin,
+			Workers:        c.opts.Workers,
+			Shard:          sg.index,
+			Shards:         c.opts.Shards,
+			TxAbortTimeout: c.opts.TxAbortTimeout,
 		})
 		if err != nil {
 			return fmt.Errorf("boot local server (shard %d): %w", sg.index, err)

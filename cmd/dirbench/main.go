@@ -1,13 +1,16 @@
 // Command dirbench regenerates the paper's evaluation (§4): Fig. 7's
 // latency table, the Fig. 8 and Fig. 9 throughput sweeps, the §1/§6
 // headline numbers, and the §4.2 upper-bound analysis, printing measured
-// values next to the paper's. Three experiments cover this repo's own
+// values next to the paper's. Four experiments cover this repo's own
 // additions: `shard` (write-throughput scaling across replica groups),
-// `cache` (the client read cache on the paper's 98%-read mix), and
+// `cache` (the client read cache on the paper's 98%-read mix),
 // `readscale` (read throughput with replica-balanced selection and the
 // concurrent RPC transport, vs the paper's pinned first-responder
-// heuristic); all write machine-readable JSON records (BENCH_shard.json,
-// BENCH_cache.json, BENCH_readscale.json) with p50/p99 latencies.
+// heuristic), and `xbatch` (cross-shard atomic batches through the
+// two-phase commit vs the single-shard one-broadcast fast path); all
+// write machine-readable JSON records (BENCH_shard.json,
+// BENCH_cache.json, BENCH_readscale.json, BENCH_xbatch.json) with
+// p50/p99 latencies.
 //
 // Usage:
 //
@@ -16,6 +19,7 @@
 //	dirbench -experiment shard -out BENCH_shard.json
 //	dirbench -experiment cache
 //	dirbench -experiment readscale
+//	dirbench -experiment xbatch
 //	dirbench -experiment all -scale 0.1
 //
 // With -scale below 1 the simulated hardware runs proportionally faster;
@@ -43,11 +47,12 @@ const (
 	defaultShardOut     = "BENCH_shard.json"
 	defaultCacheOut     = "BENCH_cache.json"
 	defaultReadScaleOut = "BENCH_readscale.json"
+	defaultXBatchOut    = "BENCH_xbatch.json"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | readscale | all")
+		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | readscale | xbatch | all")
 		window     = flag.Duration("window", 2*time.Second, "measurement window per throughput point")
 		pairs      = flag.Int("pairs", 10, "append-delete pairs per latency measurement")
 		scale      = flag.Float64("scale", 1.0, "latency scale factor (1.0 = paper hardware)")
@@ -91,13 +96,15 @@ func run(experiment string, window time.Duration, pairs int, scale float64, clie
 		return cacheSpeedup(model, window, scale, clients, resolveOut(out, defaultCacheOut))
 	case "readscale":
 		return readScale(model, window, scale, clients, resolveOut(out, defaultReadScaleOut))
+	case "xbatch":
+		return xbatch(model, window, scale, clients, resolveOut(out, defaultXBatchOut))
 	case "all":
-		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache", "readscale"} {
+		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache", "readscale", "xbatch"} {
 			expOut := out
 			if expOut == "auto" {
 				// Don't overwrite the committed calibrated records from a
 				// (typically scaled-down) sweep.
-				if exp == "shard" || exp == "cache" || exp == "readscale" {
+				if exp == "shard" || exp == "cache" || exp == "readscale" || exp == "xbatch" {
 					fmt.Printf("(all sweep: not writing BENCH_%s.json — use -experiment %s, or pass -out explicitly)\n", exp, exp)
 				}
 				expOut = ""
@@ -541,6 +548,98 @@ func readScale(model *sim.LatencyModel, window time.Duration, scale float64, cli
 	fmt.Printf("single-client balanced speedup at N=3: %.2fx; single-client concurrency speedup: %.2fx\n",
 		res.BalancedSpeedupN3, res.ConcurrencySpeedup)
 
+	if out == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("results written to %s\n", out)
+	return nil
+}
+
+// xbatchPoint is one measured configuration of the cross-shard batch
+// experiment.
+type xbatchPoint struct {
+	Mode          string  `json:"mode"` // "single" (fast path) or "cross" (2PC)
+	Shards        int     `json:"shards"`
+	Steps         int     `json:"steps"`
+	Clients       int     `json:"clients"`
+	BatchesPerSec float64 `json:"batches_per_sec"` // paper-hardware time
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	P50MS         float64 `json:"p50_ms"` // median per-batch latency
+	P99MS         float64 `json:"p99_ms"`
+}
+
+// xbatchResult is the machine-readable record written to -out.
+type xbatchResult struct {
+	Experiment string        `json:"experiment"`
+	Kind       string        `json:"kind"`
+	WindowMS   int64         `json:"window_ms"`
+	Scale      float64       `json:"scale"`
+	Points     []xbatchPoint `json:"points"`
+	// CrossCostFactor is single-shard over cross-shard batch throughput
+	// at the same step count: how much the two-phase protocol costs
+	// relative to the one-broadcast fast path.
+	CrossCostFactor float64 `json:"cross_cost_factor"`
+}
+
+// xbatch measures the price of distributed atomicity: B-step batches
+// committed on one shard (one totally-ordered broadcast each) versus
+// the same batches spread over two shards (PREPARE to both groups, the
+// decision ratified by the resolver, COMMIT to both).
+func xbatch(model *sim.LatencyModel, window time.Duration, scale float64, clients int, out string) error {
+	const (
+		kind   = faultdir.KindGroupNVRAM
+		shards = 2
+		steps  = 8
+	)
+	fmt.Printf("== Cross-shard batches: %d clients, %d-step batches, %v kind, %d shards — single-shard fast path vs two-phase commit\n",
+		clients, steps, kind, shards)
+	res := xbatchResult{
+		Experiment: "xbatch",
+		Kind:       kind.String(),
+		WindowMS:   window.Milliseconds(),
+		Scale:      scale,
+	}
+	rates := map[bool]float64{}
+	for _, cross := range []bool{false, true} {
+		c, err := faultdir.New(kind, faultdir.Options{Model: model, Shards: shards})
+		if err != nil {
+			return err
+		}
+		tp, err := harness.MeasureBatchCommitRate(c, clients, steps, cross, window)
+		c.Close()
+		if err != nil {
+			return fmt.Errorf("cross=%v: %w", cross, err)
+		}
+		batches := tp.OpsPerSec * scale // de-scale back to paper hardware speed
+		rates[cross] = batches
+		mode := "single"
+		if cross {
+			mode = "cross"
+		}
+		res.Points = append(res.Points, xbatchPoint{
+			Mode:          mode,
+			Shards:        shards,
+			Steps:         steps,
+			Clients:       clients,
+			BatchesPerSec: batches,
+			StepsPerSec:   batches * steps,
+			P50MS:         ms(tp.P50, scale),
+			P99MS:         ms(tp.P99, scale),
+		})
+		fmt.Printf("mode=%-6s %8.1f batches/s (%8.1f steps/s; p50 %.1f ms, p99 %.1f ms)\n",
+			mode, batches, batches*steps, ms(tp.P50, scale), ms(tp.P99, scale))
+	}
+	if rates[true] > 0 {
+		res.CrossCostFactor = rates[false] / rates[true]
+	}
+	fmt.Printf("two-phase cost factor vs the fast path: %.2fx\n", res.CrossCostFactor)
 	if out == "" {
 		return nil
 	}

@@ -235,10 +235,11 @@ func TestConformance(t *testing.T) {
 	}
 }
 
-// TestCrossShardBatch pins the single-shard atomicity contract on every
-// kind: a batch naming directories on two shards is refused client-side
-// with the typed dir.ErrCrossShardBatch before any step executes, while
-// the same steps split into per-shard batches commit.
+// TestCrossShardBatch pins the cross-shard atomicity contract on every
+// kind: a batch naming directories on two shards commits atomically
+// through the client's two-phase commit by default, while a batch that
+// opted out with SingleShard is refused client-side with the typed
+// dir.ErrCrossShardBatch before any step executes.
 func TestCrossShardBatch(t *testing.T) {
 	skipShardedInShortLane(t)
 	shards := 2
@@ -248,8 +249,9 @@ func TestCrossShardBatch(t *testing.T) {
 	for _, kind := range allKinds {
 		t.Run(kind.String(), func(t *testing.T) {
 			// The cached client pins two extra properties: a fail-fast
-			// batch leaves the cache untouched, and a committed batch
-			// invalidates the cached negatives its steps supersede.
+			// opted-out batch leaves the cache untouched, and a committed
+			// cross-shard batch invalidates the cached negatives its steps
+			// supersede on every involved shard.
 			_, client := newCachedCluster(t, kind, shards, dir.CacheOptions{Enabled: true})
 			d0 := createDirOn(t, client, 0)
 			d1 := createDirOn(t, client, 1)
@@ -257,12 +259,14 @@ func TestCrossShardBatch(t *testing.T) {
 				t.Fatalf("placement: ShardOf(d0)=%d ShardOf(d1)=%d, want 0, 1", s0, s1)
 			}
 
+			// Opt-out first: SingleShard restores the fail-fast contract.
 			b := dir.NewBatch().
 				Append(d0, "x", d0, nil).
-				Append(d1, "y", d1, nil)
+				Append(d1, "y", d1, nil).
+				SingleShard()
 			_, err := client.Apply(bgCtx, b)
 			if !errors.Is(err, dir.ErrCrossShardBatch) {
-				t.Fatalf("cross-shard Apply: err = %v, want ErrCrossShardBatch", err)
+				t.Fatalf("opted-out cross-shard Apply: err = %v, want ErrCrossShardBatch", err)
 			}
 			// Fail-fast: no step may have executed.
 			for _, probe := range []struct {
@@ -270,18 +274,21 @@ func TestCrossShardBatch(t *testing.T) {
 				name string
 			}{{d0, "x"}, {d1, "y"}} {
 				if _, err := client.Lookup(bgCtx, probe.d, probe.name); !errors.Is(err, dir.ErrNotFound) {
-					t.Fatalf("cross-shard batch leaked step %q: err = %v", probe.name, err)
+					t.Fatalf("opted-out batch leaked step %q: err = %v", probe.name, err)
 				}
 			}
 
-			// The same steps, one batch per shard, commit fine — and the
-			// commits invalidate the cached negative lookups from the
-			// fail-fast probes above.
-			if _, err := client.Apply(bgCtx, dir.NewBatch().Append(d0, "x", d0, nil)); err != nil {
-				t.Fatalf("shard-0 batch: %v", err)
+			// The same steps without the opt-out commit atomically via the
+			// two-phase path — and the commit invalidates the cached
+			// negative lookups from the probes above on both shards.
+			res, err := applyRetrying(client, dir.NewBatch().
+				Append(d0, "x", d0, nil).
+				Append(d1, "y", d1, nil))
+			if err != nil {
+				t.Fatalf("cross-shard Apply: %v", err)
 			}
-			if _, err := client.Apply(bgCtx, dir.NewBatch().Append(d1, "y", d1, nil)); err != nil {
-				t.Fatalf("shard-1 batch: %v", err)
+			if res != nil && (len(res.Results) != 2 || res.Seq == 0) {
+				t.Fatalf("cross-shard result = %+v", res)
 			}
 			for _, probe := range []struct {
 				d    dir.Capability

@@ -54,10 +54,13 @@ var (
 )
 
 // ErrCrossShardBatch rejects a batch whose steps address directories on
-// more than one shard. Atomicity is a property of one replica group's
-// totally-ordered broadcast stream, so a batch must stay within the
-// shard that commits it; the client detects the violation before any
-// step executes, and the batch has no effect.
+// more than one shard when the caller opted out of distributed commit
+// with Batch.SingleShard. By default a cross-shard batch is legal: the
+// client runs a two-phase commit across the home shards and the batch
+// is atomic deployment-wide. SingleShard restores the fail-fast
+// contract for callers that want one-broadcast latency guaranteed; the
+// client then detects the violation before any step executes, and the
+// batch has no effect.
 var ErrCrossShardBatch = errors.New("dir: batch spans more than one shard")
 
 // ShardOf returns the home shard of a capability in a deployment of
@@ -114,21 +117,36 @@ type Directory interface {
 	// (Fig. 2: Replace set), returning the previous capabilities.
 	ReplaceSet(ctx context.Context, dir Capability, items []SetItem) ([]Capability, error)
 	// Apply executes an atomic batch: either every step takes effect, in
-	// order, under one service sequence number, or none do. A failure
-	// carries a *BatchError naming the offending step.
+	// order, or none do. A failure carries a *BatchError naming the
+	// offending step.
 	//
-	// Atomicity is per shard: in a sharded deployment every step must
-	// address directories homed on one shard (ShardOf), and a batch that
-	// spans shards fails fast with ErrCrossShardBatch before any step
-	// executes. Batches of only CreateDir steps have no home and are
-	// placed like single CreateDir calls.
+	// A batch whose steps all live on one shard commits as a single
+	// replicated update — on the group backends, one totally-ordered
+	// broadcast regardless of the number of steps — under one service
+	// sequence number. A batch naming directories on several shards
+	// commits through a two-phase protocol: every home shard stages and
+	// locks its steps (PREPARE), then the decision is ratified by the
+	// lowest participant shard and propagated (COMMIT/ABORT). The batch
+	// is still all-or-nothing deployment-wide; each shard commits it
+	// under its own sequence number, and readers of a staged directory
+	// are held until the decision, so no reader observes one shard's
+	// steps without the others'. Batch.SingleShard opts out of the
+	// distributed path: a spanning batch then fails fast with
+	// ErrCrossShardBatch before anything is sent.
+	//
+	// A cross-shard Apply that is cancelled after the decision has been
+	// ratified may still commit: the shards finish the transaction among
+	// themselves. An Apply abandoned before the decision aborts after
+	// the deployment's presumed-abort horizon. Batches of only CreateDir
+	// steps have no home and are placed like single CreateDir calls.
 	Apply(ctx context.Context, b *Batch) (*BatchResult, error)
 }
 
 // Batch accumulates update steps for atomic application via
 // Directory.Apply. The zero value is an empty batch; methods chain.
 type Batch struct {
-	steps []*dirsvc.Request
+	steps  []*dirsvc.Request
+	single bool
 }
 
 // NewBatch returns an empty batch.
@@ -197,6 +215,23 @@ func (b *Batch) Objects() []uint32 {
 	return out
 }
 
+// SingleShard opts the batch out of distributed (two-phase) commit:
+// Apply then fails fast with ErrCrossShardBatch when the steps span
+// shards, guaranteeing the one-broadcast fast path for a batch that
+// commits at all. Methods chain.
+func (b *Batch) SingleShard() *Batch {
+	b.single = true
+	return b
+}
+
+// SingleShardOnly reports whether SingleShard was requested.
+func (b *Batch) SingleShardOnly() bool { return b.single }
+
+// Steps returns the accumulated wire steps in submission order
+// (transport clients, which split a batch by home shard; not needed by
+// API users). The slice is the batch's backing store — do not mutate.
+func (b *Batch) Steps() []*dirsvc.Request { return b.steps }
+
 // Request encodes the batch as a single OpBatch wire request (transport
 // clients; not needed by API users).
 func (b *Batch) Request() *dirsvc.Request {
@@ -224,8 +259,11 @@ func (b *Batch) Shard(shards int) (shard int, ok bool, err error) {
 
 // BatchResult is the outcome of a successfully applied batch.
 type BatchResult struct {
-	// Seq is the service-wide sequence number the whole batch committed
-	// under (one number: the batch is one update).
+	// Seq is the sequence number the batch committed under on its home
+	// shard. A cross-shard batch commits under one sequence number per
+	// involved shard (each shard numbers its own stream); Seq then
+	// carries the resolver shard's — the one whose stream ratified the
+	// decision.
 	Seq uint64
 	// Results holds one entry per step, in submission order.
 	Results []StepResult

@@ -227,8 +227,13 @@ func (s *Server) recoverOnce(
 }
 
 // loadLocalState reloads the directory cache from our own Bullet store
-// and replays any NVRAM log records that were not yet flushed.
+// and replays any NVRAM log records that were not yet flushed —
+// including OpPrepare records, whose replay re-stages the in-doubt
+// transaction (locks and all) exactly as it stood before the crash; a
+// following OpDecide record then resolves it, and one still undecided
+// is left for the resolution loop.
 func (s *Server) loadLocalState() error {
+	s.applier.ResetTx()
 	s.applier.InvalidateCache()
 	if err := s.applier.LoadAll(); err != nil {
 		return err
@@ -243,6 +248,21 @@ func (s *Server) loadLocalState() error {
 			return err
 		}
 		for i, req := range reqs {
+			if req.Op == dirsvc.OpDecide {
+				// A decide whose transaction is not staged here is a
+				// re-logged outcome record (the effects were flushed before
+				// the crash): restore the memory so decision queries stay
+				// authoritative, instead of replaying it as an update.
+				if d, derr := dirsvc.DecodeDecide(req.Blob); derr == nil {
+					if state, _ := s.applier.TxStateOf(d.ID); state != dirsvc.TxPrepared {
+						s.applier.RestoreDecided([]dirsvc.DecidedTx{{ID: d.ID, Commit: d.Commit, Seq: seqs[i]}})
+						if seqs[i] > maxSeq {
+							maxSeq = seqs[i]
+						}
+						continue
+					}
+				}
+			}
 			if _, err := s.applier.ApplyUpdate(req, seqs[i], false); err != nil {
 				// Replay conflicts mean the record was already applied
 				// before the crash flushed it; skip.
@@ -297,6 +317,7 @@ func (s *Server) pullState(rc *rpc.Client, src int) error {
 			return err
 		}
 	}
+	s.applier.ResetTx()
 	s.applier.InvalidateCache()
 	entries := make(map[uint32]dirsvc.ObjectEntry, len(bundle.dirs))
 	for _, d := range bundle.dirs {
@@ -311,6 +332,33 @@ func (s *Server) pullState(rc *rpc.Client, src int) error {
 	}
 	if err := s.applier.LoadAll(); err != nil {
 		return err
+	}
+	// Reinstate the source's in-doubt transactions: re-apply each
+	// prepare (re-staging overlay and locks against the fresh images)
+	// and re-log it to NVRAM so a later crash still finds it. Remembered
+	// outcomes ride along so this replica can answer decision queries.
+	for _, tx := range bundle.txs {
+		req, err := dirsvc.DecodeRequest(tx.raw)
+		if err != nil {
+			continue
+		}
+		if _, err := s.applier.ApplyUpdate(req, tx.seq, false); err != nil {
+			continue
+		}
+		if s.nvlog != nil {
+			_, _ = s.nvlog.Append(req, tx.seq)
+		}
+	}
+	s.applier.RestoreDecided(bundle.decided)
+	if s.nvlog != nil {
+		// Keep the transferred outcomes durable here too (see flushNVRAM).
+		for _, d := range s.applier.RecentDecided(recentDecidedKept) {
+			req := &dirsvc.Request{
+				Op:   dirsvc.OpDecide,
+				Blob: dirsvc.EncodeDecide(&dirsvc.Decide{ID: d.ID, Commit: d.Commit}),
+			}
+			_, _ = s.nvlog.Append(req, d.Seq)
+		}
 	}
 	s.mu.Lock()
 	s.commit.Seq = bundle.commitSeq
@@ -387,6 +435,13 @@ func (s *Server) handleSyncPull() *dirsvc.Reply {
 			image:  d.Encode(),
 		})
 	}
+	// In-doubt two-phase transactions and remembered outcomes travel
+	// with the images, so a recovering replica holds the same votes and
+	// can answer the same decision queries as the rest of the group.
+	for _, tx := range s.applier.InDoubtTxs() {
+		bundle.txs = append(bundle.txs, txState{seq: tx.Seq, raw: tx.Req.Encode()})
+	}
+	bundle.decided = s.applier.DecidedTxs()
 	return &dirsvc.Reply{Status: dirsvc.StatusOK, Blob: encodeStateBundle(&bundle)}
 }
 
@@ -453,10 +508,19 @@ type dirState struct {
 	image  []byte
 }
 
+// txState is one in-doubt transaction in a state bundle: the encoded
+// OpPrepare request plus the sequence number it applied under.
+type txState struct {
+	seq uint64
+	raw []byte
+}
+
 type stateBundle struct {
 	appliedSeq uint64
 	commitSeq  uint64
 	dirs       []dirState
+	txs        []txState
+	decided    []dirsvc.DecidedTx
 }
 
 func encodeStateBundle(b *stateBundle) []byte {
@@ -470,6 +534,24 @@ func encodeStateBundle(b *stateBundle) []byte {
 		w = append(w, d.secret[:]...)
 		w = appendUint32(w, uint32(len(d.image)))
 		w = append(w, d.image...)
+	}
+	w = appendUint32(w, uint32(len(b.txs)))
+	for _, tx := range b.txs {
+		w = appendUint64(w, tx.seq)
+		w = appendUint32(w, uint32(len(tx.raw)))
+		w = append(w, tx.raw...)
+	}
+	w = appendUint32(w, uint32(len(b.decided)))
+	for _, d := range b.decided {
+		w = append(w, d.ID[:]...)
+		if d.Commit {
+			w = append(w, 1)
+		} else {
+			w = append(w, 0)
+		}
+		w = appendUint64(w, d.Seq)
+		w = appendUint32(w, uint32(len(d.Results)))
+		w = append(w, d.Results...)
 	}
 	return w
 }
@@ -534,6 +616,60 @@ func decodeStateBundle(raw []byte) (*stateBundle, error) {
 		}
 		d.image = append([]byte(nil), img...)
 		b.dirs = append(b.dirs, d)
+	}
+	if off == len(raw) {
+		// Pre-2PC bundle: no transaction sections (defensive).
+		return b, nil
+	}
+	ntx, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < ntx; i++ {
+		var tx txState
+		if tx.seq, err = u64(); err != nil {
+			return nil, err
+		}
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		rawReq, err := next(int(n))
+		if err != nil {
+			return nil, err
+		}
+		tx.raw = append([]byte(nil), rawReq...)
+		b.txs = append(b.txs, tx)
+	}
+	ndec, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < ndec; i++ {
+		var d dirsvc.DecidedTx
+		idb, err := next(len(d.ID))
+		if err != nil {
+			return nil, err
+		}
+		copy(d.ID[:], idb)
+		flag, err := next(1)
+		if err != nil {
+			return nil, err
+		}
+		d.Commit = flag[0] == 1
+		if d.Seq, err = u64(); err != nil {
+			return nil, err
+		}
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		res, err := next(int(n))
+		if err != nil {
+			return nil, err
+		}
+		d.Results = append([]byte(nil), res...)
+		b.decided = append(b.decided, d)
 	}
 	return b, nil
 }

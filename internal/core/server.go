@@ -50,6 +50,17 @@ type Config struct {
 	// ObjectTable.ConfigureShard), so capabilities minted here route back
 	// by object number alone. Zero values mean unsharded.
 	Shard, Shards int
+	// BaseService is the deployment-wide service name sibling shard
+	// ports derive from (dirsvc.ShardService); the transaction resolver
+	// loop uses it to send decision queries to other shards. Empty means
+	// no cross-shard queries (unsharded deployments need none).
+	BaseService string
+	// TxAbortTimeout is how long a prepared two-phase transaction may
+	// stay undecided before this participant resolves it on its own —
+	// presumed abort when this shard is the transaction's resolver, a
+	// decision query to the resolver otherwise. Zero means a
+	// model-scaled default.
+	TxAbortTimeout time.Duration
 	// Peers maps server ids (1..N) to their host node ids, so config
 	// vectors can be kept when group membership changes.
 	Peers map[int]sim.NodeID
@@ -115,6 +126,13 @@ type Server struct {
 	// minSeqWait bounds how long a read blocks for its session floor
 	// (Request.MinSeq) before telling the client to retry elsewhere.
 	minSeqWait time.Duration
+	// lockWait bounds how long a read blocks on an object locked by a
+	// prepared transaction before refusing with conflict (the client
+	// retries; orphan resolution unwedges the lock meanwhile).
+	lockWait time.Duration
+	// txTimeout is the presumed-abort horizon for prepared transactions.
+	txTimeout time.Duration
+	txRPC     *rpc.Client // decision queries to sibling shards
 
 	sendCh    chan coalesceOp
 	cleanupCh chan capability.Capability
@@ -168,6 +186,17 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	if s.minSeqWait < time.Second {
 		s.minSeqWait = time.Second
 	}
+	s.txTimeout = cfg.TxAbortTimeout
+	if s.txTimeout <= 0 {
+		s.txTimeout = model.Timeout(30 * time.Second)
+		if s.txTimeout < 3*time.Second {
+			s.txTimeout = 3 * time.Second
+		}
+	}
+	s.lockWait = model.Timeout(5 * time.Second)
+	if s.lockWait < time.Second {
+		s.lockWait = time.Second
+	}
 	s.cond = sync.NewCond(&s.mu)
 
 	// Load durable state.
@@ -215,6 +244,13 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	s.rpcSrv = rpcSrv
 	s.stopRPC = append(s.stopRPC, rpcSrv.ServeFunc(cfg.Workers, s.handleClientRPC))
 
+	txRPC, err := rpc.NewClient(stack)
+	if err != nil {
+		s.shutdownRPC()
+		return nil, err
+	}
+	s.txRPC = txRPC
+
 	s.wg.Add(1)
 	go s.groupThread()
 	s.wg.Add(1)
@@ -225,6 +261,8 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.cleanupLoop()
+	s.wg.Add(1)
+	go s.txResolveLoop()
 	return s, nil
 }
 
@@ -284,6 +322,9 @@ func (s *Server) Close() {
 		member.Close()
 	}
 	s.shutdownRPC()
+	if s.txRPC != nil {
+		s.txRPC.Close()
+	}
 	s.wg.Wait()
 }
 
@@ -370,6 +411,15 @@ func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
 		// refuse so the client fails over to a caught-up replica.
 		return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
 	}
+	// An object locked by a prepared two-phase transaction holds its
+	// readers until the decision: they then see exactly the pre- or
+	// post-batch state, never the pre-state of one shard after another
+	// shard exposed the commit. A bounded wait keeps worker threads from
+	// starving — the refused client retries while orphan resolution
+	// unwedges the lock.
+	if obj := req.Dir.Object; obj != 0 && !s.applier.WaitUnlocked(obj, s.lockWait) {
+		return &dirsvc.Reply{Status: dirsvc.StatusConflict}
+	}
 	// Sample the applied sequence number before executing the read: the
 	// data returned is at least that fresh, so the stamp is a safe
 	// (conservative) freshness bound for client read caches.
@@ -449,6 +499,12 @@ func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
 			return newCheckSeed(s.cfg.ID, opID, i+1)
 		}) {
 			req.Blob = dirsvc.EncodeBatchSteps(steps)
+		}
+	case req.Op == dirsvc.OpPrepare:
+		if err := dirsvc.EnsurePrepareSeeds(req, func(i int) []byte {
+			return newCheckSeed(s.cfg.ID, opID, i+1)
+		}); err != nil {
+			return dirsvc.ErrorReply(err)
 		}
 	}
 	req.Server = s.cfg.ID
@@ -746,7 +802,11 @@ func (s *Server) flushLoop() {
 // object table, then clears the log. The work list comes from the
 // object table's RAM-dirty set, which — unlike parsing the logged
 // requests — also covers created directories (object numbers assigned
-// at apply time), batch steps, and deletions.
+// at apply time), batch steps, and deletions. Prepare records of
+// still-undecided two-phase transactions are re-appended after the
+// clear: they are the only durable trace of the staged state, and a
+// whole-shard crash must find them so Fig. 6 recovery reinstates the
+// in-doubt transaction instead of silently dropping a vote.
 func (s *Server) flushNVRAM() {
 	for _, obj := range s.table.RAMDirtyObjects() {
 		olds, err := s.applier.FlushObject(obj)
@@ -758,4 +818,70 @@ func (s *Server) flushNVRAM() {
 		}
 	}
 	_ = s.nvlog.Clear()
+	for _, tx := range s.applier.InDoubtTxs() {
+		_, _ = s.nvlog.Append(tx.Req, tx.Seq)
+	}
+	// Recent decisions ride along too: a whole-shard crash right after a
+	// flushed commit must still answer an orphaned peer's decision query
+	// with "committed", or the peer would presume abort a transaction
+	// another shard already exposed.
+	for _, d := range s.applier.RecentDecided(recentDecidedKept) {
+		req := &dirsvc.Request{
+			Op:   dirsvc.OpDecide,
+			Blob: dirsvc.EncodeDecide(&dirsvc.Decide{ID: d.ID, Commit: d.Commit}),
+		}
+		_, _ = s.nvlog.Append(req, d.Seq)
+	}
+}
+
+// recentDecidedKept bounds how many decided outcomes are re-logged to
+// NVRAM across flushes (each record is ~40 bytes of the 24 KB region).
+const recentDecidedKept = 32
+
+// txResolveLoop is the participant side of coordinator recovery: a
+// prepared transaction whose decision has not arrived within the
+// presumed-abort horizon is resolved without the (possibly dead)
+// coordinating client. The transaction's resolver shard aborts it
+// through its own totally-ordered stream — so a late client commit
+// loses cleanly — and every other shard asks the resolver how the
+// transaction ended and applies that decision locally
+// (dirsvc.ResolveOrphanTxs has the full rules, including the
+// two-strike treatment of TxUnknown answers).
+func (s *Server) txResolveLoop() {
+	defer s.wg.Done()
+	tick := s.txTimeout / 4
+	if tick < 25*time.Millisecond {
+		tick = 25 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	strikes := make(map[dirsvc.TxID]int)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		s.mu.Lock()
+		ready := !s.recovering && s.majorityLocked()
+		s.mu.Unlock()
+		if !ready {
+			continue
+		}
+		dirsvc.ResolveOrphanTxs(s.applier, s.cfg.Shard, s.cfg.Shards, s.txTimeout, strikes,
+			s.decideLocal,
+			func(resolver int, id dirsvc.TxID) dirsvc.TxState {
+				return dirsvc.QueryTxState(s.txRPC, s.cfg.BaseService, s.cfg.Shards, resolver, id)
+			})
+	}
+}
+
+// decideLocal injects a decision into this shard's own stream; failures
+// are retried on the next resolution tick.
+func (s *Server) decideLocal(id dirsvc.TxID, commit bool) {
+	req := &dirsvc.Request{
+		Op:   dirsvc.OpDecide,
+		Blob: dirsvc.EncodeDecide(&dirsvc.Decide{ID: id, Commit: commit}),
+	}
+	_ = s.handleUpdate(req)
 }

@@ -227,6 +227,24 @@ func (rc *readCache) noteWrite(shard int, seq uint64, objs ...uint32) {
 	rc.observeLocked(sc, seq, objs)
 }
 
+// dropShard unconditionally discards one shard's entries and bumps its
+// epoch (in-flight fills won't install). Used when the client knows a
+// commit happened on the shard but not its sequence number — e.g. a
+// cross-shard commit whose decide propagation to that shard failed.
+func (rc *readCache) dropShard(shard int) {
+	if rc == nil {
+		return
+	}
+	sc := rc.shards[shard]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	n := len(sc.entries)
+	sc.entries = make(map[cacheKey]*cacheEntry)
+	sc.lru.Init()
+	rc.invalidations.Add(uint64(n))
+	sc.epoch++
+}
+
 // noteReply records a reply sequence number with no object information
 // (failed reads still prove commits happened); coarse invalidation only.
 func (rc *readCache) noteReply(shard int, seq uint64) {

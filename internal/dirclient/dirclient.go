@@ -16,10 +16,12 @@
 // operation is sent to the replica group owning the directory it names,
 // computed from the object number alone (dir.ShardOf). The root lives
 // on shard 0; new directories are placed round-robin across shards for
-// load spread; batches must stay within one shard (dir.ErrCrossShardBatch
-// otherwise). Each shard has its own rpc.Client — its own port cache and
-// transaction slot — so operations on different shards proceed in
-// parallel.
+// load spread. Each shard has its own rpc.Client — its own port cache
+// and transaction slot — so operations on different shards proceed in
+// parallel. A batch homed on one shard commits as a single replicated
+// update; a batch spanning shards makes this client a two-phase-commit
+// coordinator (see twophase.go), unless the batch opted out with
+// dir.Batch.SingleShard (dir.ErrCrossShardBatch then).
 //
 // The client can also cache reads (NewShardedCached): List rows and
 // looked-up capabilities are kept in a per-shard LRU cache and repeat
@@ -78,8 +80,9 @@ type Client struct {
 	// as Request.MinSeq.
 	seqs []atomic.Uint64
 
-	mu   sync.Mutex
-	root capability.Capability // cached root capability
+	mu     sync.Mutex
+	root   capability.Capability     // cached root capability
+	txHook func(stage TxStage) error // fault-injection hook (SetTxHook)
 }
 
 // Options configure a Client beyond the service name (see NewWithOptions).
@@ -471,14 +474,16 @@ func (c *Client) ReplaceSet(ctx context.Context, dir capability.Capability, item
 	return reply.Caps, nil
 }
 
-// Apply executes an atomic batch as one wire request — on the group
-// backends, one totally-ordered group broadcast regardless of the number
-// of steps. Either every step takes effect or none do; a rejected batch
-// returns a *dir.BatchError naming the failing step.
-//
-// Atomicity is per shard: every step must address directories homed on
-// one shard, and a batch spanning shards fails with
-// dir.ErrCrossShardBatch before anything is sent. A batch of only
+// Apply executes an atomic batch. A batch homed on one shard goes out
+// as one wire request — on the group backends, one totally-ordered
+// group broadcast regardless of the number of steps. A batch naming
+// directories on several shards runs the client-coordinated two-phase
+// commit (see applyTwoPhase): PREPARE to every home shard, the decision
+// ratified by the lowest participant shard, COMMIT/ABORT propagated to
+// the rest — unless the batch opted out with dir.Batch.SingleShard, in
+// which case it fails fast with dir.ErrCrossShardBatch before anything
+// is sent. Either every step takes effect or none do; a rejected batch
+// returns a *dir.BatchError naming the failing step. A batch of only
 // CreateDir steps is placed round-robin, like single CreateDir calls.
 func (c *Client) Apply(ctx context.Context, b *dir.Batch) (*dir.BatchResult, error) {
 	if b.Len() == 0 {
@@ -488,12 +493,18 @@ func (c *Client) Apply(ctx context.Context, b *dir.Batch) (*dir.BatchResult, err
 		return nil, fmt.Errorf("batch of %d steps exceeds the %d-step limit: %w",
 			b.Len(), dir.MaxBatchSteps, dir.ErrBadRequest)
 	}
-	shard, ok, err := b.Shard(len(c.conns))
-	if err != nil {
-		return nil, err
+	plan := c.planBatch(b)
+	if len(plan.shards) > 1 {
+		if b.SingleShardOnly() {
+			return nil, dir.ErrCrossShardBatch
+		}
+		return c.applyTwoPhase(ctx, b, plan)
 	}
-	if !ok {
-		shard = c.nextCreateShard()
+	var shard int
+	if len(plan.shards) == 1 {
+		shard = plan.shards[0]
+	} else {
+		shard = c.nextCreateShard() // all-create batch: no home, place round-robin
 	}
 	reply, err := c.transRaw(ctx, shard, b.Request())
 	if err != nil {

@@ -41,16 +41,30 @@ type Applier struct {
 
 	mu    sync.RWMutex
 	cache map[uint32]*dirdata.Directory
+
+	// Two-phase-commit participant state: staged transactions, the
+	// per-object locks they hold, and remembered outcomes. txCond wakes
+	// readers blocked on a locked object (see WaitUnlocked).
+	prepared     map[TxID]*preparedTx
+	locks        map[uint32]TxID
+	decided      map[TxID]decidedTx
+	decidedOrder []TxID
+	txCond       *sync.Cond
 }
 
 // NewApplier builds an applier for the service identified by port.
 func NewApplier(port capability.Port, table *ObjectTable, bc *bullet.Client) *Applier {
-	return &Applier{
-		port:   port,
-		table:  table,
-		bullet: bc,
-		cache:  make(map[uint32]*dirdata.Directory),
+	a := &Applier{
+		port:     port,
+		table:    table,
+		bullet:   bc,
+		cache:    make(map[uint32]*dirdata.Directory),
+		prepared: make(map[TxID]*preparedTx),
+		locks:    make(map[uint32]TxID),
+		decided:  make(map[TxID]decidedTx),
 	}
+	a.txCond = sync.NewCond(&a.mu)
+	return a
 }
 
 // rootSecret derives the deterministic secret of the root directory.
@@ -162,6 +176,14 @@ func (a *Applier) Read(req *Request) *Reply {
 			return &Reply{Status: StatusOf(err)}
 		}
 		return &Reply{Status: StatusOK, Cap: cap}
+	case OpTxQuery:
+		var id TxID
+		if len(req.Blob) != len(id) {
+			return &Reply{Status: StatusBadRequest}
+		}
+		copy(id[:], req.Blob)
+		state, seq := a.TxStateOf(id)
+		return &Reply{Status: StatusOK, Seq: seq, Blob: []byte{byte(state)}}
 	case OpListDir:
 		if _, err := a.verify(req.Dir, capability.RightRead); err != nil {
 			return &Reply{Status: StatusOf(err)}
@@ -221,6 +243,10 @@ func (a *Applier) ApplyUpdate(req *Request, seq uint64, durable bool) (*ApplyRes
 		return a.mutateDirLocked(req, seq, durable)
 	case OpBatch:
 		return a.applyBatchLocked(req, seq, durable)
+	case OpPrepare:
+		return a.applyPrepareLocked(req, seq)
+	case OpDecide:
+		return a.applyDecideLocked(req, seq, durable)
 	default:
 		return nil, ErrBadRequest
 	}
@@ -234,7 +260,7 @@ func (a *Applier) createDirLocked(req *Request, seq uint64, durable bool) (*Appl
 	// capability; Amoeba let any holder of the service port create. We
 	// keep creation open, as registration into a parent is a separate
 	// append.
-	obj := a.table.NextFree()
+	obj := a.table.NextFreeExcept(a.allocSkipLocked(nil))
 	if obj == 0 {
 		return nil, fmt.Errorf("object table full: %w", ErrServer)
 	}
@@ -264,6 +290,9 @@ func (a *Applier) deleteDirLocked(req *Request, seq uint64, durable bool) (*Appl
 	if req.Dir.Object == RootObject {
 		return nil, fmt.Errorf("cannot delete the root directory: %w", ErrBadRequest)
 	}
+	if a.lockedByOtherLocked(req.Dir.Object, TxID{}) {
+		return nil, ErrConflict
+	}
 	e, err := a.verify(req.Dir, capability.RightDelete)
 	if err != nil {
 		return nil, err
@@ -289,6 +318,9 @@ func (a *Applier) deleteDirLocked(req *Request, seq uint64, durable bool) (*Appl
 }
 
 func (a *Applier) mutateDirLocked(req *Request, seq uint64, durable bool) (*ApplyResult, error) {
+	if a.lockedByOtherLocked(req.Dir.Object, TxID{}) {
+		return nil, ErrConflict
+	}
 	need := capability.RightWrite
 	switch req.Op {
 	case OpDeleteRow:

@@ -81,20 +81,27 @@ func (a *Applier) applyBatchLocked(req *Request, seq uint64, durable bool) (*App
 		return nil, err
 	}
 
-	// Pass 1: validate every step against the overlay.
+	// Pass 1: validate every step against the overlay. The zero TxID
+	// means "no transaction": any prepared lock conflicts.
 	ov := newBatchOverlay()
 	results := make([]BatchStepResult, len(steps))
 	for i, st := range steps {
-		if err := a.batchStepLocked(ov, st, seq, &results[i]); err != nil {
+		if err := a.batchStepLocked(ov, st, seq, TxID{}, &results[i]); err != nil {
 			return nil, &BatchError{Index: i, Err: err}
 		}
 	}
+	return a.commitOverlayLocked(ov, seq, durable, EncodeBatchResults(results))
+}
 
-	// Pass 2: commit. In durable mode all new Bullet files are created
-	// before the first object-table write, so a Bullet failure still
-	// leaves the replica unchanged (orphan files are the only leak).
+// commitOverlayLocked is pass 2 of an atomic batch — and the commit
+// side of a two-phase decision: it writes a validated overlay through
+// to the replica state in one go. In durable mode all new Bullet files
+// are created before the first object-table write, so a Bullet failure
+// still leaves the replica unchanged (orphan files are the only leak).
+// resultsBlob becomes the reply payload. Called with a.mu held.
+func (a *Applier) commitOverlayLocked(ov *batchOverlay, seq uint64, durable bool, resultsBlob []byte) (*ApplyResult, error) {
 	res := &ApplyResult{
-		Reply: &Reply{Status: StatusOK, Seq: seq, Blob: EncodeBatchResults(results)},
+		Reply: &Reply{Status: StatusOK, Seq: seq, Blob: resultsBlob},
 	}
 
 	surviving := make([]uint32, 0, len(ov.dirs))
@@ -166,13 +173,16 @@ func (a *Applier) applyBatchLocked(req *Request, seq uint64, durable bool) (*App
 }
 
 // batchStepLocked validates and stages one batch step in the overlay.
-func (a *Applier) batchStepLocked(ov *batchOverlay, st *Request, seq uint64, result *BatchStepResult) error {
+// self is the staging transaction (zero for plain batches): objects
+// locked by any other prepared transaction conflict, and staged
+// creations of prepared transactions are skipped by the allocator.
+func (a *Applier) batchStepLocked(ov *batchOverlay, st *Request, seq uint64, self TxID, result *BatchStepResult) error {
 	switch st.Op {
 	case OpCreateDir:
 		if len(st.CheckSeed) == 0 {
 			return fmt.Errorf("create-dir without check seed: %w", ErrBadRequest)
 		}
-		obj := a.table.NextFreeExcept(ov.created)
+		obj := a.table.NextFreeExcept(a.allocSkipLocked(ov.created))
 		if obj == 0 {
 			return fmt.Errorf("object table full: %w", ErrServer)
 		}
@@ -189,6 +199,9 @@ func (a *Applier) batchStepLocked(ov *batchOverlay, st *Request, seq uint64, res
 		if st.Dir.Object == RootObject {
 			return fmt.Errorf("cannot delete the root directory: %w", ErrBadRequest)
 		}
+		if a.lockedByOtherLocked(st.Dir.Object, self) {
+			return ErrConflict
+		}
 		if _, err := ov.verify(a, st.Dir, capability.RightDelete); err != nil {
 			return err
 		}
@@ -199,6 +212,9 @@ func (a *Applier) batchStepLocked(ov *batchOverlay, st *Request, seq uint64, res
 		return nil
 
 	case OpAppendRow, OpChmodRow, OpDeleteRow, OpReplaceSet:
+		if a.lockedByOtherLocked(st.Dir.Object, self) {
+			return ErrConflict
+		}
 		need := capability.RightWrite
 		switch st.Op {
 		case OpDeleteRow:

@@ -186,9 +186,10 @@ func (l *NVLog) cancellableAppendLocked(dirObj uint32, name string) int {
 
 // touches reports whether the record affects (dirObj, name).
 func (r *nvRecord) touches(dirObj uint32, name string) bool {
-	if r.op == OpBatch {
-		// A batch may touch any directory and name; be conservative so
-		// the cancel optimization never reorders across one.
+	if r.op == OpBatch || r.op == OpPrepare || r.op == OpDecide {
+		// A batch — or a two-phase prepare/decide, whose staged steps are
+		// opaque here — may touch any directory and name; be conservative
+		// so the cancel optimization never reorders across one.
 		return true
 	}
 	if r.dirObj != dirObj {

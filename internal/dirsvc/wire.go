@@ -40,13 +40,25 @@ const (
 	// OpBatch carries a sequence of update steps applied atomically and
 	// replicated as a single unit (one group broadcast per batch).
 	OpBatch
+
+	// OpPrepare is phase one of a cross-shard atomic batch: it stages one
+	// shard's steps in a batch overlay, locks the touched objects, and
+	// votes — nothing becomes visible until the decision.
+	OpPrepare
+	// OpDecide is phase two: commit writes the staged overlay through
+	// under the decide's own sequence number; abort discards it.
+	OpDecide
+	// OpTxQuery is the decision query (a read): a participant orphaned by
+	// a dead coordinator asks the resolver shard how a transaction ended.
+	OpTxQuery
 )
 
 // IsUpdate reports whether the op modifies directories (requires the
 // write path / replication).
 func (op OpCode) IsUpdate() bool {
 	switch op {
-	case OpCreateDir, OpDeleteDir, OpAppendRow, OpChmodRow, OpDeleteRow, OpReplaceSet, OpBatch:
+	case OpCreateDir, OpDeleteDir, OpAppendRow, OpChmodRow, OpDeleteRow, OpReplaceSet, OpBatch,
+		OpPrepare, OpDecide:
 		return true
 	default:
 		return false
@@ -88,6 +100,12 @@ func (op OpCode) String() string {
 		return "status"
 	case OpBatch:
 		return "batch"
+	case OpPrepare:
+		return "prepare"
+	case OpDecide:
+		return "decide"
+	case OpTxQuery:
+		return "tx-query"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}

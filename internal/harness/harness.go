@@ -520,6 +520,93 @@ func MeasureReadScale(c *faultdir.Cluster, clients, goroutines int, window time.
 	}, nil
 }
 
+// MeasureBatchCommitRate measures sustained atomic-batch throughput:
+// `clients` concurrent clients each apply back-to-back `steps`-step
+// batches for the window. With cross=false every client's batch stays
+// on one shard (the one-broadcast fast path); with cross=true each
+// batch spreads its steps over every shard and commits through the
+// client's two-phase protocol. The result counts whole batches per
+// second, with per-batch latency percentiles — the price of distributed
+// atomicity versus the fast path.
+func MeasureBatchCommitRate(c *faultdir.Cluster, clients, steps int, cross bool, window time.Duration) (Throughput, error) {
+	shards := c.Shards()
+	workers := make([]*dirclient.Client, clients)
+	dirsets := make([][]capability.Capability, clients)
+	for i := 0; i < clients; i++ {
+		client, cleanup, err := c.NewClient()
+		if err != nil {
+			return Throughput{}, err
+		}
+		defer cleanup()
+		workers[i] = client
+		homes := []int{i % shards}
+		if cross {
+			homes = homes[:0]
+			for s := 0; s < shards; s++ {
+				homes = append(homes, s)
+			}
+		}
+		for _, home := range homes {
+			var d capability.Capability
+			if err := retryTransient(func() error {
+				var cerr error
+				d, cerr = client.CreateDirOn(bgCtx, home)
+				return cerr
+			}); err != nil {
+				return Throughput{}, fmt.Errorf("create working dir on shard %d: %w", home, err)
+			}
+			dirsets[i] = append(dirsets[i], d)
+		}
+	}
+
+	counts := make([]int, clients)
+	lats := newLatSamples(clients)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(window)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int, client *dirclient.Client, dirs []capability.Capability) {
+			defer wg.Done()
+			for j := 0; time.Now().Before(deadline); j++ {
+				b := dir.NewBatch()
+				for k := 0; k < steps; k++ {
+					d := dirs[k%len(dirs)]
+					name := fmt.Sprintf("b%dk%d", i, k)
+					if j%2 == 0 {
+						b.Append(d, name, d, nil)
+					} else {
+						b.Delete(d, name)
+					}
+				}
+				opStart := time.Now()
+				if err := retryTransient(func() error {
+					_, aerr := client.Apply(bgCtx, b)
+					return aerr
+				}); err != nil {
+					errs <- err
+					return
+				}
+				lats.add(i, time.Since(opStart))
+				counts[i]++
+			}
+		}(i, workers[i], dirsets[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return Throughput{}, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	p50, p99 := lats.percentiles()
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99}, nil
+}
+
 // BatchCost is one side of the batch-amortization measurement: what B
 // updates cost in group broadcasts and wall-clock time.
 type BatchCost struct {

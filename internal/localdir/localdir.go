@@ -34,6 +34,12 @@ type Config struct {
 	// Shard and Shards place this server in a sharded deployment (see
 	// dirsvc.ObjectTable.ConfigureShard). Zero values mean unsharded.
 	Shard, Shards int
+	// BaseService is the deployment-wide service name (decision queries
+	// to sibling shards); empty means no cross-shard queries.
+	BaseService string
+	// TxAbortTimeout is the presumed-abort horizon for prepared
+	// two-phase transactions (zero: a model-scaled default).
+	TxAbortTimeout time.Duration
 }
 
 // Server is the unreplicated directory server.
@@ -48,6 +54,15 @@ type Server struct {
 	mu  sync.Mutex
 	seq uint64
 
+	// lockWait bounds how long a read blocks on an object locked by a
+	// prepared two-phase transaction; txTimeout is the presumed-abort
+	// horizon, and txRPC carries decision queries to sibling shards.
+	lockWait  time.Duration
+	txTimeout time.Duration
+	txRPC     *rpc.Client
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
 	stopRPC func()
 }
 
@@ -72,6 +87,18 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 		table:   table,
 		applier: dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, bullet.NewClient(rc, dirsvc.BulletPort(cfg.Service, 1))),
 	}
+	s.lockWait = s.model.Timeout(5 * time.Second)
+	if s.lockWait < 500*time.Millisecond {
+		s.lockWait = 500 * time.Millisecond
+	}
+	s.txTimeout = cfg.TxAbortTimeout
+	if s.txTimeout <= 0 {
+		s.txTimeout = s.model.Timeout(30 * time.Second)
+		if s.txTimeout < 3*time.Second {
+			s.txTimeout = 3 * time.Second
+		}
+	}
+	s.stop = make(chan struct{})
 	if err := s.applier.FormatRoot(false /* metadata only */); err != nil {
 		return nil, err
 	}
@@ -86,13 +113,60 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	}
 	s.rpcSrv = srv
 	s.stopRPC = srv.ServeFunc(cfg.Workers, s.handle)
+	txRPC, err := rpc.NewClient(stack)
+	if err != nil {
+		s.rpcSrv.Close()
+		s.stopRPC()
+		return nil, err
+	}
+	s.txRPC = txRPC
+	s.wg.Add(1)
+	go s.txResolveLoop()
 	return s, nil
+}
+
+// txResolveLoop resolves prepared transactions orphaned by a dead
+// coordinator (see dirsvc.ResolveOrphanTxs): presumed abort when this
+// shard is the transaction's resolver, a decision query to the
+// resolver shard otherwise.
+func (s *Server) txResolveLoop() {
+	defer s.wg.Done()
+	tick := s.txTimeout / 4
+	if tick < 25*time.Millisecond {
+		tick = 25 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	strikes := make(map[dirsvc.TxID]int)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		dirsvc.ResolveOrphanTxs(s.applier, s.cfg.Shard, s.cfg.Shards, s.txTimeout, strikes,
+			func(id dirsvc.TxID, commit bool) {
+				req := &dirsvc.Request{
+					Op:   dirsvc.OpDecide,
+					Blob: dirsvc.EncodeDecide(&dirsvc.Decide{ID: id, Commit: commit}),
+				}
+				_ = s.update(req)
+			},
+			func(resolver int, id dirsvc.TxID) dirsvc.TxState {
+				return dirsvc.QueryTxState(s.txRPC, s.cfg.BaseService, s.cfg.Shards, resolver, id)
+			})
+	}
 }
 
 // Close stops the server.
 func (s *Server) Close() {
+	close(s.stop)
 	s.rpcSrv.Close()
 	s.stopRPC()
+	if s.txRPC != nil {
+		s.txRPC.Close()
+	}
+	s.wg.Wait()
 }
 
 func (s *Server) handle(req *rpc.Request) []byte {
@@ -103,7 +177,12 @@ func (s *Server) handle(req *rpc.Request) []byte {
 	if !dreq.Op.IsUpdate() {
 		// Request.MinSeq needs no wait here: with a single server, every
 		// floor a client session carries came from this server's own
-		// replies, so s.seq is always at or past it.
+		// replies, so s.seq is always at or past it. Readers of an object
+		// locked by a prepared two-phase transaction still wait for the
+		// decision (bounded; a refused client retries).
+		if obj := dreq.Dir.Object; obj != 0 && !s.applier.WaitUnlocked(obj, s.lockWait) {
+			return (&dirsvc.Reply{Status: dirsvc.StatusConflict}).Encode()
+		}
 		s.mu.Lock()
 		svcSeq := s.seq
 		s.mu.Unlock()
@@ -138,6 +217,12 @@ func (s *Server) update(req *dirsvc.Request) *dirsvc.Reply {
 			return fmt.Appendf(nil, "local:%d:%d", s.seq, i)
 		}) {
 			req.Blob = dirsvc.EncodeBatchSteps(steps)
+		}
+	case req.Op == dirsvc.OpPrepare:
+		if derr := dirsvc.EnsurePrepareSeeds(req, func(i int) []byte {
+			return fmt.Appendf(nil, "local:%d:%d:%d", s.seq, time.Now().UnixNano(), i)
+		}); derr != nil {
+			return dirsvc.ErrorReply(derr)
 		}
 	}
 	seq := s.seq + 1

@@ -44,6 +44,12 @@ type Config struct {
 	// Shard and Shards place this server pair in a sharded deployment
 	// (see dirsvc.ObjectTable.ConfigureShard). Zero values mean unsharded.
 	Shard, Shards int
+	// BaseService is the deployment-wide service name (decision queries
+	// to sibling shards); empty means no cross-shard queries.
+	BaseService string
+	// TxAbortTimeout is the presumed-abort horizon for prepared
+	// two-phase transactions (zero: a model-scaled default).
+	TxAbortTimeout time.Duration
 }
 
 // pendingIntention is an update the peer has proposed and we have
@@ -73,6 +79,10 @@ type Server struct {
 	// minSeqWait bounds how long a read waits for the peer's lazy
 	// applies to reach the client's session floor (Request.MinSeq).
 	minSeqWait time.Duration
+	// txTimeout is the presumed-abort horizon for prepared transactions;
+	// txRPC carries decision queries to sibling shards.
+	txTimeout time.Duration
+	txRPC     *rpc.Client
 
 	cleanupCh chan capability.Capability
 	stop      chan struct{}
@@ -117,6 +127,13 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	if s.minSeqWait < 500*time.Millisecond {
 		s.minSeqWait = 500 * time.Millisecond
 	}
+	s.txTimeout = cfg.TxAbortTimeout
+	if s.txTimeout <= 0 {
+		s.txTimeout = s.model.Timeout(30 * time.Second)
+		if s.txTimeout < 3*time.Second {
+			s.txTimeout = 3 * time.Second
+		}
+	}
 	s.applier = dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, s.bc)
 
 	if err := s.bootstrap(); err != nil {
@@ -138,9 +155,51 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	s.rpcSrv = rpcSrv
 	s.stops = append(s.stops, rpcSrv.ServeFunc(cfg.Workers, s.handleClientRPC))
 
+	txRPC, err := rpc.NewClient(stack)
+	if err != nil {
+		return nil, err
+	}
+	s.txRPC = txRPC
 	s.wg.Add(1)
 	go s.cleanupLoop()
+	s.wg.Add(1)
+	go s.txResolveLoop()
 	return s, nil
+}
+
+// txResolveLoop resolves prepared transactions orphaned by a dead
+// coordinator, exactly like the group kind's loop: presumed abort at
+// the transaction's resolver shard, a decision query elsewhere (see
+// dirsvc.ResolveOrphanTxs). Both servers of the pair run it; the
+// decide goes through handleUpdate, so the peer gets its copy via the
+// ordinary intention protocol and duplicate decisions are idempotent.
+func (s *Server) txResolveLoop() {
+	defer s.wg.Done()
+	tick := s.txTimeout / 4
+	if tick < 25*time.Millisecond {
+		tick = 25 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	strikes := make(map[dirsvc.TxID]int)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		dirsvc.ResolveOrphanTxs(s.applier, s.cfg.Shard, s.cfg.Shards, s.txTimeout, strikes,
+			func(id dirsvc.TxID, commit bool) {
+				req := &dirsvc.Request{
+					Op:   dirsvc.OpDecide,
+					Blob: dirsvc.EncodeDecide(&dirsvc.Decide{ID: id, Commit: commit}),
+				}
+				_ = s.handleUpdate(req)
+			},
+			func(resolver int, id dirsvc.TxID) dirsvc.TxState {
+				return dirsvc.QueryTxState(s.txRPC, s.cfg.BaseService, s.cfg.Shards, resolver, id)
+			})
+	}
 }
 
 // bootstrap loads local state, replays a stored intention, and pulls
@@ -185,6 +244,9 @@ func (s *Server) Close() {
 	for _, stop := range s.stops {
 		stop()
 	}
+	if s.txRPC != nil {
+		s.txRPC.Close()
+	}
 	s.wg.Wait()
 }
 
@@ -227,6 +289,11 @@ func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
 		// may land on the up-to-date server.
 		return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
 	}
+	// Readers of an object locked by a prepared two-phase transaction
+	// wait for the decision (bounded; a refused client retries).
+	if obj := req.Dir.Object; obj != 0 && !s.applier.WaitUnlocked(obj, s.minSeqWait) {
+		return &dirsvc.Reply{Status: dirsvc.StatusConflict}
+	}
 	// Sample the sequence number before the read so the stamp is a
 	// conservative freshness bound for client read caches.
 	s.mu.Lock()
@@ -255,6 +322,12 @@ func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
 			return fmt.Appendf(nil, "rpcdir:%d:%d:%d", s.cfg.ID, time.Now().UnixNano(), i)
 		}) {
 			req.Blob = dirsvc.EncodeBatchSteps(steps)
+		}
+	case req.Op == dirsvc.OpPrepare:
+		if err := dirsvc.EnsurePrepareSeeds(req, func(i int) []byte {
+			return fmt.Appendf(nil, "rpcdir:%d:%d:%d", s.cfg.ID, time.Now().UnixNano(), i)
+		}); err != nil {
+			return dirsvc.ErrorReply(err)
 		}
 	}
 	req.Server = s.cfg.ID

@@ -1,0 +1,354 @@
+package faultdir
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dirsvc/dir"
+	"dirsvc/internal/dirclient"
+	"dirsvc/internal/sim"
+)
+
+// The crash-at-every-step schedule for cross-shard two-phase commit:
+// each test kills the coordinator and/or participant replicas at one
+// step of the protocol — before prepare, after prepare / before decide,
+// after the resolver's partial commit — and asserts all-or-nothing
+// visibility once the survivors (plus restarted or force-recovered
+// replicas) resolve the transaction. The NVRAM kind additionally proves
+// a whole-shard crash reinstates the in-doubt transaction from the
+// logged prepare record through the Fig. 6 recovery path.
+
+// crashTxTimeout is the presumed-abort horizon for the crash schedules.
+const crashTxTimeout = 300 * time.Millisecond
+
+func newCrashCluster(t *testing.T, kind Kind, shards int) *Cluster {
+	t.Helper()
+	c, err := New(kind, Options{
+		Model:             sim.FastModel(),
+		HeartbeatInterval: testHeartbeat,
+		Shards:            shards,
+		Workers:           8,
+		TxAbortTimeout:    crashTxTimeout,
+		IdleFlush:         time.Hour, // no background NVRAM flush: crash points stay deterministic
+	})
+	if err != nil {
+		t.Fatalf("New(%v, shards=%d): %v", kind, shards, err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// txFixture is one cross-shard transaction under fault injection: a
+// coordinator client with a hook, one directory per shard, and an
+// independent probe client for visibility checks.
+type txFixture struct {
+	c           *Cluster
+	coordinator *dirclient.Client
+	probe       *dirclient.Client
+	dirs        []dir.Capability
+	name        string
+}
+
+func newTxFixture(t *testing.T, c *Cluster, name string) *txFixture {
+	t.Helper()
+	coord, cleanup1, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup1)
+	probe, cleanup2, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup2)
+	f := &txFixture{c: c, coordinator: coord, probe: probe, name: name}
+	for s := 0; s < c.Shards(); s++ {
+		d, err := createOn(coord, s)
+		if err != nil {
+			t.Fatalf("create working dir on shard %d: %v", s, err)
+		}
+		f.dirs = append(f.dirs, d)
+	}
+	return f
+}
+
+// createOn creates a directory on one shard, riding out boot churn.
+func createOn(client *dirclient.Client, shard int) (dir.Capability, error) {
+	var d dir.Capability
+	err := retryFor(20*time.Second, func() error {
+		var cerr error
+		d, cerr = client.CreateDirOn(bgCtx, shard)
+		return cerr
+	})
+	return d, err
+}
+
+// retryFor retries op on any error until it succeeds or the deadline
+// passes.
+func retryFor(d time.Duration, op func() error) error {
+	deadline := time.Now().Add(d)
+	for {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// batch builds the fixture's spanning batch: one append per shard.
+func (f *txFixture) batch() *dir.Batch {
+	b := dir.NewBatch()
+	for _, d := range f.dirs {
+		b.Append(d, f.name, d, nil)
+	}
+	return b
+}
+
+// assertSettles polls every shard through the probe until the
+// transaction's row settles to the expected outcome — and asserts that
+// no successful read ever exposes the other outcome on any shard once
+// the prepare round finished: a shard either refuses the read (lock
+// held, no majority) or shows exactly the settled state, never a
+// partially applied batch.
+func (f *txFixture) assertSettles(t *testing.T, committed bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for s, d := range f.dirs {
+		for {
+			caps, err := f.probe.LookupSet(bgCtx, d, []string{f.name})
+			if err == nil {
+				if caps[0].IsZero() == !committed {
+					break // settled to the expected outcome
+				}
+				if committed {
+					// A successful read showed the row missing: legal only
+					// while the transaction can still be undecided here —
+					// i.e. never after this shard committed. Keep polling,
+					// but a shard can never go back: once present, present.
+				} else {
+					t.Fatalf("shard %d exposed a step of an aborted transaction", s)
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("shard %d never settled (committed=%v): last caps=%v err=%v", s, committed, caps, err)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	// All-or-nothing is stable: a second pass over every shard agrees.
+	for s, d := range f.dirs {
+		if err := retryFor(10*time.Second, func() error {
+			caps, err := f.probe.LookupSet(bgCtx, d, []string{f.name})
+			if err != nil {
+				return err
+			}
+			if caps[0].IsZero() == committed {
+				return fmt.Errorf("shard %d flapped to the opposite outcome", s)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Locks released: every shard accepts new updates.
+	for s, d := range f.dirs {
+		if err := retryFor(10*time.Second, func() error {
+			return f.probe.Append(bgCtx, d, f.name+"-after", d, nil)
+		}); err != nil {
+			t.Fatalf("shard %d still wedged after resolution: %v", s, err)
+		}
+	}
+}
+
+// TestTwoPhaseParticipantMinorityCrash crashes one replica of the
+// non-resolver shard at each step of the protocol; the shard's
+// remaining majority carries the transaction through in every case.
+func TestTwoPhaseParticipantMinorityCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash schedule: covered by the dedicated 2PC CI lane")
+	}
+	steps := []struct {
+		name  string
+		stage dirclient.TxStage // crash fires when this stage is reached; 0 = before Apply
+	}{
+		{"BeforePrepare", 0},
+		{"WhilePrepared", dirclient.TxAfterPrepare},
+		{"AfterPartialCommit", dirclient.TxAfterResolverDecide},
+	}
+	for i, sc := range steps {
+		t.Run(sc.name, func(t *testing.T) {
+			c := newCrashCluster(t, KindGroup, 2)
+			f := newTxFixture(t, c, fmt.Sprintf("minority%d", i))
+			crashed := false
+			if sc.stage == 0 {
+				c.CrashShardServer(1, 2)
+				crashed = true
+			} else {
+				f.coordinator.SetTxHook(func(s dirclient.TxStage) error {
+					if s == sc.stage && !crashed {
+						crashed = true
+						c.CrashShardServer(1, 2)
+					}
+					return nil
+				})
+			}
+			err := retryFor(20*time.Second, func() error {
+				_, aerr := f.coordinator.Apply(bgCtx, f.batch())
+				return aerr
+			})
+			f.coordinator.SetTxHook(nil)
+			if err != nil {
+				t.Fatalf("Apply with minority crash: %v", err)
+			}
+			if !crashed {
+				t.Fatal("crash hook never fired")
+			}
+			f.assertSettles(t, true)
+
+			// The crashed replica rejoins and serves the committed state.
+			if err := c.RestartShardServer(1, 2); err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+		})
+	}
+}
+
+// TestTwoPhaseWholeShardCrashPrepared is the Fig. 6 reinstatement test:
+// the whole non-resolver shard (all replicas) crashes while the
+// transaction is prepared. With the coordinator dead too, the restarted
+// shard must replay the NVRAM-logged prepare record, re-stage the
+// transaction, and resolve it by querying the resolver — commit when
+// the resolver ratified it before the crash, abort otherwise.
+func TestTwoPhaseWholeShardCrashPrepared(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash schedule: covered by the dedicated 2PC CI lane")
+	}
+	cases := []struct {
+		name      string
+		stage     dirclient.TxStage
+		committed bool
+	}{
+		// Coordinator dies after prepare, before any decide: the
+		// resolver presumes abort; the restarted shard learns the abort.
+		{"NoDecision", dirclient.TxAfterPrepare, false},
+		// The resolver ratified the commit but the other shard crashed
+		// before its decide arrived: the restarted shard must find the
+		// commit through the decision query — the in-doubt vote survives
+		// the whole-shard crash in the NVRAM log.
+		{"AfterPartialCommit", dirclient.TxAfterResolverDecide, true},
+	}
+	for _, sc := range cases {
+		t.Run(sc.name, func(t *testing.T) {
+			c := newCrashCluster(t, KindGroupNVRAM, 2)
+			f := newTxFixture(t, c, "wholeshard")
+
+			f.coordinator.SetTxHook(func(s dirclient.TxStage) error {
+				if s == sc.stage {
+					for id := 1; id <= c.ServersPerShard(); id++ {
+						c.CrashShardServer(1, id)
+					}
+					return dirclient.ErrTxHalt
+				}
+				return nil
+			})
+			_, err := f.coordinator.Apply(bgCtx, f.batch())
+			f.coordinator.SetTxHook(nil)
+			if !errors.Is(err, dirclient.ErrTxHalt) {
+				t.Fatalf("halted Apply: err = %v, want ErrTxHalt", err)
+			}
+
+			// Restart the whole shard — concurrently, as a real reboot
+			// would: each replica's Fig. 6 recovery blocks until a
+			// majority reassembles. Recovery replays the NVRAM prepare
+			// records and the resolution loop finishes the job.
+			restartShard(t, c, 1)
+			f.assertSettles(t, sc.committed)
+		})
+	}
+}
+
+// TestTwoPhaseForceRecoverShard loses a majority of the non-resolver
+// shard while the transaction is prepared, with the coordinator dead
+// after the resolver's partial commit. The surviving replica cannot
+// assemble a majority; after the administrator's ForceRecoverShard it
+// serves alone — still holding the prepared transaction — queries the
+// resolver, and completes the commit.
+func TestTwoPhaseForceRecoverShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash schedule: covered by the dedicated 2PC CI lane")
+	}
+	c := newCrashCluster(t, KindGroup, 2)
+	f := newTxFixture(t, c, "forced")
+
+	f.coordinator.SetTxHook(func(s dirclient.TxStage) error {
+		if s == dirclient.TxAfterResolverDecide {
+			// Majority of shard 1 gone; replica 3 survives, in doubt.
+			c.CrashShardServer(1, 1)
+			c.CrashShardServer(1, 2)
+			return dirclient.ErrTxHalt
+		}
+		return nil
+	})
+	_, err := f.coordinator.Apply(bgCtx, f.batch())
+	f.coordinator.SetTxHook(nil)
+	if !errors.Is(err, dirclient.ErrTxHalt) {
+		t.Fatalf("halted Apply: err = %v, want ErrTxHalt", err)
+	}
+
+	if err := c.ForceRecoverShard(1, 3); err != nil {
+		t.Fatalf("ForceRecoverShard: %v", err)
+	}
+	f.assertSettles(t, true)
+}
+
+// TestTwoPhaseResolverWholeShardAbort crashes the RESOLVER shard whole
+// while both shards are prepared and the coordinator is dead: no
+// decision was ever ratified, so after the restart the resolver
+// presumes abort and the other shard follows — nothing may surface on
+// either shard.
+func TestTwoPhaseResolverWholeShardAbort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash schedule: covered by the dedicated 2PC CI lane")
+	}
+	c := newCrashCluster(t, KindGroupNVRAM, 2)
+	f := newTxFixture(t, c, "resolverdown")
+
+	f.coordinator.SetTxHook(func(s dirclient.TxStage) error {
+		if s == dirclient.TxAfterPrepare {
+			for id := 1; id <= c.ServersPerShard(); id++ {
+				c.CrashShardServer(0, id)
+			}
+			return dirclient.ErrTxHalt
+		}
+		return nil
+	})
+	_, err := f.coordinator.Apply(bgCtx, f.batch())
+	f.coordinator.SetTxHook(nil)
+	if !errors.Is(err, dirclient.ErrTxHalt) {
+		t.Fatalf("halted Apply: err = %v, want ErrTxHalt", err)
+	}
+
+	restartShard(t, c, 0)
+	f.assertSettles(t, false)
+}
+
+// restartShard reboots every replica of one shard concurrently (each
+// one's recovery waits for a majority of the others).
+func restartShard(t *testing.T, c *Cluster, shard int) {
+	t.Helper()
+	errs := make(chan error, c.ServersPerShard())
+	for id := 1; id <= c.ServersPerShard(); id++ {
+		go func(id int) { errs <- c.RestartShardServer(shard, id) }(id)
+	}
+	for i := 0; i < c.ServersPerShard(); i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("restart shard %d: %v", shard, err)
+		}
+	}
+}

@@ -124,6 +124,13 @@ type Options struct {
 	// (fault injection tests shrink it). Zero means a model-scaled
 	// default.
 	TxAbortTimeout time.Duration
+	// LeaseTTL bounds a client's watch/cache lease without renewal
+	// (tests shrink it). Zero means a model-scaled default.
+	LeaseTTL time.Duration
+	// EventLogSize bounds each server's event log — the window of
+	// committed updates replayable to reconnecting watchers (tests
+	// shrink it to force resyncs). Zero means the dirsvc default.
+	EventLogSize int
 }
 
 // adminBlocks is the admin partition size: commit block + object table.
@@ -310,6 +317,8 @@ func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 			DisableReadMajorityCheck: c.opts.DisableReadMajorityCheck,
 			HeartbeatInterval:        c.opts.HeartbeatInterval,
 			IdleFlush:                c.opts.IdleFlush,
+			LeaseTTL:                 c.opts.LeaseTTL,
+			EventLogSize:             c.opts.EventLogSize,
 		})
 		if err != nil {
 			return fmt.Errorf("boot group server %d (shard %d): %w", m.id, sg.index, err)
@@ -329,6 +338,8 @@ func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 			Shard:          sg.index,
 			Shards:         c.opts.Shards,
 			TxAbortTimeout: c.opts.TxAbortTimeout,
+			LeaseTTL:       c.opts.LeaseTTL,
+			EventLogSize:   c.opts.EventLogSize,
 		})
 		if err != nil {
 			return fmt.Errorf("boot rpc server %d (shard %d): %w", m.id, sg.index, err)
@@ -345,6 +356,8 @@ func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 			Shard:          sg.index,
 			Shards:         c.opts.Shards,
 			TxAbortTimeout: c.opts.TxAbortTimeout,
+			LeaseTTL:       c.opts.LeaseTTL,
+			EventLogSize:   c.opts.EventLogSize,
 		})
 		if err != nil {
 			return fmt.Errorf("boot local server (shard %d): %w", sg.index, err)

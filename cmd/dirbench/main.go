@@ -1,16 +1,17 @@
 // Command dirbench regenerates the paper's evaluation (§4): Fig. 7's
 // latency table, the Fig. 8 and Fig. 9 throughput sweeps, the §1/§6
 // headline numbers, and the §4.2 upper-bound analysis, printing measured
-// values next to the paper's. Four experiments cover this repo's own
+// values next to the paper's. Five experiments cover this repo's own
 // additions: `shard` (write-throughput scaling across replica groups),
 // `cache` (the client read cache on the paper's 98%-read mix),
 // `readscale` (read throughput with replica-balanced selection and the
 // concurrent RPC transport, vs the paper's pinned first-responder
-// heuristic), and `xbatch` (cross-shard atomic batches through the
-// two-phase commit vs the single-shard one-broadcast fast path); all
-// write machine-readable JSON records (BENCH_shard.json,
-// BENCH_cache.json, BENCH_readscale.json, BENCH_xbatch.json) with
-// p50/p99 latencies.
+// heuristic), `xbatch` (cross-shard atomic batches through the
+// two-phase commit vs the single-shard one-broadcast fast path), and
+// `watch` (idle-client cache coherence and write-to-delivery latency,
+// pull vs push invalidation); all write machine-readable JSON records
+// (BENCH_shard.json, BENCH_cache.json, BENCH_readscale.json,
+// BENCH_xbatch.json, BENCH_watch.json) with p50/p99 latencies.
 //
 // Usage:
 //
@@ -20,6 +21,7 @@
 //	dirbench -experiment cache
 //	dirbench -experiment readscale
 //	dirbench -experiment xbatch
+//	dirbench -experiment watch
 //	dirbench -experiment all -scale 0.1
 //
 // With -scale below 1 the simulated hardware runs proportionally faster;
@@ -48,11 +50,12 @@ const (
 	defaultCacheOut     = "BENCH_cache.json"
 	defaultReadScaleOut = "BENCH_readscale.json"
 	defaultXBatchOut    = "BENCH_xbatch.json"
+	defaultWatchOut     = "BENCH_watch.json"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | readscale | xbatch | all")
+		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | readscale | xbatch | watch | all")
 		window     = flag.Duration("window", 2*time.Second, "measurement window per throughput point")
 		pairs      = flag.Int("pairs", 10, "append-delete pairs per latency measurement")
 		scale      = flag.Float64("scale", 1.0, "latency scale factor (1.0 = paper hardware)")
@@ -98,13 +101,15 @@ func run(experiment string, window time.Duration, pairs int, scale float64, clie
 		return readScale(model, window, scale, clients, resolveOut(out, defaultReadScaleOut))
 	case "xbatch":
 		return xbatch(model, window, scale, clients, resolveOut(out, defaultXBatchOut))
+	case "watch":
+		return watchCoherence(model, scale, resolveOut(out, defaultWatchOut))
 	case "all":
-		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache", "readscale", "xbatch"} {
+		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache", "readscale", "xbatch", "watch"} {
 			expOut := out
 			if expOut == "auto" {
 				// Don't overwrite the committed calibrated records from a
 				// (typically scaled-down) sweep.
-				if exp == "shard" || exp == "cache" || exp == "readscale" || exp == "xbatch" {
+				if exp == "shard" || exp == "cache" || exp == "readscale" || exp == "xbatch" || exp == "watch" {
 					fmt.Printf("(all sweep: not writing BENCH_%s.json — use -experiment %s, or pass -out explicitly)\n", exp, exp)
 				}
 				expOut = ""
@@ -640,6 +645,96 @@ func xbatch(model *sim.LatencyModel, window time.Duration, scale float64, client
 		res.CrossCostFactor = rates[false] / rates[true]
 	}
 	fmt.Printf("two-phase cost factor vs the fast path: %.2fx\n", res.CrossCostFactor)
+	if out == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("results written to %s\n", out)
+	return nil
+}
+
+// watchPoint is one measured invalidation mode of the coherence
+// experiment.
+type watchPoint struct {
+	Mode          string  `json:"mode"` // "pull" or "push"
+	IdleHits      uint64  `json:"idle_hits"`
+	IdleMisses    uint64  `json:"idle_misses"`
+	IdleHitRate   float64 `json:"idle_hit_rate"`
+	StaleHotReads int     `json:"stale_hot_reads"`
+	Writes        int     `json:"writes"`
+	DeliverP50MS  float64 `json:"deliver_p50_ms"` // push only, paper-hardware time
+	DeliverP99MS  float64 `json:"deliver_p99_ms"`
+}
+
+// watchResult is the machine-readable record written to -out.
+type watchResult struct {
+	Experiment string       `json:"experiment"`
+	Kind       string       `json:"kind"`
+	IdleDirs   int          `json:"idle_dirs"`
+	Scale      float64      `json:"scale"`
+	Points     []watchPoint `json:"points"`
+}
+
+// watchCoherence measures what the lease/callback protocol buys an idle
+// client: a reader caches one hot and K idle directories while a
+// foreign writer hammers the hot one. Pull invalidation (the paper's
+// Seq high-water client) cannot attribute the foreign Seq advances, so
+// it drops the whole shard and the idle set re-fills needlessly — and
+// reads of the hot directory between contacts are stale. Pushed
+// invalidation drops exactly the touched object: the idle set stays
+// ≈100% hits and a read after the pushed event is never stale.
+func watchCoherence(model *sim.LatencyModel, scale float64, out string) error {
+	const (
+		kind     = faultdir.KindGroupNVRAM
+		idleDirs = 48
+		writes   = 24
+	)
+	fmt.Printf("== Watch coherence: %d idle dirs, %d foreign writes, %v kind — pull vs push invalidation\n",
+		idleDirs, writes, kind)
+	res := watchResult{
+		Experiment: "watch",
+		Kind:       kind.String(),
+		IdleDirs:   idleDirs,
+		Scale:      scale,
+	}
+	for _, push := range []bool{false, true} {
+		c, err := newCluster(kind, model)
+		if err != nil {
+			return err
+		}
+		wc, err := harness.MeasureWatchCoherence(c, push, idleDirs, writes)
+		c.Close()
+		if err != nil {
+			return fmt.Errorf("push=%v: %w", push, err)
+		}
+		mode := "pull"
+		if push {
+			mode = "push"
+		}
+		res.Points = append(res.Points, watchPoint{
+			Mode:          mode,
+			IdleHits:      wc.IdleHits,
+			IdleMisses:    wc.IdleMisses,
+			IdleHitRate:   wc.IdleHitRate,
+			StaleHotReads: wc.StaleHotReads,
+			Writes:        wc.Writes,
+			DeliverP50MS:  ms(wc.DeliverP50, scale),
+			DeliverP99MS:  ms(wc.DeliverP99, scale),
+		})
+		if push {
+			fmt.Printf("mode=push  idle hit rate %5.1f%%  stale hot reads %d/%d  delivery p50 %.1f ms, p99 %.1f ms\n",
+				100*wc.IdleHitRate, wc.StaleHotReads, wc.Writes, ms(wc.DeliverP50, scale), ms(wc.DeliverP99, scale))
+		} else {
+			fmt.Printf("mode=pull  idle hit rate %5.1f%%  stale hot reads %d/%d\n",
+				100*wc.IdleHitRate, wc.StaleHotReads, wc.Writes)
+		}
+	}
 	if out == "" {
 		return nil
 	}

@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01] [-shards 4] [-cache] [-read-balance]
+//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01] [-shards 4] [-cache] [-leases] [-read-balance]
 //
 // With -cache the shell's client runs the per-shard read cache
 // (dir.CacheOptions): repeat ls/cat lookups are served locally and the
-// status command shows the hit/miss/invalidation counters. With
-// -read-balance the client spreads its reads across every replica of a
-// shard (session-consistent via the MinSeq floor) instead of pinning to
-// the first HEREIS responder; status then shows how many reads each
+// status command shows the hit/miss/invalidation counters. -leases
+// (implies -cache) switches the cache to push-based coherence: the
+// client holds a watch lease per shard and servers push per-object
+// invalidations as updates commit. With -read-balance the client
+// spreads its reads across every replica of a shard
+// (session-consistent via the MinSeq floor) instead of pinning to the
+// first HEREIS responder; status then shows how many reads each
 // replica served.
 //
 // Commands (type "help" at the prompt):
@@ -22,6 +25,9 @@
 //	rm <name>              delete a row
 //	put <name>             register a fresh 4-byte file
 //	cat <name>             read a registered file
+//	watch [name|*]         tail committed updates in the background as they
+//	                       arrive (default *: every shard's full stream)
+//	unwatch                stop the tail
 //	crash <id> | restart <id> | partition <id...> | heal
 //	                       (sharded: address servers as <shard>/<id>)
 //	status                 per-server status, per shard
@@ -52,10 +58,11 @@ func main() {
 		scale    = flag.Float64("scale", 0.01, "hardware latency scale (1.0 = paper speed)")
 		shards   = flag.Int("shards", 1, "number of independent replica groups")
 		cache    = flag.Bool("cache", false, "enable the client read cache")
+		leases   = flag.Bool("leases", false, "push-based cache coherence (implies -cache)")
 		balance  = flag.Bool("read-balance", false, "spread reads across all replicas of a shard")
 	)
 	flag.Parse()
-	if err := run(*kindName, *scale, *shards, *cache, *balance); err != nil {
+	if err := run(*kindName, *scale, *shards, *cache || *leases, *leases, *balance); err != nil {
 		fmt.Fprintln(os.Stderr, "dird:", err)
 		os.Exit(1)
 	}
@@ -91,7 +98,7 @@ func parseKind(name string) (faultdir.Kind, error) {
 	}
 }
 
-func run(kindName string, scale float64, shards int, cache, balance bool) error {
+func run(kindName string, scale float64, shards int, cache, leases, balance bool) error {
 	kind, err := parseKind(kindName)
 	if err != nil {
 		return err
@@ -99,12 +106,12 @@ func run(kindName string, scale float64, shards int, cache, balance bool) error 
 	if shards < 1 {
 		shards = 1
 	}
-	fmt.Printf("booting %v cluster (%d shard(s) × %d servers, scale %g, cache %v, read-balance %v)...\n",
-		kind, shards, kind.Servers(), scale, cache, balance)
+	fmt.Printf("booting %v cluster (%d shard(s) × %d servers, scale %g, cache %v, leases %v, read-balance %v)...\n",
+		kind, shards, kind.Servers(), scale, cache, leases, balance)
 	cluster, err := faultdir.New(kind, faultdir.Options{
 		Model:       sim.ScaledPaperModel(scale),
 		Shards:      shards,
-		ClientCache: dir.CacheOptions{Enabled: cache},
+		ClientCache: dir.CacheOptions{Enabled: cache, Leases: leases},
 		ReadBalance: balance,
 	})
 	if err != nil {
@@ -122,6 +129,8 @@ func run(kindName string, scale float64, shards int, cache, balance bool) error 
 		return fmt.Errorf("fetch root: %w", err)
 	}
 	files := cluster.NewFileClient(client)
+	stopWatch := func() {} // cancels the active "watch" tail, if any
+	defer func() { stopWatch() }()
 	fmt.Println("ready. type \"help\".")
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -136,7 +145,7 @@ func run(kindName string, scale float64, shards int, cache, balance bool) error 
 			return nil
 		case "help":
 			fmt.Println("ls [name] | mkdir <name> [shard] | rm <name> | put <name> | cat <name>")
-			fmt.Println("crash <id> | restart <id> | partition <id...> | heal | status | quit")
+			fmt.Println("watch [name|*] | unwatch | crash <id> | restart <id> | partition <id...> | heal | status | quit")
 			if cluster.Shards() > 1 {
 				fmt.Println("sharded: address servers as <shard>/<id>, e.g. crash 2/1")
 			}
@@ -220,6 +229,45 @@ func run(kindName string, scale float64, shards int, cache, balance bool) error 
 				continue
 			}
 			fmt.Printf("%q\n", data)
+		case "watch":
+			if len(args) > 1 {
+				fmt.Println("usage: watch [name|*]")
+				continue
+			}
+			var target dir.Capability // zero: every shard's full stream
+			if len(args) == 1 && args[0] != "*" {
+				if target, err = client.Lookup(bgCtx, root, args[0]); err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+			}
+			stopWatch() // at most one tail at a time
+			ctx, cancel := context.WithCancel(bgCtx)
+			stream, err := client.Watch(ctx, target)
+			if err != nil {
+				cancel()
+				fmt.Println("error:", err)
+				continue
+			}
+			done := make(chan struct{})
+			stopWatch = func() {
+				cancel()
+				<-done
+				stopWatch = func() {}
+			}
+			go func() {
+				defer close(done)
+				for ev := range stream {
+					if ev.Type == dir.EventResync {
+						fmt.Printf("[watch] shard %d RESYNC (events may have been missed; re-read)\n", ev.Shard)
+						continue
+					}
+					fmt.Printf("[watch] shard %d seq %d %s objects %v\n", ev.Shard, ev.Seq, ev.Op, ev.Objects)
+				}
+			}()
+			fmt.Println("watching: committed updates (and recovery resyncs) print as they arrive; \"unwatch\" stops")
+		case "unwatch":
+			stopWatch()
 		case "crash", "restart":
 			if len(args) != 1 {
 				fmt.Printf("usage: %s [shard/]<server-id>\n", cmd)

@@ -40,6 +40,30 @@ const DefaultCacheEntries = 1024
 //     notification protocol — exactly the trade the paper's 98%-read
 //     workload makes profitable.
 //
+// # Leases: push-based coherence
+//
+// With Leases enabled the client additionally registers a watch lease
+// with every shard it talks to, and the server pushes each committed
+// update's touched object numbers to the client as it applies. Pushed
+// invalidations drop exactly the touched entries, which changes the
+// model in two ways:
+//
+//   - Staleness is no longer bounded by the client's own traffic but by
+//     the push latency (normally one one-way message) — an idle client's
+//     cache stays coherent. If the push channel degrades, the bound
+//     degrades gracefully: to the lease renewal interval while renewals
+//     still reach the server, and to the lease TTL outright (e.g. across
+//     a partition — the server refuses renewals without a majority, and
+//     the client reverts to the pull-only model above until re-leased).
+//   - Whole-shard drops become rare: a reply's unexplained Seq jump no
+//     longer discards the shard, because the jump's per-object
+//     invalidations travel on the push channel. The whole shard is
+//     dropped only on a real event-stream discontinuity — a push-log gap
+//     the server cannot replay, a shard crash/recovery, or a lost lease.
+//
+// Read-your-writes, per-shard monotonic reads, and the ObjSeq
+// anti-clobber rule are unaffected.
+//
 // Reads through a disabled (zero) CacheOptions behave exactly as before:
 // every read is an RPC, and the service's one-copy serializability is
 // unweakened.
@@ -51,6 +75,11 @@ type CacheOptions struct {
 	// recently used entries are evicted beyond it. Zero means
 	// DefaultCacheEntries.
 	MaxEntries int
+	// Leases turns on push-based coherence: the client holds a watch
+	// lease per shard and the servers push per-object invalidations as
+	// updates commit (see the consistency model above). Requires
+	// Enabled.
+	Leases bool
 }
 
 // CacheStats are the client read-cache counters. A hit is a read

@@ -1,0 +1,89 @@
+package dir
+
+import "context"
+
+// EventType classifies a Watch event.
+type EventType uint8
+
+const (
+	// EventUpdate is a committed update: Seq, Op, and Objects describe
+	// one entry of the shard's totally-ordered update stream.
+	EventUpdate EventType = iota + 1
+	// EventResync is a gap marker: between the previous event for this
+	// shard and the next one, an unknown number of updates happened that
+	// the stream cannot replay — the subscriber fell behind the server's
+	// bounded event log, the shard's serving replica crashed or
+	// recovered, or the notification lease was lost and re-established.
+	// A consumer mirroring shard state must re-read it before trusting
+	// subsequent events.
+	EventResync
+)
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case EventUpdate:
+		return "update"
+	case EventResync:
+		return "resync"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one entry of a shard's update stream, as delivered by Watch.
+type Event struct {
+	// Shard is the shard whose stream this event belongs to.
+	Shard int
+	// Type is EventUpdate for a committed update, EventResync for a gap
+	// marker (only Shard is meaningful on a resync).
+	Type EventType
+	// Seq is the commit sequence number the update was applied under on
+	// the replica serving the stream.
+	Seq uint64
+	// Op names the operation kind (e.g. "append-row", "batch",
+	// "decide").
+	Op string
+	// Objects are the directory object numbers the update touched. A
+	// cross-shard batch commit reports, on each participant shard's
+	// stream, the objects that shard changed at its decide Seq. Empty
+	// for stream-continuity entries that changed no directory (e.g. a
+	// staged prepare).
+	Objects []uint32
+}
+
+// Watcher is the event-stream interface the directory client implements
+// alongside Directory. Watch subscribes to committed updates: pass a
+// directory capability to receive only events touching that directory's
+// object (on its shard), or the zero Capability to receive every shard's
+// full stream. Watch blocks until the subscription is established on
+// every watched shard (ctx bounds the wait), so an update committed
+// after Watch returns is guaranteed to reach the stream — as an event,
+// or covered by a resync marker.
+//
+// Ordering and delivery guarantees, per shard:
+//
+//   - Events arrive in the serving replica's apply order. On the group
+//     and local kinds that order is the shard's total commit order, so
+//     Seq values are strictly increasing and — between two consecutive
+//     EventUpdate events with no EventResync between them — gap-free
+//     for a full-stream (zero-capability, unfiltered) subscription. On
+//     the rpc kind the pair's servers may apply lazily out of order;
+//     apply order is still what the stream delivers, but Seq values are
+//     not necessarily contiguous.
+//   - An EventResync marks every discontinuity: whenever events may
+//     have been missed (the subscriber outran the server's bounded
+//     event log, the shard crashed or recovered, the lease was lost),
+//     the stream says so explicitly rather than silently dropping.
+//     Consumers mirroring state re-read it on resync.
+//   - Delivery is at-least-once across reconnects: an event replayed
+//     after a renewal may already have been delivered. Within one
+//     subscription the stream is duplicate-free.
+//
+// The returned channel is closed when ctx is cancelled or the client is
+// closed. A slow consumer that fills the channel's buffer loses events
+// and receives an EventResync instead — falling behind is always
+// surfaced, never silent.
+type Watcher interface {
+	Watch(ctx context.Context, d Capability) (<-chan Event, error)
+}

@@ -1,0 +1,504 @@
+// Tests for the Watch event-stream subsystem and lease-based cache
+// coherence at the public API: delivery and filtering on every kind,
+// per-shard Seq ordering under concurrent writers (-race), the resync
+// marker across a whole-shard crash/recovery, decide events on every
+// participant of a cross-shard batch, the leased cache's per-object
+// invalidation, and a conformance lane with leases on.
+package dir_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	faultdir "dirsvc"
+
+	"dirsvc/dir"
+	"dirsvc/internal/dirclient"
+	"dirsvc/internal/sim"
+)
+
+// leasedOpts enables the cache with push-based coherence.
+var leasedOpts = dir.CacheOptions{Enabled: true, Leases: true}
+
+// collectEvents drains ch until done(collected) reports satisfaction or
+// the deadline passes, returning everything received. It fails the test
+// on timeout or channel close.
+func collectEvents(t *testing.T, ch <-chan dir.Event, deadline time.Duration, done func([]dir.Event) bool) []dir.Event {
+	t.Helper()
+	var evs []dir.Event
+	timeout := time.After(deadline)
+	for !done(evs) {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("watch channel closed after %d events: %+v", len(evs), evs)
+			}
+			evs = append(evs, ev)
+		case <-timeout:
+			t.Fatalf("timed out after %d events: %+v", len(evs), evs)
+		}
+	}
+	return evs
+}
+
+// assertWatchOrdered checks the dir.Watcher ordering contract over one
+// collected stream: per shard, EventUpdate Seqs are strictly increasing,
+// and — when the kind's apply order is the total commit order
+// (contiguous=true) and no EventResync intervened — gap-free. A resync
+// marker resets the expectation for its shard. Returns the number of
+// resync markers seen.
+func assertWatchOrdered(t *testing.T, evs []dir.Event, contiguous bool) int {
+	t.Helper()
+	prev := make(map[int]uint64) // last update Seq per shard
+	broken := make(map[int]bool) // resync seen since the last update
+	resyncs := 0
+	for i, ev := range evs {
+		switch ev.Type {
+		case dir.EventResync:
+			broken[ev.Shard] = true
+			resyncs++
+		case dir.EventUpdate:
+			if p, seen := prev[ev.Shard]; seen && !broken[ev.Shard] {
+				if contiguous && ev.Seq != p+1 {
+					t.Fatalf("event %d: shard %d Seq %d after %d — gap without a resync marker\n%+v",
+						i, ev.Shard, ev.Seq, p, evs)
+				}
+				if ev.Seq <= p {
+					t.Fatalf("event %d: shard %d Seq %d after %d — not increasing\n%+v",
+						i, ev.Shard, ev.Seq, p, evs)
+				}
+			}
+			prev[ev.Shard] = ev.Seq
+			broken[ev.Shard] = false
+		default:
+			t.Fatalf("event %d: unknown type %v", i, ev.Type)
+		}
+	}
+	return resyncs
+}
+
+// countTouching counts EventUpdates on shard whose Objects include obj.
+func countTouching(evs []dir.Event, shard int, obj uint32) int {
+	n := 0
+	for _, ev := range evs {
+		if ev.Type == dir.EventUpdate && ev.Shard == shard {
+			for _, o := range ev.Objects {
+				if o == obj {
+					n++
+					break
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TestWatchDeliversUpdates pins basic delivery and filtering on every
+// kind: a full-stream subscription sees every committed update with the
+// touched objects; a subscription filtered to one directory sees only
+// that directory's updates.
+func TestWatchDeliversUpdates(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			_, client := newShardedCluster(t, kind, 1)
+			x := createDirOn(t, client, 0)
+			y := createDirOn(t, client, 0)
+
+			ctx, cancel := context.WithCancel(bgCtx)
+			defer cancel()
+			all, err := client.Watch(ctx, dir.Capability{})
+			if err != nil {
+				t.Fatalf("Watch(all): %v", err)
+			}
+			only, err := client.Watch(ctx, x)
+			if err != nil {
+				t.Fatalf("Watch(x): %v", err)
+			}
+
+			if err := retryErr(func() error { return client.Append(bgCtx, x, "a", x, nil) }); err != nil {
+				t.Fatalf("Append x: %v", err)
+			}
+			if err := retryErr(func() error { return client.Append(bgCtx, y, "b", y, nil) }); err != nil {
+				t.Fatalf("Append y: %v", err)
+			}
+
+			evs := collectEvents(t, all, 30*time.Second, func(evs []dir.Event) bool {
+				return countTouching(evs, 0, x.Object) >= 1 && countTouching(evs, 0, y.Object) >= 1
+			})
+			assertWatchOrdered(t, evs, kind != faultdir.KindRPC)
+			for _, ev := range evs {
+				if ev.Type == dir.EventUpdate && countTouching([]dir.Event{ev}, 0, x.Object) == 1 && ev.Op != "append-row" {
+					t.Fatalf("x update has Op %q, want append-row", ev.Op)
+				}
+			}
+
+			// The filtered stream delivers x's update and never y's.
+			fevs := collectEvents(t, only, 30*time.Second, func(evs []dir.Event) bool {
+				return countTouching(evs, 0, x.Object) >= 1
+			})
+			for _, ev := range fevs {
+				if ev.Type == dir.EventUpdate && countTouching([]dir.Event{ev}, 0, y.Object) != 0 {
+					t.Fatalf("filtered stream leaked y's update: %+v", ev)
+				}
+			}
+
+			// Cancelling the context closes the stream.
+			cancel()
+			deadline := time.After(10 * time.Second)
+			for {
+				select {
+				case _, ok := <-all:
+					if !ok {
+						return
+					}
+				case <-deadline:
+					t.Fatal("watch channel never closed after cancel")
+				}
+			}
+		})
+	}
+}
+
+// TestWatchSeqOrderedConcurrentWriters is the -race ordering proof on
+// the group kind: several writer clients hammer two shards while one
+// full-stream subscription collects; every shard's stream must be
+// strictly Seq-ordered and gap-free (no resync is expected in a healthy
+// cluster, but one is tolerated — the contract is "gap-free or
+// explicitly resync-marked").
+func TestWatchSeqOrderedConcurrentWriters(t *testing.T) {
+	skipShardedInShortLane(t)
+	const (
+		shards    = 2
+		writers   = 3
+		perWriter = 10
+	)
+	// A laxer heartbeat than the suite default: spinning writers under
+	// -race can starve 15ms failure detection into false resets.
+	c, err := faultdir.New(faultdir.KindGroup, faultdir.Options{
+		Model:             sim.FastModel(),
+		HeartbeatInterval: 50 * time.Millisecond,
+		Shards:            shards,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	watcher, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(cleanup)
+
+	// One working directory per (writer, shard), plus a sentinel
+	// directory per shard — created before the watch starts, so the
+	// collection window holds exactly the appends.
+	dirs := make([][]dir.Capability, writers)
+	for w := range dirs {
+		dirs[w] = make([]dir.Capability, shards)
+		for s := 0; s < shards; s++ {
+			dirs[w][s] = createDirOn(t, watcher, s)
+		}
+	}
+	fin := make([]dir.Capability, shards)
+	for s := 0; s < shards; s++ {
+		fin[s] = createDirOn(t, watcher, s)
+	}
+
+	ctx, cancel := context.WithCancel(bgCtx)
+	defer cancel()
+	stream, err := watcher.Watch(ctx, dir.Capability{})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	writerErrs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wc, wcleanup, err := c.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(wcleanup)
+		wg.Add(1)
+		go func(w int, wc *dirclient.Client) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				d := dirs[w][i%shards]
+				if err := retryErr(func() error {
+					return wc.Append(bgCtx, d, fmt.Sprintf("w%d-%d", w, i), d, nil)
+				}); err != nil {
+					writerErrs <- fmt.Errorf("writer %d append %d: %w", w, i, err)
+					return
+				}
+			}
+			writerErrs <- nil
+		}(w, wc)
+	}
+	wg.Wait()
+	for w := 0; w < writers; w++ {
+		if err := <-writerErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The sentinels commit after every writer's appends; per-shard apply
+	// order means their events arrive last on each shard's stream.
+	for s := 0; s < shards; s++ {
+		if err := retryErr(func() error { return watcher.Append(bgCtx, fin[s], "fin", fin[s], nil) }); err != nil {
+			t.Fatalf("sentinel append shard %d: %v", s, err)
+		}
+	}
+
+	evs := collectEvents(t, stream, 60*time.Second, func(evs []dir.Event) bool {
+		for s := 0; s < shards; s++ {
+			if countTouching(evs, s, fin[s].Object) == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	resyncs := assertWatchOrdered(t, evs, true)
+	if resyncs == 0 {
+		// Gap-free delivery also means complete delivery: with no resync
+		// on a shard, every append to it must appear.
+		for s := 0; s < shards; s++ {
+			got := 0
+			for w := 0; w < writers; w++ {
+				got += countTouching(evs, s, dirs[w][s].Object)
+			}
+			want := 0
+			for w := 0; w < writers; w++ {
+				for i := 0; i < perWriter; i++ {
+					if i%shards == s {
+						want++
+					}
+				}
+			}
+			if got < want {
+				t.Fatalf("shard %d delivered %d writer updates, want >= %d (no resync excused the gap)", s, got, want)
+			}
+		}
+	}
+	t.Logf("%d events, %d resyncs", len(evs), resyncs)
+}
+
+// TestWatchShardCrashRecoveryResync is the acceptance scenario: events
+// flow, the whole shard crashes and recovers, and the stream continues —
+// with the discontinuity explicitly resync-marked and the ordering
+// contract intact on both sides of it.
+func TestWatchShardCrashRecoveryResync(t *testing.T) {
+	skipShardedInShortLane(t)
+	c, client := newShardedCluster(t, faultdir.KindGroupNVRAM, 1)
+	work := createDirOn(t, client, 0)
+
+	ctx, cancel := context.WithCancel(bgCtx)
+	defer cancel()
+	stream, err := client.Watch(ctx, dir.Capability{})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+
+	// Phase 1: updates flow before the fault.
+	if err := retryErr(func() error { return client.Append(bgCtx, work, "before", work, nil) }); err != nil {
+		t.Fatalf("Append before: %v", err)
+	}
+	evs := collectEvents(t, stream, 30*time.Second, func(evs []dir.Event) bool {
+		return countTouching(evs, 0, work.Object) >= 1
+	})
+
+	// Whole-shard crash: every replica fail-stops, then all reboot
+	// concurrently (recovery needs a majority to assemble).
+	n := c.ServersPerShard()
+	for id := 1; id <= n; id++ {
+		c.CrashShardServer(0, id)
+	}
+	restartErrs := make(chan error, n)
+	for id := 1; id <= n; id++ {
+		go func(id int) { restartErrs <- c.RestartShardServer(0, id) }(id)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-restartErrs; err != nil {
+			t.Fatalf("restart: %v", err)
+		}
+	}
+
+	// Phase 2: the discontinuity must be explicitly resync-marked. The
+	// watcher re-subscribes on its own; any update that committed before
+	// the new lease is covered by the marker, never silently dropped.
+	before := len(evs)
+	evs = append(evs, collectEvents(t, stream, 60*time.Second, func(tail []dir.Event) bool {
+		for _, ev := range tail {
+			if ev.Type == dir.EventResync {
+				return true
+			}
+		}
+		return false
+	})...)
+	for _, ev := range evs[before:] {
+		if ev.Type == dir.EventUpdate {
+			t.Fatalf("post-crash update delivered before the resync marker: %+v", evs[before:])
+		}
+	}
+
+	// Phase 3: the stream has resumed — an update committed after the
+	// marker was observed must be delivered as an event.
+	if err := retryErr(func() error { return client.Append(bgCtx, work, "after", work, nil) }); err != nil {
+		t.Fatalf("Append after: %v", err)
+	}
+	evs = append(evs, collectEvents(t, stream, 60*time.Second, func(tail []dir.Event) bool {
+		return countTouching(tail, 0, work.Object) >= 1
+	})...)
+	assertWatchOrdered(t, evs, true)
+}
+
+// TestWatchAcrossTwoPhaseCommit pins the cross-shard contract: a batch
+// spanning every shard produces, on each participant shard's stream, a
+// decide event carrying that shard's touched directory at the Seq its
+// decide committed under.
+func TestWatchAcrossTwoPhaseCommit(t *testing.T) {
+	skipShardedInShortLane(t)
+	const shards = 4
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			_, client := newMatrixCluster(t, kind, shards, dir.CacheOptions{}, false)
+			dirs := make([]dir.Capability, shards)
+			for s := 0; s < shards; s++ {
+				dirs[s] = createDirOn(t, client, s)
+			}
+
+			ctx, cancel := context.WithCancel(bgCtx)
+			defer cancel()
+			stream, err := client.Watch(ctx, dir.Capability{})
+			if err != nil {
+				t.Fatalf("Watch: %v", err)
+			}
+
+			b := dir.NewBatch()
+			for s, cap := range dirs {
+				b.Append(cap, fmt.Sprintf("x%d", s), cap, nil)
+			}
+			if _, err := applyRetrying(client, b); err != nil {
+				t.Fatalf("cross-shard Apply: %v", err)
+			}
+
+			evs := collectEvents(t, stream, 60*time.Second, func(evs []dir.Event) bool {
+				for s := 0; s < shards; s++ {
+					if countTouching(evs, s, dirs[s].Object) == 0 {
+						return false
+					}
+				}
+				return true
+			})
+			assertWatchOrdered(t, evs, kind != faultdir.KindRPC)
+			// Each participant's event is its decide: the commit point of
+			// the two-phase protocol on that shard, at that shard's Seq.
+			for _, ev := range evs {
+				if ev.Type != dir.EventUpdate || len(ev.Objects) == 0 {
+					continue
+				}
+				if countTouching([]dir.Event{ev}, ev.Shard, dirs[ev.Shard].Object) == 1 {
+					if ev.Op != "decide" {
+						t.Fatalf("shard %d batch event has Op %q, want decide: %+v", ev.Shard, ev.Op, ev)
+					}
+					if ev.Seq == 0 {
+						t.Fatalf("shard %d decide event carries no Seq: %+v", ev.Shard, ev)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLeasedCacheForeignWriteKeepsUnrelatedEntries is the satellite
+// regression for the PR3 heuristic: with a lease held, a foreign
+// client's write to one directory invalidates exactly that directory's
+// cached entries — the unexplained Seq jump its reply causes no longer
+// evicts the whole shard.
+func TestLeasedCacheForeignWriteKeepsUnrelatedEntries(t *testing.T) {
+	c, reader := newCachedCluster(t, faultdir.KindGroup, 1, leasedOpts)
+	writer, cleanup, err := c.NewCachedClient(dir.CacheOptions{})
+	if err != nil {
+		t.Fatalf("NewCachedClient: %v", err)
+	}
+	t.Cleanup(cleanup)
+
+	x := createDirOn(t, reader, 0)
+	y := createDirOn(t, reader, 0)
+	if err := retryErr(func() error { return reader.Append(bgCtx, x, "seed", x, nil) }); err != nil {
+		t.Fatalf("Append x: %v", err)
+	}
+	if err := retryErr(func() error { return reader.Append(bgCtx, y, "seed", y, nil) }); err != nil {
+		t.Fatalf("Append y: %v", err)
+	}
+
+	// The foreign write. Its pushed invalidation — not any traffic of the
+	// reader's own — must drop the reader's cached x.
+	if err := retryErr(func() error { return writer.Append(bgCtx, x, "foreign", x, nil) }); err != nil {
+		t.Fatalf("foreign Append: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rows, err := reader.List(bgCtx, x, 0)
+		if err == nil && len(rows) == 2 {
+			break // the push arrived: the stale single-row listing is gone
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pushed invalidation never reached the reader: rows=%v err=%v", rows, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// y was untouched by the foreign write and by the Seq jump the
+	// refill reply carried: its entry must still be served locally.
+	if _, err := reader.List(bgCtx, y, 0); err != nil { // refill if a straggler push dropped it
+		t.Fatalf("List y: %v", err)
+	}
+	h0 := reader.CacheStats().Hits
+	rows, err := reader.List(bgCtx, y, 0)
+	if err != nil || len(rows) != 1 || rows[0].Name != "seed" {
+		t.Fatalf("List y: %+v, %v", rows, err)
+	}
+	if hits := reader.CacheStats().Hits - h0; hits != 1 {
+		t.Fatalf("List y after foreign write was not a cache hit (hits delta %d) — whole-shard drop regressed", hits)
+	}
+}
+
+// TestConformanceLeases runs the conformance scenarios with the leased
+// cache on: kinds × shards {1,4} × cache+leases. Push-based coherence
+// must be invisible to the API contract.
+func TestConformanceLeases(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(t *testing.T, d dir.Directory)
+	}{
+		{"RootAndCreate", scenarioRootAndCreate},
+		{"RowLifecycle", scenarioRowLifecycle},
+		{"SentinelErrors", scenarioSentinelErrors},
+		{"Sets", scenarioSets},
+		{"BatchAtomicCommit", scenarioBatchAtomicCommit},
+		{"BatchAtomicAbort", scenarioBatchAtomicAbort},
+		{"BatchCreateAndUse", scenarioBatchCreateAndUse},
+	}
+	counts := []int{1, 4}
+	if *shardsFlag > 0 {
+		counts = []int{*shardsFlag}
+	}
+	for _, shards := range counts {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			if shards > 1 {
+				skipShardedInShortLane(t)
+			}
+			for _, kind := range allKinds {
+				t.Run(kind.String(), func(t *testing.T) {
+					_, d := newCachedCluster(t, kind, shards, leasedOpts)
+					createDirOn(t, d, 0)
+					for _, sc := range scenarios {
+						t.Run(sc.name, func(t *testing.T) { sc.run(t, retryDir{d}) })
+					}
+				})
+			}
+		})
+	}
+}

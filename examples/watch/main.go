@@ -1,0 +1,172 @@
+// Watch demonstrates the push subsystem end to end: a client with the
+// leased (push-coherent) cache opens a Watch stream over the whole
+// service, a second client writes, and the events arrive in commit
+// order. Then every replica of the shard is crashed and restarted —
+// and instead of silently dropping the updates that committed while the
+// stream was down, the stream delivers an explicit RESYNC marker: the
+// signal that a consumer mirroring directory state must re-read before
+// trusting what follows. After the marker, new commits flow again.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	faultdir "dirsvc"
+
+	"dirsvc/dir"
+	"dirsvc/internal/sim"
+)
+
+// bgCtx is the unbounded context used where no deadline applies.
+var bgCtx = context.Background()
+
+func main() {
+	cluster, err := faultdir.New(faultdir.KindGroupNVRAM, faultdir.Options{
+		Model:             sim.ScaledPaperModel(0.005),
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// The watcher: a client with the leased cache — pushed invalidations
+	// keep its cache coherent while idle, and the same lease channel
+	// carries the public event stream.
+	watcher, wcleanup, err := cluster.NewCachedClient(dir.CacheOptions{Enabled: true, Leases: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wcleanup()
+	// The writer: a separate client, the "foreign" traffic the watcher
+	// would never see under pull-only invalidation.
+	writer, cleanup, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+
+	root, err := writer.Root(bgCtx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	work, err := writer.CreateDir(bgCtx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(writer.Append(bgCtx, root, "work", work, nil))
+
+	// Watch the full stream (zero capability = every shard). Watch
+	// blocks until the lease is established, so everything committed
+	// from here on reaches the stream — as an event or under a resync.
+	ctx, cancel := context.WithCancel(bgCtx)
+	defer cancel()
+	stream, err := watcher.Watch(ctx, dir.Capability{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1. watch stream open (lease established on every shard)")
+
+	// --- Updates commit; events arrive in commit (Seq) order. ---
+	for i := 0; i < 3; i++ {
+		must(writer.Append(bgCtx, work, fmt.Sprintf("build-%d", i), work, nil))
+	}
+	for i := 0; i < 3; i++ {
+		printEvent(next(stream))
+	}
+
+	// --- Whole-shard crash: all three replicas at once. ---
+	n := cluster.ServersPerShard()
+	for id := 1; id <= n; id++ {
+		cluster.CrashShardServer(0, id)
+	}
+	fmt.Println("2. all replicas crashed; the lease and its event log are gone")
+
+	// Commit a write the stream can never replay: restart the replicas
+	// (concurrently — recovery needs a majority up) and write while the
+	// watcher is still re-establishing its lease.
+	var wg sync.WaitGroup
+	for id := 1; id <= n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := cluster.RestartShardServer(0, id); err != nil {
+				log.Fatal(err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	mustEventually(func() error { return writer.Append(bgCtx, work, "missed-during-outage", work, nil) })
+	fmt.Println("3. replicas recovered; a write committed before the new lease")
+
+	// The recovered service has a fresh event log: the watcher's cursor
+	// is unreplayable, so the stream says so — the RESYNC marker —
+	// instead of silently skipping "missed-during-outage".
+	for {
+		ev := next(stream)
+		printEvent(ev)
+		if ev.Type == dir.EventResync {
+			break
+		}
+	}
+	fmt.Println("4. RESYNC delivered: events may have been missed; a mirror re-reads now")
+	rows, err := watcher.List(bgCtx, work, 0)
+	must(err)
+	fmt.Printf("   re-read %q: %d rows (includes the missed write)\n", "work", len(rows))
+
+	// --- After the marker the live stream resumes. ---
+	must(writer.Append(bgCtx, work, "back-to-normal", work, nil))
+	for {
+		ev := next(stream)
+		printEvent(ev)
+		if ev.Type == dir.EventUpdate {
+			break
+		}
+	}
+	fmt.Println("5. stream resumed after the resync — no update was silently dropped")
+}
+
+func next(stream <-chan dir.Event) dir.Event {
+	select {
+	case ev, ok := <-stream:
+		if !ok {
+			log.Fatal("watch stream closed")
+		}
+		return ev
+	case <-time.After(time.Minute):
+		log.Fatal("no event within a minute")
+	}
+	panic("unreachable")
+}
+
+func printEvent(ev dir.Event) {
+	if ev.Type == dir.EventResync {
+		fmt.Printf("   event: shard %d RESYNC\n", ev.Shard)
+		return
+	}
+	fmt.Printf("   event: shard %d seq %d %s objects %v\n", ev.Shard, ev.Seq, ev.Op, ev.Objects)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustEventually(fn func() error) {
+	deadline := time.Now().Add(time.Minute)
+	for {
+		err := fn()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("never succeeded: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

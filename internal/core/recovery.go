@@ -26,6 +26,11 @@ func (s *Server) recover() error {
 	}
 	s.recovering = true
 	s.era++
+	// Stop recording events while recovery replays or pulls state: the
+	// replayed history predates every live subscription, and the applied
+	// cursor may jump. Subscribers are told to resync (best effort) and
+	// the log gets a fresh identity when recovery completes.
+	s.applier.AttachEvents(nil)
 	// Waiting initiators exit on the era change; whatever they left in
 	// the result/ack tables is abandoned, and any update still queued
 	// for the sender belongs to the old era (the sender drops it).
@@ -104,8 +109,14 @@ func (s *Server) recover() error {
 		s.commit.Recovering = false
 		s.groupSeq = info.Buffered
 		commit := *s.commit
+		applied := s.appliedSeq
 		s.cond.Broadcast()
 		s.mu.Unlock()
+		// The replica's state is current again: restart the event log at
+		// the applied cursor (a fresh identity — surviving subscribers get
+		// a resync push) and resume recording.
+		s.notifier.Reset(applied)
+		s.applier.AttachEvents(s.notifier)
 		if err := commit.Write(s.cfg.Admin); err != nil {
 			return fmt.Errorf("write commit block: %w", err)
 		}

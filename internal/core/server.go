@@ -87,6 +87,12 @@ type Config struct {
 	// IdleFlush is how long the NVRAM variant waits for quiet before
 	// flushing the log (default 20× heartbeat).
 	IdleFlush time.Duration
+	// LeaseTTL bounds how long a watch/cache lease survives without a
+	// renewal (zero: a model-scaled default).
+	LeaseTTL time.Duration
+	// EventLogSize bounds the per-server event log replayable to
+	// reconnecting watchers (zero: dirsvc.DefaultEventLogSize).
+	EventLogSize int
 }
 
 // Server is one replica of the group directory service.
@@ -101,6 +107,11 @@ type Server struct {
 	applier *dirsvc.Applier
 	table   *dirsvc.ObjectTable
 	nvlog   *dirsvc.NVLog
+	// notifier is the lease/callback engine: the bounded event log plus
+	// the watch leases pushes go to. Detached from the applier while
+	// recovery replays state, reset (new log identity) when recovery
+	// completes.
+	notifier *dirsvc.Notifier
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -212,6 +223,16 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	table.ConfigureShard(cfg.Shard, cfg.Shards)
 	s.table = table
 	s.applier = dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, s.bc)
+	leaseTTL := cfg.LeaseTTL
+	if leaseTTL <= 0 {
+		leaseTTL = model.Timeout(60 * time.Second)
+		if leaseTTL < 2*time.Second {
+			leaseTTL = 2 * time.Second
+		}
+	}
+	// The notifier starts detached; recover() resets and attaches it once
+	// the replica's state is current (replayed history is not pushed).
+	s.notifier = dirsvc.NewNotifier(cfg.EventLogSize, 0, leaseTTL)
 	if cfg.NVRAM != nil {
 		nvlog, err := dirsvc.OpenNVLog(cfg.NVRAM)
 		if err != nil {
@@ -231,6 +252,7 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	// Run recovery to (re)join the service. This blocks until we are
 	// part of a majority group with up-to-date state (Fig. 6).
 	if err := s.recover(); err != nil {
+		s.notifier.Close()
 		s.shutdownRPC()
 		return nil, err
 	}
@@ -321,6 +343,8 @@ func (s *Server) Close() {
 	if member != nil {
 		member.Close()
 	}
+	s.applier.AttachEvents(nil)
+	s.notifier.Close()
 	s.shutdownRPC()
 	if s.txRPC != nil {
 		s.txRPC.Close()
@@ -376,12 +400,53 @@ func (s *Server) handleClientRPC(req *rpc.Request) []byte {
 		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
 	}
 	var reply *dirsvc.Reply
-	if dreq.Op.IsUpdate() {
+	switch {
+	case dreq.Op == dirsvc.OpWatch:
+		reply = s.handleWatch(req, dreq)
+	case dreq.Op == dirsvc.OpLeaseRenew:
+		reply = s.handleLeaseRenew(dreq)
+	case dreq.Op.IsUpdate():
 		reply = s.handleUpdate(dreq)
-	} else {
+	default:
 		reply = s.handleRead(dreq)
 	}
 	return reply.Encode()
+}
+
+// handleWatch registers an event-stream lease: the confirmation reply
+// carries an EventBatch cursor (or replay), and later events are pushed
+// over the request's reply channel. Like reads, watches require a
+// majority — a partitioned minority replica's log stops advancing, so a
+// lease there would silently mask foreign commits.
+func (s *Server) handleWatch(req *rpc.Request, dreq *dirsvc.Request) *dirsvc.Reply {
+	s.mu.Lock()
+	if !s.majorityLocked() && !s.cfg.DisableReadMajorityCheck {
+		s.mu.Unlock()
+		return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
+	}
+	s.mu.Unlock()
+	addr := req.PushAddr()
+	push := func(payload []byte) error { return s.rpcSrv.Push(addr, payload) }
+	batch := s.notifier.Subscribe(addr.Tx, dreq.Seq, dreq.MinSeq, push)
+	return &dirsvc.Reply{Status: dirsvc.StatusOK, Blob: dirsvc.EncodeEventBatch(batch)}
+}
+
+// handleLeaseRenew refreshes a watch lease and returns any events the
+// subscriber missed. The majority check makes a lease on a partitioned
+// replica die within one renewal interval, bounding how long pushed
+// invalidations can lag commits happening on the majority side.
+func (s *Server) handleLeaseRenew(dreq *dirsvc.Request) *dirsvc.Reply {
+	s.mu.Lock()
+	if !s.majorityLocked() && !s.cfg.DisableReadMajorityCheck {
+		s.mu.Unlock()
+		return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
+	}
+	s.mu.Unlock()
+	batch, ok := s.notifier.Renew(dreq.Seq, dreq.MinSeq)
+	if !ok {
+		return &dirsvc.Reply{Status: dirsvc.StatusNotFound}
+	}
+	return &dirsvc.Reply{Status: dirsvc.StatusOK, Blob: dirsvc.EncodeEventBatch(batch)}
 }
 
 // handleRead implements the read path: majority check, then wait until
@@ -726,6 +791,10 @@ func (s *Server) applyUpdate(req *dirsvc.Request, seq uint64) *dirsvc.Reply {
 	}
 	res, err := s.applier.ApplyUpdate(req, seq, durable)
 	if err != nil {
+		// The group backend consumes a sequence number even for a failed
+		// apply; record an empty filler event so the event log's index
+		// stream (and its Seq correspondence) stays gap-free.
+		s.notifier.Record(dirsvc.Event{Seq: seq, Op: req.Op})
 		return dirsvc.ErrorReply(err)
 	}
 	if durable {

@@ -46,6 +46,12 @@ type shardCache struct {
 	epoch   uint64 // bumped on every invalidation; guards in-flight fills
 	entries map[cacheKey]*cacheEntry
 	lru     list.List // front = most recently used; values are cacheKey
+	// leased: a live watch lease is pushing this shard's invalidations,
+	// so an unexplained Seq jump in a reply is not a reason to drop the
+	// whole shard — the jump's per-object invalidations arrive (or
+	// already arrived) on the push channel, and a real gap in that
+	// channel triggers an explicit dropShard from the lease manager.
+	leased bool
 }
 
 // readCache is the client's per-shard read cache with sequence-number
@@ -264,22 +270,18 @@ func (rc *readCache) observeLocked(sc *shardCache, seq uint64, objs []uint32) bo
 	if seq <= sc.seq {
 		return false
 	}
-	if objs != nil && seq == sc.seq+1 {
+	switch {
+	case sc.leased:
+		// Pushed invalidations cover foreign commits, so a jump past the
+		// high-water mark only invalidates the objects this caller knows
+		// it touched (its own write); nothing else needs to go.
+		rc.dropObjectsLocked(sc, objs)
+	case objs != nil && seq == sc.seq+1:
 		// The only unseen commit is the caller's own update: drop just
 		// the entries of the directories it touched (per-object
 		// refinement).
-		touched := make(map[uint32]bool, len(objs))
-		for _, o := range objs {
-			touched[o] = true
-		}
-		for key, e := range sc.entries {
-			if touched[key.dir.Object] {
-				sc.lru.Remove(e.elem)
-				delete(sc.entries, key)
-				rc.invalidations.Add(1)
-			}
-		}
-	} else {
+		rc.dropObjectsLocked(sc, objs)
+	default:
 		// Unknown commits: every entry of the shard may be stale.
 		n := len(sc.entries)
 		sc.entries = make(map[cacheKey]*cacheEntry)
@@ -289,6 +291,58 @@ func (rc *readCache) observeLocked(sc *shardCache, seq uint64, objs []uint32) bo
 	sc.seq = seq
 	sc.epoch++
 	return true
+}
+
+// dropObjectsLocked removes the entries keyed by any of the given
+// directory objects. Must hold sc.mu.
+func (rc *readCache) dropObjectsLocked(sc *shardCache, objs []uint32) {
+	if len(objs) == 0 {
+		return
+	}
+	touched := make(map[uint32]bool, len(objs))
+	for _, o := range objs {
+		touched[o] = true
+	}
+	for key, e := range sc.entries {
+		if touched[key.dir.Object] {
+			sc.lru.Remove(e.elem)
+			delete(sc.entries, key)
+			rc.invalidations.Add(1)
+		}
+	}
+}
+
+// setLeased flips one shard between push-coherent (leased) and
+// pull-only invalidation. Dropping the lease does not drop the entries:
+// the caller (the lease manager) does that explicitly when coverage was
+// actually lost, after which the conservative pull heuristic is back in
+// force for subsequent replies.
+func (rc *readCache) setLeased(shard int, on bool) {
+	if rc == nil {
+		return
+	}
+	sc := rc.shards[shard]
+	sc.mu.Lock()
+	sc.leased = on
+	sc.mu.Unlock()
+}
+
+// invalidateObjects applies one pushed invalidation: drop exactly the
+// touched objects' entries and advance the high-water mark to the
+// event's sequence number (a reply from a replica lagging behind the
+// push must not re-install what the push invalidated).
+func (rc *readCache) invalidateObjects(shard int, seq uint64, objs []uint32) {
+	if rc == nil {
+		return
+	}
+	sc := rc.shards[shard]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	rc.dropObjectsLocked(sc, objs)
+	if seq > sc.seq {
+		sc.seq = seq
+	}
+	sc.epoch++
 }
 
 // cloneRows deep-copies List rows so cache and callers never share

@@ -83,6 +83,15 @@ type Client struct {
 	mu     sync.Mutex
 	root   capability.Capability     // cached root capability
 	txHook func(stage TxStage) error // fault-injection hook (SetTxHook)
+
+	// Watch/lease state (see watch.go): the fan-out hub for dir.Watch
+	// subscribers, one lease watcher per shard (started eagerly in
+	// leases mode, lazily by Watch otherwise), and the shutdown latch.
+	hub         *watchHub
+	watchMu     sync.Mutex
+	watchers    []*shardWatcher
+	watchClosed bool
+	watchStop   chan struct{}
 }
 
 // Options configure a Client beyond the service name (see NewWithOptions).
@@ -102,6 +111,9 @@ type Options struct {
 
 // Client is the wire-transport implementation of the public API.
 var _ dir.Directory = (*Client)(nil)
+
+// Client also serves the public event-stream API.
+var _ dir.Watcher = (*Client)(nil)
 
 // New creates a client for the named unsharded service on the given
 // stack.
@@ -130,10 +142,13 @@ func NewWithOptions(stack *flip.Stack, service string, opts Options) (*Client, e
 		shards = 1
 	}
 	c := &Client{
-		conns:   make([]conn, shards),
-		cache:   newReadCache(shards, opts.Cache),
-		balance: opts.ReadBalance,
-		seqs:    make([]atomic.Uint64, shards),
+		conns:     make([]conn, shards),
+		cache:     newReadCache(shards, opts.Cache),
+		balance:   opts.ReadBalance,
+		seqs:      make([]atomic.Uint64, shards),
+		hub:       newWatchHub(),
+		watchers:  make([]*shardWatcher, shards),
+		watchStop: make(chan struct{}),
 	}
 	for s := 0; s < shards; s++ {
 		rc, err := rpc.NewClient(stack)
@@ -149,6 +164,9 @@ func NewWithOptions(stack *flip.Stack, service string, opts Options) (*Client, e
 			port: dirsvc.ServicePort(dirsvc.ShardService(service, s, shards)),
 		}
 	}
+	if opts.Cache.Enabled && opts.Cache.Leases {
+		c.startLeases()
+	}
 	return c, nil
 }
 
@@ -156,13 +174,18 @@ func NewWithOptions(stack *flip.Stack, service string, opts Options) (*Client, e
 // unsharded client.
 func NewWithRPC(rc *rpc.Client, service string) *Client {
 	return &Client{
-		conns: []conn{{rpc: rc, port: dirsvc.ServicePort(service)}},
-		seqs:  make([]atomic.Uint64, 1),
+		conns:     []conn{{rpc: rc, port: dirsvc.ServicePort(service)}},
+		seqs:      make([]atomic.Uint64, 1),
+		hub:       newWatchHub(),
+		watchers:  make([]*shardWatcher, 1),
+		watchStop: make(chan struct{}),
 	}
 }
 
-// Close releases the client's RPC endpoints.
+// Close releases the client's RPC endpoints, stopping the lease
+// watchers and closing every Watch stream first.
 func (c *Client) Close() {
+	c.stopWatchers()
 	for _, cn := range c.conns {
 		cn.rpc.Close()
 	}

@@ -50,6 +50,20 @@ type Applier struct {
 	decided      map[TxID]decidedTx
 	decidedOrder []TxID
 	txCond       *sync.Cond
+
+	// events, when attached, receives one Event per successfully applied
+	// update, in apply order (it is called under a.mu).
+	events *Notifier
+}
+
+// AttachEvents connects (or, with nil, disconnects) the notifier that
+// receives one Event per applied update. Servers detach it while
+// replaying recovered state — replayed updates predate every live
+// subscription — and re-attach it when recovery completes.
+func (a *Applier) AttachEvents(n *Notifier) {
+	a.mu.Lock()
+	a.events = n
+	a.mu.Unlock()
 }
 
 // NewApplier builds an applier for the service identified by port.
@@ -234,6 +248,14 @@ func (a *Applier) Read(req *Request) *Reply {
 func (a *Applier) ApplyUpdate(req *Request, seq uint64, durable bool) (*ApplyResult, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	res, err := a.applyUpdateLocked(req, seq, durable)
+	if err == nil && a.events != nil {
+		a.events.Record(Event{Seq: seq, Op: req.Op, Objects: res.DirtyObjects})
+	}
+	return res, err
+}
+
+func (a *Applier) applyUpdateLocked(req *Request, seq uint64, durable bool) (*ApplyResult, error) {
 	switch req.Op {
 	case OpCreateDir:
 		return a.createDirLocked(req, seq, durable)

@@ -51,6 +51,18 @@ const (
 	// OpTxQuery is the decision query (a read): a participant orphaned by
 	// a dead coordinator asks the resolver shard how a transaction ended.
 	OpTxQuery
+
+	// OpWatch registers (or resumes) an event-stream lease. The request
+	// reuses Seq as the subscriber's previous log identity and MinSeq as
+	// its next log index (both zero for a fresh "from now" subscription);
+	// the reply's Blob is an EventBatch confirmation, and subsequent
+	// events are pushed over the same transaction's reply channel.
+	OpWatch
+	// OpLeaseRenew refreshes a watch lease before it expires: Seq is the
+	// subscription id, MinSeq the subscriber's next log index. The reply
+	// Blob is an EventBatch covering any missed events, or StatusNotFound
+	// when the lease has already expired.
+	OpLeaseRenew
 )
 
 // IsUpdate reports whether the op modifies directories (requires the
@@ -106,6 +118,10 @@ func (op OpCode) String() string {
 		return "decide"
 	case OpTxQuery:
 		return "tx-query"
+	case OpWatch:
+		return "watch"
+	case OpLeaseRenew:
+		return "lease-renew"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}

@@ -726,3 +726,159 @@ func sortStrings(s []string) {
 		}
 	}
 }
+
+// WatchCoherence is one measured mode of the cache-coherence
+// experiment: an otherwise idle working set under a foreign writer,
+// with invalidation either pulled (noticed on the client's next
+// contact) or pushed (delivered over the lease channel).
+type WatchCoherence struct {
+	Push bool
+	// IdleHits and IdleMisses count the re-reads of the idle working
+	// set after each foreign write; IdleHitRate is their ratio. Pull
+	// invalidation cannot explain a foreign Seq advance, so it drops the
+	// whole shard and the idle set re-fills needlessly; pushed
+	// invalidation drops exactly the touched object.
+	IdleHits, IdleMisses uint64
+	IdleHitRate          float64
+	// StaleHotReads counts hot-directory reads that missed the newest
+	// committed row. The push mode reads after the invalidation is
+	// delivered, so it must observe zero.
+	StaleHotReads int
+	Writes        int
+	// DeliverP50 and DeliverP99 are write-to-delivery latencies: from
+	// issuing the foreign append to the Watch event arriving at the
+	// idle client (push mode only).
+	DeliverP50, DeliverP99 time.Duration
+}
+
+// MeasureWatchCoherence runs the idle-client coherence experiment: a
+// reader caches one hot and idleDirs idle directories, then a separate
+// writer commits `writes` appends to the hot one. After every write the
+// reader re-reads the hot directory (checking freshness) and sweeps the
+// idle set (counting hits). In push mode the reader holds a Watch
+// stream on the hot directory and reads only after the write's event
+// arrives — the coherence the lease protocol promises; in pull mode it
+// reads immediately, seeing exactly what the paper's Seq-high-water
+// client sees.
+func MeasureWatchCoherence(c *faultdir.Cluster, push bool, idleDirs, writes int) (WatchCoherence, error) {
+	reader, readerDone, err := c.NewCachedClient(dir.CacheOptions{Enabled: true, Leases: push})
+	if err != nil {
+		return WatchCoherence{}, err
+	}
+	defer readerDone()
+	writer, writerDone, err := c.NewCachedClient(dir.CacheOptions{})
+	if err != nil {
+		return WatchCoherence{}, err
+	}
+	defer writerDone()
+
+	root, err := reader.Root(bgCtx)
+	if err != nil {
+		return WatchCoherence{}, err
+	}
+	hot, err := reader.CreateDir(bgCtx)
+	if err != nil {
+		return WatchCoherence{}, err
+	}
+	if err := reader.Append(bgCtx, root, "hot", hot, nil); err != nil {
+		return WatchCoherence{}, err
+	}
+	// The reader's own scratch directory: one append per round keeps the
+	// client minimally active, the way a real idle-ish client is. In pull
+	// mode that contact is what reveals the foreign commits — as an
+	// unexplained Seq jump that drops the whole shard's cache.
+	scratch, err := reader.CreateDir(bgCtx)
+	if err != nil {
+		return WatchCoherence{}, err
+	}
+	idle := make([]capability.Capability, idleDirs)
+	for i := range idle {
+		if idle[i], err = reader.CreateDir(bgCtx); err != nil {
+			return WatchCoherence{}, err
+		}
+	}
+
+	var stream <-chan dir.Event
+	if push {
+		// The Watch stream doubles as the delivery-latency probe and —
+		// because Watch blocks until the lease is established — as the
+		// guarantee that pushes cover everything the writer commits below.
+		ctx, cancel := context.WithCancel(bgCtx)
+		defer cancel()
+		if stream, err = reader.Watch(ctx, hot); err != nil {
+			return WatchCoherence{}, err
+		}
+	}
+
+	// Warm the working set: one List per directory fills the cache.
+	if _, err := reader.List(bgCtx, hot, 0); err != nil {
+		return WatchCoherence{}, err
+	}
+	for _, d := range idle {
+		if _, err := reader.List(bgCtx, d, 0); err != nil {
+			return WatchCoherence{}, err
+		}
+	}
+
+	res := WatchCoherence{Push: push, Writes: writes}
+	lats := newLatSamples(1)
+	for i := 0; i < writes; i++ {
+		issued := time.Now()
+		err := retryTransient(func() error {
+			return writer.Append(bgCtx, hot, fmt.Sprintf("w%04d", i), hot, nil)
+		})
+		if err != nil {
+			return WatchCoherence{}, fmt.Errorf("foreign append %d: %w", i, err)
+		}
+		if push {
+			// Wait for the write's invalidation to reach this client.
+			deadline := time.NewTimer(30 * time.Second)
+			waiting := true
+			for waiting {
+				select {
+				case ev, ok := <-stream:
+					if !ok {
+						deadline.Stop()
+						return WatchCoherence{}, fmt.Errorf("watch stream closed")
+					}
+					if ev.Type == dir.EventUpdate || ev.Type == dir.EventResync {
+						lats.add(0, time.Since(issued))
+						waiting = false
+					}
+				case <-deadline.C:
+					return WatchCoherence{}, fmt.Errorf("no event for write %d", i)
+				}
+			}
+			deadline.Stop()
+		}
+		rows, err := reader.List(bgCtx, hot, 0)
+		if err != nil {
+			return WatchCoherence{}, fmt.Errorf("hot read %d: %w", i, err)
+		}
+		if len(rows) < i+1 {
+			res.StaleHotReads++
+		}
+		err = retryTransient(func() error {
+			return reader.Append(bgCtx, scratch, fmt.Sprintf("p%04d", i), scratch, nil)
+		})
+		if err != nil {
+			return WatchCoherence{}, fmt.Errorf("own append %d: %w", i, err)
+		}
+		// Nothing about the idle set changed; re-reading it should be
+		// free. Count what the cache actually does.
+		pre := reader.CacheStats()
+		for _, d := range idle {
+			if _, err := reader.List(bgCtx, d, 0); err != nil {
+				return WatchCoherence{}, fmt.Errorf("idle read %d: %w", i, err)
+			}
+		}
+		post := reader.CacheStats()
+		res.IdleHits += post.Hits - pre.Hits
+		res.IdleMisses += post.Misses - pre.Misses
+	}
+	if total := res.IdleHits + res.IdleMisses; total > 0 {
+		res.IdleHitRate = float64(res.IdleHits) / float64(total)
+	}
+	res.DeliverP50, res.DeliverP99 = lats.percentiles()
+	return res, nil
+}

@@ -40,16 +40,23 @@ type Config struct {
 	// TxAbortTimeout is the presumed-abort horizon for prepared
 	// two-phase transactions (zero: a model-scaled default).
 	TxAbortTimeout time.Duration
+	// LeaseTTL bounds a watch/cache lease without renewal (zero: a
+	// model-scaled default).
+	LeaseTTL time.Duration
+	// EventLogSize bounds the event log replayable to reconnecting
+	// watchers (zero: dirsvc.DefaultEventLogSize).
+	EventLogSize int
 }
 
 // Server is the unreplicated directory server.
 type Server struct {
-	cfg     Config
-	stack   *flip.Stack
-	model   *sim.LatencyModel
-	applier *dirsvc.Applier
-	table   *dirsvc.ObjectTable
-	rpcSrv  *rpc.Server
+	cfg      Config
+	stack    *flip.Stack
+	model    *sim.LatencyModel
+	applier  *dirsvc.Applier
+	table    *dirsvc.ObjectTable
+	rpcSrv   *rpc.Server
+	notifier *dirsvc.Notifier
 
 	mu  sync.Mutex
 	seq uint64
@@ -107,6 +114,18 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	}
 	s.seq = table.MaxSeq()
 
+	// The unreplicated server never recovers, so its event log keeps one
+	// identity for the server's whole life, floored at the boot cursor.
+	leaseTTL := cfg.LeaseTTL
+	if leaseTTL <= 0 {
+		leaseTTL = s.model.Timeout(60 * time.Second)
+		if leaseTTL < 2*time.Second {
+			leaseTTL = 2 * time.Second
+		}
+	}
+	s.notifier = dirsvc.NewNotifier(cfg.EventLogSize, s.seq, leaseTTL)
+	s.applier.AttachEvents(s.notifier)
+
 	srv, err := rpc.NewServer(stack, dirsvc.ServicePort(cfg.Service))
 	if err != nil {
 		return nil, err
@@ -161,6 +180,8 @@ func (s *Server) txResolveLoop() {
 // Close stops the server.
 func (s *Server) Close() {
 	close(s.stop)
+	s.applier.AttachEvents(nil)
+	s.notifier.Close()
 	s.rpcSrv.Close()
 	s.stopRPC()
 	if s.txRPC != nil {
@@ -173,6 +194,19 @@ func (s *Server) handle(req *rpc.Request) []byte {
 	dreq, err := dirsvc.DecodeRequest(req.Payload)
 	if err != nil {
 		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
+	}
+	switch dreq.Op {
+	case dirsvc.OpWatch:
+		addr := req.PushAddr()
+		push := func(payload []byte) error { return s.rpcSrv.Push(addr, payload) }
+		batch := s.notifier.Subscribe(addr.Tx, dreq.Seq, dreq.MinSeq, push)
+		return (&dirsvc.Reply{Status: dirsvc.StatusOK, Blob: dirsvc.EncodeEventBatch(batch)}).Encode()
+	case dirsvc.OpLeaseRenew:
+		batch, ok := s.notifier.Renew(dreq.Seq, dreq.MinSeq)
+		if !ok {
+			return (&dirsvc.Reply{Status: dirsvc.StatusNotFound}).Encode()
+		}
+		return (&dirsvc.Reply{Status: dirsvc.StatusOK, Blob: dirsvc.EncodeEventBatch(batch)}).Encode()
 	}
 	if !dreq.Op.IsUpdate() {
 		// Request.MinSeq needs no wait here: with a single server, every

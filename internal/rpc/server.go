@@ -34,6 +34,32 @@ func (r *Request) Reply(payload []byte) error {
 	return r.srv.stack.Send(r.Src, r.replyPort, encodeReply(r.tx, payload))
 }
 
+// PushAddr is a client's long-lived notification endpoint: the reply
+// channel of the transaction that established a subscription. Frames
+// pushed to it are framed exactly like replies to that transaction, so
+// the client's existing demultiplexer routes them to the subscriber
+// with no new wire machinery.
+type PushAddr struct {
+	Src       sim.NodeID
+	ReplyPort capability.Port
+	Tx        uint64
+}
+
+// PushAddr captures the request's reply channel for later server-
+// initiated pushes. Only meaningful for subscription requests whose
+// client keeps the transaction's reply channel registered.
+func (r *Request) PushAddr() PushAddr {
+	return PushAddr{Src: r.Src, ReplyPort: r.replyPort, Tx: r.tx}
+}
+
+// Push sends a one-way server-initiated message to a subscribed
+// client. Unlike Reply it may be called any number of times, is not
+// recorded for duplicate suppression, and is not acknowledged: a lost
+// push is recovered by the subscription's own lease-renewal protocol.
+func (s *Server) Push(addr PushAddr, payload []byte) error {
+	return s.stack.Send(addr.Src, addr.ReplyPort, encodeReply(addr.Tx, payload))
+}
+
 // dupKey identifies one transaction. Transaction ids are globally unique
 // per client endpoint (the high bits carry the client sequence number), so
 // (src, tx) cannot collide across clients sharing a node.

@@ -50,6 +50,12 @@ type Config struct {
 	// TxAbortTimeout is the presumed-abort horizon for prepared
 	// two-phase transactions (zero: a model-scaled default).
 	TxAbortTimeout time.Duration
+	// LeaseTTL bounds a watch/cache lease without renewal (zero: a
+	// model-scaled default).
+	LeaseTTL time.Duration
+	// EventLogSize bounds the event log replayable to reconnecting
+	// watchers (zero: dirsvc.DefaultEventLogSize).
+	EventLogSize int
 }
 
 // pendingIntention is an update the peer has proposed and we have
@@ -61,15 +67,16 @@ type pendingIntention struct {
 
 // Server is one of the two RPC directory servers.
 type Server struct {
-	cfg     Config
-	stack   *flip.Stack
-	model   *sim.LatencyModel
-	applier *dirsvc.Applier
-	table   *dirsvc.ObjectTable
-	rpcSrv  *rpc.Server
-	peerSrv *rpc.Server
-	peerRPC *rpc.Client
-	bc      *bullet.Client
+	cfg      Config
+	stack    *flip.Stack
+	model    *sim.LatencyModel
+	applier  *dirsvc.Applier
+	table    *dirsvc.ObjectTable
+	rpcSrv   *rpc.Server
+	peerSrv  *rpc.Server
+	peerRPC  *rpc.Client
+	bc       *bullet.Client
+	notifier *dirsvc.Notifier
 
 	mu       sync.Mutex
 	seq      uint64
@@ -139,6 +146,20 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	if err := s.bootstrap(); err != nil {
 		return nil, err
 	}
+
+	// Events recorded on this server carry its own apply order: the pair
+	// applies updates at possibly different times (lazy copies), so the
+	// log index — not the agreed Seq — is the stream cursor here. The
+	// identity is per boot; bootstrap's replayed history is not recorded.
+	leaseTTL := cfg.LeaseTTL
+	if leaseTTL <= 0 {
+		leaseTTL = s.model.Timeout(60 * time.Second)
+		if leaseTTL < 2*time.Second {
+			leaseTTL = 2 * time.Second
+		}
+	}
+	s.notifier = dirsvc.NewNotifier(cfg.EventLogSize, s.seq, leaseTTL)
+	s.applier.AttachEvents(s.notifier)
 
 	peerSrv, err := rpc.NewServer(stack, PeerPort(cfg.Service, cfg.ID))
 	if err != nil {
@@ -239,6 +260,8 @@ func (s *Server) bootstrap() error {
 // Close stops the server (fail-stop; disk contents survive).
 func (s *Server) Close() {
 	close(s.stop)
+	s.applier.AttachEvents(nil)
+	s.notifier.Close()
 	s.rpcSrv.Close()
 	s.peerSrv.Close()
 	for _, stop := range s.stops {
@@ -261,6 +284,19 @@ func (s *Server) handleClientRPC(req *rpc.Request) []byte {
 	dreq, err := dirsvc.DecodeRequest(req.Payload)
 	if err != nil {
 		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
+	}
+	switch dreq.Op {
+	case dirsvc.OpWatch:
+		addr := req.PushAddr()
+		push := func(payload []byte) error { return s.rpcSrv.Push(addr, payload) }
+		batch := s.notifier.Subscribe(addr.Tx, dreq.Seq, dreq.MinSeq, push)
+		return (&dirsvc.Reply{Status: dirsvc.StatusOK, Blob: dirsvc.EncodeEventBatch(batch)}).Encode()
+	case dirsvc.OpLeaseRenew:
+		batch, ok := s.notifier.Renew(dreq.Seq, dreq.MinSeq)
+		if !ok {
+			return (&dirsvc.Reply{Status: dirsvc.StatusNotFound}).Encode()
+		}
+		return (&dirsvc.Reply{Status: dirsvc.StatusOK, Blob: dirsvc.EncodeEventBatch(batch)}).Encode()
 	}
 	if !dreq.Op.IsUpdate() {
 		return s.handleRead(dreq).Encode()

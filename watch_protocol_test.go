@@ -1,0 +1,220 @@
+package faultdir
+
+// Wire-level tests of the lease/callback protocol: a raw RPC client
+// speaks OpWatch/OpLeaseRenew directly so the tests can observe what
+// the public Watch API hides — lease expiry evicting the subscriber,
+// and the bounded event log forcing an explicit resync on a cursor
+// that fell out of the replay window.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dirsvc/internal/dirsvc"
+	"dirsvc/internal/rpc"
+)
+
+// rawSubscribe opens a push stream on shard 0 of a 1-shard cluster and
+// returns it with the decoded confirmation batch.
+func rawSubscribe(t *testing.T, c *Cluster, rc *rpc.Client) (*rpc.Stream, *dirsvc.EventBatch) {
+	t.Helper()
+	port := dirsvc.ServicePort(dirsvc.ShardService(c.Service, 0, 1))
+	req := &dirsvc.Request{Op: dirsvc.OpWatch}
+	stream, raw, err := rc.Subscribe(bgCtx, port, req.Encode())
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	batch := decodeBatch(t, raw)
+	return stream, batch
+}
+
+// decodeBatch unwraps Reply{Blob: EventBatch}, failing on any non-OK
+// status.
+func decodeBatch(t *testing.T, raw []byte) *dirsvc.EventBatch {
+	t.Helper()
+	reply, err := dirsvc.DecodeReply(raw)
+	if err != nil {
+		t.Fatalf("DecodeReply: %v", err)
+	}
+	if reply.Status != dirsvc.StatusOK {
+		t.Fatalf("reply status = %v", reply.Status)
+	}
+	batch, err := dirsvc.DecodeEventBatch(reply.Blob)
+	if err != nil {
+		t.Fatalf("DecodeEventBatch: %v", err)
+	}
+	return batch
+}
+
+// renewRaw sends one OpLeaseRenew for the stream's lease with the given
+// cursor and returns the raw status plus the batch when renewed.
+func renewRaw(t *testing.T, c *Cluster, rc *rpc.Client, stream *rpc.Stream, cursor uint64) (dirsvc.Status, *dirsvc.EventBatch) {
+	t.Helper()
+	port := dirsvc.ServicePort(dirsvc.ShardService(c.Service, 0, 1))
+	req := &dirsvc.Request{Op: dirsvc.OpLeaseRenew, Seq: stream.Tx(), MinSeq: cursor}
+	raw, err := rc.TransTo(bgCtx, stream.Server(), port, req.Encode())
+	if err != nil {
+		t.Fatalf("TransTo renew: %v", err)
+	}
+	reply, err := dirsvc.DecodeReply(raw)
+	if err != nil {
+		t.Fatalf("DecodeReply: %v", err)
+	}
+	if reply.Status != dirsvc.StatusOK {
+		return reply.Status, nil
+	}
+	batch, err := dirsvc.DecodeEventBatch(reply.Blob)
+	if err != nil {
+		t.Fatalf("DecodeEventBatch: %v", err)
+	}
+	return reply.Status, batch
+}
+
+// waitPush waits for one pushed EventBatch on the stream, or fails.
+func waitPush(t *testing.T, stream *rpc.Stream, timeout time.Duration) *dirsvc.EventBatch {
+	t.Helper()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case m := <-stream.Chan():
+			payload, ok := rpc.PushPayload(m)
+			if !ok {
+				continue
+			}
+			return decodeBatch(t, payload)
+		case <-timer.C:
+			t.Fatal("no push within timeout")
+		}
+	}
+}
+
+// TestLeaseExpiryEvictsSubscriber proves a lease left unrenewed past
+// its TTL is evicted server-side: the renewal is refused with NOT FOUND
+// and no further updates are pushed to the dead stream.
+func TestLeaseExpiryEvictsSubscriber(t *testing.T) {
+	const ttl = 75 * time.Millisecond
+	opts := testOptions()
+	opts.LeaseTTL = ttl
+	c, err := New(KindLocal, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Close)
+
+	rc, _, err := c.NewRawClient()
+	if err != nil {
+		t.Fatalf("NewRawClient: %v", err)
+	}
+	stream, confirm := rawSubscribe(t, c, rc)
+	defer stream.Close()
+	if confirm.TTLMillis != uint32(ttl/time.Millisecond) {
+		t.Fatalf("confirmation TTL = %d ms, want %d", confirm.TTLMillis, ttl/time.Millisecond)
+	}
+	cursor := confirm.FirstIdx
+
+	// While the lease is live, a committed update is pushed.
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, err := client.Root(bgCtx)
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	d, err := client.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	push := waitPush(t, stream, 5*time.Second)
+	if len(push.Events) == 0 || push.FirstIdx < cursor {
+		t.Fatalf("push batch = %+v", push)
+	}
+	cursor = push.FirstIdx + uint64(len(push.Events))
+
+	// Let the lease lapse: no renewal for several TTLs.
+	time.Sleep(5 * ttl)
+	if status, _ := renewRaw(t, c, rc, stream, cursor); status != dirsvc.StatusNotFound {
+		t.Fatalf("renew after expiry: status = %v, want %v", status, dirsvc.StatusNotFound)
+	}
+
+	// The evicted stream no longer receives pushes for new commits.
+	if err := client.Append(bgCtx, root, "after-expiry", d, nil); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	select {
+	case m := <-stream.Chan():
+		if _, ok := rpc.PushPayload(m); ok {
+			t.Fatal("evicted subscriber still received a push")
+		}
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+// TestEventLogOverflowForcesResync proves the bounded event log refuses
+// to silently skip: a cursor that fell out of the replay window renews
+// into an explicit Resync batch, while a live cursor replays events.
+func TestEventLogOverflowForcesResync(t *testing.T) {
+	opts := testOptions()
+	opts.EventLogSize = 8
+	opts.LeaseTTL = 10 * time.Second // renewals under test control only
+	c, err := New(KindLocal, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Close)
+
+	rc, _, err := c.NewRawClient()
+	if err != nil {
+		t.Fatalf("NewRawClient: %v", err)
+	}
+	stream, confirm := rawSubscribe(t, c, rc)
+	defer stream.Close()
+	stale := confirm.FirstIdx
+
+	// Overflow the 8-entry log: 3× its size in committed updates. The
+	// pushes stream in regardless; this subscriber ignores them, as a
+	// partitioned-away client effectively would.
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, err := client.Root(bgCtx)
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	d, err := client.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	for i := 0; i < 24; i++ {
+		if err := client.Append(bgCtx, root, fmt.Sprintf("r%d", i), d, nil); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+
+	// The stale cursor predates the log's window: explicit resync.
+	status, batch := renewRaw(t, c, rc, stream, stale)
+	if status != dirsvc.StatusOK {
+		t.Fatalf("renew status = %v", status)
+	}
+	if !batch.Resync || batch.FirstIdx <= stale {
+		t.Fatalf("stale-cursor renewal = %+v, want Resync with advanced cursor", batch)
+	}
+
+	// From the resynced cursor the stream replays normally again.
+	fresh := batch.FirstIdx
+	if err := client.Append(bgCtx, root, "fresh", d, nil); err != nil {
+		t.Fatalf("Append fresh: %v", err)
+	}
+	status, batch = renewRaw(t, c, rc, stream, fresh)
+	if status != dirsvc.StatusOK {
+		t.Fatalf("renew status = %v", status)
+	}
+	if batch.Resync || batch.FirstIdx != fresh || len(batch.Events) < 1 {
+		t.Fatalf("fresh-cursor renewal = %+v, want replay from %d", batch, fresh)
+	}
+}

@@ -7,11 +7,15 @@
 // `readscale` (read throughput with replica-balanced selection and the
 // concurrent RPC transport, vs the paper's pinned first-responder
 // heuristic), `xbatch` (cross-shard atomic batches through the
-// two-phase commit vs the single-shard one-broadcast fast path), and
+// two-phase commit vs the single-shard one-broadcast fast path),
 // `watch` (idle-client cache coherence and write-to-delivery latency,
-// pull vs push invalidation); all write machine-readable JSON records
+// pull vs push invalidation), and `tail` (read-latency percentiles under
+// a saturating mixed load with latency-aware routing and hedged reads,
+// plus the contended cross-shard batch tail through the server-side
+// lock-wait queue); all write machine-readable JSON records
 // (BENCH_shard.json, BENCH_cache.json, BENCH_readscale.json,
-// BENCH_xbatch.json, BENCH_watch.json) with p50/p99 latencies.
+// BENCH_xbatch.json, BENCH_watch.json, BENCH_tail.json) with
+// p50/p99/p99.9 latencies.
 //
 // Usage:
 //
@@ -22,6 +26,7 @@
 //	dirbench -experiment readscale
 //	dirbench -experiment xbatch
 //	dirbench -experiment watch
+//	dirbench -experiment tail
 //	dirbench -experiment all -scale 0.1
 //
 // With -scale below 1 the simulated hardware runs proportionally faster;
@@ -51,11 +56,12 @@ const (
 	defaultReadScaleOut = "BENCH_readscale.json"
 	defaultXBatchOut    = "BENCH_xbatch.json"
 	defaultWatchOut     = "BENCH_watch.json"
+	defaultTailOut      = "BENCH_tail.json"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | readscale | xbatch | watch | all")
+		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | readscale | xbatch | watch | tail | all")
 		window     = flag.Duration("window", 2*time.Second, "measurement window per throughput point")
 		pairs      = flag.Int("pairs", 10, "append-delete pairs per latency measurement")
 		scale      = flag.Float64("scale", 1.0, "latency scale factor (1.0 = paper hardware)")
@@ -103,13 +109,15 @@ func run(experiment string, window time.Duration, pairs int, scale float64, clie
 		return xbatch(model, window, scale, clients, resolveOut(out, defaultXBatchOut))
 	case "watch":
 		return watchCoherence(model, scale, resolveOut(out, defaultWatchOut))
+	case "tail":
+		return tailLatency(model, window, scale, clients, resolveOut(out, defaultTailOut))
 	case "all":
-		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache", "readscale", "xbatch", "watch"} {
+		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache", "readscale", "xbatch", "watch", "tail"} {
 			expOut := out
 			if expOut == "auto" {
 				// Don't overwrite the committed calibrated records from a
 				// (typically scaled-down) sweep.
-				if exp == "shard" || exp == "cache" || exp == "readscale" || exp == "xbatch" || exp == "watch" {
+				if exp == "shard" || exp == "cache" || exp == "readscale" || exp == "xbatch" || exp == "watch" || exp == "tail" {
 					fmt.Printf("(all sweep: not writing BENCH_%s.json — use -experiment %s, or pass -out explicitly)\n", exp, exp)
 				}
 				expOut = ""
@@ -267,6 +275,7 @@ type shardPoint struct {
 	Speedup   float64 `json:"speedup_vs_1"`
 	P50MS     float64 `json:"p50_ms"` // median per-pair latency, paper-hardware time
 	P99MS     float64 `json:"p99_ms"`
+	P999MS    float64 `json:"p999_ms"`
 }
 
 // shardResult is the machine-readable record written to -out.
@@ -315,7 +324,7 @@ func shardScaling(model *sim.LatencyModel, window time.Duration, scale float64, 
 		}
 		res.Points = append(res.Points, shardPoint{
 			Shards: g, Clients: clients, OpsPerSec: ops, Speedup: speedup,
-			P50MS: ms(tp.P50, scale), P99MS: ms(tp.P99, scale),
+			P50MS: ms(tp.P50, scale), P99MS: ms(tp.P99, scale), P999MS: ms(tp.P999, scale),
 		})
 		fmt.Printf("shards=%d  %8.1f pairs/s  (%.2fx vs 1 shard; p50 %.1f ms, p99 %.1f ms)\n",
 			g, ops, speedup, ms(tp.P50, scale), ms(tp.P99, scale))
@@ -447,6 +456,7 @@ type readScalePoint struct {
 	OpsPerSec      float64        `json:"ops_per_sec"` // lookups/s, paper-hardware time
 	P50MS          float64        `json:"p50_ms"`
 	P99MS          float64        `json:"p99_ms"`
+	P999MS         float64        `json:"p999_ms"`
 	PerServerReads map[int]uint64 `json:"per_server_reads"`
 }
 
@@ -509,6 +519,7 @@ func readScale(model *sim.LatencyModel, window time.Duration, scale float64, cli
 			OpsPerSec:      rs.OpsPerSec * scale,
 			P50MS:          ms(rs.P50, scale),
 			P99MS:          ms(rs.P99, scale),
+			P999MS:         ms(rs.P999, scale),
 			PerServerReads: rs.PerServerReads,
 		}
 		res.Points = append(res.Points, p)
@@ -578,6 +589,7 @@ type xbatchPoint struct {
 	StepsPerSec   float64 `json:"steps_per_sec"`
 	P50MS         float64 `json:"p50_ms"` // median per-batch latency
 	P99MS         float64 `json:"p99_ms"`
+	P999MS        float64 `json:"p999_ms"`
 }
 
 // xbatchResult is the machine-readable record written to -out.
@@ -637,6 +649,7 @@ func xbatch(model *sim.LatencyModel, window time.Duration, scale float64, client
 			StepsPerSec:   batches * steps,
 			P50MS:         ms(tp.P50, scale),
 			P99MS:         ms(tp.P99, scale),
+			P999MS:        ms(tp.P999, scale),
 		})
 		fmt.Printf("mode=%-6s %8.1f batches/s (%8.1f steps/s; p50 %.1f ms, p99 %.1f ms)\n",
 			mode, batches, batches*steps, ms(tp.P50, scale), ms(tp.P99, scale))
@@ -735,6 +748,111 @@ func watchCoherence(model *sim.LatencyModel, scale float64, out string) error {
 				100*wc.IdleHitRate, wc.StaleHotReads, wc.Writes)
 		}
 	}
+	if out == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("results written to %s\n", out)
+	return nil
+}
+
+// tailPoint is one leg of the tail-latency experiment.
+type tailPoint struct {
+	Mode       string  `json:"mode"` // "read" (saturated mix) or "cross" (contended 2PC batches)
+	Clients    int     `json:"clients"`
+	OpsPerSec  float64 `json:"ops_per_sec"` // paper-hardware time
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	P999MS     float64 `json:"p999_ms"`
+	P99OverP50 float64 `json:"p99_over_p50"`
+}
+
+// tailResult is the machine-readable record written to -out.
+type tailResult struct {
+	Experiment string  `json:"experiment"`
+	Kind       string  `json:"kind"`
+	Shards     int     `json:"shards"`
+	WindowMS   int64   `json:"window_ms"`
+	Scale      float64 `json:"scale"`
+	// HedgesSent and HedgeWins are the readers' hedged-read counters:
+	// how many reads were re-issued to a second replica after the
+	// ~p95 delay, and how many of those the hedge won.
+	HedgesSent uint64      `json:"hedges_sent"`
+	HedgeWins  uint64      `json:"hedge_wins"`
+	Points     []tailPoint `json:"points"`
+}
+
+// tailLatency measures the tails the adaptive routing stack is built
+// for. Leg 1: `clients` readers look up one hot name while background
+// writers saturate the same directory — EWMA×(1+hint) routing steers
+// reads off the replica busy applying writes and hedged reads cover the
+// stragglers that slip through. Leg 2: contended cross-shard batches,
+// where every conflicting two-phase prepare parks in the server-side
+// lock-wait queue instead of burning client retry round-trips.
+func tailLatency(model *sim.LatencyModel, window time.Duration, scale float64, clients int, out string) error {
+	const (
+		kind   = faultdir.KindGroupNVRAM
+		shards = 2
+	)
+	fmt.Printf("== Tail latency: %d readers + background writers, %v kind, %d shards — latency-aware routing, hedged reads, lock-wait queue\n",
+		clients, kind, shards)
+	c, err := faultdir.New(kind, faultdir.Options{
+		Model:       model,
+		Shards:      shards,
+		ReadBalance: true,
+		// Deep worker pools, as in readscale: the experiment measures
+		// routing and queueing, not NOTHERE churn.
+		Workers: 16,
+	})
+	if err != nil {
+		return err
+	}
+	tl, err := harness.MeasureTailLatency(c, clients, window)
+	c.Close()
+	if err != nil {
+		return err
+	}
+	res := tailResult{
+		Experiment: "tail",
+		Kind:       kind.String(),
+		Shards:     shards,
+		WindowMS:   window.Milliseconds(),
+		Scale:      scale,
+		HedgesSent: tl.HedgesSent,
+		HedgeWins:  tl.HedgeWins,
+	}
+	legs := []struct {
+		mode string
+		tp   harness.Throughput
+	}{{"read", tl.Read}, {"cross", tl.Cross}}
+	for _, leg := range legs {
+		if leg.tp.Clients == 0 {
+			continue
+		}
+		ratio := 0.0
+		if leg.tp.P50 > 0 {
+			ratio = float64(leg.tp.P99) / float64(leg.tp.P50)
+		}
+		res.Points = append(res.Points, tailPoint{
+			Mode:       leg.mode,
+			Clients:    leg.tp.Clients,
+			OpsPerSec:  leg.tp.OpsPerSec * scale,
+			P50MS:      ms(leg.tp.P50, scale),
+			P99MS:      ms(leg.tp.P99, scale),
+			P999MS:     ms(leg.tp.P999, scale),
+			P99OverP50: ratio,
+		})
+		fmt.Printf("mode=%-5s clients=%-2d  %8.1f ops/s  (p50 %.1f ms, p99 %.1f ms, p99.9 %.1f ms; p99/p50 %.1fx)\n",
+			leg.mode, leg.tp.Clients, leg.tp.OpsPerSec*scale,
+			ms(leg.tp.P50, scale), ms(leg.tp.P99, scale), ms(leg.tp.P999, scale), ratio)
+	}
+	fmt.Printf("hedges sent %d, hedge wins %d\n", tl.HedgesSent, tl.HedgeWins)
 	if out == "" {
 		return nil
 	}

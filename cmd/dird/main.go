@@ -42,6 +42,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	faultdir "dirsvc"
 
@@ -328,6 +329,23 @@ func run(kindName string, scale float64, shards int, cache, leases, balance bool
 					}
 					fmt.Println()
 				}
+			}
+			// The transport's adaptive-routing view: per-replica smoothed
+			// RTT, the server's last piggybacked load hint, and how the
+			// hedged-read budget has been spent.
+			for shard := 0; shard < cluster.Shards(); shard++ {
+				for _, rs := range client.ReplicaStats(shard) {
+					fmt.Printf("shard %d replica node %d: srtt=%v rttvar=%v hint=%d inflight=%d samples=%d",
+						shard, rs.Server, rs.SRTT.Round(time.Microsecond), rs.RTTVar.Round(time.Microsecond),
+						rs.Hint, rs.Inflight, rs.Samples)
+					if rs.Samples > 0 {
+						fmt.Printf(" age=%v", rs.Age.Round(time.Millisecond))
+					}
+					fmt.Println()
+				}
+			}
+			if sent, wins := client.HedgeStats(); sent > 0 {
+				fmt.Printf("hedged reads: %d sent, %d won\n", sent, wins)
 			}
 			st := cluster.Net.Stats()
 			fmt.Printf("network: %d frames sent, %d delivered, %d dropped\n",

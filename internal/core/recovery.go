@@ -38,6 +38,7 @@ func (s *Server) recover() error {
 	s.sendAcked = make(map[uint64]bool)
 	old := s.member
 	s.member = nil
+	s.memberHint.Store((*group.Member)(nil))
 	// Derive the recovery sequence number before touching anything:
 	// max over per-directory seqnos, the commit block, and the NVRAM
 	// log (§3). If the recovering flag was already set, a previous
@@ -102,12 +103,14 @@ func (s *Server) recover() error {
 		// Success: install the new member and resume normal operation.
 		s.mu.Lock()
 		s.member = member
+		s.memberHint.Store(member)
 		s.recovering = false
 		s.neverDown = true
 		info := member.Info()
 		s.updateConfigVectorLocked(info.Members)
 		s.commit.Recovering = false
 		s.groupSeq = info.Buffered
+		s.appliedGroup.Store(info.Buffered)
 		commit := *s.commit
 		applied := s.appliedSeq
 		s.cond.Broadcast()

@@ -134,6 +134,12 @@ type Server struct {
 	groupSends atomic.Uint64 // successful group broadcasts (write path)
 	reads      atomic.Uint64 // read operations answered by this replica
 
+	// Lock-free mirrors for the RPC load hint (sampled from reply and
+	// dispatcher paths, which must not contend on s.mu): the current
+	// group member and the last group-stream seq applied.
+	memberHint   atomic.Value  // *group.Member (possibly typed nil)
+	appliedGroup atomic.Uint64 // mirror of groupSeq
+
 	// minSeqWait bounds how long a read blocks for its session floor
 	// (Request.MinSeq) before telling the client to retry elsewhere.
 	minSeqWait time.Duration
@@ -223,6 +229,7 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	table.ConfigureShard(cfg.Shard, cfg.Shards)
 	s.table = table
 	s.applier = dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, s.bc)
+	s.applier.SetLockWaitSlots(cfg.Workers - 1)
 	leaseTTL := cfg.LeaseTTL
 	if leaseTTL <= 0 {
 		leaseTTL = model.Timeout(60 * time.Second)
@@ -264,6 +271,20 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.rpcSrv = rpcSrv
+	// The load hint this replica piggybacks on replies and HEREIS carries
+	// its applied-cursor lag: buffered-but-unapplied group messages, read
+	// from lock-free mirrors so sampling never contends on s.mu.
+	rpcSrv.SetLagFunc(func() int {
+		m, _ := s.memberHint.Load().(*group.Member)
+		if m == nil {
+			return 0
+		}
+		buffered, applied := m.Info().Buffered, s.appliedGroup.Load()
+		if buffered <= applied {
+			return 0
+		}
+		return int(buffered - applied)
+	})
 	s.stopRPC = append(s.stopRPC, rpcSrv.ServeFunc(cfg.Workers, s.handleClientRPC))
 
 	txRPC, err := rpc.NewClient(stack)
@@ -550,6 +571,15 @@ func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
 	opID := uint64(s.cfg.ID)<<48 | s.opCounter
 	s.mu.Unlock()
 
+	// An update aimed at objects locked by a prepared two-phase
+	// transaction waits its turn in the lock-wait queue instead of being
+	// refused outright — the decide that releases the lock travels the
+	// group stream, which this initiator-side wait never blocks. OpDecide
+	// itself has no wait targets (it performs the release).
+	if err := s.applier.AwaitLockFree(dirsvc.LockWaitTargets(req, s.cfg.Shard), s.lockWait); err != nil {
+		return dirsvc.ErrorReply(err)
+	}
+
 	// All replicas must mint the same capabilities: the initiator chooses
 	// the check-field material (§3.1) — for every create step of a batch.
 	switch {
@@ -724,6 +754,7 @@ func (s *Server) processGroupMsg(msg group.Msg) {
 			s.updateConfigVectorLocked(s.member.Info().Members)
 		}
 		s.groupSeq = msg.Seq
+		s.appliedGroup.Store(msg.Seq)
 		commit := *s.commit
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -739,6 +770,7 @@ func (s *Server) processGroupMsg(msg group.Msg) {
 		// waiting on buffered messages are not stuck forever.
 		s.mu.Lock()
 		s.groupSeq = msg.Seq
+		s.appliedGroup.Store(msg.Seq)
 		s.cond.Broadcast()
 		s.mu.Unlock()
 		return
@@ -773,6 +805,7 @@ func (s *Server) processGroupMsg(msg group.Msg) {
 
 	s.mu.Lock()
 	s.groupSeq = msg.Seq
+	s.appliedGroup.Store(msg.Seq)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }

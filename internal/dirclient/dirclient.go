@@ -159,6 +159,7 @@ func NewWithOptions(stack *flip.Stack, service string, opts Options) (*Client, e
 			return nil, err
 		}
 		rc.SetReadBalance(opts.ReadBalance)
+		rc.SetHedge(opts.ReadBalance)
 		c.conns[s] = conn{
 			rpc:  rc,
 			port: dirsvc.ServicePort(dirsvc.ShardService(service, s, shards)),
@@ -201,6 +202,30 @@ func (c *Client) CacheStats() dir.CacheStats { return c.cache.stats() }
 // RPC exposes the shard-0 RPC client (for Bullet access sharing the
 // same port cache).
 func (c *Client) RPC() *rpc.Client { return c.conns[0].rpc }
+
+// ReplicaStats returns the transport's per-replica latency and load view
+// for one shard — smoothed RTT, last piggybacked load hint, outstanding
+// requests — in the shard's port-cache order. Empty until the shard has
+// been located.
+func (c *Client) ReplicaStats(shard int) []rpc.ReplicaStat {
+	if shard < 0 || shard >= len(c.conns) {
+		return nil
+	}
+	cn := c.conns[shard]
+	return cn.rpc.ReplicaStats(cn.port)
+}
+
+// HedgeStats sums the hedged-read counters across every shard endpoint:
+// hedges actually sent, and transactions won by the hedge rather than
+// the primary.
+func (c *Client) HedgeStats() (sent, wins uint64) {
+	for _, cn := range c.conns {
+		s, w := cn.rpc.HedgeStats()
+		sent += s
+		wins += w
+	}
+	return sent, wins
+}
 
 // shardOf routes a directory capability to its home shard.
 func (c *Client) shardOf(d capability.Capability) int {

@@ -44,12 +44,18 @@ type Applier struct {
 
 	// Two-phase-commit participant state: staged transactions, the
 	// per-object locks they hold, and remembered outcomes. txCond wakes
-	// readers blocked on a locked object (see WaitUnlocked).
-	prepared     map[TxID]*preparedTx
-	locks        map[uint32]TxID
-	decided      map[TxID]decidedTx
-	decidedOrder []TxID
-	txCond       *sync.Cond
+	// readers blocked on a locked object (see WaitUnlocked) and the
+	// write-side lock-wait queue (see AwaitLockFree), whose per-object
+	// FIFO tickets live in waiters.
+	prepared      map[TxID]*preparedTx
+	locks         map[uint32]TxID
+	decided       map[TxID]decidedTx
+	decidedOrder  []TxID
+	txCond        *sync.Cond
+	waiters       map[uint32][]uint64
+	waitTicket    uint64
+	waitSlots     int // max parked waiters; negative = unbounded
+	activeWaiters int
 
 	// events, when attached, receives one Event per successfully applied
 	// update, in apply order (it is called under a.mu).
@@ -69,13 +75,14 @@ func (a *Applier) AttachEvents(n *Notifier) {
 // NewApplier builds an applier for the service identified by port.
 func NewApplier(port capability.Port, table *ObjectTable, bc *bullet.Client) *Applier {
 	a := &Applier{
-		port:     port,
-		table:    table,
-		bullet:   bc,
-		cache:    make(map[uint32]*dirdata.Directory),
-		prepared: make(map[TxID]*preparedTx),
-		locks:    make(map[uint32]TxID),
-		decided:  make(map[TxID]decidedTx),
+		port:      port,
+		table:     table,
+		bullet:    bc,
+		cache:     make(map[uint32]*dirdata.Directory),
+		prepared:  make(map[TxID]*preparedTx),
+		locks:     make(map[uint32]TxID),
+		decided:   make(map[TxID]decidedTx),
+		waitSlots: -1,
 	}
 	a.txCond = sync.NewCond(&a.mu)
 	return a

@@ -26,6 +26,14 @@ type Msg struct {
 	Payload []byte
 }
 
+// HereIs is one HEREIS response to a locate: the responding host plus
+// the load hint it piggybacked (see Listener.SetHint). Hint is 0 for
+// responders that advertise none.
+type HereIs struct {
+	Src  sim.NodeID
+	Hint byte
+}
+
 // Frame kinds on the wire.
 const (
 	kindData   = 1 // port-addressed unicast
@@ -56,6 +64,29 @@ type Listener struct {
 
 	mu     sync.Mutex
 	closed bool
+	// hint, when set, supplies the load byte piggybacked on every HEREIS
+	// this port answers. It runs on the dispatcher and must not block.
+	hint func() byte
+}
+
+// SetHint installs the load-hint source piggybacked on this port's
+// HEREIS answers (0..255, higher = more loaded). fn runs on the
+// dispatcher thread for every locate and must not block; nil removes it.
+func (l *Listener) SetHint(fn func() byte) {
+	l.mu.Lock()
+	l.hint = fn
+	l.mu.Unlock()
+}
+
+// hintByte samples the listener's advertised load hint.
+func (l *Listener) hintByte() byte {
+	l.mu.Lock()
+	fn := l.hint
+	l.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
 }
 
 // Port returns the port the listener is bound to.
@@ -129,7 +160,7 @@ type Stack struct {
 
 	mu        sync.Mutex
 	listeners map[capability.Port]*Listener
-	locates   map[uint64]chan sim.NodeID
+	locates   map[uint64]chan HereIs
 	nextLoc   uint64
 	closed    bool
 
@@ -142,7 +173,7 @@ func NewStack(node *sim.Node) *Stack {
 	s := &Stack{
 		node:      node,
 		listeners: make(map[capability.Port]*Listener),
-		locates:   make(map[uint64]chan sim.NodeID),
+		locates:   make(map[uint64]chan HereIs),
 		done:      make(chan struct{}),
 	}
 	go s.dispatch()
@@ -243,6 +274,22 @@ func (s *Stack) Multicast(port capability.Port, payload []byte) error {
 // replies arrive (max ≤ 0 means unlimited). The arrival order is what the
 // RPC layer's "first server to reply" heuristic keys on.
 func (s *Stack) Locate(port capability.Port, window time.Duration, max int) ([]sim.NodeID, error) {
+	found, err := s.LocateHints(port, window, max)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sim.NodeID, len(found))
+	for i, h := range found {
+		out[i] = h.Src
+	}
+	return out, nil
+}
+
+// LocateHints is Locate returning, alongside each responder, the load
+// hint the responder piggybacked on its HEREIS (see Listener.SetHint) —
+// the seed for latency-aware server selection before any reply has been
+// observed.
+func (s *Stack) LocateHints(port capability.Port, window time.Duration, max int) ([]HereIs, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -250,7 +297,7 @@ func (s *Stack) Locate(port capability.Port, window time.Duration, max int) ([]s
 	}
 	s.nextLoc++
 	id := s.nextLoc
-	ch := make(chan sim.NodeID, 64)
+	ch := make(chan HereIs, 64)
 	s.locates[id] = ch
 	s.mu.Unlock()
 
@@ -268,11 +315,11 @@ func (s *Stack) Locate(port capability.Port, window time.Duration, max int) ([]s
 
 	timer := time.NewTimer(window)
 	defer timer.Stop()
-	var found []sim.NodeID
+	var found []HereIs
 	for {
 		select {
-		case nd := <-ch:
-			found = append(found, nd)
+		case h := <-ch:
+			found = append(found, h)
 			if max > 0 && len(found) >= max {
 				return found, nil
 			}
@@ -317,24 +364,32 @@ func (s *Stack) dispatch() {
 				continue
 			}
 			s.mu.Lock()
-			_, listening := s.listeners[port]
+			l := s.listeners[port]
 			s.mu.Unlock()
-			if listening {
-				// Echo the locate id back so the requester can
-				// correlate the reply.
-				_ = s.node.Unicast(frame.Src, encodeFrame(kindHereIs, port, payload))
+			if l != nil {
+				// Echo the locate id back so the requester can correlate
+				// the reply, and piggyback the listener's load hint.
+				reply := make([]byte, 9)
+				copy(reply, payload)
+				reply[8] = l.hintByte()
+				_ = s.node.Unicast(frame.Src, encodeFrame(kindHereIs, port, reply))
 			}
 		case kindHereIs:
-			if len(payload) != 8 {
+			// id (8 bytes) plus an optional load-hint byte.
+			if len(payload) < 8 {
 				continue
 			}
-			id := binary.BigEndian.Uint64(payload)
+			id := binary.BigEndian.Uint64(payload[:8])
+			var hint byte
+			if len(payload) >= 9 {
+				hint = payload[8]
+			}
 			s.mu.Lock()
 			ch := s.locates[id]
 			s.mu.Unlock()
 			if ch != nil {
 				select {
-				case ch <- frame.Src:
+				case ch <- HereIs{Src: frame.Src, Hint: hint}:
 				default:
 				}
 			}

@@ -178,10 +178,12 @@ func MeasureLookup(c *faultdir.Cluster, lookups int) (time.Duration, error) {
 type Throughput struct {
 	Clients   int
 	OpsPerSec float64
-	// P50 and P99 are the median and 99th-percentile per-operation
-	// latencies (an operation is whatever the experiment counts: a
-	// lookup, an append-delete pair, one mixed-workload op).
-	P50, P99 time.Duration
+	// P50, P99 and P999 are the median, 99th- and 99.9th-percentile
+	// per-operation latencies (an operation is whatever the experiment
+	// counts: a lookup, an append-delete pair, one mixed-workload op).
+	// P999 equals the window maximum when fewer than 1000 samples were
+	// recorded — read it as "extreme tail", not a calibrated quantile.
+	P50, P99, P999 time.Duration
 }
 
 // latSamples accumulates per-operation durations across worker
@@ -194,21 +196,21 @@ func newLatSamples(workers int) latSamples { return make(latSamples, workers) }
 func (l latSamples) add(worker int, d time.Duration) { l[worker] = append(l[worker], d) }
 
 // percentiles merges and sorts every worker's samples and returns the
-// p50 and p99 latencies (zero when nothing was recorded).
-func (l latSamples) percentiles() (p50, p99 time.Duration) {
+// p50, p99 and p99.9 latencies (zero when nothing was recorded).
+func (l latSamples) percentiles() (p50, p99, p999 time.Duration) {
 	var all []time.Duration
 	for _, s := range l {
 		all = append(all, s...)
 	}
 	if len(all) == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	at := func(p float64) time.Duration {
 		i := int(p * float64(len(all)-1))
 		return all[i]
 	}
-	return at(0.50), at(0.99)
+	return at(0.50), at(0.99), at(0.999)
 }
 
 // MeasureLookupThroughput reproduces Fig. 8: n clients issue
@@ -265,8 +267,8 @@ func MeasureLookupThroughput(c *faultdir.Cluster, clients int, window time.Durat
 	for _, n := range counts {
 		total += n
 	}
-	p50, p99 := lats.percentiles()
-	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99}, nil
+	p50, p99, p999 := lats.percentiles()
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99, P999: p999}, nil
 }
 
 // measurePairThroughput runs n concurrent clients, each issuing
@@ -319,8 +321,8 @@ func measurePairThroughput(c *faultdir.Cluster, clients int, window time.Duratio
 	for _, n := range counts {
 		total += n
 	}
-	p50, p99 := lats.percentiles()
-	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99}, nil
+	p50, p99, p999 := lats.percentiles()
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99, P999: p999}, nil
 }
 
 // MeasureUpdateThroughput reproduces Fig. 9: n clients issue
@@ -424,8 +426,8 @@ func MeasureMixedWorkload(c *faultdir.Cluster, clients int, readPct int, window 
 	for _, n := range counts {
 		total += n
 	}
-	p50, p99 := lats.percentiles()
-	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99}, nil
+	p50, p99, p999 := lats.percentiles()
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99, P999: p999}, nil
 }
 
 // ReadScale is one point of the read-scaling experiment: aggregate
@@ -507,13 +509,14 @@ func MeasureReadScale(c *faultdir.Cluster, clients, goroutines int, window time.
 	for id, n := range before {
 		perServer[id] -= n
 	}
-	p50, p99 := lats.percentiles()
+	p50, p99, p999 := lats.percentiles()
 	return ReadScale{
 		Throughput: Throughput{
 			Clients:   clients,
 			OpsPerSec: float64(total) / elapsed.Seconds(),
 			P50:       p50,
 			P99:       p99,
+			P999:      p999,
 		},
 		Goroutines:     goroutines,
 		PerServerReads: perServer,
@@ -603,8 +606,199 @@ func MeasureBatchCommitRate(c *faultdir.Cluster, clients, steps int, cross bool,
 	for _, n := range counts {
 		total += n
 	}
-	p50, p99 := lats.percentiles()
-	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99}, nil
+	p50, p99, p999 := lats.percentiles()
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99, P999: p999}, nil
+}
+
+// TailLatency is the result of the tail-latency experiment
+// (MeasureTailLatency): the read-side percentiles of a saturated mixed
+// workload, the hedged-read counters accumulated by the readers, and —
+// on sharded deployments — a deliberately contended cross-shard
+// two-phase batch leg.
+type TailLatency struct {
+	// Read pools only the readers' lookup latencies: the write traffic
+	// that saturates the replicas is load, not signal.
+	Read Throughput
+	// HedgesSent and HedgeWins count hedged reads issued by the readers
+	// and the transactions the hedge won, summed over all readers.
+	HedgesSent, HedgeWins uint64
+	// Cross is the contended cross-shard batch leg: every client's
+	// batches span the same per-shard directories, so two-phase prepares
+	// collide on object locks and conflicting writers sit in the
+	// server-side lock-wait queue instead of retrying. Zero-valued when
+	// the deployment has a single shard.
+	Cross Throughput
+}
+
+// MeasureTailLatency is the tail-latency campaign's experiment. Leg 1:
+// `readers` clients issue back-to-back lookups of one hot name while
+// two background writers hammer append-delete pairs into the same
+// directory — the regime where a naive picker dogpiles the replica that
+// is busy applying writes and the p99 blows up. Only read latencies are
+// pooled. Leg 2 (sharded deployments): four clients apply back-to-back
+// batches spanning one shared directory per shard, so every commit is a
+// conflicting two-phase transaction; the pooled per-batch latencies
+// show what the lock-wait queue does to the xbatch tail.
+func MeasureTailLatency(c *faultdir.Cluster, readers int, window time.Duration) (TailLatency, error) {
+	client0, cleanup0, _, hot, err := setupBench(c)
+	if err != nil {
+		return TailLatency{}, err
+	}
+	defer cleanup0()
+	if err := client0.Append(bgCtx, hot, "target", hot, nil); err != nil {
+		return TailLatency{}, err
+	}
+
+	const writers = 2
+	readClients := make([]*dirclient.Client, readers)
+	counts := make([]int, readers)
+	lats := newLatSamples(readers)
+	errs := make(chan error, readers+writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(window)
+	for i := 0; i < writers; i++ {
+		client, cleanup, err := c.NewClient()
+		if err != nil {
+			return TailLatency{}, err
+		}
+		defer cleanup()
+		wg.Add(1)
+		go func(i int, client *dirclient.Client) {
+			defer wg.Done()
+			for j := 0; time.Now().Before(deadline); j++ {
+				if err := pairOp(client, hot, fmt.Sprintf("w%dj%d", i, j)); err != nil {
+					errs <- fmt.Errorf("background writer: %w", err)
+					return
+				}
+			}
+		}(i, client)
+	}
+	for i := 0; i < readers; i++ {
+		client, cleanup, err := c.NewClient()
+		if err != nil {
+			return TailLatency{}, err
+		}
+		defer cleanup()
+		readClients[i] = client
+		wg.Add(1)
+		go func(i int, client *dirclient.Client) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				opStart := time.Now()
+				err := retryTransient(func() error {
+					_, lerr := client.Lookup(bgCtx, hot, "target")
+					return lerr
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				lats.add(i, time.Since(opStart))
+				counts[i]++
+			}
+		}(i, client)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return TailLatency{}, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	res := TailLatency{}
+	res.Read.Clients = readers
+	res.Read.OpsPerSec = float64(total) / elapsed.Seconds()
+	res.Read.P50, res.Read.P99, res.Read.P999 = lats.percentiles()
+	for _, client := range readClients {
+		sent, wins := client.HedgeStats()
+		res.HedgesSent += sent
+		res.HedgeWins += wins
+	}
+	if c.Shards() > 1 {
+		if res.Cross, err = measureContendedCross(c, window); err != nil {
+			return TailLatency{}, err
+		}
+	}
+	return res, nil
+}
+
+// measureContendedCross is MeasureTailLatency's second leg: every
+// client's batches name the same shared directory on every shard, so
+// concurrent two-phase prepares conflict on the directory object locks
+// by construction.
+func measureContendedCross(c *faultdir.Cluster, window time.Duration) (Throughput, error) {
+	const clients = 4
+	shards := c.Shards()
+	setup, cleanup0, err := c.NewClient()
+	if err != nil {
+		return Throughput{}, err
+	}
+	defer cleanup0()
+	shared := make([]capability.Capability, shards)
+	for s := 0; s < shards; s++ {
+		if err := retryTransient(func() error {
+			var cerr error
+			shared[s], cerr = setup.CreateDirOn(bgCtx, s)
+			return cerr
+		}); err != nil {
+			return Throughput{}, fmt.Errorf("create shared dir on shard %d: %w", s, err)
+		}
+	}
+
+	counts := make([]int, clients)
+	lats := newLatSamples(clients)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(window)
+	for i := 0; i < clients; i++ {
+		client, cleanup, err := c.NewClient()
+		if err != nil {
+			return Throughput{}, err
+		}
+		defer cleanup()
+		wg.Add(1)
+		go func(i int, client *dirclient.Client) {
+			defer wg.Done()
+			for j := 0; time.Now().Before(deadline); j++ {
+				b := dir.NewBatch()
+				for s, d := range shared {
+					name := fmt.Sprintf("c%ds%d", i, s)
+					if j%2 == 0 {
+						b.Append(d, name, d, nil)
+					} else {
+						b.Delete(d, name)
+					}
+				}
+				opStart := time.Now()
+				if err := retryTransient(func() error {
+					_, aerr := client.Apply(bgCtx, b)
+					return aerr
+				}); err != nil {
+					errs <- fmt.Errorf("contended batch: %w", err)
+					return
+				}
+				lats.add(i, time.Since(opStart))
+				counts[i]++
+			}
+		}(i, client)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return Throughput{}, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	p50, p99, p999 := lats.percentiles()
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99, P999: p999}, nil
 }
 
 // BatchCost is one side of the batch-amortization measurement: what B
@@ -879,6 +1073,6 @@ func MeasureWatchCoherence(c *faultdir.Cluster, push bool, idleDirs, writes int)
 	if total := res.IdleHits + res.IdleMisses; total > 0 {
 		res.IdleHitRate = float64(res.IdleHits) / float64(total)
 	}
-	res.DeliverP50, res.DeliverP99 = lats.percentiles()
+	res.DeliverP50, res.DeliverP99, _ = lats.percentiles()
 	return res, nil
 }

@@ -94,6 +94,7 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 		table:   table,
 		applier: dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, bullet.NewClient(rc, dirsvc.BulletPort(cfg.Service, 1))),
 	}
+	s.applier.SetLockWaitSlots(cfg.Workers - 1)
 	s.lockWait = s.model.Timeout(5 * time.Second)
 	if s.lockWait < 500*time.Millisecond {
 		s.lockWait = 500 * time.Millisecond
@@ -226,6 +227,12 @@ func (s *Server) handle(req *rpc.Request) []byte {
 		return reply.Encode()
 	}
 	s.stack.Node().CPU().Charge(s.model.UpdateCPU)
+	// Updates aimed at objects locked by a prepared two-phase transaction
+	// queue for the decision instead of bouncing with a conflict; the
+	// decide itself has no wait targets and runs unimpeded.
+	if err := s.applier.AwaitLockFree(dirsvc.LockWaitTargets(dreq, s.cfg.Shard), s.lockWait); err != nil {
+		return dirsvc.ErrorReply(err).Encode()
+	}
 	return s.update(dreq).Encode()
 }
 

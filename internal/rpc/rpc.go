@@ -23,9 +23,21 @@
 // transaction-id allocation and port-cache bookkeeping are under the
 // client mutex. Read-mostly callers can additionally opt into replica
 // balancing (SetReadBalance): TransRead then spreads requests across
-// every cached HEREIS responder, least-outstanding first, which is what
-// lets N replicas answer N reads in parallel (§3.1 — any replica holding
-// a majority can answer a read locally).
+// every cached HEREIS responder, which is what lets N replicas answer N
+// reads in parallel (§3.1 — any replica holding a majority can answer a
+// read locally).
+//
+// Balanced selection is adaptive rather than round-robin: the client
+// keeps a per-replica EWMA of observed reply latency (TCP SRTT-style),
+// folds in the load hint every server piggybacks on its replies and
+// HEREIS answers, and picks by power-of-two-choices over the combined
+// score. Replicas with no recent sample score as unknown and are probed
+// rather than shunned, so a recovered server rejoins the rotation.
+// Balanced reads may additionally be hedged (SetHedge): when a reply is
+// slower than the replica's ~p95 (SRTT + 4·RTTVAR), the same request is
+// re-issued to the next-best replica and the first reply wins. Reads are
+// idempotent and MinSeq-guarded, so a hedge is always safe; a token
+// bucket caps the added load.
 package rpc
 
 import (
@@ -33,6 +45,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,9 +89,28 @@ type portCache struct {
 	// shrinking remainder to drain); one locate window after a re-locate
 	// came up empty (serve from the remainder, but keep trying).
 	recheckAt time.Time
-	// rr is the round-robin cursor for balanced picks.
-	rr uint64
 }
+
+// replicaStat is the client's adaptive-routing state for one replica of
+// one port: smoothed reply latency (TCP RTO-style SRTT/RTTVAR), the load
+// hint the server last piggybacked, and when the last latency sample
+// landed (stale samples stop counting against a replica — see
+// scoreLocked).
+type replicaStat struct {
+	srtt    time.Duration
+	rttvar  time.Duration
+	hint    byte
+	updated time.Time
+	samples uint64
+}
+
+// Hedging parameters: each balanced read refills hedgeRate tokens (cap
+// hedgeBurst) and an actual hedge spends one, bounding steady-state
+// hedge traffic to ~10% of reads.
+const (
+	hedgeRate  = 0.1
+	hedgeBurst = 5
+)
 
 // Client issues transactions to servers located by port. A Client is safe
 // for concurrent use and multiplexes any number of in-flight transactions
@@ -97,13 +129,20 @@ type Client struct {
 	cacheTTL     time.Duration
 
 	balance atomic.Bool
+	hedge   atomic.Bool
+
+	hedgesSent atomic.Uint64
+	hedgeWins  atomic.Uint64
 
 	mu       sync.Mutex
 	cache    map[capability.Port]*portCache
 	locating map[capability.Port]chan struct{}
-	load     map[capability.Port]map[sim.NodeID]int // in-flight requests per server
-	pending  map[uint64]chan flip.Msg               // reply routing by transaction id
+	load     map[capability.Port]map[sim.NodeID]int          // in-flight requests per server
+	stats    map[capability.Port]map[sim.NodeID]*replicaStat // adaptive-routing state
+	pending  map[uint64]chan flip.Msg                        // reply routing by transaction id
 	txid     uint64
+	rng      *rand.Rand // P2C candidate selection; guarded by mu
+	tokens   float64    // hedge token bucket; guarded by mu
 
 	closed chan struct{} // closed when the demux exits (Close or crash)
 }
@@ -141,7 +180,10 @@ func NewClient(stack *flip.Stack) (*Client, error) {
 		cache:        make(map[capability.Port]*portCache),
 		locating:     make(map[capability.Port]chan struct{}),
 		load:         make(map[capability.Port]map[sim.NodeID]int),
+		stats:        make(map[capability.Port]map[sim.NodeID]*replicaStat),
 		pending:      make(map[uint64]chan flip.Msg),
+		rng:          rand.New(rand.NewSource(int64(seq))),
+		tokens:       hedgeBurst,
 		// Transaction ids carry the client sequence number in the high
 		// bits so that (node, tx) is globally unique even when several
 		// clients share a host.
@@ -159,10 +201,62 @@ func (c *Client) Close() { c.replies.Close() }
 // SetReadBalance selects the server-selection policy TransRead uses:
 // false (the default) pins reads to the first HEREIS responder like every
 // other transaction — the paper's §4.2 heuristic, with Fig. 8's skew;
-// true spreads reads across all cached responders, least-outstanding
-// first with round-robin tie-breaking, so N replicas serve reads in
-// parallel.
+// true spreads reads across all cached responders by power-of-two-choices
+// over each replica's latency EWMA × (1 + load hint), so N replicas serve
+// reads in parallel and independent clients avoid dogpiling the replica
+// that merely looks idle from their own counters.
 func (c *Client) SetReadBalance(on bool) { c.balance.Store(on) }
+
+// SetHedge enables hedged balanced reads: when a balanced read has waited
+// past its replica's ~p95 latency estimate (SRTT + 4·RTTVAR), the same
+// request is re-issued to the next-best replica and the first reply wins.
+// Only TransRead/TransReadCtx with balancing active hedge; the rate is
+// capped by a token bucket (hedgeRate per read, burst hedgeBurst).
+func (c *Client) SetHedge(on bool) { c.hedge.Store(on) }
+
+// HedgeStats reports how many hedge requests this client issued and how
+// many transactions the hedged replica won.
+func (c *Client) HedgeStats() (sent, wins uint64) {
+	return c.hedgesSent.Load(), c.hedgeWins.Load()
+}
+
+// ReplicaStat is one replica's routing state as seen by this client:
+// smoothed latency, the load hint it last advertised, in-flight requests
+// from this client, and the age of its last latency sample.
+type ReplicaStat struct {
+	Server   sim.NodeID
+	SRTT     time.Duration
+	RTTVar   time.Duration
+	Hint     byte
+	Inflight int
+	Age      time.Duration
+	Samples  uint64
+}
+
+// ReplicaStats returns the adaptive-routing state for every cached
+// replica of port, in cache (HEREIS arrival) order. Replicas not yet
+// sampled report zero SRTT and Samples.
+func (c *Client) ReplicaStats(port capability.Port) []ReplicaStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.cache[port]
+	if e == nil {
+		return nil
+	}
+	now := time.Now()
+	out := make([]ReplicaStat, 0, len(e.servers))
+	for _, s := range e.servers {
+		rs := ReplicaStat{Server: s, Inflight: c.load[port][s]}
+		if st := c.stats[port][s]; st != nil {
+			rs.SRTT, rs.RTTVar, rs.Hint, rs.Samples = st.srtt, st.rttvar, st.hint, st.samples
+			if !st.updated.IsZero() {
+				rs.Age = now.Sub(st.updated)
+			}
+		}
+		out = append(out, rs)
+	}
+	return out
+}
 
 // CachedServers returns the client's current port-cache entry, in
 // preference order. Exposed for tests and the load-distribution harness.
@@ -289,7 +383,7 @@ func (c *Client) transact(ctx context.Context, port capability.Port, req []byte,
 			}
 			continue
 		}
-		reply, verdict := c.transactOnce(ctx, server, port, tx, req, ch)
+		reply, verdict := c.transactOnce(ctx, server, port, tx, req, ch, balance && c.hedge.Load())
 		c.release(port, server)
 		switch verdict {
 		case verdictReply:
@@ -320,12 +414,43 @@ const (
 )
 
 // transactOnce sends the request to one server and waits for its routed
-// replies, retransmitting on silence. Runs without the client mutex.
-func (c *Client) transactOnce(ctx context.Context, server sim.NodeID, port capability.Port, tx uint64, req []byte, replies <-chan flip.Msg) ([]byte, verdict) {
+// replies, retransmitting on silence. With hedge set, a reply slower
+// than the server's ~p95 latency estimate triggers one hedge: the same
+// wire frame (same transaction id) goes to the next-best replica, and
+// whichever reply arrives first wins — the demultiplexer already routes
+// both to this channel, and the server-side duplicate-suppression table
+// keys on (src, tx), so the loser is simply a second reply that the
+// winner's return leaves unread. Runs without the client mutex.
+func (c *Client) transactOnce(ctx context.Context, server sim.NodeID, port capability.Port, tx uint64, req []byte, replies <-chan flip.Msg, hedge bool) ([]byte, verdict) {
 	wire := encodeRequest(tx, c.replyPort, req)
+	var (
+		sentAt      time.Time // first transmission, for Karn-safe RTT samples
+		hedgeCh     <-chan time.Time
+		hedgeTimer  *time.Timer
+		hedged      bool // a hedge was actually sent (NodeID 0 is valid, so a flag, not the zero id)
+		hedgeServer sim.NodeID
+		hedgeSent   time.Time
+	)
+	if hedge {
+		if d, ok := c.hedgeDelay(port, server); ok {
+			hedgeTimer = time.NewTimer(d)
+			hedgeCh = hedgeTimer.C
+		}
+	}
+	defer func() {
+		if hedgeTimer != nil {
+			hedgeTimer.Stop()
+		}
+		if hedged {
+			c.release(port, hedgeServer)
+		}
+	}()
 	for send := 0; send <= c.retransmits; send++ {
 		if ctx.Err() != nil {
 			return nil, verdictCanceled
+		}
+		if send == 0 {
+			sentAt = time.Now()
 		}
 		if err := c.stack.Send(server, port, wire); err != nil {
 			return nil, verdictDead
@@ -335,7 +460,7 @@ func (c *Client) transactOnce(ctx context.Context, server sim.NodeID, port capab
 		for {
 			select {
 			case m := <-replies:
-				op, _, payload, err := decodeReply(m.Payload)
+				op, _, hint, payload, err := decodeReply(m.Payload)
 				if err != nil {
 					continue
 				}
@@ -349,16 +474,37 @@ func (c *Client) transactOnce(ctx context.Context, server sim.NodeID, port capab
 					// server can drop its duplicate-suppression state.
 					timer.Stop()
 					_ = c.stack.Send(m.Src, port, encodeAck(tx))
+					// RTT sampling follows Karn's rule: only replies
+					// unambiguously attributable to one transmission
+					// count — the primary's reply before any retransmit,
+					// or the hedge's reply (the hedge is sent once).
+					switch {
+					case hedged && m.Src == hedgeServer:
+						c.hedgeWins.Add(1)
+						c.noteReply(port, m.Src, time.Since(hedgeSent), hint)
+					case m.Src == server && send == 0:
+						c.noteReply(port, m.Src, time.Since(sentAt), hint)
+					default:
+						c.noteHint(port, m.Src, hint)
+					}
 					return payload, verdictReply
 				case opNotHere:
 					if m.Src != server {
 						// Stale NOTHERE from a server this transaction
-						// already failed over from must not evict the
-						// current one.
+						// already failed over from — or from a busy hedge
+						// target — must not evict the current one.
 						continue
 					}
 					timer.Stop()
+					c.noteHint(port, m.Src, hint)
 					return nil, verdictNotHere
+				}
+			case <-hedgeCh:
+				hedgeCh = nil
+				if hs, ok := c.takeHedge(port, server); ok {
+					hedged, hedgeServer, hedgeSent = true, hs, time.Now()
+					c.hedgesSent.Add(1)
+					_ = c.stack.Send(hs, port, wire)
 				}
 			case <-timer.C:
 				break recv
@@ -372,6 +518,132 @@ func (c *Client) transactOnce(ctx context.Context, server sim.NodeID, port capab
 		}
 	}
 	return nil, verdictDead
+}
+
+// hedgeDelay computes how long a balanced read waits on server before
+// hedging: the replica's SRTT + 4·RTTVAR (~p95 under the TCP RTO model).
+// It also refills the hedge token bucket — called once per hedge-eligible
+// read, so the refill rate is hedgeRate tokens per read. No sample yet,
+// or an estimate so large the retransmit path covers it, disables the
+// hedge for this transaction.
+func (c *Client) hedgeDelay(port capability.Port, server sim.NodeID) (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tokens += hedgeRate; c.tokens > hedgeBurst {
+		c.tokens = hedgeBurst
+	}
+	st := c.stats[port][server]
+	if st == nil || st.samples == 0 {
+		return 0, false
+	}
+	d := st.srtt + 4*st.rttvar
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d >= c.replyTimeout {
+		return 0, false
+	}
+	return d, true
+}
+
+// takeHedge spends one hedge token and picks the best-scored cached
+// replica other than primary, charging it one in-flight request. It
+// fails when the bucket is dry or no other replica is cached.
+func (c *Client) takeHedge(port capability.Port, primary sim.NodeID) (sim.NodeID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tokens < 1 {
+		return 0, false
+	}
+	e := c.cache[port]
+	if e == nil {
+		return 0, false
+	}
+	var (
+		best      sim.NodeID
+		bestScore float64
+		found     bool
+	)
+	for _, s := range e.servers {
+		if s == primary {
+			continue
+		}
+		if sc := c.scoreLocked(port, s); !found || sc < bestScore {
+			best, bestScore, found = s, sc, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	c.tokens--
+	if c.load[port] == nil {
+		c.load[port] = make(map[sim.NodeID]int)
+	}
+	c.load[port][best]++
+	return best, true
+}
+
+// noteReply folds one RTT sample and the piggybacked load hint into the
+// replica's routing state (SRTT/RTTVAR per the TCP RTO estimator).
+func (c *Client) noteReply(port capability.Port, server sim.NodeID, rtt time.Duration, hint byte) {
+	if rtt < 0 {
+		rtt = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.statLocked(port, server)
+	if st.samples == 0 {
+		st.srtt = rtt
+		st.rttvar = rtt / 2
+	} else {
+		dev := st.srtt - rtt
+		if dev < 0 {
+			dev = -dev
+		}
+		st.rttvar = st.rttvar - st.rttvar/4 + dev/4
+		st.srtt = st.srtt - st.srtt/8 + rtt/8
+	}
+	st.samples++
+	st.hint = hint
+	st.updated = time.Now()
+}
+
+// noteHint records a piggybacked load hint without an RTT sample (late
+// replies, NOTHERE, HEREIS seeding).
+func (c *Client) noteHint(port capability.Port, server sim.NodeID, hint byte) {
+	c.mu.Lock()
+	c.statLocked(port, server).hint = hint
+	c.mu.Unlock()
+}
+
+// statLocked returns (allocating if needed) the routing state of one
+// replica. Must hold c.mu.
+func (c *Client) statLocked(port capability.Port, server sim.NodeID) *replicaStat {
+	m := c.stats[port]
+	if m == nil {
+		m = make(map[sim.NodeID]*replicaStat)
+		c.stats[port] = m
+	}
+	st := m[server]
+	if st == nil {
+		st = &replicaStat{}
+		m[server] = st
+	}
+	return st
+}
+
+// scoreLocked ranks a replica for balanced selection: lower is better.
+// The score is the latency EWMA inflated by the server's advertised load
+// hint and by this client's own in-flight requests to it. A replica with
+// no sample — or whose last sample has gone stale — scores zero, so it
+// is probed rather than shunned forever: that is how a recovered replica
+// re-enters the rotation. Must hold c.mu.
+func (c *Client) scoreLocked(port capability.Port, server sim.NodeID) float64 {
+	st := c.stats[port][server]
+	if st == nil || st.samples == 0 || time.Since(st.updated) > 2*c.replyTimeout {
+		return 0
+	}
+	return float64(st.srtt) * (1 + float64(st.hint)/64) * float64(1+c.load[port][server])
 }
 
 // pickServer returns a server for port, locating the service when the
@@ -422,7 +694,15 @@ func (c *Client) pickServer(ctx context.Context, port capability.Port, balance b
 			c.mu.Unlock()
 			return 0, false
 		}
-		e = &portCache{servers: found, recheckAt: time.Now().Add(c.cacheTTL)}
+		servers := make([]sim.NodeID, len(found))
+		for i, h := range found {
+			servers[i] = h.Src
+			// Seed each responder's routing state with the hint its
+			// HEREIS piggybacked, so the first balanced picks already
+			// steer away from loaded replicas.
+			c.statLocked(port, h.Src).hint = h.Hint
+		}
+		e = &portCache{servers: servers, recheckAt: time.Now().Add(c.cacheTTL)}
 		c.cache[port] = e
 		server := c.chooseLocked(port, e, balance)
 		c.mu.Unlock()
@@ -430,10 +710,10 @@ func (c *Client) pickServer(ctx context.Context, port capability.Port, balance b
 	}
 }
 
-// locate broadcasts a LOCATE and collects the HEREIS responders. A second
-// locate within one transaction waits one window first, giving servers
-// time to come up.
-func (c *Client) locate(ctx context.Context, port capability.Port, located *bool) ([]sim.NodeID, bool) {
+// locate broadcasts a LOCATE and collects the HEREIS responders with
+// their piggybacked load hints. A second locate within one transaction
+// waits one window first, giving servers time to come up.
+func (c *Client) locate(ctx context.Context, port capability.Port, located *bool) ([]flip.HereIs, bool) {
 	if *located {
 		timer := time.NewTimer(c.locateWindow)
 		defer timer.Stop()
@@ -444,7 +724,7 @@ func (c *Client) locate(ctx context.Context, port capability.Port, located *bool
 		}
 	}
 	*located = true
-	found, err := c.stack.Locate(port, c.locateWindow, 0)
+	found, err := c.stack.LocateHints(port, c.locateWindow, 0)
 	if err != nil {
 		return nil, false
 	}
@@ -452,21 +732,38 @@ func (c *Client) locate(ctx context.Context, port capability.Port, located *bool
 }
 
 // chooseLocked picks a server from the cache entry and charges it one
-// in-flight request. First-responder order for unbalanced picks; least
-// outstanding (round-robin among ties) for balanced reads. Must hold c.mu.
+// in-flight request. First-responder order for unbalanced picks;
+// power-of-two-choices over the adaptive score (latency EWMA × load
+// hint × in-flight) for balanced reads — two random candidates, keep the
+// better, which spreads load almost as evenly as ranking every replica
+// while staying O(1) and avoiding the herd behavior of always picking
+// the global best. Candidates whose scores are within 50% of each other
+// count as tied and split randomly, and a candidate that loses outright
+// has its stored latency decayed: a replica only re-samples its latency
+// when it is picked, so without the decay one unlucky early sample
+// (cold caches, a scheduling hiccup) would freeze a replica out of the
+// rotation forever. Must hold c.mu.
 func (c *Client) chooseLocked(port capability.Port, e *portCache, balance bool) sim.NodeID {
 	server := e.servers[0]
 	if balance && len(e.servers) > 1 {
-		load := c.load[port]
-		start := int(e.rr % uint64(len(e.servers)))
-		e.rr++
-		server = e.servers[start]
-		best := load[server]
-		for i := 1; i < len(e.servers); i++ {
-			s := e.servers[(start+i)%len(e.servers)]
-			if load[s] < best {
-				server, best = s, load[s]
+		i := c.rng.Intn(len(e.servers))
+		j := c.rng.Intn(len(e.servers) - 1)
+		if j >= i {
+			j++
+		}
+		best, worst := e.servers[i], e.servers[j]
+		sBest, sWorst := c.scoreLocked(port, best), c.scoreLocked(port, worst)
+		if sWorst < sBest {
+			best, worst = worst, best
+			sBest, sWorst = sWorst, sBest
+		}
+		server = best
+		if sWorst <= sBest*3/2 {
+			if c.rng.Intn(2) == 0 {
+				server = worst
 			}
+		} else if st := c.stats[port][worst]; st != nil {
+			st.srtt -= st.srtt / 4
 		}
 	}
 	if c.load[port] == nil {
@@ -526,9 +823,13 @@ func encodeAck(tx uint64) []byte {
 	return buf
 }
 
-func decodeReply(buf []byte) (op byte, tx uint64, payload []byte, err error) {
-	if len(buf) < 9 {
-		return 0, 0, nil, errors.New("rpc: short reply")
+// decodeReply parses a server-to-client frame:
+// [op:1][tx:8][hint:1][payload]. The hint byte is the server's load
+// advertisement (see Server.hintByte), present on every reply, push and
+// NOTHERE.
+func decodeReply(buf []byte) (op byte, tx uint64, hint byte, payload []byte, err error) {
+	if len(buf) < 10 {
+		return 0, 0, 0, nil, errors.New("rpc: short reply")
 	}
-	return buf[0], binary.BigEndian.Uint64(buf[1:9]), buf[9:], nil
+	return buf[0], binary.BigEndian.Uint64(buf[1:9]), buf[9], buf[10:], nil
 }

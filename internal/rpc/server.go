@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dirsvc/internal/capability"
 	"dirsvc/internal/flip"
@@ -20,6 +22,7 @@ type Request struct {
 	tx        uint64
 	replyPort capability.Port
 	replied   bool
+	accepted  time.Time // when the dispatcher handed the request to a worker
 }
 
 // Reply sends the reply to the client and records it for duplicate
@@ -30,8 +33,9 @@ func (r *Request) Reply(payload []byte) error {
 		return errors.New("rpc: duplicate Reply")
 	}
 	r.replied = true
+	r.srv.noteHandled(time.Since(r.accepted))
 	r.srv.recordReply(r, payload)
-	return r.srv.stack.Send(r.Src, r.replyPort, encodeReply(r.tx, payload))
+	return r.srv.stack.Send(r.Src, r.replyPort, encodeReply(r.tx, r.srv.hintByte(), payload))
 }
 
 // PushAddr is a client's long-lived notification endpoint: the reply
@@ -57,7 +61,7 @@ func (r *Request) PushAddr() PushAddr {
 // recorded for duplicate suppression, and is not acknowledged: a lost
 // push is recovered by the subscription's own lease-renewal protocol.
 func (s *Server) Push(addr PushAddr, payload []byte) error {
-	return s.stack.Send(addr.Src, addr.ReplyPort, encodeReply(addr.Tx, payload))
+	return s.stack.Send(addr.Src, addr.ReplyPort, encodeReply(addr.Tx, s.hintByte(), payload))
 }
 
 // dupKey identifies one transaction. Transaction ids are globally unique
@@ -91,7 +95,64 @@ type Server struct {
 	dupOrder []dupKey
 	closed   bool
 
+	// Load-hint state: the byte piggybacked on every reply and HEREIS so
+	// clients steer around loaded replicas without probing them.
+	inflight  atomic.Int64  // requests handed to workers, not yet replied
+	handleEWM atomic.Uint64 // EWMA of handle time, microseconds
+	lagFn     atomic.Value  // func() int: backend-supplied lag units
+
 	done chan struct{}
+}
+
+// SetLagFunc installs the backend's contribution to the load hint: a
+// non-negative lag measure (e.g. buffered-but-unapplied group entries,
+// or stored peer intentions) sampled on every reply. fn must not block;
+// nil (the default) contributes zero.
+func (s *Server) SetLagFunc(fn func() int) {
+	if fn == nil {
+		fn = func() int { return 0 }
+	}
+	s.lagFn.Store(fn)
+}
+
+// noteHandled folds one request's handle time into the server's EWMA
+// (α = 1/8, like TCP's SRTT) and releases its in-flight slot.
+func (s *Server) noteHandled(d time.Duration) {
+	s.inflight.Add(-1)
+	us := uint64(d.Microseconds())
+	for {
+		old := s.handleEWM.Load()
+		next := us
+		if old != 0 {
+			next = old - old/8 + us/8
+		}
+		if s.handleEWM.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// hintByte composes the load hint: worker-queue depth, the backend's lag
+// units, and the handle-time EWMA, clamped to a byte. Clients treat it as
+// a relative multiplier, so only the ordering across replicas matters.
+func (s *Server) hintByte() byte {
+	h := int64(s.inflight.Load()) * 24
+	if fn, ok := s.lagFn.Load().(func() int); ok && fn != nil {
+		if lag := fn(); lag > 0 {
+			h += int64(lag) * 8
+		}
+	}
+	// Handle-time EWMA contributes one unit per 2 ms, capped so queue
+	// depth and lag stay visible on slow models.
+	ewmaUnits := int64(s.handleEWM.Load()) / 2000
+	if ewmaUnits > 64 {
+		ewmaUnits = 64
+	}
+	h += ewmaUnits
+	if h > 255 {
+		h = 255
+	}
+	return byte(h)
 }
 
 // NewServer registers port on the stack and starts the dispatcher.
@@ -108,6 +169,9 @@ func NewServer(stack *flip.Stack, port capability.Port) (*Server, error) {
 		dups:     make(map[dupKey]*dupEntry),
 		done:     make(chan struct{}),
 	}
+	// HEREIS answers for this port carry the same load hint as replies,
+	// so a client ranks replicas before its first request reaches them.
+	l.SetHint(s.hintByte)
 	go s.dispatch()
 	return s, nil
 }
@@ -197,7 +261,7 @@ func (s *Server) handleRequest(m flip.Msg, tx uint64) {
 		s.mu.Unlock()
 		if done {
 			// Retransmitted request whose reply was lost: resend it.
-			_ = s.stack.Send(m.Src, replyPort, encodeReply(tx, payload))
+			_ = s.stack.Send(m.Src, replyPort, encodeReply(tx, s.hintByte(), payload))
 		}
 		// In progress: drop; the worker's Reply will reach the client.
 		return
@@ -210,16 +274,18 @@ func (s *Server) handleRequest(m flip.Msg, tx uint64) {
 		srv:       s,
 		tx:        tx,
 		replyPort: replyPort,
+		accepted:  time.Now(),
 	}
 	select {
 	case s.reqCh <- req:
+		s.inflight.Add(1)
 		s.mu.Lock()
 		s.insertDupLocked(key, &dupEntry{})
 		s.mu.Unlock()
 	default:
 		// No thread blocked in GetRequest: the kernel answers NOTHERE
 		// (paper §4.2), prompting the client to try another server.
-		_ = s.stack.Send(m.Src, replyPort, encodeNotHere(tx))
+		_ = s.stack.Send(m.Src, replyPort, encodeNotHere(tx, s.hintByte()))
 	}
 }
 
@@ -247,17 +313,22 @@ func (s *Server) insertDupLocked(key dupKey, e *dupEntry) {
 	s.dupOrder = append(s.dupOrder, key)
 }
 
-func encodeReply(tx uint64, payload []byte) []byte {
-	buf := make([]byte, 1+8+len(payload))
+// Server-to-client frames are [op:1][tx:8][hint:1][payload]: every
+// reply, push, and NOTHERE piggybacks the server's current load hint,
+// which the client folds into its replica-selection scores.
+func encodeReply(tx uint64, hint byte, payload []byte) []byte {
+	buf := make([]byte, 1+8+1+len(payload))
 	buf[0] = opReply
 	binary.BigEndian.PutUint64(buf[1:9], tx)
-	copy(buf[9:], payload)
+	buf[9] = hint
+	copy(buf[10:], payload)
 	return buf
 }
 
-func encodeNotHere(tx uint64) []byte {
-	buf := make([]byte, 1+8)
+func encodeNotHere(tx uint64, hint byte) []byte {
+	buf := make([]byte, 1+8+1)
 	buf[0] = opNotHere
 	binary.BigEndian.PutUint64(buf[1:9], tx)
+	buf[9] = hint
 	return buf
 }

@@ -63,7 +63,7 @@ func (s *Stream) Close() {
 // frames that are not pushes (e.g. a stray NOTHERE), which callers
 // should ignore.
 func PushPayload(m flip.Msg) (payload []byte, ok bool) {
-	op, _, payload, err := decodeReply(m.Payload)
+	op, _, _, payload, err := decodeReply(m.Payload)
 	if err != nil || op != opReply {
 		return nil, false
 	}
@@ -113,7 +113,7 @@ func (c *Client) Subscribe(ctx context.Context, port capability.Port, req []byte
 			}
 			continue
 		}
-		reply, verdict := c.transactOnce(ctx, server, port, tx, req, ch)
+		reply, verdict := c.transactOnce(ctx, server, port, tx, req, ch, false)
 		c.release(port, server)
 		switch verdict {
 		case verdictReply:
@@ -153,7 +153,7 @@ func (c *Client) TransTo(ctx context.Context, server sim.NodeID, port capability
 	}()
 
 	for attempt := 0; attempt < 3; attempt++ {
-		reply, verdict := c.transactOnce(ctx, server, port, tx, req, ch)
+		reply, verdict := c.transactOnce(ctx, server, port, tx, req, ch, false)
 		switch verdict {
 		case verdictReply:
 			return reply, nil

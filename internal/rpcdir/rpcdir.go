@@ -142,6 +142,7 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 		}
 	}
 	s.applier = dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, s.bc)
+	s.applier.SetLockWaitSlots(cfg.Workers - 1)
 
 	if err := s.bootstrap(); err != nil {
 		return nil, err
@@ -174,6 +175,13 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.rpcSrv = rpcSrv
+	// Load hint: stored-but-unapplied peer intentions are this server's
+	// lag measure (the lazy applies a read may have to wait out).
+	rpcSrv.SetLagFunc(func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.pending)
+	})
 	s.stops = append(s.stops, rpcSrv.ServeFunc(cfg.Workers, s.handleClientRPC))
 
 	txRPC, err := rpc.NewClient(stack)
@@ -343,6 +351,13 @@ func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
 
 // handleUpdate is the paper's §1 write protocol.
 func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
+	// Queue behind prepared-transaction locks before taking updateMu:
+	// the decide that releases them is itself a handleUpdate and must be
+	// able to run while waiters are parked. OpDecide has no wait targets.
+	if err := s.applier.AwaitLockFree(dirsvc.LockWaitTargets(req, s.cfg.Shard), s.minSeqWait); err != nil {
+		return dirsvc.ErrorReply(err)
+	}
+
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
 

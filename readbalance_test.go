@@ -1,6 +1,9 @@
 package faultdir
 
 import (
+	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -166,5 +169,124 @@ func TestReadBalanceLoadDistribution(t *testing.T) {
 	if float64(top)/float64(total) < 0.9 {
 		t.Fatalf("legacy pinned policy lost its skew: top server served %d of %d (%v)",
 			top, total, pinned)
+	}
+}
+
+// TestTwoClientsSpreadLoad is the multi-client spread regression: two
+// *independent* balanced clients — each with its own EWMA tracker, no
+// shared state — running lookups concurrently must still end up spread
+// across all three replicas. The piggybacked load hints are what makes
+// this work: each client sees the queue depth its peer is causing and
+// steers away from it, where inflight-only accounting (each client
+// counting only its own requests) would let both dogpile one replica.
+func TestTwoClientsSpreadLoad(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	const lookupsEach = 60
+	const clients = 2
+
+	setup, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	work, err := setup.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	appendWithRetry(t, setup, work, "target", work, 30*time.Second)
+
+	before := c.ShardReadCounts(0)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for n := 0; n < clients; n++ {
+		client, cl, err := c.NewBalancedClient(dir.CacheOptions{}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl()
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < lookupsEach; i++ {
+				if _, err := client.Lookup(bgCtx, work, "target"); err != nil {
+					errs <- fmt.Errorf("client %d lookup %d: %w", n, i, err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	perServer := c.ShardReadCounts(0)
+	var total uint64
+	for id, n := range before {
+		perServer[id] -= n
+		total += perServer[id]
+	}
+	for id := 1; id <= 3; id++ {
+		if share := float64(perServer[id]) / float64(total); share < 0.15 {
+			t.Fatalf("two independent balanced clients skewed: server %d served %.0f%% of %d (%v)",
+				id, 100*share, total, perServer)
+		}
+	}
+}
+
+// TestHedgingPreservesSessionFloor pins the interaction between hedged
+// reads and the MinSeq session floor: with one replica cut off, reads
+// steered onto it are rescued by a hedge to a live replica — and every
+// read that succeeds, however it was routed, must observe the client's
+// own preceding write. A hedge that reached a lagging replica and let
+// it answer below the floor would surface here as ErrNotFound for a
+// name the same session just appended.
+func TestHedgingPreservesSessionFloor(t *testing.T) {
+	c := newTestCluster(t, KindGroup)
+	client, cleanup, err := c.NewBalancedClient(dir.CacheOptions{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	work, err := client.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	appendWithRetry(t, client, work, "seed", work, 30*time.Second)
+	// Warm the picker so every replica has a latency sample; the hedge
+	// timer arms off these.
+	for i := 0; i < 6; i++ {
+		if _, err := client.Lookup(bgCtx, work, "seed"); err != nil {
+			t.Fatalf("warm lookup %d: %v", i, err)
+		}
+	}
+
+	// Cut one replica off. The majority keeps committing; reads picked
+	// onto the dead replica go unanswered until the hedge fires.
+	c.PartitionShardServers(0, 2)
+	defer c.Heal()
+
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("w%d", i)
+		appendWithRetry(t, client, work, name, work, 30*time.Second)
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			_, err := client.Lookup(bgCtx, work, name)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, dirsvc.ErrNotFound) {
+				t.Fatalf("lookup %q: own write invisible — a read answered below the session floor", name)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("lookup %q never succeeded: %v", name, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	if sent, _ := client.HedgeStats(); sent == 0 {
+		t.Fatal("no hedge fired against the partitioned replica; the scenario did not exercise hedging")
 	}
 }

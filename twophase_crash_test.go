@@ -8,6 +8,7 @@ import (
 
 	"dirsvc/dir"
 	"dirsvc/internal/dirclient"
+	"dirsvc/internal/dirsvc"
 	"dirsvc/internal/sim"
 )
 
@@ -335,6 +336,90 @@ func TestTwoPhaseResolverWholeShardAbort(t *testing.T) {
 	}
 
 	restartShard(t, c, 0)
+	f.assertSettles(t, false)
+}
+
+// TestTwoPhaseCrashDuringLockWait parks a plain update in the resolver
+// shard's lock-wait queue — behind a prepared transaction whose
+// coordinator has died — then crashes a replica of that shard while the
+// waiter is parked. The waiter must come back within a bound: either
+// admitted once the presumed-abort releases the locks, or refused with
+// a conflict-classified error — never a hang. Reads of the locked
+// directory (Applier.WaitUnlocked path) must keep flowing throughout,
+// and the orphaned transaction still settles to a clean abort.
+func TestTwoPhaseCrashDuringLockWait(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash schedule: covered by the dedicated 2PC CI lane")
+	}
+	c := newCrashCluster(t, KindGroup, 2)
+	f := newTxFixture(t, c, "lockwait")
+
+	// Leave the transaction prepared on both shards, coordinator dead:
+	// the resolver (shard 0) holds locks on f.dirs[0] until its
+	// presumed-abort timer fires.
+	f.coordinator.SetTxHook(func(s dirclient.TxStage) error {
+		if s == dirclient.TxAfterPrepare {
+			return dirclient.ErrTxHalt
+		}
+		return nil
+	})
+	_, err := f.coordinator.Apply(bgCtx, f.batch())
+	f.coordinator.SetTxHook(nil)
+	if !errors.Is(err, dirclient.ErrTxHalt) {
+		t.Fatalf("halted Apply: err = %v, want ErrTxHalt", err)
+	}
+
+	// An independent client's update to the locked directory parks in
+	// the lock-wait queue on whichever shard-0 server initiates it.
+	writeDone := make(chan error, 1)
+	go func() {
+		writeDone <- f.probe.Append(bgCtx, f.dirs[0], "parked", f.dirs[0], nil)
+	}()
+
+	// Reads must not be wedged behind the parked writer.
+	readerDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < 20; i++ {
+			if err := retryFor(10*time.Second, func() error {
+				_, rerr := f.probe.LookupSet(bgCtx, f.dirs[0], []string{"absent"})
+				return rerr
+			}); err != nil {
+				readerDone <- fmt.Errorf("read %d during lock wait: %w", i, err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		readerDone <- nil
+	}()
+
+	// Crash one replica of the waiter's shard mid-wait. The majority
+	// carries on; if the waiter was parked there, its RPC fails over.
+	time.Sleep(50 * time.Millisecond)
+	c.CrashShardServer(0, 2)
+
+	select {
+	case werr := <-writeDone:
+		if werr != nil && !errors.Is(werr, dirsvc.ErrConflict) {
+			t.Fatalf("parked writer returned %v, want success or a conflict-classified refusal", werr)
+		}
+		if werr != nil {
+			// Refused at the deadline: the queue is a fast path, the
+			// retry contract is intact — the write must land on retry.
+			if err := retryFor(20*time.Second, func() error {
+				return f.probe.Append(bgCtx, f.dirs[0], "parked", f.dirs[0], nil)
+			}); err != nil {
+				t.Fatalf("retried write after lock-wait refusal: %v", err)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("writer parked in the lock-wait queue hung past every deadline")
+	}
+	if err := <-readerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// No decision ever existed: the transaction settles to abort and
+	// both shards accept new work.
 	f.assertSettles(t, false)
 }
 

@@ -89,6 +89,11 @@ type Options struct {
 	// service). Each shard is a complete N-replica instance of the
 	// protocol; shard s owns the object numbers ≡ s+1 (mod Shards).
 	Shards int
+	// ActiveShards is the number of shards serving traffic at epoch zero;
+	// the remaining Shards-ActiveShards groups are booted as reserve
+	// targets for online splits (dirclient.Client.SplitAndMigrate). Zero
+	// means all Shards are active — the pre-elastic behavior.
+	ActiveShards int
 	// Workers is the number of server threads per directory server.
 	Workers int
 	// Resilience overrides the group resilience degree r (default N-1).
@@ -307,6 +312,7 @@ func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 			N:                        c.opts.Servers,
 			Shard:                    sg.index,
 			Shards:                   c.opts.Shards,
+			ActiveShards:             c.opts.ActiveShards,
 			TxAbortTimeout:           c.opts.TxAbortTimeout,
 			Peers:                    peers,
 			Admin:                    m.admin,
@@ -337,6 +343,7 @@ func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 			Workers:        c.opts.Workers,
 			Shard:          sg.index,
 			Shards:         c.opts.Shards,
+			ActiveShards:   c.opts.ActiveShards,
 			TxAbortTimeout: c.opts.TxAbortTimeout,
 			LeaseTTL:       c.opts.LeaseTTL,
 			EventLogSize:   c.opts.EventLogSize,
@@ -355,6 +362,7 @@ func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 			Workers:        c.opts.Workers,
 			Shard:          sg.index,
 			Shards:         c.opts.Shards,
+			ActiveShards:   c.opts.ActiveShards,
 			TxAbortTimeout: c.opts.TxAbortTimeout,
 			LeaseTTL:       c.opts.LeaseTTL,
 			EventLogSize:   c.opts.EventLogSize,
@@ -392,9 +400,10 @@ func (c *Cluster) NewCachedClient(opts dir.CacheOptions) (*dirclient.Client, fun
 func (c *Cluster) NewBalancedClient(cache dir.CacheOptions, balance bool) (*dirclient.Client, func(), error) {
 	stack := flip.NewStack(c.Net.AddNode("client"))
 	client, err := dirclient.NewWithOptions(stack, c.Service, dirclient.Options{
-		Shards:      c.opts.Shards,
-		Cache:       cache,
-		ReadBalance: balance,
+		Shards:       c.opts.Shards,
+		ActiveShards: c.opts.ActiveShards,
+		Cache:        cache,
+		ReadBalance:  balance,
 	})
 	if err != nil {
 		stack.Close()

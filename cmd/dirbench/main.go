@@ -57,11 +57,12 @@ const (
 	defaultXBatchOut    = "BENCH_xbatch.json"
 	defaultWatchOut     = "BENCH_watch.json"
 	defaultTailOut      = "BENCH_tail.json"
+	defaultMigrateOut   = "BENCH_migrate.json"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | readscale | xbatch | watch | tail | all")
+		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | readscale | xbatch | watch | tail | migrate | all")
 		window     = flag.Duration("window", 2*time.Second, "measurement window per throughput point")
 		pairs      = flag.Int("pairs", 10, "append-delete pairs per latency measurement")
 		scale      = flag.Float64("scale", 1.0, "latency scale factor (1.0 = paper hardware)")
@@ -111,13 +112,15 @@ func run(experiment string, window time.Duration, pairs int, scale float64, clie
 		return watchCoherence(model, scale, resolveOut(out, defaultWatchOut))
 	case "tail":
 		return tailLatency(model, window, scale, clients, resolveOut(out, defaultTailOut))
+	case "migrate":
+		return migrateExperiment(model, window, scale, clients, resolveOut(out, defaultMigrateOut))
 	case "all":
-		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache", "readscale", "xbatch", "watch", "tail"} {
+		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache", "readscale", "xbatch", "watch", "tail", "migrate"} {
 			expOut := out
 			if expOut == "auto" {
 				// Don't overwrite the committed calibrated records from a
 				// (typically scaled-down) sweep.
-				if exp == "shard" || exp == "cache" || exp == "readscale" || exp == "xbatch" || exp == "watch" || exp == "tail" {
+				if exp == "shard" || exp == "cache" || exp == "readscale" || exp == "xbatch" || exp == "watch" || exp == "tail" || exp == "migrate" {
 					fmt.Printf("(all sweep: not writing BENCH_%s.json — use -experiment %s, or pass -out explicitly)\n", exp, exp)
 				}
 				expOut = ""
@@ -853,6 +856,93 @@ func tailLatency(model *sim.LatencyModel, window time.Duration, scale float64, c
 			ms(leg.tp.P50, scale), ms(leg.tp.P99, scale), ms(leg.tp.P999, scale), ratio)
 	}
 	fmt.Printf("hedges sent %d, hedge wins %d\n", tl.HedgesSent, tl.HedgeWins)
+	if out == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("results written to %s\n", out)
+	return nil
+}
+
+// migrateResult is the machine-readable record of the elastic-topology
+// experiment: a hot shard split under live read traffic.
+type migrateResult struct {
+	Experiment     string  `json:"experiment"`
+	Kind           string  `json:"kind"`
+	Shards         int     `json:"shards"`
+	ActiveBefore   int     `json:"active_before"`
+	ActiveAfter    int     `json:"active_after"`
+	WindowMS       int64   `json:"window_ms"`
+	Scale          float64 `json:"scale"`
+	Dirs           int     `json:"dirs"`
+	Moved          int     `json:"moved"`
+	EpochBefore    uint64  `json:"epoch_before"`
+	EpochAfter     uint64  `json:"epoch_after"`
+	SplitMS        float64 `json:"split_ms"` // paper-hardware time of the live split
+	HotShareBefore float64 `json:"hot_share_before"`
+	HotShareAfter  float64 `json:"hot_share_after"`
+	ReadsBefore    uint64  `json:"reads_before"`
+	ReadsAfter     uint64  `json:"reads_after"`
+	ReadRetries    uint64  `json:"read_retries"`
+}
+
+// migrateExperiment boots a deployment with one hot active shard and
+// one reserve, drives read traffic at the hot shard, splits it online —
+// epoch bump, per-object copy-and-flip migration, seal, stub drop — and
+// reports how much of the hot shard's read load the split shed.
+func migrateExperiment(model *sim.LatencyModel, window time.Duration, scale float64, clients int, out string) error {
+	const (
+		kind   = faultdir.KindGroup
+		shards = 2
+		active = 1
+		dirs   = 24
+	)
+	fmt.Printf("== Live migration: %d dirs on %d hot shard(s), %d readers, online split to %d shards under load\n",
+		dirs, active, clients, shards)
+	c, err := faultdir.New(kind, faultdir.Options{
+		Model:        model,
+		Shards:       shards,
+		ActiveShards: active,
+		ReadBalance:  true,
+		Workers:      16,
+	})
+	if err != nil {
+		return err
+	}
+	m, err := harness.MeasureMigration(c, dirs, clients, window)
+	c.Close()
+	if err != nil {
+		return err
+	}
+	res := migrateResult{
+		Experiment:     "migrate",
+		Kind:           kind.String(),
+		Shards:         shards,
+		ActiveBefore:   dir.ActiveShards(m.EpochBefore, active, shards),
+		ActiveAfter:    dir.ActiveShards(m.EpochAfter, active, shards),
+		WindowMS:       window.Milliseconds(),
+		Scale:          scale,
+		Dirs:           m.Dirs,
+		Moved:          m.Moved,
+		EpochBefore:    m.EpochBefore,
+		EpochAfter:     m.EpochAfter,
+		SplitMS:        ms(m.SplitTime, scale),
+		HotShareBefore: m.HotShareBefore,
+		HotShareAfter:  m.HotShareAfter,
+		ReadsBefore:    m.ReadsBefore,
+		ReadsAfter:     m.ReadsAfter,
+		ReadRetries:    m.ReadErrors,
+	}
+	fmt.Printf("epoch %d -> %d: moved %d/%d dirs in %.1f ms (live)\n",
+		m.EpochBefore, m.EpochAfter, m.Moved, m.Dirs, res.SplitMS)
+	fmt.Printf("hot shard read share: %.0f%% -> %.0f%%  (%d reads before, %d after; %d reader retries)\n",
+		100*m.HotShareBefore, 100*m.HotShareAfter, m.ReadsBefore, m.ReadsAfter, m.ReadErrors)
 	if out == "" {
 		return nil
 	}

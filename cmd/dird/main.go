@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01] [-shards 4] [-cache] [-leases] [-read-balance]
+//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01] [-shards 4] [-active 2] [-cache] [-leases] [-read-balance]
 //
 // With -cache the shell's client runs the per-shard read cache
 // (dir.CacheOptions): repeat ls/cat lookups are served locally and the
@@ -30,7 +30,11 @@
 //	unwatch                stop the tail
 //	crash <id> | restart <id> | partition <id...> | heal
 //	                       (sharded: address servers as <shard>/<id>)
-//	status                 per-server status, per shard
+//	split                  online shard split: bump the shard-map epoch and
+//	                       live-migrate the departing objects (boot with
+//	                       -active < -shards to have reserve shards)
+//	status                 per-server status, per shard, including the
+//	                       shard-map epoch and per-shard object counts
 //	quit
 package main
 
@@ -47,6 +51,7 @@ import (
 	faultdir "dirsvc"
 
 	"dirsvc/dir"
+	"dirsvc/internal/dirsvc"
 	"dirsvc/internal/sim"
 )
 
@@ -58,12 +63,13 @@ func main() {
 		kindName = flag.String("kind", "group", "group | group+nvram | rpc | local")
 		scale    = flag.Float64("scale", 0.01, "hardware latency scale (1.0 = paper speed)")
 		shards   = flag.Int("shards", 1, "number of independent replica groups")
+		active   = flag.Int("active", 0, "shards active at epoch 0; the rest are split reserves (0 = all)")
 		cache    = flag.Bool("cache", false, "enable the client read cache")
 		leases   = flag.Bool("leases", false, "push-based cache coherence (implies -cache)")
 		balance  = flag.Bool("read-balance", false, "spread reads across all replicas of a shard")
 	)
 	flag.Parse()
-	if err := run(*kindName, *scale, *shards, *cache || *leases, *leases, *balance); err != nil {
+	if err := run(*kindName, *scale, *shards, *active, *cache || *leases, *leases, *balance); err != nil {
 		fmt.Fprintln(os.Stderr, "dird:", err)
 		os.Exit(1)
 	}
@@ -99,7 +105,7 @@ func parseKind(name string) (faultdir.Kind, error) {
 	}
 }
 
-func run(kindName string, scale float64, shards int, cache, leases, balance bool) error {
+func run(kindName string, scale float64, shards, active int, cache, leases, balance bool) error {
 	kind, err := parseKind(kindName)
 	if err != nil {
 		return err
@@ -107,13 +113,17 @@ func run(kindName string, scale float64, shards int, cache, leases, balance bool
 	if shards < 1 {
 		shards = 1
 	}
+	if active < 0 || active > shards {
+		return fmt.Errorf("-active must be in 0..%d", shards)
+	}
 	fmt.Printf("booting %v cluster (%d shard(s) × %d servers, scale %g, cache %v, leases %v, read-balance %v)...\n",
 		kind, shards, kind.Servers(), scale, cache, leases, balance)
 	cluster, err := faultdir.New(kind, faultdir.Options{
-		Model:       sim.ScaledPaperModel(scale),
-		Shards:      shards,
-		ClientCache: dir.CacheOptions{Enabled: cache, Leases: leases},
-		ReadBalance: balance,
+		Model:        sim.ScaledPaperModel(scale),
+		Shards:       shards,
+		ActiveShards: active,
+		ClientCache:  dir.CacheOptions{Enabled: cache, Leases: leases},
+		ReadBalance:  balance,
 	})
 	if err != nil {
 		return err
@@ -146,7 +156,7 @@ func run(kindName string, scale float64, shards int, cache, leases, balance bool
 			return nil
 		case "help":
 			fmt.Println("ls [name] | mkdir <name> [shard] | rm <name> | put <name> | cat <name>")
-			fmt.Println("watch [name|*] | unwatch | crash <id> | restart <id> | partition <id...> | heal | status | quit")
+			fmt.Println("watch [name|*] | unwatch | crash <id> | restart <id> | partition <id...> | heal | split | status | quit")
 			if cluster.Shards() > 1 {
 				fmt.Println("sharded: address servers as <shard>/<id>, e.g. crash 2/1")
 			}
@@ -316,8 +326,34 @@ func run(kindName string, scale float64, shards int, cache, leases, balance bool
 		case "heal":
 			cluster.Heal()
 			fmt.Println("network healed")
+		case "split":
+			epoch, err := client.SplitAndMigrate(bgCtx)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("shard map now at epoch %d; run \"status\" for the per-shard object counts\n", epoch)
 		case "status":
 			fmt.Printf("read balancing: %v\n", balance)
+			// The shard map: epoch, migration phase, and per-shard object
+			// counts — watch a split move objects between shards here.
+			fmt.Printf("shard map: client epoch %d\n", client.Epoch())
+			for shard := 0; shard < cluster.Shards(); shard++ {
+				info, err := client.ShardMap(bgCtx, shard)
+				if err != nil {
+					fmt.Printf("shard %d: shard-map error: %v\n", shard, err)
+					continue
+				}
+				t := info.Topo
+				fmt.Printf("shard %d: epoch %d objects=%d stubs=%d", shard, t.Epoch, info.Objects, info.Stubs)
+				switch t.MigPhase {
+				case dirsvc.MigSource:
+					fmt.Printf(" migrating-out (%d to go, peer %d)", len(info.Moving), t.MigPeer)
+				case dirsvc.MigTarget:
+					fmt.Printf(" migrating-in (peer %d, floor %d)", t.MigPeer, t.MigFloor)
+				}
+				fmt.Println()
+			}
 			for shard := 0; shard < cluster.Shards(); shard++ {
 				reads := cluster.ShardReadCounts(shard)
 				for id := 1; id <= cluster.ServersPerShard(); id++ {

@@ -75,6 +75,24 @@ func ShardOf(c Capability, shards int) int {
 	return int((c.Object - 1) % uint32(shards))
 }
 
+// ActiveShards returns the number of shards serving traffic at the
+// given shard-map epoch in a deployment of total provisioned shards,
+// base of them active at epoch zero. Each epoch doubles the active
+// count until the provisioned total is reached (splits are always
+// power-of-two, so residue classes nest and only twin classes move).
+func ActiveShards(epoch uint64, base, total int) int {
+	return dirsvc.ActiveShardsAt(epoch, base, total)
+}
+
+// HomeShard returns the home shard of an object number at the given
+// shard-map epoch: the object's residue class modulo the epoch's active
+// shard count. At epoch zero with base == total this is exactly
+// ShardOf; later epochs route the split-off residue classes to the
+// newly activated shards.
+func HomeShard(obj uint32, epoch uint64, base, total int) int {
+	return dirsvc.HomeShardAt(obj, epoch, base, total)
+}
+
 // BatchError reports the failing step of a rejected batch; the batch as
 // a whole had no effect. Retrieve it with errors.As.
 type BatchError = dirsvc.BatchError

@@ -2,9 +2,11 @@ package dir_test
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 
 	"dirsvc/dir"
+	"dirsvc/internal/dirsvc"
 )
 
 func capOf(obj uint32) dir.Capability {
@@ -64,5 +66,73 @@ func TestBatchShard(t *testing.T) {
 	// With one shard nothing can cross.
 	if _, _, err := dir.NewBatch().Append(d1, "a", d1, nil).Append(d2, "b", d2, nil).Shard(1); err != nil {
 		t.Fatalf("unsharded batch: err = %v", err)
+	}
+}
+
+// TestHomeShardProperty is the post-split routing property test: for
+// every (object, epoch) pair across a sweep of geometries, the client's
+// routing rule (dir.HomeShard) and the server-side owner check
+// (dirsvc.TopoState.Home — what RouteForward compares against) must
+// agree, exactly one shard may claim ownership, and an epoch bump moves
+// exactly the twin residue class and nothing else.
+func TestHomeShardProperty(t *testing.T) {
+	geometries := []struct{ base, total int }{
+		{1, 1}, {1, 2}, {1, 4}, {1, 8}, {2, 2}, {2, 4}, {2, 8}, {3, 6}, {4, 4},
+	}
+	rng := rand.New(rand.NewSource(8))
+	objs := make([]uint32, 0, 1024+64)
+	for o := uint32(1); o <= 1024; o++ {
+		objs = append(objs, o)
+	}
+	for i := 0; i < 64; i++ {
+		objs = append(objs, rng.Uint32()|1<<20) // large object numbers too
+	}
+	for _, g := range geometries {
+		for epoch := uint64(0); epoch <= 4; epoch++ {
+			active := dir.ActiveShards(epoch, g.base, g.total)
+			if active < 1 || active > g.total {
+				t.Fatalf("ActiveShards(%d, %d, %d) = %d out of range", epoch, g.base, g.total, active)
+			}
+			for _, obj := range objs {
+				home := dir.HomeShard(obj, epoch, g.base, g.total)
+				if home < 0 || home >= active {
+					t.Fatalf("HomeShard(%d, e=%d, %d/%d) = %d, not in [0,%d)", obj, epoch, g.base, g.total, home, active)
+				}
+				// Client routing and the server-side owner check agree, and
+				// exactly one shard claims the object.
+				owners := 0
+				for s := 0; s < g.total; s++ {
+					topo := dirsvc.TopoState{Epoch: epoch, Shard: s, Base: g.base, Total: g.total}
+					if topo.Home(obj) != home {
+						t.Fatalf("server owner check on shard %d: home(%d)=%d, client says %d (e=%d, %d/%d)",
+							s, obj, topo.Home(obj), home, epoch, g.base, g.total)
+					}
+					if topo.Home(obj) == s {
+						owners++
+					}
+				}
+				if owners != 1 {
+					t.Fatalf("object %d owned by %d shards at e=%d (%d/%d)", obj, owners, epoch, g.base, g.total)
+				}
+				// Epoch 0 with base == total is exactly the pre-elastic rule.
+				if epoch == 0 && g.base == g.total {
+					if want := dir.ShardOf(capOf(obj), g.total); home != want {
+						t.Fatalf("HomeShard(%d, 0, %d, %d) = %d, ShardOf = %d", obj, g.base, g.total, home, want)
+					}
+				}
+				// Nesting: a split moves an object either nowhere or to the
+				// old home's twin — never anywhere else.
+				next := dir.HomeShard(obj, epoch+1, g.base, g.total)
+				if next != home && next != home+active {
+					t.Fatalf("split moved object %d from shard %d to %d (e=%d->%d, active %d): not the twin",
+						obj, home, next, epoch, epoch+1, active)
+				}
+				// Saturation: once every provisioned shard is active, further
+				// epochs change nothing.
+				if active == g.total && next != home {
+					t.Fatalf("object %d moved at saturated epoch %d (%d/%d)", obj, epoch, g.base, g.total)
+				}
+			}
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"dirsvc/internal/capability"
@@ -89,7 +90,7 @@ func (s *Server) recover() error {
 			return errors.New("core: server closed during recovery")
 		}
 
-		member, err := s.recoverOnce(rc, mySeq, mourned, stayedUp, beat)
+		member, syncedTo, err := s.recoverOnce(rc, mySeq, mourned, stayedUp, beat)
 		if err != nil {
 			if debugRecovery {
 				fmt.Printf("server %d recovery attempt %d: %v\n", s.cfg.ID, attempt, err)
@@ -101,6 +102,12 @@ func (s *Server) recover() error {
 		}
 
 		// Success: install the new member and resume normal operation.
+		// The applied cursor starts at the stream position our state
+		// actually covers (the snapshot cut, or our join point when our
+		// own state was freshest) — NOT at the member's buffered
+		// position, which may include queued messages the group thread
+		// has yet to apply. Messages at or below the cursor are skipped
+		// by the group thread; later ones apply normally.
 		s.mu.Lock()
 		s.member = member
 		s.memberHint.Store(member)
@@ -109,8 +116,9 @@ func (s *Server) recover() error {
 		info := member.Info()
 		s.updateConfigVectorLocked(info.Members)
 		s.commit.Recovering = false
-		s.groupSeq = info.Buffered
-		s.appliedGroup.Store(info.Buffered)
+		s.groupResume = syncedTo
+		s.groupSeq = syncedTo
+		s.appliedGroup.Store(syncedTo)
 		commit := *s.commit
 		applied := s.appliedSeq
 		s.cond.Broadcast()
@@ -137,10 +145,10 @@ func (s *Server) recoverOnce(
 	myMourned lastfail.Set,
 	stayedUp bool,
 	beat time.Duration,
-) (*group.Member, error) {
+) (*group.Member, uint64, error) {
 	member, err := group.JoinOrCreate(s.stack, s.groupConfig())
 	if err != nil {
-		return nil, fmt.Errorf("join or create group: %w", err)
+		return nil, 0, fmt.Errorf("join or create group: %w", err)
 	}
 	abort := func() { member.Leave() }
 
@@ -154,7 +162,7 @@ func (s *Server) recoverOnce(
 		}
 		if time.Now().After(deadline) {
 			abort()
-			return nil, errors.New("no majority joined")
+			return nil, 0, errors.New("no majority joined")
 		}
 		time.Sleep(beat / 3)
 	}
@@ -213,7 +221,7 @@ func (s *Server) recoverOnce(
 	}
 	if !recoverable {
 		abort()
-		return nil, fmt.Errorf("last set %v not in new group %v",
+		return nil, 0, fmt.Errorf("last set %v not in new group %v",
 			state.LastSet().Sorted(), state.NewGroup().Sorted())
 	}
 
@@ -225,19 +233,47 @@ func (s *Server) recoverOnce(
 			src, srcSeq = id, seq
 		}
 	}
+	// joinSeq is the stream position our membership started at: the
+	// member's queue buffers everything after it, nothing before it.
+	// (Nothing Receives from the member until recovery installs it, so
+	// Delivered still reads the welcome position.)
+	joinSeq := member.Info().Delivered
+	syncedTo := joinSeq
 	if src != s.cfg.ID && srcSeq > mySeq {
-		if err := s.pullState(rc, src); err != nil {
-			abort()
-			return nil, fmt.Errorf("pull state from server %d: %w", src, err)
+		// The snapshot must be cut at or past our join point: a source
+		// whose apply cursor lags the stream would hand us images
+		// missing messages our member never buffered — a silent gap. A
+		// member's cursor always catches up (our own join is in its
+		// stream), so re-pull until it passes joinSeq.
+		pullDeadline := time.Now().Add(6 * beat)
+		for {
+			cutSeq, err := s.pullState(rc, src)
+			if err != nil {
+				abort()
+				return nil, 0, fmt.Errorf("pull state from server %d: %w", src, err)
+			}
+			if cutSeq >= joinSeq {
+				syncedTo = cutSeq
+				break
+			}
+			if time.Now().After(pullDeadline) {
+				abort()
+				return nil, 0, fmt.Errorf("state source %d stuck at stream position %d before our join point %d",
+					src, cutSeq, joinSeq)
+			}
+			time.Sleep(beat / 3)
 		}
 	} else {
-		// Even with the highest seq we must have our cache loaded.
+		// Even with the highest seq we must have our cache loaded. Our
+		// state covers exactly the stream up to our join point: no peer
+		// holds an update we lack (srcSeq <= mySeq), so no application
+		// message sits in the gap between our crash and our join.
 		if err := s.loadLocalState(); err != nil {
 			abort()
-			return nil, err
+			return nil, 0, err
 		}
 	}
-	return member, nil
+	return member, syncedTo, nil
 }
 
 // loadLocalState reloads the directory cache from our own Bullet store
@@ -302,33 +338,33 @@ func (s *Server) loadLocalState() error {
 // pullState transfers the full directory state from server src: object
 // table entries with secrets plus every directory image, written through
 // to our own Bullet store and object table.
-func (s *Server) pullState(rc *rpc.Client, src int) error {
+func (s *Server) pullState(rc *rpc.Client, src int) (uint64, error) {
 	req := &dirsvc.Request{Op: dirsvc.OpSyncPull, Server: s.cfg.ID}
 	raw, err := rc.Trans(dirsvc.RecoveryPort(s.cfg.Service, src), req.Encode())
 	if err != nil {
-		return err
+		return 0, err
 	}
 	reply, err := dirsvc.DecodeReply(raw)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if reply.Status != dirsvc.StatusOK {
-		return reply.Status.Err()
+		return 0, reply.Status.Err()
 	}
 	bundle, err := decodeStateBundle(reply.Blob)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if bundle.appliedSeq == 0 && bundle.commitSeq == 0 && len(bundle.dirs) == 0 {
 		// Defensive: an empty bundle means the source had nothing to
 		// offer (it should have refused); installing it would wipe us.
-		return errors.New("core: source returned an empty state bundle")
+		return 0, errors.New("core: source returned an empty state bundle")
 	}
 
 	// Discard stale local state, then install the transferred images.
 	if s.nvlog != nil {
 		if err := s.nvlog.Clear(); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	s.applier.ResetTx()
@@ -337,15 +373,25 @@ func (s *Server) pullState(rc *rpc.Client, src int) error {
 	for _, d := range bundle.dirs {
 		bcap, err := s.bc.Create(d.image)
 		if err != nil {
-			return fmt.Errorf("store directory %d: %w", d.obj, err)
+			return 0, fmt.Errorf("store directory %d: %w", d.obj, err)
 		}
 		entries[d.obj] = dirsvc.ObjectEntry{Cap: bcap, Seq: d.seq, Secret: d.secret}
 	}
-	if err := s.table.ReplaceAll(entries); err != nil {
-		return err
+	if err := s.table.ReplaceAll(entries, bundle.stubs); err != nil {
+		return 0, err
+	}
+	if bundle.topo != nil {
+		// Adopt the source's shard-map state before replaying anything,
+		// so the allocator and routing are fenced to the right epoch; the
+		// commit-block write at recovery completion persists it.
+		s.applier.RestoreTopology(bundle.topo)
+		s.mu.Lock()
+		t := *bundle.topo
+		s.commit.Topo = &t
+		s.mu.Unlock()
 	}
 	if err := s.applier.LoadAll(); err != nil {
-		return err
+		return 0, err
 	}
 	// Reinstate the source's in-doubt transactions: re-apply each
 	// prepare (re-staging overlay and locks against the fresh images)
@@ -378,7 +424,7 @@ func (s *Server) pullState(rc *rpc.Client, src int) error {
 	s.commit.Seq = bundle.commitSeq
 	s.appliedSeq = bundle.appliedSeq
 	s.mu.Unlock()
-	return nil
+	return bundle.groupSeq, nil
 }
 
 // handleRecoveryRPC serves the server-to-server recovery operations.
@@ -428,6 +474,11 @@ func (s *Server) handleExchange(req *dirsvc.Request) *dirsvc.Reply {
 // and shipping a half-built bundle would hand the puller an empty (or
 // stale) replica that it would then serve as current.
 func (s *Server) handleSyncPull() *dirsvc.Reply {
+	// Hold the batch lock while cutting the snapshot so the images and
+	// the advertised stream position are consistent: the recovering
+	// server skips every group message at or below groupSeq.
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
 	s.mu.Lock()
 	if s.recovering {
 		s.mu.Unlock()
@@ -435,8 +486,9 @@ func (s *Server) handleSyncPull() *dirsvc.Reply {
 	}
 	appliedSeq := s.appliedSeq
 	commitSeq := s.commit.Seq
+	groupSeq := s.groupSeq
 	s.mu.Unlock()
-	bundle := stateBundle{appliedSeq: appliedSeq, commitSeq: commitSeq}
+	bundle := stateBundle{appliedSeq: appliedSeq, commitSeq: commitSeq, groupSeq: groupSeq}
 	for obj, e := range s.table.All() {
 		d, ok := s.applier.Directory(obj)
 		if !ok {
@@ -456,6 +508,11 @@ func (s *Server) handleSyncPull() *dirsvc.Reply {
 		bundle.txs = append(bundle.txs, txState{seq: tx.Seq, raw: tx.Req.Encode()})
 	}
 	bundle.decided = s.applier.DecidedTxs()
+	if topo, ok := s.applier.Topology(); ok {
+		t := topo
+		bundle.topo = &t
+		bundle.stubs = s.table.Stubs()
+	}
 	return &dirsvc.Reply{Status: dirsvc.StatusOK, Blob: encodeStateBundle(&bundle)}
 }
 
@@ -535,6 +592,16 @@ type stateBundle struct {
 	dirs       []dirState
 	txs        []txState
 	decided    []dirsvc.DecidedTx
+	// Elastic-topology tail (absent in bundles from older servers):
+	// the source's shard-map state and its forwarding stubs.
+	topo  *dirsvc.TopoState
+	stubs map[uint32]dirsvc.StubEntry
+	// groupSeq is the group-stream position the snapshot was cut at:
+	// every message at or below it is reflected in the images above.
+	// The recovering server must not re-apply those messages — and must
+	// not accept a snapshot cut before its own join point, or the gap
+	// in between would be lost forever.
+	groupSeq uint64
 }
 
 func encodeStateBundle(b *stateBundle) []byte {
@@ -567,7 +634,34 @@ func encodeStateBundle(b *stateBundle) []byte {
 		w = appendUint32(w, uint32(len(d.Results)))
 		w = append(w, d.Results...)
 	}
+	if b.topo != nil {
+		w = append(w, 1)
+		w = append(w, dirsvc.EncodeTopoState(b.topo)...)
+		w = appendUint32(w, uint32(len(b.stubs)))
+		for _, st := range sortedStubs(b.stubs) {
+			w = appendUint32(w, st.obj)
+			w = appendUint32(w, uint32(st.entry.Target))
+			w = appendUint64(w, st.entry.Seq)
+		}
+	} else {
+		w = append(w, 0)
+	}
+	w = appendUint64(w, b.groupSeq)
 	return w
+}
+
+type stubRec struct {
+	obj   uint32
+	entry dirsvc.StubEntry
+}
+
+func sortedStubs(stubs map[uint32]dirsvc.StubEntry) []stubRec {
+	out := make([]stubRec, 0, len(stubs))
+	for obj, st := range stubs {
+		out = append(out, stubRec{obj: obj, entry: st})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].obj < out[j].obj })
+	return out
 }
 
 func decodeStateBundle(raw []byte) (*stateBundle, error) {
@@ -684,6 +778,50 @@ func decodeStateBundle(raw []byte) (*stateBundle, error) {
 		}
 		d.Results = append([]byte(nil), res...)
 		b.decided = append(b.decided, d)
+	}
+	if off == len(raw) {
+		// Pre-elastic bundle: no topology tail (defensive).
+		return b, nil
+	}
+	marker, err := next(1)
+	if err != nil || marker[0] > 1 {
+		return nil, errors.New("core: bad state bundle topology tail")
+	}
+	if marker[0] == 1 {
+		topoRaw, err := next(dirsvc.TopoStateLen)
+		if err != nil {
+			return nil, err
+		}
+		if b.topo, err = dirsvc.DecodeTopoState(topoRaw); err != nil {
+			return nil, err
+		}
+		nstub, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		b.stubs = make(map[uint32]dirsvc.StubEntry, nstub)
+		for i := uint32(0); i < nstub; i++ {
+			obj, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			target, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			seq, err := u64()
+			if err != nil {
+				return nil, err
+			}
+			b.stubs[obj] = dirsvc.StubEntry{Target: int(target), Seq: seq}
+		}
+	}
+	if off == len(raw) {
+		// Bundle from before snapshots carried their stream position.
+		return b, nil
+	}
+	if b.groupSeq, err = u64(); err != nil {
+		return nil, err
 	}
 	return b, nil
 }

@@ -50,6 +50,11 @@ type Config struct {
 	// ObjectTable.ConfigureShard), so capabilities minted here route back
 	// by object number alone. Zero values mean unsharded.
 	Shard, Shards int
+	// ActiveShards is the number of shards active at shard-map epoch 0;
+	// the rest are spare capacity an online split activates later
+	// (dirsvc.ActiveShardsAt). Zero means all Shards are active — the
+	// pre-elastic behavior.
+	ActiveShards int
 	// BaseService is the deployment-wide service name sibling shard
 	// ports derive from (dirsvc.ShardService); the transaction resolver
 	// loop uses it to send decision queries to other shards. Empty means
@@ -113,12 +118,19 @@ type Server struct {
 	// completes.
 	notifier *dirsvc.Notifier
 
+	// applyMu serializes whole group-message batches against state
+	// snapshots: handleSyncPull holds it while cutting a bundle, so the
+	// transferred images and the group-stream position it advertises are
+	// always batch-aligned (never half a coalesced packet).
+	applyMu sync.Mutex
+
 	mu          sync.Mutex
 	cond        *sync.Cond
 	member      *group.Member
 	commit      *dirsvc.CommitBlock
 	appliedSeq  uint64 // service update counter (stamped on directories)
 	groupSeq    uint64 // last group-stream seq applied (incl. membership)
+	groupResume uint64 // stream position the recovery snapshot covered; older messages are skipped, not re-applied
 	recovering  bool
 	recoverySeq uint64 // seq advertised in exchanges while recovering (§3)
 	era         uint64 // bumped on every recovery, wakes stuck initiators
@@ -226,10 +238,28 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("open object table: %w", err)
 	}
-	table.ConfigureShard(cfg.Shard, cfg.Shards)
+	base := cfg.ActiveShards
+	if base <= 0 || base > cfg.Shards {
+		base = cfg.Shards
+	}
+	table.ConfigureShard(cfg.Shard, base)
 	s.table = table
-	s.applier = dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, s.bc)
+	// Capabilities are minted and verified under the deployment-wide
+	// port, not the shard's: an online migration moves an object to a
+	// sibling shard, and the capability the client holds must keep
+	// verifying there. Shard 0's service name IS the base name, so
+	// unsharded deployments are byte-identical to before.
+	capService := cfg.BaseService
+	if capService == "" {
+		capService = cfg.Service
+	}
+	s.applier = dirsvc.NewApplier(dirsvc.ServicePort(capService), table, s.bc)
 	s.applier.SetLockWaitSlots(cfg.Workers - 1)
+	s.applier.ConfigureTopology(cfg.Shard, base, cfg.Shards)
+	// A commit block written after a split carries the topology tail;
+	// restoring it re-fences routing and the allocator before recovery
+	// replays or pulls anything.
+	s.applier.RestoreTopology(commit.Topo)
 	leaseTTL := cfg.LeaseTTL
 	if leaseTTL <= 0 {
 		leaseTTL = model.Timeout(60 * time.Second)
@@ -392,6 +422,12 @@ type Status struct {
 	Members    int
 	Epoch      uint64
 	NVRAMUsed  int
+	// ShardEpoch is the elastic shard-map epoch (distinct from the
+	// group-communication epoch above); Objects and Stubs count this
+	// shard's live object-table slots and forwarding stubs.
+	ShardEpoch uint64
+	Objects    int
+	Stubs      int
 }
 
 // Status returns a snapshot of the replica.
@@ -411,6 +447,12 @@ func (s *Server) Status() Status {
 	if s.nvlog != nil {
 		st.NVRAMUsed = s.nvlog.UsedBytes()
 	}
+	if topo, ok := s.applier.Topology(); ok {
+		st.ShardEpoch = topo.Epoch
+	}
+	info := s.applier.ShardMapInfo()
+	st.Objects = info.Objects
+	st.Stubs = info.Stubs
 	return st
 }
 
@@ -506,6 +548,16 @@ func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
 	if obj := req.Dir.Object; obj != 0 && !s.applier.WaitUnlocked(obj, s.lockWait) {
 		return &dirsvc.Reply{Status: dirsvc.StatusConflict}
 	}
+	// Elastic routing, checked after the lock wait so a read racing a
+	// migration flip sees the post-decide state (stub or entry), never
+	// the in-between. OpMigRead is exempt: the migrator reads objects
+	// precisely because they are homed elsewhere.
+	if obj := req.Dir.Object; obj != 0 && req.Op != dirsvc.OpMigRead {
+		if owner, fwd := s.applier.RouteForward(obj); fwd {
+			topo, _ := s.applier.Topology()
+			return &dirsvc.Reply{Status: dirsvc.StatusNotMine, Blob: dirsvc.EncodeNotMine(topo.Epoch, owner)}
+		}
+	}
 	// Sample the applied sequence number before executing the read: the
 	// data returned is at least that fresh, so the stamp is a safe
 	// (conservative) freshness bound for client read caches.
@@ -578,6 +630,17 @@ func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
 	// itself has no wait targets (it performs the release).
 	if err := s.applier.AwaitLockFree(dirsvc.LockWaitTargets(req, s.cfg.Shard), s.lockWait); err != nil {
 		return dirsvc.ErrorReply(err)
+	}
+
+	// Elastic routing: an update addressing an object this shard no
+	// longer (or does not yet) own is bounced with the owner's identity
+	// instead of being replicated. Batches, prepares, and decides carry
+	// no top-level object; their steps are fenced by the 2PC locks.
+	if obj := req.Dir.Object; obj != 0 {
+		if owner, fwd := s.applier.RouteForward(obj); fwd {
+			topo, _ := s.applier.Topology()
+			return &dirsvc.Reply{Status: dirsvc.StatusNotMine, Blob: dirsvc.EncodeNotMine(topo.Epoch, owner)}
+		}
 	}
 
 	// All replicas must mint the same capabilities: the initiator chooses
@@ -681,6 +744,11 @@ func (s *Server) groupThread() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
+		// Recovery nils the member while it rejoins (and broadcasts once
+		// a new one is installed): wait instead of receiving on nothing.
+		for s.member == nil && !s.closed {
+			s.cond.Wait()
+		}
 		member := s.member
 		closed := s.closed
 		s.mu.Unlock()
@@ -745,6 +813,18 @@ func (s *Server) updateConfigVectorLocked(members []sim.NodeID) {
 	}
 }
 
+// advanceGroupCursorLocked moves the applied group-stream cursor
+// forward; it never regresses (after recovery the cursor starts at the
+// snapshot position, ahead of the oldest queued messages).
+func (s *Server) advanceGroupCursorLocked(seq uint64) {
+	if seq > s.groupSeq {
+		s.groupSeq = seq
+	}
+	if seq > s.appliedGroup.Load() {
+		s.appliedGroup.Store(seq)
+	}
+}
+
 // processGroupMsg applies one totally-ordered message.
 func (s *Server) processGroupMsg(msg group.Msg) {
 	switch msg.Kind {
@@ -753,8 +833,7 @@ func (s *Server) processGroupMsg(msg group.Msg) {
 		if s.member != nil {
 			s.updateConfigVectorLocked(s.member.Info().Members)
 		}
-		s.groupSeq = msg.Seq
-		s.appliedGroup.Store(msg.Seq)
+		s.advanceGroupCursorLocked(msg.Seq)
 		commit := *s.commit
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -764,13 +843,25 @@ func (s *Server) processGroupMsg(msg group.Msg) {
 	default:
 		return
 	}
+	s.mu.Lock()
+	resume := s.groupResume
+	s.mu.Unlock()
+	if msg.Seq <= resume {
+		// Already reflected in the snapshot this replica pulled during
+		// recovery: the state transfer was cut at or past this stream
+		// position, so re-applying would double-apply. Just advance.
+		s.mu.Lock()
+		s.advanceGroupCursorLocked(msg.Seq)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
 	entries, err := unpackGroupEntries(msg.Payload)
 	if err != nil {
 		// Unparseable payload: still advance the group cursor so reads
 		// waiting on buffered messages are not stuck forever.
 		s.mu.Lock()
-		s.groupSeq = msg.Seq
-		s.appliedGroup.Store(msg.Seq)
+		s.advanceGroupCursorLocked(msg.Seq)
 		s.cond.Broadcast()
 		s.mu.Unlock()
 		return
@@ -778,6 +869,9 @@ func (s *Server) processGroupMsg(msg group.Msg) {
 
 	// One broadcast may carry several updates (a coalesced packet); each
 	// entry is applied in order under its own service sequence number.
+	// The batch and the cursor bump form one snapshot-atomic unit.
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
 	for _, ent := range entries {
 		req, err := dirsvc.DecodeRequest(ent.raw)
 		if err != nil {
@@ -804,8 +898,7 @@ func (s *Server) processGroupMsg(msg group.Msg) {
 	}
 
 	s.mu.Lock()
-	s.groupSeq = msg.Seq
-	s.appliedGroup.Store(msg.Seq)
+	s.advanceGroupCursorLocked(msg.Seq)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
@@ -830,8 +923,24 @@ func (s *Server) applyUpdate(req *dirsvc.Request, seq uint64) *dirsvc.Reply {
 		s.notifier.Record(dirsvc.Event{Seq: seq, Op: req.Op})
 		return dirsvc.ErrorReply(err)
 	}
+	if res.TopoChanged {
+		// Persist the new shard-map state immediately, NVRAM mode
+		// included: a split is rare (one extra disk write), and recovery
+		// must never come back up routing under the old epoch. The seq
+		// also advances, covering sequence numbers dropped with stubs.
+		topo, ok := s.applier.Topology()
+		s.mu.Lock()
+		s.commit.Seq = seq
+		if ok {
+			t := topo
+			s.commit.Topo = &t
+		}
+		commit := *s.commit
+		s.mu.Unlock()
+		_ = commit.Write(s.cfg.Admin)
+	}
 	if durable {
-		if res.DeletedDir {
+		if res.DeletedDir && !res.TopoChanged {
 			// The deletion removed the per-directory record; remember
 			// the update in the commit block (§3, Fig. 4).
 			s.mu.Lock()
@@ -844,7 +953,17 @@ func (s *Server) applyUpdate(req *dirsvc.Request, seq uint64) *dirsvc.Reply {
 			s.scheduleCleanup(old)
 		}
 	} else {
-		if _, err := s.nvlog.Append(req, seq); err != nil {
+		logReq := req
+		if req.Op == dirsvc.OpCreateDir && req.Dir.Object == 0 && res.Reply.Status == dirsvc.StatusOK {
+			// Pin the allocation outcome into the logged record: replay
+			// re-runs the allocator, and a topology change persisted
+			// between now and the crash (an online split) would otherwise
+			// renumber the directory.
+			pinned := *req
+			pinned.Dir.Object = res.Reply.Cap.Object
+			logReq = &pinned
+		}
+		if _, err := s.nvlog.Append(logReq, seq); err != nil {
 			// Log jammed even after flush: fall back to demanding a
 			// flush on the next update; correctness is preserved since
 			// RAM state is current.

@@ -74,6 +74,13 @@ type Client struct {
 	cache   *readCache // nil = caching disabled
 	balance bool       // spread reads across replicas, stamp MinSeq
 
+	// base and total fix the deployment's shard geometry; epoch is the
+	// highest shard-map epoch any NOTMINE bounce has taught this client.
+	// Routing is epoch-aware (dir.HomeShard): a stale epoch costs at most
+	// a one-hop chase per operation, never a wrong answer.
+	base, total int
+	epoch       atomic.Uint64
+
 	// seqs tracks, per shard, the highest applied sequence number any
 	// reply has shown this client — the session's freshness floor,
 	// maintained even with the read cache off. Balanced reads carry it
@@ -99,6 +106,10 @@ type Options struct {
 	// Shards is the number of independent replica groups the service is
 	// partitioned across (values below 1 mean unsharded).
 	Shards int
+	// ActiveShards is the number of shards serving traffic at epoch zero
+	// (the rest are split targets the client routes to only after a
+	// NOTMINE bounce raises its epoch). Zero means all Shards are active.
+	ActiveShards int
 	// Cache configures the client read cache (zero value: disabled).
 	Cache dir.CacheOptions
 	// ReadBalance spreads read operations across every replica of a
@@ -141,10 +152,16 @@ func NewWithOptions(stack *flip.Stack, service string, opts Options) (*Client, e
 	if shards < 1 {
 		shards = 1
 	}
+	base := opts.ActiveShards
+	if base <= 0 || base > shards {
+		base = shards
+	}
 	c := &Client{
 		conns:     make([]conn, shards),
 		cache:     newReadCache(shards, opts.Cache),
 		balance:   opts.ReadBalance,
+		base:      base,
+		total:     shards,
 		seqs:      make([]atomic.Uint64, shards),
 		hub:       newWatchHub(),
 		watchers:  make([]*shardWatcher, shards),
@@ -176,6 +193,8 @@ func NewWithOptions(stack *flip.Stack, service string, opts Options) (*Client, e
 func NewWithRPC(rc *rpc.Client, service string) *Client {
 	return &Client{
 		conns:     []conn{{rpc: rc, port: dirsvc.ServicePort(service)}},
+		base:      1,
+		total:     1,
 		seqs:      make([]atomic.Uint64, 1),
 		hub:       newWatchHub(),
 		watchers:  make([]*shardWatcher, 1),
@@ -227,18 +246,51 @@ func (c *Client) HedgeStats() (sent, wins uint64) {
 	return sent, wins
 }
 
-// shardOf routes a directory capability to its home shard.
+// shardOf routes a directory capability to its home shard under the
+// client's current shard-map epoch.
 func (c *Client) shardOf(d capability.Capability) int {
-	return dir.ShardOf(d, len(c.conns))
+	return c.homeOf(d.Object)
+}
+
+// homeOf routes an object number to its home shard under the client's
+// current shard-map epoch.
+func (c *Client) homeOf(obj uint32) int {
+	return dir.HomeShard(obj, c.epoch.Load(), c.base, c.total)
+}
+
+// Epoch returns the highest shard-map epoch this client has learned.
+func (c *Client) Epoch() uint64 { return c.epoch.Load() }
+
+// Geometry returns the client's configured shard layout: the number of
+// shards active at epoch zero and the number provisioned.
+func (c *Client) Geometry() (base, total int) { return c.base, c.total }
+
+// noteEpoch adopts a later shard-map epoch learned from a NOTMINE
+// bounce (or a shard-map read) and rehomes object-scoped Watch
+// subscriptions whose directory moved in the split.
+func (c *Client) noteEpoch(epoch uint64) {
+	for {
+		cur := c.epoch.Load()
+		if epoch <= cur {
+			return
+		}
+		if c.epoch.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
+	for _, shard := range c.hub.rehome(c.homeOf) {
+		c.ensureWatcher(shard)
+	}
 }
 
 // nextCreateShard picks the shard for a new directory: round-robin
-// across the deployment, shared process-wide.
+// across the shards active at the client's epoch, shared process-wide.
 func (c *Client) nextCreateShard() int {
-	if len(c.conns) == 1 {
+	active := dir.ActiveShards(c.epoch.Load(), c.base, c.total)
+	if active <= 1 {
 		return 0
 	}
-	return int((createSeq.Add(1) - 1) % uint64(len(c.conns)))
+	return int((createSeq.Add(1) - 1) % uint64(active))
 }
 
 // noteSeq advances the session's per-shard freshness floor to seq.
@@ -292,15 +344,49 @@ func (c *Client) statusErr(shard int, reply *dirsvc.Reply) error {
 	return err
 }
 
-func (c *Client) trans(ctx context.Context, shard int, req *dirsvc.Request) (*dirsvc.Reply, error) {
-	reply, err := c.transRaw(ctx, shard, req)
+// maxChase bounds how many NOTMINE bounces one operation follows. Each
+// bounce teaches the client a newer epoch and the object's owner, so a
+// client more than one split behind converges in a few hops; the bound
+// only guards against a routing bug turning into an infinite loop.
+const maxChase = 8
+
+// bounce inspects a reply for a NOTMINE redirect: the blob names the
+// server's epoch — adopted into the client's shard map — and the
+// object's owner, returned as the shard to retry at.
+func (c *Client) bounce(reply *dirsvc.Reply, shard, hop int) (int, bool) {
+	if reply.Status != dirsvc.StatusNotMine || hop >= maxChase {
+		return 0, false
+	}
+	epoch, owner, err := dirsvc.DecodeNotMine(reply.Blob)
 	if err != nil {
-		return nil, err
+		return 0, false
 	}
-	if err := c.statusErr(shard, reply); err != nil {
-		return nil, err
+	c.noteEpoch(epoch)
+	if owner < 0 || owner >= len(c.conns) || owner == shard {
+		return 0, false
 	}
-	return reply, nil
+	return owner, true
+}
+
+// trans performs an update transaction, chasing NOTMINE bounces to the
+// object's current home. It returns the shard that finally served the
+// request, which callers must use for cache and session bookkeeping —
+// after a migration it differs from the shard the request started at.
+func (c *Client) trans(ctx context.Context, shard int, req *dirsvc.Request) (*dirsvc.Reply, int, error) {
+	for hop := 0; ; hop++ {
+		reply, err := c.transRaw(ctx, shard, req)
+		if err != nil {
+			return nil, shard, err
+		}
+		if next, ok := c.bounce(reply, shard, hop); ok {
+			shard = next
+			continue
+		}
+		if err := c.statusErr(shard, reply); err != nil {
+			return nil, shard, err
+		}
+		return reply, shard, nil
+	}
 }
 
 // transRead performs a read transaction: server selection may balance
@@ -313,26 +399,37 @@ func (c *Client) trans(ctx context.Context, shard int, req *dirsvc.Request) (*di
 // recovering or below its floor, and a sibling can usually serve the
 // read. A service-wide majority loss still surfaces after the bounded
 // retries.
-func (c *Client) transRead(ctx context.Context, shard int, req *dirsvc.Request) (*dirsvc.Reply, error) {
-	cn := c.conns[shard]
+func (c *Client) transRead(ctx context.Context, shard int, req *dirsvc.Request) (*dirsvc.Reply, int, error) {
+	hops := 0
 	for attempt := 0; ; attempt++ {
+		cn := c.conns[shard]
 		req.MinSeq = c.floor(shard)
 		raw, err := cn.rpc.TransReadCtx(ctx, cn.port, req.Encode())
 		reply, err := c.decodeNoted(shard, raw, err)
 		if err != nil {
-			return nil, err
+			return nil, shard, err
+		}
+		if next, ok := c.bounce(reply, shard, hops); ok {
+			// The object lives elsewhere: chase. The retry budget resets —
+			// the new shard's majority state is independent — and the
+			// MinSeq floor is re-sampled per shard above (sequence numbers
+			// are per-shard domains).
+			hops++
+			shard = next
+			attempt = 0
+			continue
 		}
 		serr := c.statusErr(shard, reply)
 		if serr == nil {
-			return reply, nil
+			return reply, shard, nil
 		}
 		if !c.balance || attempt >= 3 || !errors.Is(serr, dirsvc.ErrNoMajority) {
-			return nil, serr
+			return nil, shard, serr
 		}
 		select {
 		case <-time.After(time.Duration(attempt+1) * 5 * time.Millisecond):
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, shard, ctx.Err()
 		}
 	}
 }
@@ -355,7 +452,7 @@ func (c *Client) Root(ctx context.Context) (capability.Capability, error) {
 	if !root.IsZero() {
 		return root, nil
 	}
-	reply, err := c.transRead(ctx, 0, &dirsvc.Request{Op: dirsvc.OpGetRoot})
+	reply, _, err := c.transRead(ctx, 0, &dirsvc.Request{Op: dirsvc.OpGetRoot})
 	if err != nil {
 		return capability.Capability{}, err
 	}
@@ -379,7 +476,7 @@ func (c *Client) CreateDirOn(ctx context.Context, shard int, columns ...string) 
 	if shard < 0 || shard >= len(c.conns) {
 		return capability.Capability{}, fmt.Errorf("shard %d of %d: %w", shard, len(c.conns), dirsvc.ErrBadRequest)
 	}
-	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpCreateDir, Columns: columns})
+	reply, shard, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpCreateDir, Columns: columns})
 	if err != nil {
 		return capability.Capability{}, err
 	}
@@ -389,8 +486,7 @@ func (c *Client) CreateDirOn(ctx context.Context, shard int, columns ...string) 
 
 // DeleteDir deletes a directory (Fig. 2: Delete dir).
 func (c *Client) DeleteDir(ctx context.Context, dir capability.Capability) error {
-	shard := c.shardOf(dir)
-	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpDeleteDir, Dir: dir})
+	reply, shard, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpDeleteDir, Dir: dir})
 	if err != nil {
 		return err
 	}
@@ -407,9 +503,14 @@ func (c *Client) List(ctx context.Context, dir capability.Capability, col int) (
 		return rows, nil
 	}
 	epoch := c.cache.epochOf(shard)
-	reply, err := c.transRead(ctx, shard, &dirsvc.Request{Op: dirsvc.OpListDir, Dir: dir, Column: col})
+	reply, served, err := c.transRead(ctx, shard, &dirsvc.Request{Op: dirsvc.OpListDir, Dir: dir, Column: col})
 	if err != nil {
 		return nil, err
+	}
+	if served != shard {
+		// The directory migrated: refresh the cache generation cookie for
+		// the shard actually holding it before filling.
+		shard, epoch = served, c.cache.epochOf(served)
 	}
 	c.cache.miss()
 	c.cache.fillList(shard, epoch, dir, col, reply.Rows, reply.ObjSeq, reply.Seq)
@@ -424,8 +525,7 @@ func (c *Client) Append(ctx context.Context, dir capability.Capability, name str
 	if masks == nil {
 		masks = []capability.Rights{capability.AllRights, capability.AllRights, capability.AllRights}
 	}
-	shard := c.shardOf(dir)
-	reply, err := c.trans(ctx, shard, &dirsvc.Request{
+	reply, shard, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{
 		Op:    dirsvc.OpAppendRow,
 		Dir:   dir,
 		Name:  name,
@@ -441,8 +541,7 @@ func (c *Client) Append(ctx context.Context, dir capability.Capability, name str
 
 // Delete removes the named row (Fig. 2: Delete row).
 func (c *Client) Delete(ctx context.Context, dir capability.Capability, name string) error {
-	shard := c.shardOf(dir)
-	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpDeleteRow, Dir: dir, Name: name})
+	reply, shard, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpDeleteRow, Dir: dir, Name: name})
 	if err != nil {
 		return err
 	}
@@ -452,8 +551,7 @@ func (c *Client) Delete(ctx context.Context, dir capability.Capability, name str
 
 // Chmod replaces the rights masks of the named row (Fig. 2: Chmod row).
 func (c *Client) Chmod(ctx context.Context, dir capability.Capability, name string, masks []capability.Rights) error {
-	shard := c.shardOf(dir)
-	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpChmodRow, Dir: dir, Name: name, Masks: masks})
+	reply, shard, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpChmodRow, Dir: dir, Name: name, Masks: masks})
 	if err != nil {
 		return err
 	}
@@ -501,9 +599,12 @@ func (c *Client) LookupSet(ctx context.Context, dir capability.Capability, names
 	for i, n := range names {
 		set[i] = dirsvc.SetItem{Name: n}
 	}
-	reply, err := c.transRead(ctx, shard, &dirsvc.Request{Op: dirsvc.OpLookupSet, Dir: dir, Set: set})
+	reply, served, err := c.transRead(ctx, shard, &dirsvc.Request{Op: dirsvc.OpLookupSet, Dir: dir, Set: set})
 	if err != nil {
 		return nil, err
+	}
+	if served != shard {
+		shard, epoch = served, c.cache.epochOf(served)
 	}
 	c.cache.miss()
 	c.cache.fillLookups(shard, epoch, dir, names, reply.Caps, reply.ObjSeq, reply.Seq)
@@ -513,8 +614,7 @@ func (c *Client) LookupSet(ctx context.Context, dir capability.Capability, names
 // ReplaceSet atomically replaces the capabilities of several rows
 // (Fig. 2: Replace set), returning the previous capabilities.
 func (c *Client) ReplaceSet(ctx context.Context, dir capability.Capability, items []dirsvc.SetItem) ([]capability.Capability, error) {
-	shard := c.shardOf(dir)
-	reply, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpReplaceSet, Dir: dir, Set: items})
+	reply, shard, err := c.trans(ctx, c.shardOf(dir), &dirsvc.Request{Op: dirsvc.OpReplaceSet, Dir: dir, Set: items})
 	if err != nil {
 		return nil, err
 	}

@@ -36,6 +36,10 @@ const (
 	// TxAfterResolverDecide fires after the resolver shard ratified the
 	// commit, before it propagates to the remaining participants.
 	TxAfterResolverDecide
+	// TxAfterMigCopy fires in the migrator between copying an object's
+	// image from the source shard and sending the flip transaction — the
+	// window where a crashed migrator must leave both shards untouched.
+	TxAfterMigCopy
 )
 
 // ErrTxHalt is returned by a transaction hook to abandon the
@@ -75,7 +79,6 @@ type txPlan struct {
 // batch of only such steps has no participants at all and takes the
 // single-shard fast path wherever the caller places it.
 func (c *Client) planBatch(b *dir.Batch) *txPlan {
-	shards := len(c.conns)
 	p := &txPlan{steps: make(map[int][]*dirsvc.Request), index: make(map[int][]int)}
 	var homeless []int
 	all := b.Steps()
@@ -84,7 +87,7 @@ func (c *Client) planBatch(b *dir.Batch) *txPlan {
 			homeless = append(homeless, i)
 			continue
 		}
-		s := dir.ShardOf(st.Dir, shards)
+		s := c.shardOf(st.Dir)
 		p.steps[s] = append(p.steps[s], st)
 		p.index[s] = append(p.index[s], i)
 	}
@@ -108,6 +111,13 @@ func (c *Client) planBatch(b *dir.Batch) *txPlan {
 // applyTwoPhase runs the distributed commit for a batch spanning
 // plan.shards (≥ 2).
 func (c *Client) applyTwoPhase(ctx context.Context, b *dir.Batch, plan *txPlan) (*dir.BatchResult, error) {
+	return c.runTwoPhase(ctx, b.Len(), plan)
+}
+
+// runTwoPhase drives the two-phase protocol for an already-routed plan
+// of nSteps total steps. The migrator uses this directly with a
+// hand-built plan (OpMigOut at the source, OpMigIn at the target).
+func (c *Client) runTwoPhase(ctx context.Context, nSteps int, plan *txPlan) (*dir.BatchResult, error) {
 	id := dirsvc.NewTxID()
 	resolver := plan.shards[0]
 	participants := append([]int(nil), plan.shards...)
@@ -236,7 +246,7 @@ func (c *Client) applyTwoPhase(ctx context.Context, b *dir.Batch, plan *txPlan) 
 	// Reassemble per-step results in submission order from the prepare
 	// votes (the commit replies carry the identical blobs), and feed the
 	// committed objects into the per-shard cache invalidation.
-	results := make([]dir.StepResult, b.Len())
+	results := make([]dir.StepResult, nSteps)
 	for s, reply := range prepared {
 		stepResults, derr := dirsvc.DecodeBatchResults(reply.Blob)
 		if derr != nil {

@@ -81,6 +81,35 @@ func (h *watchHub) remove(id uint64) {
 	}
 }
 
+// rehome recomputes the home shard of every object-scoped subscription
+// after a shard-map epoch advance. A subscription whose directory moved
+// in a split switches to the new home's stream and owes its consumer a
+// resync marker — events committed at the new home before the switch
+// may have been missed. The returned shards need a running watcher
+// (ensureWatcher, called by the client outside the hub lock).
+func (h *watchHub) rehome(homeOf func(uint32) int) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var need []int
+	for _, sub := range h.subs {
+		if sub.shard == -1 || sub.obj == 0 {
+			continue
+		}
+		home := homeOf(sub.obj)
+		if home == sub.shard {
+			continue
+		}
+		sub.shard = home
+		need = append(need, home)
+		select {
+		case sub.ch <- dir.Event{Shard: home, Type: dir.EventResync}:
+		default:
+			sub.owedResync[home] = true
+		}
+	}
+	return need
+}
+
 // closeAll closes every subscriber channel (client shutdown).
 func (h *watchHub) closeAll() {
 	h.mu.Lock()

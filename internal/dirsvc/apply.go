@@ -27,6 +27,12 @@ type ApplyResult struct {
 	// DeletedDir is set when the update deleted a directory, which
 	// requires advancing the commit block sequence number (§3).
 	DeletedDir bool
+	// TopoChanged is set when the update moved the shard-map state
+	// (split, seal, stub drop). The caller must persist the new topology
+	// to the commit block before acknowledging — even in NVRAM mode,
+	// where ordinary updates skip the disk: topology changes are rare
+	// and an unpersisted epoch would unfence recovery.
+	TopoChanged bool
 }
 
 // Applier executes directory operations against one server's replica
@@ -41,6 +47,9 @@ type Applier struct {
 
 	mu    sync.RWMutex
 	cache map[uint32]*dirdata.Directory
+	// topo is the shard's elastic-topology state (nil when the
+	// deployment never called ConfigureTopology); see applytopo.go.
+	topo *TopoState
 
 	// Two-phase-commit participant state: staged transactions, the
 	// per-object locks they hold, and remembered outcomes. txCond wakes
@@ -205,6 +214,24 @@ func (a *Applier) Read(req *Request) *Reply {
 		copy(id[:], req.Blob)
 		state, seq := a.TxStateOf(id)
 		return &Reply{Status: StatusOK, Seq: seq, Blob: []byte{byte(state)}}
+	case OpShardMap:
+		return &Reply{Status: StatusOK, Blob: EncodeShardMapInfo(a.ShardMapInfo())}
+	case OpMigRead:
+		// Internal migration read: the whole object image plus its
+		// secret, keyed by object number alone (the migrator coordinates
+		// shards, it does not hold per-object capabilities). Entry and
+		// image are sampled together under the applier lock so the
+		// returned ObjSeq matches the image exactly — the flip's
+		// expected-sequence check depends on it.
+		obj := req.Dir.Object
+		a.mu.RLock()
+		d := a.cache[obj]
+		e, ok := a.table.Get(obj)
+		a.mu.RUnlock()
+		if !ok || d == nil {
+			return &Reply{Status: StatusNotFound}
+		}
+		return &Reply{Status: StatusOK, ObjSeq: e.Seq, Blob: MigImageBlob(e.Secret, d.Encode())}
 	case OpListDir:
 		if _, err := a.verify(req.Dir, capability.RightRead); err != nil {
 			return &Reply{Status: StatusOf(err)}
@@ -276,6 +303,12 @@ func (a *Applier) applyUpdateLocked(req *Request, seq uint64, durable bool) (*Ap
 		return a.applyPrepareLocked(req, seq)
 	case OpDecide:
 		return a.applyDecideLocked(req, seq, durable)
+	case OpSplit:
+		return a.applySplitLocked(req, seq)
+	case OpSealMigration:
+		return a.applySealLocked(req, seq)
+	case OpDropStubs:
+		return a.applyDropStubsLocked(req, seq, durable)
 	default:
 		return nil, ErrBadRequest
 	}
@@ -289,7 +322,20 @@ func (a *Applier) createDirLocked(req *Request, seq uint64, durable bool) (*Appl
 	// capability; Amoeba let any holder of the service port create. We
 	// keep creation open, as registration into a parent is a separate
 	// append.
-	obj := a.table.NextFreeExcept(a.allocSkipLocked(nil))
+	//
+	// A pinned object number (req.Dir.Object) makes the record replay
+	// deterministically: the NVRAM log stamps the allocation outcome
+	// into the record, because re-running the allocator after a crash
+	// may see a different topology (a split moves the skip classes) and
+	// would renumber every replayed directory.
+	obj := req.Dir.Object
+	if obj != 0 {
+		if _, taken := a.table.Get(obj); taken {
+			return nil, fmt.Errorf("object %d already allocated: %w", obj, ErrExists)
+		}
+	} else {
+		obj = a.table.NextFreeExcept(a.allocSkipLocked(nil))
+	}
 	if obj == 0 {
 		return nil, fmt.Errorf("object table full: %w", ErrServer)
 	}

@@ -16,6 +16,7 @@ type batchOverlay struct {
 	entries map[uint32]ObjectEntry        // working object entries
 	created map[uint32]bool               // allocated by this batch
 	deleted map[uint32]bool               // deleted by this batch
+	migOut  map[uint32]StubEntry          // migrated away: entry → forwarding stub
 }
 
 func newBatchOverlay() *batchOverlay {
@@ -24,12 +25,16 @@ func newBatchOverlay() *batchOverlay {
 		entries: make(map[uint32]ObjectEntry),
 		created: make(map[uint32]bool),
 		deleted: make(map[uint32]bool),
+		migOut:  make(map[uint32]StubEntry),
 	}
 }
 
 // entry reads an object entry through the overlay.
 func (ov *batchOverlay) entry(a *Applier, obj uint32) (ObjectEntry, bool) {
 	if ov.deleted[obj] {
+		return ObjectEntry{}, false
+	}
+	if _, gone := ov.migOut[obj]; gone {
 		return ObjectEntry{}, false
 	}
 	if e, ok := ov.entries[obj]; ok {
@@ -135,6 +140,32 @@ func (a *Applier) commitOverlayLocked(ov *batchOverlay, seq uint64, durable bool
 		}
 	}
 
+	moved := make([]uint32, 0, len(ov.migOut))
+	for obj := range ov.migOut {
+		moved = append(moved, obj)
+	}
+	sort.Slice(moved, func(i, j int) bool { return moved[i] < moved[j] })
+	for _, obj := range moved {
+		prior, known := a.table.Get(obj)
+		stub := ov.migOut[obj]
+		if durable {
+			if err := a.table.SetStub(obj, stub); err != nil {
+				return nil, err
+			}
+		} else {
+			a.table.SetStubRAM(obj, stub)
+		}
+		delete(a.cache, obj)
+		res.DirtyObjects = append(res.DirtyObjects, obj)
+		if durable && known && !prior.Cap.IsZero() {
+			// In NVRAM mode the superseded Bullet file is kept: until the
+			// flush, it is the only local durable copy of the image the
+			// target's prepare record also carries. One orphan file per
+			// migration is the documented leak.
+			res.OldBullet = append(res.OldBullet, prior.Cap)
+		}
+	}
+
 	for _, obj := range removed {
 		prior, known := a.table.Get(obj)
 		if durable {
@@ -210,6 +241,12 @@ func (a *Applier) batchStepLocked(ov *batchOverlay, st *Request, seq uint64, sel
 		delete(ov.dirs, obj)
 		delete(ov.entries, obj)
 		return nil
+
+	case OpMigOut:
+		return a.migOutStepLocked(ov, st, seq, self)
+
+	case OpMigIn:
+		return a.migInStepLocked(ov, st, seq, self)
 
 	case OpAppendRow, OpChmodRow, OpDeleteRow, OpReplaceSet:
 		if a.lockedByOtherLocked(st.Dir.Object, self) {

@@ -27,6 +27,11 @@ type CommitBlock struct {
 	// server's state may mix old and new directories: the recovery
 	// sequence number is forced to zero (§3).
 	Recovering bool
+	// Topo is the shard's elastic-topology state at the last commit
+	// block write, nil on blocks written before splits existed (the
+	// tail section is guarded by a presence marker, so old blocks decode
+	// with no topology and recovery keeps epoch 0).
+	Topo *TopoState
 }
 
 var commitMagic = [4]byte{'C', 'M', 'T', '1'}
@@ -51,6 +56,10 @@ func (c *CommitBlock) Encode() []byte {
 		} else {
 			buf = append(buf, 0)
 		}
+	}
+	if c.Topo != nil {
+		buf = append(buf, 1)
+		buf = append(buf, EncodeTopoState(c.Topo)...)
 	}
 	return buf
 }
@@ -88,6 +97,13 @@ func DecodeCommitBlock(raw []byte, n int) (*CommitBlock, error) {
 	c.Up = make([]bool, count)
 	for i := 0; i < count; i++ {
 		c.Up[i] = raw[14+i] == 1
+	}
+	if off := 14 + count; off < len(raw) && raw[off] == 1 {
+		topo, err := DecodeTopoState(raw[off+1:])
+		if err != nil {
+			return nil, ErrCorruptCommit
+		}
+		c.Topo = topo
 	}
 	if count < n {
 		// Service grew; extend with down bits.

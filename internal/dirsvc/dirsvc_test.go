@@ -317,7 +317,10 @@ func TestObjectTableReplaceAll(t *testing.T) {
 	newEntries := map[uint32]ObjectEntry{
 		2: {Cap: testCap(2), Seq: 10, Secret: capability.NewSecret([]byte("x"))},
 	}
-	if err := table.ReplaceAll(newEntries); err != nil {
+	newStubs := map[uint32]StubEntry{
+		4: {Target: 1, Seq: 12},
+	}
+	if err := table.ReplaceAll(newEntries, newStubs); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := table.Get(1); ok {
@@ -327,12 +330,18 @@ func TestObjectTableReplaceAll(t *testing.T) {
 	if !ok || got.Seq != 10 {
 		t.Fatalf("replaced entry: %+v, %v", got, ok)
 	}
+	if st, ok := table.Stub(4); !ok || st.Target != 1 || st.Seq != 12 {
+		t.Fatalf("replaced stub: %+v, %v", st, ok)
+	}
 	reopened, err := OpenObjectTable(disk)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(reopened.All(), newEntries) {
 		t.Fatalf("after reopen: %+v", reopened.All())
+	}
+	if st, ok := reopened.Stub(4); !ok || st.Target != 1 || st.Seq != 12 {
+		t.Fatalf("stub after reopen: %+v, %v", st, ok)
 	}
 }
 

@@ -20,9 +20,27 @@ type ObjectEntry struct {
 	Secret capability.Secret
 }
 
+// StubEntry is a forwarding stub left in a migrated object's slot: the
+// shard now holding the object and the sequence number of the flip that
+// moved it. The stub keeps the slot occupied (so the number is never
+// re-allocated here) and gives in-flight clients their one-hop chase.
+type StubEntry struct {
+	Target int
+	Seq    uint64
+}
+
 // entrySlot is the on-disk size of one slot:
-// used(1) + cap(16) + seq(8) + secret(6).
+// state(1) + cap(16) + seq(8) + secret(6).
+// State 0 is free, 1 a used entry, 2 a forwarding stub (the cap field's
+// first four bytes hold the target shard instead of a capability).
 const entrySlot = 1 + capability.Size + 8 + 6
+
+// Slot state bytes.
+const (
+	slotFree byte = 0
+	slotUsed byte = 1
+	slotStub byte = 2
+)
 
 // entriesPerBlock slots fit one 512-byte block.
 const entriesPerBlock = vdisk.BlockSize / entrySlot
@@ -34,12 +52,14 @@ const entriesPerBlock = vdisk.BlockSize / entrySlot
 type ObjectTable struct {
 	admin vdisk.Storage
 
-	mu       sync.Mutex
-	entries  map[uint32]ObjectEntry
-	ramDirty map[uint32]bool // RAM-only changes not yet persisted to disk
-	max      uint32          // highest object number the partition can hold
-	allocMod uint32          // total shards G (allocation stride, ≥ 1)
-	allocRes uint32          // this shard's index s: allocates obj ≡ s+1 (mod G)
+	mu         sync.Mutex
+	entries    map[uint32]ObjectEntry
+	stubs      map[uint32]StubEntry // forwarding stubs of migrated objects
+	ramDirty   map[uint32]bool      // RAM-only changes not yet persisted to disk
+	max        uint32               // highest object number the partition can hold
+	allocMod   uint32               // active shards (allocation stride, ≥ 1)
+	allocRes   uint32               // this shard's index s: allocates obj ≡ s+1 (mod stride)
+	allocFloor uint32               // allocate only numbers above this (split targets)
 }
 
 // OpenObjectTable loads the table from the admin partition (blocks 1..end).
@@ -51,6 +71,7 @@ func OpenObjectTable(admin vdisk.Storage) (*ObjectTable, error) {
 	t := &ObjectTable{
 		admin:    admin,
 		entries:  make(map[uint32]ObjectEntry),
+		stubs:    make(map[uint32]StubEntry),
 		ramDirty: make(map[uint32]bool),
 		max:      uint32(blocks * entriesPerBlock),
 		allocMod: 1,
@@ -66,15 +87,17 @@ func OpenObjectTable(admin vdisk.Storage) (*ObjectTable, error) {
 		blk := raw[(b-1)*vdisk.BlockSize : b*vdisk.BlockSize]
 		for s := 0; s < entriesPerBlock; s++ {
 			off := s * entrySlot
-			if blk[off] != 1 {
-				continue
-			}
 			obj := uint32((b-1)*entriesPerBlock + s + 1)
-			e, err := decodeEntry(blk[off:])
-			if err != nil {
-				return nil, fmt.Errorf("object %d: %w", obj, err)
+			switch blk[off] {
+			case slotUsed:
+				e, err := decodeEntry(blk[off:])
+				if err != nil {
+					return nil, fmt.Errorf("object %d: %w", obj, err)
+				}
+				t.entries[obj] = e
+			case slotStub:
+				t.stubs[obj] = decodeStub(blk[off:])
 			}
-			t.entries[obj] = e
 		}
 	}
 	return t, nil
@@ -127,6 +150,40 @@ func (t *ObjectTable) ConfigureShard(shard, shards int) {
 	t.mu.Unlock()
 }
 
+// SetAllocFloor restricts allocation to object numbers strictly above f.
+// A split target sets this to the source's highest-ever number in the
+// moving class so the two sides can never mint the same number while the
+// class is split across them.
+func (t *ObjectTable) SetAllocFloor(f uint32) {
+	t.mu.Lock()
+	t.allocFloor = f
+	t.mu.Unlock()
+}
+
+// ClassMax returns the highest object number in residue class
+// (obj-1) mod mod == res that is used or stubbed — the allocation floor
+// a split hands to its target. Deterministic across replicas because the
+// table contents are.
+func (t *ObjectTable) ClassMax(mod, res uint32) uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if mod == 0 {
+		mod = 1
+	}
+	var maxObj uint32
+	for obj := range t.entries {
+		if (obj-1)%mod == res && obj > maxObj {
+			maxObj = obj
+		}
+	}
+	for obj := range t.stubs {
+		if (obj-1)%mod == res && obj > maxObj {
+			maxObj = obj
+		}
+	}
+	return maxObj
+}
+
 // NextFree returns the lowest unused object number homed on this shard.
 // Because every replica of a shard applies updates in the same total
 // order to the same table, this choice is deterministic across the group.
@@ -139,8 +196,16 @@ func (t *ObjectTable) NextFree() uint32 { return t.NextFreeExcept(nil) }
 func (t *ObjectTable) NextFreeExcept(skip map[uint32]bool) uint32 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for obj := t.allocRes + 1; obj <= t.max; obj += t.allocMod {
-		if _, used := t.entries[obj]; !used && !skip[obj] {
+	start := t.allocRes + 1
+	if t.allocFloor >= start {
+		// First in-class number strictly above the floor.
+		k := (t.allocFloor-start)/t.allocMod + 1
+		start += k * t.allocMod
+	}
+	for obj := start; obj <= t.max; obj += t.allocMod {
+		_, used := t.entries[obj]
+		_, stubbed := t.stubs[obj]
+		if !used && !stubbed && !skip[obj] {
 			return obj
 		}
 	}
@@ -158,6 +223,11 @@ func (t *ObjectTable) MaxSeq() uint64 {
 			maxSeq = e.Seq
 		}
 	}
+	for _, s := range t.stubs {
+		if s.Seq > maxSeq {
+			maxSeq = s.Seq
+		}
+	}
 	return maxSeq
 }
 
@@ -170,6 +240,7 @@ func (t *ObjectTable) Set(obj uint32, e ObjectEntry) error {
 		return fmt.Errorf("object %d out of range (max %d)", obj, t.max)
 	}
 	t.entries[obj] = e
+	delete(t.stubs, obj)
 	delete(t.ramDirty, obj)
 	raw := t.encodeBlockLocked(blockOf(obj))
 	t.mu.Unlock()
@@ -180,31 +251,139 @@ func (t *ObjectTable) Set(obj uint32, e ObjectEntry) error {
 func (t *ObjectTable) Delete(obj uint32) error {
 	t.mu.Lock()
 	delete(t.ramDirty, obj)
-	if _, ok := t.entries[obj]; !ok {
+	_, used := t.entries[obj]
+	_, stubbed := t.stubs[obj]
+	if !used && !stubbed {
 		t.mu.Unlock()
 		return nil
 	}
 	delete(t.entries, obj)
+	delete(t.stubs, obj)
 	raw := t.encodeBlockLocked(blockOf(obj))
 	t.mu.Unlock()
 	return t.admin.WriteBlock(blockOf(obj), raw)
 }
 
+// SetStub replaces obj's slot with a forwarding stub and writes the
+// containing block — the source side's commit point of a migration flip:
+// the object entry is gone, its number stays reserved, and in-flight
+// clients are pointed at the new home.
+func (t *ObjectTable) SetStub(obj uint32, s StubEntry) error {
+	t.mu.Lock()
+	if obj == 0 || obj > t.max {
+		t.mu.Unlock()
+		return fmt.Errorf("object %d out of range (max %d)", obj, t.max)
+	}
+	delete(t.entries, obj)
+	t.stubs[obj] = s
+	delete(t.ramDirty, obj)
+	raw := t.encodeBlockLocked(blockOf(obj))
+	t.mu.Unlock()
+	return t.admin.WriteBlock(blockOf(obj), raw)
+}
+
+// SetStubRAM installs a forwarding stub in memory only, marking the
+// object dirty for the background flush (the NVRAM critical path).
+func (t *ObjectTable) SetStubRAM(obj uint32, s StubEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, obj)
+	t.stubs[obj] = s
+	t.ramDirty[obj] = true
+}
+
+// Stub returns obj's forwarding stub, if any.
+func (t *ObjectTable) Stub(obj uint32) (StubEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.stubs[obj]
+	return s, ok
+}
+
+// Stubs returns a copy of every live forwarding stub.
+func (t *ObjectTable) Stubs() map[uint32]StubEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[uint32]StubEntry, len(t.stubs))
+	for k, v := range t.stubs {
+		out[k] = v
+	}
+	return out
+}
+
+// StubCount returns the number of live forwarding stubs.
+func (t *ObjectTable) StubCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.stubs)
+}
+
+// DropAllStubs removes every forwarding stub and rewrites the affected
+// blocks — the final step of a completed split, after clients have had
+// the new shard map pushed at them via NotMine chases.
+func (t *ObjectTable) DropAllStubs() error {
+	t.mu.Lock()
+	dirty := make(map[int]bool)
+	for obj := range t.stubs {
+		dirty[blockOf(obj)] = true
+		delete(t.ramDirty, obj)
+	}
+	t.stubs = make(map[uint32]StubEntry)
+	blocks := make([]int, 0, len(dirty))
+	for b := range dirty {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	images := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		images[i] = t.encodeBlockLocked(b)
+	}
+	t.mu.Unlock()
+	for i, b := range blocks {
+		if err := t.admin.WriteBlock(b, images[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropAllStubsRAM removes every forwarding stub in memory only, marking
+// the affected objects dirty for the background flush.
+func (t *ObjectTable) DropAllStubsRAM() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for obj := range t.stubs {
+		t.ramDirty[obj] = true
+	}
+	t.stubs = make(map[uint32]StubEntry)
+}
+
 // ReplaceAll atomically installs a full table image (recovery state
-// transfer), rewriting every dirty block.
-func (t *ObjectTable) ReplaceAll(entries map[uint32]ObjectEntry) error {
+// transfer), entries and forwarding stubs both, rewriting every dirty
+// block.
+func (t *ObjectTable) ReplaceAll(entries map[uint32]ObjectEntry, stubs map[uint32]StubEntry) error {
 	t.mu.Lock()
 	dirty := make(map[int]bool)
 	for obj := range t.entries {
 		dirty[blockOf(obj)] = true
 	}
+	for obj := range t.stubs {
+		dirty[blockOf(obj)] = true
+	}
 	for obj := range entries {
 		dirty[blockOf(obj)] = true
 	}
+	for obj := range stubs {
+		dirty[blockOf(obj)] = true
+	}
 	t.entries = make(map[uint32]ObjectEntry, len(entries))
+	t.stubs = make(map[uint32]StubEntry, len(stubs))
 	t.ramDirty = make(map[uint32]bool)
 	for k, v := range entries {
 		t.entries[k] = v
+	}
+	for k, v := range stubs {
+		t.stubs[k] = v
 	}
 	blocks := make([]int, 0, len(dirty))
 	for b := range dirty {
@@ -240,6 +419,7 @@ func (t *ObjectTable) DeleteRAM(obj uint32) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.entries, obj)
+	delete(t.stubs, obj)
 	t.ramDirty[obj] = true
 }
 
@@ -299,17 +479,30 @@ func (t *ObjectTable) encodeBlockLocked(block int) []byte {
 	first := uint32((block-1)*entriesPerBlock + 1)
 	for s := 0; s < entriesPerBlock; s++ {
 		obj := first + uint32(s)
-		e, ok := t.entries[obj]
-		if !ok {
+		off := s * entrySlot
+		if e, ok := t.entries[obj]; ok {
+			raw[off] = slotUsed
+			copy(raw[off+1:off+1+capability.Size], e.Cap.Encode(nil))
+			binary.BigEndian.PutUint64(raw[off+1+capability.Size:], e.Seq)
+			copy(raw[off+1+capability.Size+8:], e.Secret[:])
 			continue
 		}
-		off := s * entrySlot
-		raw[off] = 1
-		copy(raw[off+1:off+1+capability.Size], e.Cap.Encode(nil))
-		binary.BigEndian.PutUint64(raw[off+1+capability.Size:], e.Seq)
-		copy(raw[off+1+capability.Size+8:], e.Secret[:])
+		if st, ok := t.stubs[obj]; ok {
+			raw[off] = slotStub
+			binary.BigEndian.PutUint32(raw[off+1:], uint32(st.Target))
+			binary.BigEndian.PutUint64(raw[off+1+capability.Size:], st.Seq)
+		}
 	}
 	return raw
+}
+
+// decodeStub parses a slotStub slot: target shard in the first four cap
+// bytes, seq in the usual seq field.
+func decodeStub(raw []byte) StubEntry {
+	return StubEntry{
+		Target: int(binary.BigEndian.Uint32(raw[1:])),
+		Seq:    binary.BigEndian.Uint64(raw[1+capability.Size:]),
+	}
 }
 
 func decodeEntry(raw []byte) (ObjectEntry, error) {

@@ -1,0 +1,135 @@
+package dirsvc
+
+import (
+	"testing"
+)
+
+func TestActiveShardsAt(t *testing.T) {
+	cases := []struct {
+		epoch       uint64
+		base, total int
+		want        int
+	}{
+		{0, 1, 1, 1}, {5, 1, 1, 1},
+		{0, 1, 4, 1}, {1, 1, 4, 2}, {2, 1, 4, 4}, {3, 1, 4, 4},
+		{0, 2, 8, 2}, {1, 2, 8, 4}, {2, 2, 8, 8}, {9, 2, 8, 8},
+		{1, 3, 6, 6}, {2, 3, 6, 6}, // non-power-of-two base saturates at total
+		{0, 0, 0, 1}, // degenerate inputs clamp to 1
+		{1, 4, 6, 4}, // 8 > total: no room to double
+	}
+	for _, c := range cases {
+		if got := ActiveShardsAt(c.epoch, c.base, c.total); got != c.want {
+			t.Errorf("ActiveShardsAt(%d, %d, %d) = %d, want %d", c.epoch, c.base, c.total, got, c.want)
+		}
+	}
+}
+
+// TestAllocModUnder checks the reserve-shard allocator rule: a shard
+// not yet active mints object numbers under the modulus of the first
+// epoch that activates it, so everything it ever allocates is in the
+// residue class it will own — activation never strands or remints a
+// number.
+func TestAllocModUnder(t *testing.T) {
+	geometries := []struct{ base, total int }{
+		{1, 1}, {1, 2}, {1, 4}, {1, 8}, {2, 4}, {2, 8}, {4, 8},
+	}
+	for _, g := range geometries {
+		for shard := 0; shard < g.total; shard++ {
+			m := allocModUnder(shard, g.base, g.total)
+			if shard < g.base {
+				if m != g.base {
+					t.Fatalf("active shard %d (%d/%d): allocModUnder = %d, want %d", shard, g.base, g.total, m, g.base)
+				}
+				continue
+			}
+			// The first epoch activating `shard` has active count m.
+			var firstActive uint64
+			for e := uint64(0); ; e++ {
+				if ActiveShardsAt(e, g.base, g.total) > shard {
+					firstActive = e
+					break
+				}
+			}
+			if got := ActiveShardsAt(firstActive, g.base, g.total); got != m {
+				t.Fatalf("reserve shard %d (%d/%d): allocModUnder = %d, first activation epoch %d has active %d",
+					shard, g.base, g.total, m, firstActive, got)
+			}
+			// Numbers minted in class `shard` under modulus m are homed at
+			// this shard from activation on.
+			for k := uint32(0); k < 8; k++ {
+				obj := uint32(shard+1) + k*uint32(m)
+				if home := HomeShardAt(obj, firstActive, g.base, g.total); home != shard {
+					t.Fatalf("minted object %d of reserve shard %d (%d/%d) homes at %d on activation",
+						obj, shard, g.base, g.total, home)
+				}
+			}
+		}
+	}
+}
+
+func TestTopoStateCodec(t *testing.T) {
+	in := TopoState{
+		Epoch: 3, Base: 2, Total: 8,
+		MigPhase: MigTarget, MigPeer: 5, MigFloor: 1234, AllocFloor: 999,
+	}
+	raw := EncodeTopoState(&in)
+	if len(raw) != TopoStateLen {
+		t.Fatalf("EncodeTopoState: %d bytes, want %d", len(raw), TopoStateLen)
+	}
+	out, err := DecodeTopoState(raw)
+	if err != nil {
+		t.Fatalf("DecodeTopoState: %v", err)
+	}
+	// Shard identity is not on the wire; everything else round-trips.
+	in.Shard = out.Shard
+	if *out != in {
+		t.Fatalf("TopoState round trip: got %+v, want %+v", *out, in)
+	}
+	if _, err := DecodeTopoState(raw[:TopoStateLen-1]); err == nil {
+		t.Fatal("DecodeTopoState accepted a truncated buffer")
+	}
+}
+
+func TestNotMineCodec(t *testing.T) {
+	raw := EncodeNotMine(7, 3)
+	epoch, owner, err := DecodeNotMine(raw)
+	if err != nil || epoch != 7 || owner != 3 {
+		t.Fatalf("NotMine round trip: epoch=%d owner=%d err=%v", epoch, owner, err)
+	}
+	if _, _, err := DecodeNotMine(raw[:2]); err == nil {
+		t.Fatal("DecodeNotMine accepted a truncated buffer")
+	}
+}
+
+func TestShardMapInfoCodec(t *testing.T) {
+	in := &ShardMapInfo{
+		Topo:    TopoState{Epoch: 2, Base: 1, Total: 4, MigPhase: MigSource, MigPeer: 2, MigFloor: 42},
+		Objects: 17,
+		Stubs:   3,
+		Moving:  []uint32{3, 7, 11},
+	}
+	out, err := DecodeShardMapInfo(EncodeShardMapInfo(in))
+	if err != nil {
+		t.Fatalf("DecodeShardMapInfo: %v", err)
+	}
+	if out.Objects != in.Objects || out.Stubs != in.Stubs || len(out.Moving) != 3 ||
+		out.Moving[0] != 3 || out.Moving[2] != 11 || out.Topo.Epoch != 2 || out.Topo.MigFloor != 42 {
+		t.Fatalf("ShardMapInfo round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestMigImageBlobCodec(t *testing.T) {
+	var secret [6]byte
+	copy(secret[:], "s3cr3t")
+	image := []byte("directory image bytes")
+	sec, img, err := SplitMigImageBlob(MigImageBlob(secret, image))
+	if err != nil {
+		t.Fatalf("SplitMigImageBlob: %v", err)
+	}
+	if sec != secret || string(img) != string(image) {
+		t.Fatalf("MigImageBlob round trip: secret=%q img=%q", sec, img)
+	}
+	if _, _, err := SplitMigImageBlob([]byte("shrt")); err == nil {
+		t.Fatal("SplitMigImageBlob accepted a truncated blob")
+	}
+}

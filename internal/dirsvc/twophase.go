@@ -581,6 +581,10 @@ func (a *Applier) applyDecideLocked(req *Request, seq uint64, durable bool) (*Ap
 	for _, dir := range tx.overlay.dirs {
 		dir.Seq = seq
 	}
+	for obj, st := range tx.overlay.migOut {
+		st.Seq = seq
+		tx.overlay.migOut[obj] = st
+	}
 	resultsBlob := EncodeBatchResults(tx.results)
 	res, err := a.commitOverlayLocked(tx.overlay, seq, durable, resultsBlob)
 	if err != nil {

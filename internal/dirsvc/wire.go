@@ -63,6 +63,38 @@ const (
 	// Blob is an EventBatch covering any missed events, or StatusNotFound
 	// when the lease has already expired.
 	OpLeaseRenew
+
+	// Elastic-topology operations (shard splits and live migration).
+
+	// OpShardMap is a read returning the shard's topology view as an
+	// EncodeShardMapInfo blob: epoch, migration phase, object counts, and
+	// the objects still held here that belong elsewhere.
+	OpShardMap
+	// OpSplit bumps the shard-map epoch by one (Seq carries the target
+	// epoch). A source shard computes and returns the moving class's
+	// allocation floor in ObjSeq; a target shard is told the floor in
+	// Column. Idempotent: re-applying at or below the current epoch is OK.
+	OpSplit
+	// OpMigRead is the migration copy read: it returns the object's
+	// per-entry sequence number (ObjSeq), and secret+image packed as a
+	// MigImageBlob, bypassing capability checks (internal op).
+	OpMigRead
+	// OpMigOut is the source-side step of a migration flip, valid only
+	// inside an OpPrepare: it validates the entry is still at Seq (the
+	// copied version, else the vote is no) and, on commit, replaces the
+	// entry with a forwarding stub to the shard in Column.
+	OpMigOut
+	// OpMigIn is the target-side step of a migration flip, valid only
+	// inside an OpPrepare: on commit it installs the object from the
+	// MigImageBlob in Blob, minting a fresh Bullet capability per replica.
+	OpMigIn
+	// OpSealMigration marks the target side of a split complete: misses
+	// in the inbound class stop chasing to the source.
+	OpSealMigration
+	// OpDropStubs drops every forwarding stub on the source after the
+	// target is sealed, ending the split. Refused while moving-class
+	// objects remain.
+	OpDropStubs
 )
 
 // IsUpdate reports whether the op modifies directories (requires the
@@ -70,7 +102,7 @@ const (
 func (op OpCode) IsUpdate() bool {
 	switch op {
 	case OpCreateDir, OpDeleteDir, OpAppendRow, OpChmodRow, OpDeleteRow, OpReplaceSet, OpBatch,
-		OpPrepare, OpDecide:
+		OpPrepare, OpDecide, OpSplit, OpMigOut, OpMigIn, OpSealMigration, OpDropStubs:
 		return true
 	default:
 		return false
@@ -122,6 +154,20 @@ func (op OpCode) String() string {
 		return "watch"
 	case OpLeaseRenew:
 		return "lease-renew"
+	case OpShardMap:
+		return "shard-map"
+	case OpSplit:
+		return "split"
+	case OpMigRead:
+		return "mig-read"
+	case OpMigOut:
+		return "mig-out"
+	case OpMigIn:
+		return "mig-in"
+	case OpSealMigration:
+		return "seal-migration"
+	case OpDropStubs:
+		return "drop-stubs"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -141,6 +187,10 @@ const (
 	StatusConflict
 	StatusBadRequest
 	StatusError
+	// StatusNotMine: the shard does not own the object under its current
+	// shard-map epoch; the reply Blob (EncodeNotMine) carries the
+	// server's epoch and the owning shard for the client's one-hop chase.
+	StatusNotMine
 )
 
 // Errors corresponding to non-OK statuses.
@@ -172,6 +222,8 @@ func (s Status) Err() error {
 		return ErrConflict
 	case StatusBadRequest:
 		return ErrBadRequest
+	case StatusNotMine:
+		return ErrNotMine
 	default:
 		return ErrServer
 	}
@@ -194,6 +246,8 @@ func StatusOf(err error) Status {
 		return StatusNoMajority
 	case errors.Is(err, ErrConflict):
 		return StatusConflict
+	case errors.Is(err, ErrNotMine):
+		return StatusNotMine
 	case errors.Is(err, ErrBadRequest), errors.Is(err, dirdata.ErrBadName),
 		errors.Is(err, dirdata.ErrColumns), errors.Is(err, dirdata.ErrCorrupt):
 		return StatusBadRequest

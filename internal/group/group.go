@@ -31,6 +31,7 @@ package group
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,15 @@ import (
 	"dirsvc/internal/flip"
 	"dirsvc/internal/sim"
 )
+
+// groupDebug enables protocol tracing (GROUP_DEBUG=1).
+var groupDebug = os.Getenv("GROUP_DEBUG") != ""
+
+func gtrace(format string, args ...any) {
+	if groupDebug {
+		fmt.Printf("group: "+format+"\n", args...)
+	}
+}
 
 var (
 	// ErrGroupFailure is returned by Receive and Send when a member
@@ -625,7 +635,7 @@ func (m *Member) failLocked(reason string) {
 	}
 	m.state = StateFailed
 	m.cond.Broadcast()
-	_ = reason // retained for debugging hooks
+	gtrace("node %d gid=%x epoch=%d FAIL: %s", m.me, uint64(m.gid), m.epoch, reason)
 }
 
 // membersSorted returns a sorted copy.

@@ -371,6 +371,7 @@ func (m *Member) handleWelcomeLocked(w *wireMsg) {
 	for _, nd := range m.members {
 		m.lastSeen[nd] = now
 	}
+	gtrace("node %d gid=%x WELCOME epoch=%d seq=%d members=%v sequencer=%d", m.me, uint64(m.gid), m.epoch, w.seq, m.members, m.sequencer)
 	m.cond.Broadcast()
 }
 
@@ -478,6 +479,12 @@ func (m *Member) applyCommitLocked(w *wireMsg) {
 	if w.epoch <= m.epoch {
 		return
 	}
+	// Note: a commit below our current proposal is still installed.
+	// Ballot-unique epochs make every commit distinct and totally
+	// ordered, so the higher coordinator's commit (if it ever happens)
+	// simply supersedes this view; refusing here would strand us
+	// viewless if that coordinator gave up, forcing a needless full
+	// recovery.
 	if !contains(w.members, m.me) {
 		// Excluded from the new view: force the application into
 		// recovery (it will leave and re-join).
@@ -512,6 +519,7 @@ func (m *Member) applyCommitLocked(w *wireMsg) {
 	}
 	m.state = StateNormal
 	m.resettingSince = time.Time{}
+	gtrace("node %d gid=%x COMMIT epoch=%d members=%v sequencer=%d seq2=%d nextSeq=%d", m.me, uint64(m.gid), m.epoch, m.members, m.sequencer, w.seq2, m.nextSeq)
 	m.cond.Broadcast()
 	if m.nextSeq-1 < w.seq2 {
 		m.lastRetransAt = time.Time{}

@@ -7,6 +7,18 @@ import (
 	"dirsvc/internal/sim"
 )
 
+// ballotNodeBits is the width of the node-id field packed into the low
+// bits of every reset epoch. Epochs form Paxos-style ballots
+// (round, node): unique per coordinator, totally ordered, monotone.
+const ballotNodeBits = 16
+
+// ballotEpoch returns the smallest epoch this node may propose that is
+// strictly greater than after.
+func ballotEpoch(after uint64, node sim.NodeID) uint64 {
+	round := (after >> ballotNodeBits) + 1
+	return round<<ballotNodeBits | uint64(node)&(1<<ballotNodeBits-1)
+}
+
 // Reset rebuilds the group after a failure (paper Fig. 1: ResetGroup).
 // The caller acts as coordinator: it invites all reachable members of the
 // same group instance, and if at least minSize answer (including itself)
@@ -42,11 +54,17 @@ func (m *Member) Reset(minSize int) (Info, error) {
 			return info, nil
 		}
 
-		// Become coordinator with a proposal above everything seen.
-		propEpoch := m.epoch + 1
-		if m.curProposal.epoch >= propEpoch {
-			propEpoch = m.curProposal.epoch + 1
+		// Become coordinator with a ballot above everything seen. The
+		// low bits of the epoch carry our node id, so two coordinators
+		// proposing concurrently can never mint the same epoch: their
+		// commits are totally ordered, and a member stranded in the
+		// losing view sees traffic from a strictly newer epoch and
+		// fails over through the ordinary staleness checks.
+		prev := m.epoch
+		if m.curProposal.epoch > prev {
+			prev = m.curProposal.epoch
 		}
+		propEpoch := ballotEpoch(prev, m.me)
 		p := proposal{epoch: propEpoch, node: m.me}
 		m.curProposal = p
 		if m.state != StateResetting {

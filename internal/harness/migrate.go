@@ -1,0 +1,205 @@
+package harness
+
+// The elastic-topology experiment: split a hot shard under live read
+// traffic and measure how much of its load the split sheds. The
+// deployment boots with spare (reserve) shards; every directory is
+// created on the shards active at epoch 0, readers hammer them, and
+// mid-window the coordinator runs a full online split — epoch bump,
+// per-object copy-and-flip migration, seal, stub drop — while the
+// readers keep going. The before/after read share of the hottest
+// pre-split shard is the result.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	faultdir "dirsvc"
+
+	"dirsvc/dir"
+	"dirsvc/internal/capability"
+	"dirsvc/internal/dirclient"
+)
+
+// Migration is the elastic-topology experiment's result.
+type Migration struct {
+	// Dirs is the number of directories created before the split (all on
+	// the shards active at epoch 0); Moved counts those whose home shard
+	// changed with the split.
+	Dirs  int
+	Moved int
+	// EpochBefore and EpochAfter bracket the split.
+	EpochBefore, EpochAfter uint64
+	// SplitTime is the wall-clock duration of the whole online split —
+	// epoch bump, object migration, seal, and stub drop — under live
+	// read traffic.
+	SplitTime time.Duration
+	// HotShareBefore and HotShareAfter are the fraction of all reads
+	// served by the hottest pre-split shard in the equal measurement
+	// windows before and after the split; ReadsBefore and ReadsAfter are
+	// the windows' totals. A successful split shows the share dropping
+	// toward 1/activeAfter.
+	HotShareBefore, HotShareAfter float64
+	ReadsBefore, ReadsAfter       uint64
+	// ReadErrors counts reader operations that needed a retry during the
+	// split window (conflict/timeout churn); none may fail terminally.
+	ReadErrors uint64
+}
+
+// shardReads sums every replica's served-read counter per shard.
+func shardReads(c *faultdir.Cluster) []uint64 {
+	out := make([]uint64, c.Shards())
+	for s := 0; s < c.Shards(); s++ {
+		for _, n := range c.ShardReadCounts(s) {
+			out[s] += n
+		}
+	}
+	return out
+}
+
+// MeasureMigration runs the live-split experiment on a cluster booted
+// with reserve shards (Options.ActiveShards < Options.Shards): `dirs`
+// directories are created on the active shards, `readers` clients look
+// them up continuously, and halfway through the split runs. The two
+// measurement windows (before/after) each last `window`.
+func MeasureMigration(c *faultdir.Cluster, dirs, readers int, window time.Duration) (Migration, error) {
+	coord, cleanup, err := c.NewClient()
+	if err != nil {
+		return Migration{}, err
+	}
+	defer cleanup()
+
+	caps := make([]capability.Capability, dirs)
+	for i := range caps {
+		if err := retryTransient(func() error {
+			d, cerr := coord.CreateDir(bgCtx)
+			if cerr == nil {
+				caps[i] = d
+			}
+			return cerr
+		}); err != nil {
+			return Migration{}, fmt.Errorf("create dir %d: %w", i, err)
+		}
+		if err := retryTransient(func() error {
+			return coord.Append(bgCtx, caps[i], "row", caps[i], nil)
+		}); err != nil {
+			return Migration{}, fmt.Errorf("seed dir %d: %w", i, err)
+		}
+	}
+	epochBefore := coord.Epoch()
+	base, total := coord.Geometry()
+
+	// Live read traffic, running through the split.
+	var (
+		stop       atomic.Bool
+		retries    atomic.Uint64
+		readerErrs = make(chan error, readers)
+		wg         sync.WaitGroup
+	)
+	for i := 0; i < readers; i++ {
+		client, rcleanup, err := c.NewClient()
+		if err != nil {
+			return Migration{}, err
+		}
+		defer rcleanup()
+		wg.Add(1)
+		go func(i int, client *dirclient.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			for !stop.Load() {
+				d := caps[rng.Intn(len(caps))]
+				attempt := 0
+				err := retryTransient(func() error {
+					attempt++
+					_, lerr := client.Lookup(bgCtx, d, "row")
+					return lerr
+				})
+				if attempt > 1 {
+					retries.Add(uint64(attempt - 1))
+				}
+				if err != nil {
+					readerErrs <- fmt.Errorf("reader %d: %w", i, err)
+					return
+				}
+			}
+		}(i, client)
+	}
+
+	fail := func(err error) (Migration, error) {
+		stop.Store(true)
+		wg.Wait()
+		return Migration{}, err
+	}
+
+	// Window 1: pre-split load distribution.
+	base0 := shardReads(c)
+	time.Sleep(window)
+	pre := shardReads(c)
+
+	// The split, live.
+	splitStart := time.Now()
+	epochAfter, err := coord.SplitAndMigrate(bgCtx)
+	splitTime := time.Since(splitStart)
+	if err != nil {
+		return fail(fmt.Errorf("split: %w", err))
+	}
+
+	// Window 2: post-split load distribution.
+	mid := shardReads(c)
+	time.Sleep(window)
+	post := shardReads(c)
+
+	stop.Store(true)
+	wg.Wait()
+	close(readerErrs)
+	if err := <-readerErrs; err != nil {
+		return Migration{}, err
+	}
+
+	// Every directory must still resolve — through its new home.
+	for i, d := range caps {
+		if err := retryTransient(func() error {
+			_, lerr := coord.Lookup(bgCtx, d, "row")
+			return lerr
+		}); err != nil {
+			return Migration{}, fmt.Errorf("dir %d unreachable after split: %w", i, err)
+		}
+	}
+
+	res := Migration{
+		Dirs:        dirs,
+		EpochBefore: epochBefore,
+		EpochAfter:  epochAfter,
+		SplitTime:   splitTime,
+		ReadErrors:  retries.Load(),
+	}
+	for _, d := range caps {
+		if dir.HomeShard(d.Object, epochBefore, base, total) != dir.HomeShard(d.Object, epochAfter, base, total) {
+			res.Moved++
+		}
+	}
+
+	// Hot shard = the busiest shard of window 1; its share must drop.
+	hot, hotReads := 0, uint64(0)
+	var totBefore, totAfter uint64
+	for s := range pre {
+		n := pre[s] - base0[s]
+		totBefore += n
+		if n > hotReads {
+			hot, hotReads = s, n
+		}
+	}
+	for s := range post {
+		totAfter += post[s] - mid[s]
+	}
+	res.ReadsBefore, res.ReadsAfter = totBefore, totAfter
+	if totBefore > 0 {
+		res.HotShareBefore = float64(hotReads) / float64(totBefore)
+	}
+	if totAfter > 0 {
+		res.HotShareAfter = float64(post[hot]-mid[hot]) / float64(totAfter)
+	}
+	return res, nil
+}

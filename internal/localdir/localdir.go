@@ -34,6 +34,10 @@ type Config struct {
 	// Shard and Shards place this server in a sharded deployment (see
 	// dirsvc.ObjectTable.ConfigureShard). Zero values mean unsharded.
 	Shard, Shards int
+	// ActiveShards is the number of shards serving traffic at epoch zero;
+	// the rest are reserve targets for online splits. Zero means all
+	// Shards are active — the pre-elastic behavior.
+	ActiveShards int
 	// BaseService is the deployment-wide service name (decision queries
 	// to sibling shards); empty means no cross-shard queries.
 	BaseService string
@@ -86,15 +90,26 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("localdir: %w", err)
 	}
-	table.ConfigureShard(cfg.Shard, cfg.Shards)
+	base := cfg.ActiveShards
+	if base <= 0 || base > cfg.Shards {
+		base = cfg.Shards
+	}
+	table.ConfigureShard(cfg.Shard, base)
+	// Mint/verify capabilities under the deployment-wide port so they
+	// survive a live migration to a sibling shard (core does the same).
+	capService := cfg.BaseService
+	if capService == "" {
+		capService = cfg.Service
+	}
 	s := &Server{
 		cfg:     cfg,
 		stack:   stack,
 		model:   stack.Model(),
 		table:   table,
-		applier: dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, bullet.NewClient(rc, dirsvc.BulletPort(cfg.Service, 1))),
+		applier: dirsvc.NewApplier(dirsvc.ServicePort(capService), table, bullet.NewClient(rc, dirsvc.BulletPort(cfg.Service, 1))),
 	}
 	s.applier.SetLockWaitSlots(cfg.Workers - 1)
+	s.applier.ConfigureTopology(cfg.Shard, base, cfg.Shards)
 	s.lockWait = s.model.Timeout(5 * time.Second)
 	if s.lockWait < 500*time.Millisecond {
 		s.lockWait = 500 * time.Millisecond
@@ -114,6 +129,18 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.seq = table.MaxSeq()
+
+	// Adopt a persisted topology (admin block 0, written only on topology
+	// changes): a split at a source shard touches no object-table entry,
+	// so the epoch would otherwise reset to zero on restart.
+	if cb, err := dirsvc.ReadCommitBlock(cfg.Admin, 0); err == nil {
+		if cb.Topo != nil {
+			s.applier.RestoreTopology(cb.Topo)
+		}
+		if cb.Seq > s.seq {
+			s.seq = cb.Seq
+		}
+	}
 
 	// The unreplicated server never recovers, so its event log keeps one
 	// identity for the server's whole life, floored at the boot cursor.
@@ -218,6 +245,14 @@ func (s *Server) handle(req *rpc.Request) []byte {
 		if obj := dreq.Dir.Object; obj != 0 && !s.applier.WaitUnlocked(obj, s.lockWait) {
 			return (&dirsvc.Reply{Status: dirsvc.StatusConflict}).Encode()
 		}
+		// Objects homed elsewhere bounce with the owner's address; the
+		// migration copy read (OpMigRead) must still see the source copy.
+		if obj := dreq.Dir.Object; obj != 0 && dreq.Op != dirsvc.OpMigRead {
+			if owner, fwd := s.applier.RouteForward(obj); fwd {
+				topo, _ := s.applier.Topology()
+				return (&dirsvc.Reply{Status: dirsvc.StatusNotMine, Blob: dirsvc.EncodeNotMine(topo.Epoch, owner)}).Encode()
+			}
+		}
 		s.mu.Lock()
 		svcSeq := s.seq
 		s.mu.Unlock()
@@ -232,6 +267,12 @@ func (s *Server) handle(req *rpc.Request) []byte {
 	// decide itself has no wait targets and runs unimpeded.
 	if err := s.applier.AwaitLockFree(dirsvc.LockWaitTargets(dreq, s.cfg.Shard), s.lockWait); err != nil {
 		return dirsvc.ErrorReply(err).Encode()
+	}
+	if obj := dreq.Dir.Object; obj != 0 {
+		if owner, fwd := s.applier.RouteForward(obj); fwd {
+			topo, _ := s.applier.Topology()
+			return (&dirsvc.Reply{Status: dirsvc.StatusNotMine, Blob: dirsvc.EncodeNotMine(topo.Epoch, owner)}).Encode()
+		}
 	}
 	return s.update(dreq).Encode()
 }
@@ -275,6 +316,12 @@ func (s *Server) update(req *dirsvc.Request) *dirsvc.Reply {
 	// The one synchronous write: the directory's metadata block.
 	if err := s.table.FlushBlocks(res.DirtyObjects); err != nil {
 		return &dirsvc.Reply{Status: dirsvc.StatusError}
+	}
+	if res.TopoChanged {
+		if topo, ok := s.applier.Topology(); ok {
+			t := topo
+			_ = (&dirsvc.CommitBlock{Seq: seq, Topo: &t}).Write(s.cfg.Admin)
+		}
 	}
 	return res.Reply
 }

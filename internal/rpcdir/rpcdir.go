@@ -16,6 +16,7 @@ package rpcdir
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -44,6 +45,10 @@ type Config struct {
 	// Shard and Shards place this server pair in a sharded deployment
 	// (see dirsvc.ObjectTable.ConfigureShard). Zero values mean unsharded.
 	Shard, Shards int
+	// ActiveShards is the number of shards serving traffic at epoch zero;
+	// the rest are reserve targets for online splits. Zero means all
+	// Shards are active — the pre-elastic behavior.
+	ActiveShards int
 	// BaseService is the deployment-wide service name (decision queries
 	// to sibling shards); empty means no cross-shard queries.
 	BaseService string
@@ -118,7 +123,11 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpcdir: %w", err)
 	}
-	table.ConfigureShard(cfg.Shard, cfg.Shards)
+	base := cfg.ActiveShards
+	if base <= 0 || base > cfg.Shards {
+		base = cfg.Shards
+	}
+	table.ConfigureShard(cfg.Shard, base)
 	s := &Server{
 		cfg:       cfg,
 		stack:     stack,
@@ -143,6 +152,7 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	}
 	s.applier = dirsvc.NewApplier(dirsvc.ServicePort(cfg.Service), table, s.bc)
 	s.applier.SetLockWaitSlots(cfg.Workers - 1)
+	s.applier.ConfigureTopology(cfg.Shard, base, cfg.Shards)
 
 	if err := s.bootstrap(); err != nil {
 		return nil, err
@@ -238,6 +248,19 @@ func (s *Server) bootstrap() error {
 		return err
 	}
 	s.seq = s.table.MaxSeq()
+
+	// Adopt the persisted topology (admin block 0, written only on
+	// topology changes — splits, seals, stub drops). A split at a source
+	// shard touches no object-table entry, so without this block the
+	// epoch would silently reset to zero on restart.
+	if cb, err := dirsvc.ReadCommitBlock(s.cfg.Admin, 0); err == nil {
+		if cb.Topo != nil {
+			s.applier.RestoreTopology(cb.Topo)
+		}
+		if cb.Seq > s.seq {
+			s.seq = cb.Seq
+		}
+	}
 
 	// Replay an intention that was promised before a crash.
 	if raw, err := s.cfg.Staging.ReadBlock(0); err == nil {
@@ -338,6 +361,18 @@ func (s *Server) handleRead(req *dirsvc.Request) *dirsvc.Reply {
 	if obj := req.Dir.Object; obj != 0 && !s.applier.WaitUnlocked(obj, s.minSeqWait) {
 		return &dirsvc.Reply{Status: dirsvc.StatusConflict}
 	}
+	// An object this shard does not own (migrated away, or not yet
+	// migrated in) is bounced with the owner's address. Checked after the
+	// lock wait: a reader racing a migration flip parks until the decide,
+	// then sees either the entry or the forwarding stub — never a window
+	// where both shards refuse. OpMigRead is the migration copy itself
+	// and must read the source copy that routing says is leaving.
+	if obj := req.Dir.Object; obj != 0 && req.Op != dirsvc.OpMigRead {
+		if owner, fwd := s.applier.RouteForward(obj); fwd {
+			topo, _ := s.applier.Topology()
+			return &dirsvc.Reply{Status: dirsvc.StatusNotMine, Blob: dirsvc.EncodeNotMine(topo.Epoch, owner)}
+		}
+	}
 	// Sample the sequence number before the read so the stamp is a
 	// conservative freshness bound for client read caches.
 	s.mu.Lock()
@@ -356,6 +391,15 @@ func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
 	// able to run while waiters are parked. OpDecide has no wait targets.
 	if err := s.applier.AwaitLockFree(dirsvc.LockWaitTargets(req, s.cfg.Shard), s.minSeqWait); err != nil {
 		return dirsvc.ErrorReply(err)
+	}
+
+	// Bounce updates for objects homed elsewhere (batches, prepares,
+	// decides and splits carry object 0 and pass through).
+	if obj := req.Dir.Object; obj != 0 {
+		if owner, fwd := s.applier.RouteForward(obj); fwd {
+			topo, _ := s.applier.Topology()
+			return &dirsvc.Reply{Status: dirsvc.StatusNotMine, Blob: dirsvc.EncodeNotMine(topo.Epoch, owner)}
+		}
 	}
 
 	s.updateMu.Lock()
@@ -432,6 +476,9 @@ func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
 	s.mu.Lock()
 	s.seq = agreedSeq
 	s.mu.Unlock()
+	if res.TopoChanged {
+		s.persistTopo(agreedSeq)
+	}
 	for _, old := range res.OldBullet {
 		s.scheduleCleanup(old)
 	}
@@ -536,6 +583,9 @@ func (s *Server) handleApplyLazy(dreq *dirsvc.Request) *dirsvc.Reply {
 	}
 	res, err := s.applier.ApplyUpdate(intent.req, intent.seq, true)
 	if err == nil {
+		if res.TopoChanged {
+			s.persistTopo(intent.seq)
+		}
 		for _, old := range res.OldBullet {
 			s.scheduleCleanup(old)
 		}
@@ -591,6 +641,9 @@ func (s *Server) applyPendingFor(obj uint32) {
 		return
 	}
 	if res, err := s.applier.ApplyUpdate(intent.req, intent.seq, true); err == nil {
+		if res.TopoChanged {
+			s.persistTopo(intent.seq)
+		}
 		for _, old := range res.OldBullet {
 			s.scheduleCleanup(old)
 		}
@@ -618,12 +671,16 @@ func (s *Server) handleSyncPull() *dirsvc.Reply {
 		}
 		w.add(obj, e.Seq, e.Secret, d.Encode())
 	}
-	return &dirsvc.Reply{Status: dirsvc.StatusOK, Seq: seq, Blob: w.bytes()}
+	return &dirsvc.Reply{Status: dirsvc.StatusOK, Seq: seq, Blob: s.wrapSync(w.bytes())}
 }
 
 // installState replaces local state with a peer bundle.
 func (s *Server) installState(blob []byte, seq uint64) error {
-	dirs, err := parseBundle(blob)
+	topo, stubs, rest, err := parseSyncWrap(blob)
+	if err != nil {
+		return err
+	}
+	dirs, err := parseBundle(rest)
 	if err != nil {
 		return err
 	}
@@ -636,8 +693,11 @@ func (s *Server) installState(blob []byte, seq uint64) error {
 		}
 		entries[d.obj] = dirsvc.ObjectEntry{Cap: bcap, Seq: d.seq, Secret: d.secret}
 	}
-	if err := s.table.ReplaceAll(entries); err != nil {
+	if err := s.table.ReplaceAll(entries, stubs); err != nil {
 		return err
+	}
+	if topo != nil {
+		s.applier.RestoreTopology(topo)
 	}
 	if err := s.applier.LoadAll(); err != nil {
 		return err
@@ -645,7 +705,96 @@ func (s *Server) installState(blob []byte, seq uint64) error {
 	s.mu.Lock()
 	s.seq = seq
 	s.mu.Unlock()
+	if topo != nil {
+		s.persistTopo(seq)
+	}
 	return nil
+}
+
+// persistTopo records the current topology in admin block 0 — rpcdir's
+// equivalent of the group kind's commit block, written only when a
+// split, seal, or stub drop changes the topology. The stored sequence
+// number keeps the server from regressing past the topology change on
+// restart (a split at a source shard touches no object-table entry).
+func (s *Server) persistTopo(seq uint64) {
+	topo, ok := s.applier.Topology()
+	if !ok {
+		return
+	}
+	t := topo
+	_ = (&dirsvc.CommitBlock{Seq: seq, Topo: &t}).Write(s.cfg.Admin)
+}
+
+// wrapSync prefixes a directory bundle with the topology state and the
+// forwarding stubs (which have no directory image, so the plain bundle
+// cannot carry them).
+func (s *Server) wrapSync(dirBundle []byte) []byte {
+	var buf []byte
+	if topo, ok := s.applier.Topology(); ok {
+		buf = append(buf, 1)
+		buf = append(buf, dirsvc.EncodeTopoState(&topo)...)
+	} else {
+		buf = append(buf, 0)
+	}
+	stubs := s.table.Stubs()
+	objs := make([]uint32, 0, len(stubs))
+	for obj := range stubs {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	n := len(objs)
+	buf = append(buf, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	for _, obj := range objs {
+		st := stubs[obj]
+		buf = append(buf, byte(obj>>24), byte(obj>>16), byte(obj>>8), byte(obj))
+		t := uint32(st.Target)
+		buf = append(buf, byte(t>>24), byte(t>>16), byte(t>>8), byte(t))
+		for i := 7; i >= 0; i-- {
+			buf = append(buf, byte(st.Seq>>(8*i)))
+		}
+	}
+	return append(buf, dirBundle...)
+}
+
+func parseSyncWrap(raw []byte) (*dirsvc.TopoState, map[uint32]dirsvc.StubEntry, []byte, error) {
+	if len(raw) < 1 {
+		return nil, nil, nil, errors.New("rpcdir: short sync bundle")
+	}
+	var topo *dirsvc.TopoState
+	off := 1
+	if raw[0] == 1 {
+		if len(raw) < 1+dirsvc.TopoStateLen {
+			return nil, nil, nil, errors.New("rpcdir: short sync topology")
+		}
+		t, err := dirsvc.DecodeTopoState(raw[1 : 1+dirsvc.TopoStateLen])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		topo = t
+		off += dirsvc.TopoStateLen
+	} else if raw[0] != 0 {
+		return nil, nil, nil, errors.New("rpcdir: bad sync bundle marker")
+	}
+	if off+4 > len(raw) {
+		return nil, nil, nil, errors.New("rpcdir: short sync stub count")
+	}
+	n := int(raw[off])<<24 | int(raw[off+1])<<16 | int(raw[off+2])<<8 | int(raw[off+3])
+	off += 4
+	if n < 0 || off+n*16 > len(raw) {
+		return nil, nil, nil, errors.New("rpcdir: bad sync stub count")
+	}
+	stubs := make(map[uint32]dirsvc.StubEntry, n)
+	for i := 0; i < n; i++ {
+		obj := uint32(raw[off])<<24 | uint32(raw[off+1])<<16 | uint32(raw[off+2])<<8 | uint32(raw[off+3])
+		target := uint32(raw[off+4])<<24 | uint32(raw[off+5])<<16 | uint32(raw[off+6])<<8 | uint32(raw[off+7])
+		var seq uint64
+		for j := 8; j < 16; j++ {
+			seq = seq<<8 | uint64(raw[off+j])
+		}
+		stubs[obj] = dirsvc.StubEntry{Target: int(target), Seq: seq}
+		off += 16
+	}
+	return topo, stubs, raw[off:], nil
 }
 
 func (s *Server) scheduleCleanup(cap capability.Capability) {

@@ -24,6 +24,16 @@ import (
 // crashTxTimeout is the presumed-abort horizon for the crash schedules.
 const crashTxTimeout = 300 * time.Millisecond
 
+// Crash-schedule deadlines. Generous on purpose: every test here is
+// skipped under -short (the quick tier-1 lane) and runs only in the
+// dedicated race-enabled CI lanes, where the simulated cluster can be an
+// order of magnitude slower than a native run — a tight deadline there
+// is a flake, not a failure.
+const (
+	crashSettleWait = 60 * time.Second
+	crashRetryWait  = 45 * time.Second
+)
+
 func newCrashCluster(t *testing.T, kind Kind, shards int) *Cluster {
 	t.Helper()
 	c, err := New(kind, Options{
@@ -78,7 +88,7 @@ func newTxFixture(t *testing.T, c *Cluster, name string) *txFixture {
 // createOn creates a directory on one shard, riding out boot churn.
 func createOn(client *dirclient.Client, shard int) (dir.Capability, error) {
 	var d dir.Capability
-	err := retryFor(20*time.Second, func() error {
+	err := retryFor(crashRetryWait, func() error {
 		var cerr error
 		d, cerr = client.CreateDirOn(bgCtx, shard)
 		return cerr
@@ -119,7 +129,7 @@ func (f *txFixture) batch() *dir.Batch {
 // partially applied batch.
 func (f *txFixture) assertSettles(t *testing.T, committed bool) {
 	t.Helper()
-	deadline := time.Now().Add(20 * time.Second)
+	deadline := time.Now().Add(crashSettleWait)
 	for s, d := range f.dirs {
 		for {
 			caps, err := f.probe.LookupSet(bgCtx, d, []string{f.name})
@@ -144,7 +154,7 @@ func (f *txFixture) assertSettles(t *testing.T, committed bool) {
 	}
 	// All-or-nothing is stable: a second pass over every shard agrees.
 	for s, d := range f.dirs {
-		if err := retryFor(10*time.Second, func() error {
+		if err := retryFor(crashRetryWait, func() error {
 			caps, err := f.probe.LookupSet(bgCtx, d, []string{f.name})
 			if err != nil {
 				return err
@@ -159,7 +169,7 @@ func (f *txFixture) assertSettles(t *testing.T, committed bool) {
 	}
 	// Locks released: every shard accepts new updates.
 	for s, d := range f.dirs {
-		if err := retryFor(10*time.Second, func() error {
+		if err := retryFor(crashRetryWait, func() error {
 			return f.probe.Append(bgCtx, d, f.name+"-after", d, nil)
 		}); err != nil {
 			t.Fatalf("shard %d still wedged after resolution: %v", s, err)
@@ -199,7 +209,7 @@ func TestTwoPhaseParticipantMinorityCrash(t *testing.T) {
 					return nil
 				})
 			}
-			err := retryFor(20*time.Second, func() error {
+			err := retryFor(crashRetryWait, func() error {
 				_, aerr := f.coordinator.Apply(bgCtx, f.batch())
 				return aerr
 			})
@@ -380,7 +390,7 @@ func TestTwoPhaseCrashDuringLockWait(t *testing.T) {
 	readerDone := make(chan error, 1)
 	go func() {
 		for i := 0; i < 20; i++ {
-			if err := retryFor(10*time.Second, func() error {
+			if err := retryFor(crashRetryWait, func() error {
 				_, rerr := f.probe.LookupSet(bgCtx, f.dirs[0], []string{"absent"})
 				return rerr
 			}); err != nil {
@@ -405,13 +415,13 @@ func TestTwoPhaseCrashDuringLockWait(t *testing.T) {
 		if werr != nil {
 			// Refused at the deadline: the queue is a fast path, the
 			// retry contract is intact — the write must land on retry.
-			if err := retryFor(20*time.Second, func() error {
+			if err := retryFor(crashRetryWait, func() error {
 				return f.probe.Append(bgCtx, f.dirs[0], "parked", f.dirs[0], nil)
 			}); err != nil {
 				t.Fatalf("retried write after lock-wait refusal: %v", err)
 			}
 		}
-	case <-time.After(30 * time.Second):
+	case <-time.After(crashSettleWait):
 		t.Fatal("writer parked in the lock-wait queue hung past every deadline")
 	}
 	if err := <-readerDone; err != nil {

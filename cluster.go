@@ -111,6 +111,19 @@ type Options struct {
 	DisableReadMajorityCheck bool
 	// NVRAMSize sizes the NVRAM region (default 24 KB, as in §4.1).
 	NVRAMSize int
+	// DiskEngine puts the disk-backed storage engine under the group
+	// kinds: each replica carves an engine partition (checkpoints + a
+	// write-ahead log) from its disk, applies go to RAM with the log as
+	// the critical-path durability, and recovery is checkpoint + log
+	// suffix instead of a full replay. For plain KindGroup this also
+	// closes the whole-shard-crash 2PC window (prepares and decides hit
+	// the log before the reply); for KindGroupNVRAM the NVRAM log stays
+	// the critical path and checkpoints replace the background flush.
+	// Engine partitions also feed readonly secondaries (StartSecondary).
+	DiskEngine bool
+	// EngineBlocks sizes each replica's engine partition when DiskEngine
+	// is set (default DiskBlocks/4).
+	EngineBlocks int
 	// IdleFlush tunes the NVRAM flush idle threshold.
 	IdleFlush time.Duration
 	// ClientCache configures the read cache of every client the cluster
@@ -148,6 +161,7 @@ type machine struct {
 	disk        *vdisk.Disk
 	admin       *vdisk.Partition
 	staging     *vdisk.Partition
+	enginePart  *vdisk.Partition // storage engine region (Options.DiskEngine)
 	bulletPart  *vdisk.Partition
 	nvram       *vdisk.NVRAM
 	dirNode     *sim.Node
@@ -246,6 +260,13 @@ func New(kind Kind, opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// engineEnabled reports whether this deployment carves storage-engine
+// partitions (group kinds only; the RPC and local kinds keep their
+// intention/write-through durability).
+func (c *Cluster) engineEnabled() bool {
+	return c.opts.DiskEngine && (c.Kind == KindGroup || c.Kind == KindGroupNVRAM)
+}
+
 // Shards returns the number of replica groups in the deployment.
 func (c *Cluster) Shards() int { return len(c.shards) }
 
@@ -273,7 +294,18 @@ func (c *Cluster) buildMachine(sg *shardGroup, id int) (*machine, error) {
 	if m.staging, err = vdisk.NewPartition(m.disk, adminBlocks, 1); err != nil {
 		return nil, err
 	}
-	if m.bulletPart, err = vdisk.NewPartition(m.disk, adminBlocks+1, c.opts.DiskBlocks-adminBlocks-1); err != nil {
+	bulletStart := adminBlocks + 1
+	if c.engineEnabled() {
+		engBlocks := c.opts.EngineBlocks
+		if engBlocks <= 0 {
+			engBlocks = c.opts.DiskBlocks / 4
+		}
+		if m.enginePart, err = vdisk.NewPartition(m.disk, bulletStart, engBlocks); err != nil {
+			return nil, err
+		}
+		bulletStart += engBlocks
+	}
+	if m.bulletPart, err = vdisk.NewPartition(m.disk, bulletStart, c.opts.DiskBlocks-bulletStart); err != nil {
 		return nil, err
 	}
 	if c.Kind == KindGroupNVRAM {
@@ -305,6 +337,15 @@ func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 		for _, mm := range sg.machines {
 			peers[mm.id] = mm.dirNode.ID()
 		}
+		var engine *dirsvc.Engine
+		if m.enginePart != nil {
+			// Reopen across restarts: the partition's manifest carries the
+			// surviving checkpoint and log.
+			var err error
+			if engine, err = dirsvc.OpenEngine(m.enginePart); err != nil {
+				return fmt.Errorf("open engine (server %d, shard %d): %w", m.id, sg.index, err)
+			}
+		}
 		srv, err := core.NewServer(m.dirStack, core.Config{
 			Service:                  sg.service,
 			BaseService:              c.Service,
@@ -317,6 +358,7 @@ func (c *Cluster) bootServer(sg *shardGroup, m *machine) error {
 			Peers:                    peers,
 			Admin:                    m.admin,
 			NVRAM:                    m.nvram,
+			Engine:                   engine,
 			Workers:                  c.opts.Workers,
 			Resilience:               c.opts.Resilience,
 			DisableImprovement:       c.opts.DisableImprovement,
@@ -443,6 +485,95 @@ func (c *Cluster) CacheStats() dir.CacheStats {
 // sharded.
 func (c *Cluster) NewFileClient(dc *dirclient.Client) *bullet.Client {
 	return bullet.NewClient(dc.RPC(), dirsvc.PublicBulletPort(c.Service))
+}
+
+// StartSecondary boots a readonly secondary instance for one shard, fed
+// from replica id's storage-engine partition (checkpoint + log tail): it
+// answers balanced reads on the shard's service port — announcing itself
+// read-only on HEREIS, so clients route updates elsewhere — but holds no
+// vote and grants no leases. Requires Options.DiskEngine. The returned
+// cleanup shuts the instance down; Cluster.Close also covers it.
+func (c *Cluster) StartSecondary(shard, id int) (*core.Secondary, func(), error) {
+	sg := c.shard(shard)
+	m := c.shardMachine(shard, id)
+	if m.enginePart == nil {
+		return nil, nil, errors.New("faultdir: secondaries need Options.DiskEngine")
+	}
+	view, err := dirsvc.NewEngineView(m.enginePart)
+	if err != nil {
+		return nil, nil, err
+	}
+	node := c.Net.AddNode(c.nodeName("sec", shard, id))
+	stack := flip.NewStack(node)
+	// The scratch disk backs only the object-table mirror; it is never a
+	// durability source.
+	scratch := vdisk.New(c.opts.Model, adminBlocks)
+	admin, err := vdisk.NewPartition(scratch, 0, adminBlocks)
+	if err != nil {
+		stack.Close()
+		return nil, nil, err
+	}
+	sec, err := core.NewSecondary(stack, core.SecondaryConfig{
+		Service:      sg.service,
+		BaseService:  c.Service,
+		Shard:        sg.index,
+		Shards:       c.opts.Shards,
+		ActiveShards: c.opts.ActiveShards,
+		View:         view,
+		Admin:        admin,
+		Workers:      c.opts.Workers,
+	})
+	if err != nil {
+		stack.Close()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		sec.Close()
+		stack.Close()
+	}
+	c.mu.Lock()
+	c.clients = append(c.clients, cleanup)
+	c.mu.Unlock()
+	return sec, cleanup, nil
+}
+
+// CheckpointShard forces a synchronous storage-engine checkpoint on
+// every live replica of one shard (tests and the benchmark harness; the
+// background flush loop cuts checkpoints on its own). A no-op for
+// deployments without Options.DiskEngine.
+func (c *Cluster) CheckpointShard(shard int) error {
+	for _, m := range c.shard(shard).machines {
+		m.mu.Lock()
+		srv := m.core
+		if m.stop == nil {
+			srv = nil // crashed: its engine partition stays as-is
+		}
+		m.mu.Unlock()
+		if srv == nil {
+			continue
+		}
+		if err := srv.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardServerStatus returns a group server's status snapshot —
+// including the storage-engine fields when Options.DiskEngine is set.
+// ok is false for crashed servers and for kinds without a core server.
+func (c *Cluster) ShardServerStatus(shard, id int) (core.Status, bool) {
+	m := c.shardMachine(shard, id)
+	m.mu.Lock()
+	srv := m.core
+	if m.stop == nil {
+		srv = nil
+	}
+	m.mu.Unlock()
+	if srv == nil {
+		return core.Status{}, false
+	}
+	return srv.Status(), true
 }
 
 // NewRawClient returns an RPC client on a fresh host (harness use).

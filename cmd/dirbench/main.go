@@ -58,11 +58,12 @@ const (
 	defaultWatchOut     = "BENCH_watch.json"
 	defaultTailOut      = "BENCH_tail.json"
 	defaultMigrateOut   = "BENCH_migrate.json"
+	defaultDurableOut   = "BENCH_durable.json"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | readscale | xbatch | watch | tail | migrate | all")
+		experiment = flag.String("experiment", "all", "fig7 | fig8 | fig9 | headline | bounds | batch | shard | cache | readscale | xbatch | watch | tail | migrate | durable | all")
 		window     = flag.Duration("window", 2*time.Second, "measurement window per throughput point")
 		pairs      = flag.Int("pairs", 10, "append-delete pairs per latency measurement")
 		scale      = flag.Float64("scale", 1.0, "latency scale factor (1.0 = paper hardware)")
@@ -114,13 +115,15 @@ func run(experiment string, window time.Duration, pairs int, scale float64, clie
 		return tailLatency(model, window, scale, clients, resolveOut(out, defaultTailOut))
 	case "migrate":
 		return migrateExperiment(model, window, scale, clients, resolveOut(out, defaultMigrateOut))
+	case "durable":
+		return durableExperiment(model, window, scale, clients, resolveOut(out, defaultDurableOut))
 	case "all":
-		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache", "readscale", "xbatch", "watch", "tail", "migrate"} {
+		for _, exp := range []string{"fig7", "fig8", "fig9", "headline", "bounds", "batch", "shard", "cache", "readscale", "xbatch", "watch", "tail", "migrate", "durable"} {
 			expOut := out
 			if expOut == "auto" {
 				// Don't overwrite the committed calibrated records from a
 				// (typically scaled-down) sweep.
-				if exp == "shard" || exp == "cache" || exp == "readscale" || exp == "xbatch" || exp == "watch" || exp == "tail" || exp == "migrate" {
+				if exp == "shard" || exp == "cache" || exp == "readscale" || exp == "xbatch" || exp == "watch" || exp == "tail" || exp == "migrate" || exp == "durable" {
 					fmt.Printf("(all sweep: not writing BENCH_%s.json — use -experiment %s, or pass -out explicitly)\n", exp, exp)
 				}
 				expOut = ""
@@ -943,6 +946,137 @@ func migrateExperiment(model *sim.LatencyModel, window time.Duration, scale floa
 		m.EpochBefore, m.EpochAfter, m.Moved, m.Dirs, res.SplitMS)
 	fmt.Printf("hot shard read share: %.0f%% -> %.0f%%  (%d reads before, %d after; %d reader retries)\n",
 		100*m.HotShareBefore, 100*m.HotShareAfter, m.ReadsBefore, m.ReadsAfter, m.ReadErrors)
+	if out == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	fmt.Printf("results written to %s\n", out)
+	return nil
+}
+
+// durableResult is the machine-readable record of the durability
+// experiment: whole-shard recovery time under the three durability
+// layouts, and the balanced read throughput before/after readonly
+// secondaries join the shard's read tier.
+type durableResult struct {
+	Experiment string  `json:"experiment"`
+	Kind       string  `json:"kind"`
+	Dirs       int     `json:"dirs"`
+	Clients    int     `json:"clients"`
+	WindowMS   int64   `json:"window_ms"`
+	Scale      float64 `json:"scale"`
+
+	// Whole-shard reboot wall time (paper-hardware ms).
+	RecoveryWriteThroughMS float64 `json:"recovery_write_through_ms"` // plain durable: object-table load
+	RecoveryLogReplayMS    float64 `json:"recovery_engine_log_replay_ms"`
+	RecoveryCheckpointMS   float64 `json:"recovery_engine_checkpoint_ms"`
+	ReplaySpeedup          float64 `json:"checkpoint_speedup_vs_replay"`
+
+	ReadsPrimariesOnly   float64 `json:"reads_per_sec_primaries_only"`
+	ReadsWithSecondaries float64 `json:"reads_per_sec_with_secondaries"`
+	Secondaries          int     `json:"secondaries"`
+	SecondaryReads       uint64  `json:"secondary_reads"`
+	SecondaryShare       float64 `json:"secondary_read_share"`
+}
+
+// durableExperiment measures what the storage engine buys. Recovery: a
+// shard of `dirs` directories reboots whole under (a) the plain
+// write-through layout — state loads from the object table and Bullet
+// store, (b) the engine layout with a cold checkpoint — the full
+// write-ahead log replays, and (c) the engine layout with a fresh
+// checkpoint — recovery installs the checkpoint and replays an empty
+// suffix. Read tier: balanced lookup throughput on the engine
+// deployment before and after one readonly secondary per primary joins
+// the shard's service port.
+func durableExperiment(model *sim.LatencyModel, window time.Duration, scale float64, clients int, out string) error {
+	const dirs = 120
+	fmt.Printf("== Durable engine: whole-shard recovery of %d dirs, and the readonly secondary read tier\n", dirs)
+	res := durableResult{
+		Experiment: "durable",
+		Kind:       faultdir.KindGroup.String(),
+		Dirs:       dirs,
+		Clients:    clients,
+		WindowMS:   window.Milliseconds(),
+		Scale:      scale,
+	}
+
+	// (a) plain write-through durability: every update paid the disk on
+	// the apply path, recovery reloads the object table.
+	plain, err := faultdir.New(faultdir.KindGroup, faultdir.Options{Model: model, Workers: 8})
+	if err != nil {
+		return err
+	}
+	if err := harness.PopulateDirs(plain, dirs); err == nil {
+		d, rerr := harness.MeasureShardRecovery(plain, false)
+		err = rerr
+		res.RecoveryWriteThroughMS = ms(d, scale)
+	}
+	plain.Close()
+	if err != nil {
+		return fmt.Errorf("write-through recovery: %w", err)
+	}
+
+	// (b)+(c) the engine layout: same history, recovery from the engine
+	// partition alone. The engine log is sized so the cold-checkpoint run
+	// really replays every record instead of tripping the inline
+	// checkpoint fallback.
+	engineOpts := faultdir.Options{
+		Model:        model,
+		Workers:      8,
+		DiskBlocks:   16384,
+		DiskEngine:   true,
+		EngineBlocks: 4096,
+		IdleFlush:    time.Hour, // no background checkpoint: the variants stay distinct
+		ReadBalance:  true,
+	}
+	for _, checkpoint := range []bool{false, true} {
+		c, err := faultdir.New(faultdir.KindGroup, engineOpts)
+		if err != nil {
+			return err
+		}
+		if err := harness.PopulateDirs(c, dirs); err != nil {
+			c.Close()
+			return fmt.Errorf("populate engine cluster: %w", err)
+		}
+		d, err := harness.MeasureShardRecovery(c, checkpoint)
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("engine recovery (checkpoint=%v): %w", checkpoint, err)
+		}
+		if checkpoint {
+			res.RecoveryCheckpointMS = ms(d, scale)
+			// The read-tier half reuses the freshly recovered deployment.
+			boost, err := harness.MeasureSecondaryBoost(c, clients, window)
+			if err != nil {
+				c.Close()
+				return err
+			}
+			res.ReadsPrimariesOnly = boost.Without.OpsPerSec * scale
+			res.ReadsWithSecondaries = boost.With.OpsPerSec * scale
+			res.Secondaries = boost.Secondaries
+			res.SecondaryReads = boost.SecondaryReads
+			if total := boost.With.OpsPerSec * window.Seconds(); total > 0 {
+				res.SecondaryShare = float64(boost.SecondaryReads) / total
+			}
+		} else {
+			res.RecoveryLogReplayMS = ms(d, scale)
+		}
+		c.Close()
+	}
+	if res.RecoveryCheckpointMS > 0 {
+		res.ReplaySpeedup = res.RecoveryLogReplayMS / res.RecoveryCheckpointMS
+	}
+
+	fmt.Printf("whole-shard recovery: write-through %.1f ms, engine full-log replay %.1f ms, checkpoint+suffix %.1f ms (%.2fx vs replay)\n",
+		res.RecoveryWriteThroughMS, res.RecoveryLogReplayMS, res.RecoveryCheckpointMS, res.ReplaySpeedup)
+	fmt.Printf("balanced reads: %.1f/s with primaries only, %.1f/s with %d secondaries (%d reads, %.0f%% of the load, served off-primary)\n",
+		res.ReadsPrimariesOnly, res.ReadsWithSecondaries, res.Secondaries, res.SecondaryReads, 100*res.SecondaryShare)
 	if out == "" {
 		return nil
 	}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01] [-shards 4] [-active 2] [-cache] [-leases] [-read-balance]
+//	dird [-kind group|group+nvram|rpc|local] [-scale 0.01] [-shards 4] [-active 2] [-cache] [-leases] [-read-balance] [-engine]
 //
 // With -cache the shell's client runs the per-shard read cache
 // (dir.CacheOptions): repeat ls/cat lookups are served locally and the
@@ -16,7 +16,13 @@
 // spreads its reads across every replica of a shard
 // (session-consistent via the MinSeq floor) instead of pinning to the
 // first HEREIS responder; status then shows how many reads each
-// replica served.
+// replica served. With -engine (group kinds) every replica runs the
+// disk-backed storage engine — checkpoints plus a write-ahead log
+// instead of per-update object-table writes; status then shows each
+// server's checkpoint seq and log length, the checkpoint command cuts
+// a checkpoint by hand, and secondary <shard>/<id> boots a readonly
+// secondary that serves balanced reads off the primary's engine
+// partition (pair it with -read-balance).
 //
 // Commands (type "help" at the prompt):
 //
@@ -30,6 +36,9 @@
 //	unwatch                stop the tail
 //	crash <id> | restart <id> | partition <id...> | heal
 //	                       (sharded: address servers as <shard>/<id>)
+//	checkpoint [shard]     cut a storage-engine checkpoint (default: all shards)
+//	secondary <shard>/<id> start a readonly secondary off that replica's
+//	                       engine partition (requires -engine)
 //	split                  online shard split: bump the shard-map epoch and
 //	                       live-migrate the departing objects (boot with
 //	                       -active < -shards to have reserve shards)
@@ -51,6 +60,7 @@ import (
 	faultdir "dirsvc"
 
 	"dirsvc/dir"
+	"dirsvc/internal/core"
 	"dirsvc/internal/dirsvc"
 	"dirsvc/internal/sim"
 )
@@ -67,9 +77,10 @@ func main() {
 		cache    = flag.Bool("cache", false, "enable the client read cache")
 		leases   = flag.Bool("leases", false, "push-based cache coherence (implies -cache)")
 		balance  = flag.Bool("read-balance", false, "spread reads across all replicas of a shard")
+		engine   = flag.Bool("engine", false, "disk-backed storage engine: checkpoints + write-ahead log (group kinds)")
 	)
 	flag.Parse()
-	if err := run(*kindName, *scale, *shards, *active, *cache || *leases, *leases, *balance); err != nil {
+	if err := run(*kindName, *scale, *shards, *active, *cache || *leases, *leases, *balance, *engine); err != nil {
 		fmt.Fprintln(os.Stderr, "dird:", err)
 		os.Exit(1)
 	}
@@ -105,7 +116,7 @@ func parseKind(name string) (faultdir.Kind, error) {
 	}
 }
 
-func run(kindName string, scale float64, shards, active int, cache, leases, balance bool) error {
+func run(kindName string, scale float64, shards, active int, cache, leases, balance, engine bool) error {
 	kind, err := parseKind(kindName)
 	if err != nil {
 		return err
@@ -116,14 +127,18 @@ func run(kindName string, scale float64, shards, active int, cache, leases, bala
 	if active < 0 || active > shards {
 		return fmt.Errorf("-active must be in 0..%d", shards)
 	}
-	fmt.Printf("booting %v cluster (%d shard(s) × %d servers, scale %g, cache %v, leases %v, read-balance %v)...\n",
-		kind, shards, kind.Servers(), scale, cache, leases, balance)
+	if engine && kind != faultdir.KindGroup && kind != faultdir.KindGroupNVRAM {
+		return fmt.Errorf("-engine needs a group kind, not %q", kindName)
+	}
+	fmt.Printf("booting %v cluster (%d shard(s) × %d servers, scale %g, cache %v, leases %v, read-balance %v, engine %v)...\n",
+		kind, shards, kind.Servers(), scale, cache, leases, balance, engine)
 	cluster, err := faultdir.New(kind, faultdir.Options{
 		Model:        sim.ScaledPaperModel(scale),
 		Shards:       shards,
 		ActiveShards: active,
 		ClientCache:  dir.CacheOptions{Enabled: cache, Leases: leases},
 		ReadBalance:  balance,
+		DiskEngine:   engine,
 	})
 	if err != nil {
 		return err
@@ -142,6 +157,11 @@ func run(kindName string, scale float64, shards, active int, cache, leases, bala
 	files := cluster.NewFileClient(client)
 	stopWatch := func() {} // cancels the active "watch" tail, if any
 	defer func() { stopWatch() }()
+	type secEntry struct {
+		shard, id int
+		sec       *core.Secondary
+	}
+	var secs []secEntry // readonly secondaries started from the shell
 	fmt.Println("ready. type \"help\".")
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -157,6 +177,9 @@ func run(kindName string, scale float64, shards, active int, cache, leases, bala
 		case "help":
 			fmt.Println("ls [name] | mkdir <name> [shard] | rm <name> | put <name> | cat <name>")
 			fmt.Println("watch [name|*] | unwatch | crash <id> | restart <id> | partition <id...> | heal | split | status | quit")
+			if engine {
+				fmt.Println("engine: checkpoint [shard] | secondary [shard/]<id>")
+			}
 			if cluster.Shards() > 1 {
 				fmt.Println("sharded: address servers as <shard>/<id>, e.g. crash 2/1")
 			}
@@ -326,6 +349,59 @@ func run(kindName string, scale float64, shards, active int, cache, leases, bala
 		case "heal":
 			cluster.Heal()
 			fmt.Println("network healed")
+		case "checkpoint":
+			if !engine {
+				fmt.Println("checkpoint: boot with -engine")
+				continue
+			}
+			from, to := 0, cluster.Shards()
+			if len(args) == 1 {
+				s, cerr := strconv.Atoi(args[0])
+				if cerr != nil || s < 0 || s >= cluster.Shards() {
+					fmt.Println("bad shard", args[0])
+					continue
+				}
+				from, to = s, s+1
+			}
+			for s := from; s < to; s++ {
+				if err := cluster.CheckpointShard(s); err != nil {
+					fmt.Printf("shard %d: %v\n", s, err)
+					continue
+				}
+				fmt.Printf("shard %d checkpointed\n", s)
+			}
+		case "secondary":
+			if !engine {
+				fmt.Println("secondary: boot with -engine")
+				continue
+			}
+			if len(args) != 1 {
+				fmt.Println("usage: secondary [shard/]<server-id>")
+				continue
+			}
+			shard, id, err := parseServer(args[0], cluster.Shards(), cluster.ServersPerShard())
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			// A secondary installs the primary's checkpoint first; make
+			// sure one exists so it can serve immediately.
+			if err := cluster.CheckpointShard(shard); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			sec, _, err := cluster.StartSecondary(shard, id)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if err := sec.Refresh(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			secs = append(secs, secEntry{shard, id, sec})
+			fmt.Printf("readonly secondary on shard %d replica %d's engine partition (applied seq %d); balanced reads will spread to it\n",
+				shard, id, sec.AppliedSeq())
 		case "split":
 			epoch, err := client.SplitAndMigrate(bgCtx)
 			if err != nil {
@@ -363,8 +439,15 @@ func run(kindName string, scale float64, shards, active int, cache, leases, bala
 					if n, ok := reads[id]; ok {
 						fmt.Printf(" readsServed=%d", n)
 					}
+					if st, ok := cluster.ShardServerStatus(shard, id); ok && engine {
+						fmt.Printf(" ckptSeq=%d logRecords=%d", st.CheckpointSeq, st.EngineLog)
+					}
 					fmt.Println()
 				}
+			}
+			for _, e := range secs {
+				fmt.Printf("secondary %d/%d: applied seq %d, %d reads served\n",
+					e.shard, e.id, e.sec.AppliedSeq(), e.sec.ReadsServed())
 			}
 			// The transport's adaptive-routing view: per-replica smoothed
 			// RTT, the server's last piggybacked load hint, and how the

@@ -1,0 +1,386 @@
+package faultdir
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dirsvc/dir"
+	"dirsvc/internal/dirclient"
+	"dirsvc/internal/dirsvc"
+	"dirsvc/internal/sim"
+)
+
+// The storage-engine test schedule: whole-cluster crashes of the
+// plain-durable deployment with a prepared two-phase transaction (the
+// crash window the engine's write-ahead log closes), checkpoint +
+// log-suffix recovery, the backup/restore round trip on every backend
+// kind, and the readonly secondary tier's session-floor consistency.
+
+// newEngineCluster boots a KindGroup deployment with the disk-backed
+// storage engine under every replica. The background checkpoint is
+// pushed out to an hour so tests control checkpoint timing themselves.
+func newEngineCluster(t *testing.T, shards int) *Cluster {
+	t.Helper()
+	c, err := New(KindGroup, Options{
+		Model:             sim.FastModel(),
+		HeartbeatInterval: testHeartbeat,
+		Shards:            shards,
+		Workers:           8,
+		TxAbortTimeout:    crashTxTimeout,
+		IdleFlush:         time.Hour,
+		DiskEngine:        true,
+	})
+	if err != nil {
+		t.Fatalf("New(KindGroup, engine): %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestPlainDurableWholeClusterCrashPrepared is the regression test for
+// the closed 2PC crash window. Before the storage engine, the plain
+// durable deployment kept a prepared transaction's vote only in its
+// replicas' RAM: a simultaneous whole-shard crash forgot the vote, and
+// a decision the resolver had already exposed could be contradicted.
+// With Options.DiskEngine every prepare and decide reaches the
+// write-ahead log before the reply, so here the ENTIRE CLUSTER — every
+// replica of both shards — crashes with the transaction prepared, and
+// after reboot the outcome must still settle exactly once:
+//
+//   - NoDecision: no shard ratified anything before the crash, so
+//     presumed abort wins and nothing may surface.
+//   - AfterPartialCommit: the resolver shard committed its half; the
+//     restarted participant must find its own prepare in the log,
+//     re-stage the transaction, and learn the commit from the
+//     resolver's logged decision.
+func TestPlainDurableWholeClusterCrashPrepared(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash schedule: covered by the dedicated durability CI lane")
+	}
+	cases := []struct {
+		name      string
+		stage     dirclient.TxStage
+		committed bool
+	}{
+		{"NoDecision", dirclient.TxAfterPrepare, false},
+		{"AfterPartialCommit", dirclient.TxAfterResolverDecide, true},
+	}
+	for _, sc := range cases {
+		t.Run(sc.name, func(t *testing.T) {
+			c := newEngineCluster(t, 2)
+			f := newTxFixture(t, c, "wholecluster")
+
+			f.coordinator.SetTxHook(func(s dirclient.TxStage) error {
+				if s == sc.stage {
+					for shard := 0; shard < c.Shards(); shard++ {
+						for id := 1; id <= c.ServersPerShard(); id++ {
+							c.CrashShardServer(shard, id)
+						}
+					}
+					return dirclient.ErrTxHalt
+				}
+				return nil
+			})
+			_, err := f.coordinator.Apply(bgCtx, f.batch())
+			f.coordinator.SetTxHook(nil)
+			if !errors.Is(err, dirclient.ErrTxHalt) {
+				t.Fatalf("halted Apply: err = %v, want ErrTxHalt", err)
+			}
+
+			// Reboot the whole cluster concurrently, as a power cycle
+			// would: every replica's recovery replays its checkpoint +
+			// log suffix, then waits for its shard's majority.
+			errs := make(chan error, c.Shards()*c.ServersPerShard())
+			for shard := 0; shard < c.Shards(); shard++ {
+				for id := 1; id <= c.ServersPerShard(); id++ {
+					go func(shard, id int) { errs <- c.RestartShardServer(shard, id) }(shard, id)
+				}
+			}
+			for i := 0; i < cap(errs); i++ {
+				if err := <-errs; err != nil {
+					t.Fatalf("whole-cluster reboot: %v", err)
+				}
+			}
+			f.assertSettles(t, sc.committed)
+		})
+	}
+}
+
+// TestEngineRecoveryFromCheckpointAndSuffix proves restart recovery is
+// checkpoint + log-suffix replay. In an engine deployment the object
+// table and Bullet store are never written on the update path — the
+// engine partition is the ONLY durable copy — so a shard whose history
+// far exceeds any in-memory replay budget still recovers entirely from
+// the last checkpoint plus the short log tail behind it.
+func TestEngineRecoveryFromCheckpointAndSuffix(t *testing.T) {
+	c := newEngineCluster(t, 1)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	d, err := client.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// History in three strata: rows before the checkpoint (recovered
+	// from the checkpoint image alone), the checkpoint cut, rows after
+	// it (recovered from the log suffix).
+	for i := 0; i < 30; i++ {
+		if err := client.Append(bgCtx, d, fmt.Sprintf("ckpt%02d", i), d, nil); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := c.CheckpointShard(0); err != nil {
+		t.Fatalf("CheckpointShard: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := client.Append(bgCtx, d, fmt.Sprintf("tail%02d", i), d, nil); err != nil {
+			t.Fatalf("tail append %d: %v", i, err)
+		}
+	}
+
+	for id := 1; id <= c.ServersPerShard(); id++ {
+		c.CrashShardServer(0, id)
+	}
+	restartShard(t, c, 0)
+
+	// Every row from both strata survived the reboot.
+	rows, err := client.List(bgCtx, d, 0)
+	if err != nil {
+		t.Fatalf("List after reboot: %v", err)
+	}
+	if len(rows) != 40 {
+		t.Fatalf("rows after reboot = %d, want 40", len(rows))
+	}
+	// Recovery seals with a fresh checkpoint, so the next reboot starts
+	// from a truncated log again.
+	for id := 1; id <= c.ServersPerShard(); id++ {
+		if st := c.machine(id).core.Status(); st.CheckpointSeq == 0 {
+			t.Fatalf("replica %d recovered without sealing a checkpoint: %+v", id, st)
+		}
+	}
+	// And the service keeps taking writes.
+	if err := client.Append(bgCtx, d, "after-reboot", d, nil); err != nil {
+		t.Fatalf("append after reboot: %v", err)
+	}
+}
+
+// TestBackupRestoreRoundTrip runs the portable-snapshot cycle on every
+// backend kind: capture a shard, diverge the live state (new row, a
+// deletion), restore the snapshot, and check the shard is bit-for-bit
+// back at the capture point — resurrected row included — and still
+// accepts new work.
+func TestBackupRestoreRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{KindGroup, KindGroupNVRAM, KindRPC, KindLocal} {
+		t.Run(kind.String(), func(t *testing.T) {
+			c := newTestCluster(t, kind)
+			client, cleanup, err := c.NewClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cleanup()
+			root, err := client.Root(bgCtx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := client.CreateDir(bgCtx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := client.Append(bgCtx, root, "alpha", d, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := client.Append(bgCtx, d, "leaf", d, nil); err != nil {
+				t.Fatal(err)
+			}
+
+			snap, err := client.Backup(bgCtx, 0)
+			if err != nil {
+				t.Fatalf("Backup: %v", err)
+			}
+			if len(snap) == 0 {
+				t.Fatal("Backup returned an empty snapshot")
+			}
+
+			// Diverge past the capture point.
+			if err := client.Delete(bgCtx, root, "alpha"); err != nil {
+				t.Fatal(err)
+			}
+			if err := client.Append(bgCtx, root, "beta", d, nil); err != nil {
+				t.Fatal(err)
+			}
+
+			if err := client.RestoreShard(bgCtx, 0, snap); err != nil {
+				t.Fatalf("RestoreShard: %v", err)
+			}
+
+			// Back at the capture point: alpha resurrected, beta gone.
+			got, err := client.Lookup(bgCtx, root, "alpha")
+			if err != nil {
+				t.Fatalf("Lookup alpha after restore: %v", err)
+			}
+			if got != d {
+				t.Fatalf("alpha = %v, want %v", got, d)
+			}
+			if _, err := client.Lookup(bgCtx, root, "beta"); !errors.Is(err, dirsvc.ErrNotFound) {
+				t.Fatalf("Lookup beta after restore: %v, want ErrNotFound", err)
+			}
+			rows, err := client.List(bgCtx, d, 0)
+			if err != nil {
+				t.Fatalf("List restored dir: %v", err)
+			}
+			if len(rows) != 1 || rows[0].Name != "leaf" {
+				t.Fatalf("restored dir rows = %+v, want [leaf]", rows)
+			}
+			// The restored shard accepts new updates and stamps sequence
+			// numbers past the snapshot's counters.
+			if err := client.Append(bgCtx, root, "gamma", d, nil); err != nil {
+				t.Fatalf("Append after restore: %v", err)
+			}
+			if _, err := client.Lookup(bgCtx, root, "gamma"); err != nil {
+				t.Fatalf("Lookup gamma: %v", err)
+			}
+		})
+	}
+}
+
+// TestBackupRestoreSurvivesRestart restores a snapshot into a group
+// deployment and reboots the whole shard: the restored state — not the
+// diverged one — must come back, proving the restore reached the
+// durable layer (the engine checkpoint cut by OpRestoreShard).
+func TestBackupRestoreSurvivesRestart(t *testing.T) {
+	c := newEngineCluster(t, 1)
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	root, err := client.Root(bgCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := client.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(bgCtx, root, "keep", d, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := client.Backup(bgCtx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Append(bgCtx, root, "discard", d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.RestoreShard(bgCtx, 0, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	for id := 1; id <= c.ServersPerShard(); id++ {
+		c.CrashShardServer(0, id)
+	}
+	restartShard(t, c, 0)
+
+	if _, err := client.Lookup(bgCtx, root, "keep"); err != nil {
+		t.Fatalf("Lookup keep after restore+reboot: %v", err)
+	}
+	if _, err := client.Lookup(bgCtx, root, "discard"); !errors.Is(err, dirsvc.ErrNotFound) {
+		t.Fatalf("Lookup discard after restore+reboot: %v, want ErrNotFound", err)
+	}
+}
+
+// TestSecondaryReadConsistency boots a readonly secondary fed from a
+// primary's engine partition and drives a balanced client through
+// write-then-read pairs: the session floor (Request.MinSeq) must keep
+// read-your-writes intact even when the balanced read lands on the
+// secondary — it either catches up past the floor or refuses so the
+// client fails over. The secondary must end up serving a share of the
+// reads, and must never accept an update.
+func TestSecondaryReadConsistency(t *testing.T) {
+	c := newEngineCluster(t, 1)
+
+	// Seed state and cut the first checkpoint so the secondary has a
+	// base image to install.
+	seed, seedCleanup, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seedCleanup()
+	root, err := seed.Root(bgCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := seed.CreateDir(bgCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Append(bgCtx, root, "seed", d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckpointShard(0); err != nil {
+		t.Fatal(err)
+	}
+
+	sec, secCleanup, err := c.StartSecondary(0, 1)
+	if err != nil {
+		t.Fatalf("StartSecondary: %v", err)
+	}
+	defer secCleanup()
+	if err := sec.Refresh(); err != nil {
+		t.Fatalf("secondary refresh: %v", err)
+	}
+	if sec.AppliedSeq() == 0 {
+		t.Fatal("secondary installed no state from the checkpoint")
+	}
+
+	// A balanced client booted after the secondary joined sees all four
+	// responders on the shard port.
+	client, cleanup, err := c.NewBalancedClient(dir.CacheOptions{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	// Write-then-read: every read must observe the write that precedes
+	// it, wherever it lands.
+	for i := 0; i < 25; i++ {
+		name := fmt.Sprintf("rw%02d", i)
+		if err := client.Append(bgCtx, d, name, d, nil); err != nil {
+			t.Fatalf("append %s: %v", name, err)
+		}
+		got, err := client.Lookup(bgCtx, d, name)
+		if err != nil {
+			t.Fatalf("read-your-write %s: %v", name, err)
+		}
+		if got != d {
+			t.Fatalf("read-your-write %s = %v, want %v", name, got, d)
+		}
+	}
+
+	// Drive floor-free reads until the secondary has demonstrably served
+	// some of the balanced load (it tails the log continuously, so it
+	// catches up within a refresh tick).
+	deadline := time.Now().Add(30 * time.Second)
+	for sec.ReadsServed() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("secondary never served a balanced read")
+		}
+		if _, err := client.Lookup(bgCtx, root, "seed"); err != nil {
+			t.Fatalf("balanced lookup: %v", err)
+		}
+	}
+
+	// The secondary keeps pace with the primaries' applied sequence.
+	if err := sec.Refresh(); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	primary := c.machine(2).core.Status().AppliedSeq
+	if got := sec.AppliedSeq(); got < primary {
+		t.Fatalf("secondary applied %d lags primary %d after refresh", got, primary)
+	}
+}

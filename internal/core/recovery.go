@@ -52,6 +52,9 @@ func (s *Server) recover() error {
 	if s.nvlog != nil && s.nvlog.MaxSeq() > mySeq {
 		mySeq = s.nvlog.MaxSeq()
 	}
+	if s.engine != nil && s.engine.MaxSeq() > mySeq {
+		mySeq = s.engine.MaxSeq()
+	}
 	if s.commit.Recovering {
 		mySeq = 0
 	}
@@ -91,6 +94,16 @@ func (s *Server) recover() error {
 		}
 
 		member, syncedTo, err := s.recoverOnce(rc, mySeq, mourned, stayedUp, beat)
+		if err == nil && s.engine != nil {
+			// Seal the recovered state into a fresh checkpoint before
+			// serving: a pulled snapshot obsoletes whatever the engine held,
+			// and replayed suffixes should not be replayed twice. Nothing
+			// applies concurrently yet (the member installs below), so the
+			// cut is consistent. A write failure is survivable — the
+			// recovering flag is still set, so a crash before the next
+			// checkpoint resyncs from a peer.
+			_ = s.checkpointNow(0)
+		}
 		if err != nil {
 			if debugRecovery {
 				fmt.Printf("server %d recovery attempt %d: %v\n", s.cfg.ID, attempt, err)
@@ -276,51 +289,79 @@ func (s *Server) recoverOnce(
 	return member, syncedTo, nil
 }
 
-// loadLocalState reloads the directory cache from our own Bullet store
-// and replays any NVRAM log records that were not yet flushed —
-// including OpPrepare records, whose replay re-stages the in-doubt
+// loadLocalState rebuilds the replica from its own stable storage. With
+// a storage engine the base image is the last checkpoint (installed
+// wholesale — object table, topology, in-doubt transactions, remembered
+// outcomes) and only the log records past the checkpoint's sequence
+// number replay on top: the suffix, not the full history. Without one,
+// the directory cache reloads from the Bullet store and the whole NVRAM
+// log replays. Replayed OpPrepare records re-stage the in-doubt
 // transaction (locks and all) exactly as it stood before the crash; a
 // following OpDecide record then resolves it, and one still undecided
 // is left for the resolution loop.
 func (s *Server) loadLocalState() error {
 	s.applier.ResetTx()
 	s.applier.InvalidateCache()
-	if err := s.applier.LoadAll(); err != nil {
+	var ckptSeq uint64
+	haveCkpt := false
+	if s.engine != nil {
+		seq, payload, err := s.engine.Checkpoint()
+		switch {
+		case err == nil:
+			snap, derr := dirsvc.DecodeSnapshot(payload)
+			if derr != nil {
+				return derr
+			}
+			if err := s.applier.InstallSnapshot(snap, false); err != nil {
+				return err
+			}
+			ckptSeq = seq
+			haveCkpt = true
+			if snap.Topo != nil {
+				s.mu.Lock()
+				t := *snap.Topo
+				s.commit.Topo = &t
+				s.mu.Unlock()
+			}
+		case errors.Is(err, dirsvc.ErrNoCheckpoint):
+			// Fresh engine: nothing checkpointed yet, start empty.
+		default:
+			return err
+		}
+	} else if err := s.applier.LoadAll(); err != nil {
 		return err
 	}
-	if err := s.applier.FormatRoot(s.nvlog == nil); err != nil {
+	if err := s.applier.FormatRoot(s.nvlog == nil && s.engine == nil); err != nil {
 		return err
 	}
 	maxSeq := s.table.MaxSeq()
+	if ckptSeq > maxSeq {
+		maxSeq = ckptSeq
+	}
+	if s.engine != nil && s.nvlog == nil {
+		// Engine-backed critical path: replay the write-ahead suffix. The
+		// checkpoint flip already truncated everything it covers.
+		for _, rec := range s.engine.LogSuffix(ckptSeq) {
+			req, err := dirsvc.DecodeRequest(rec.Payload)
+			if err != nil {
+				continue
+			}
+			s.replayLogged(req, rec.Seq, &maxSeq)
+		}
+	}
 	if s.nvlog != nil {
 		reqs, seqs, err := s.nvlog.Live()
 		if err != nil {
 			return err
 		}
 		for i, req := range reqs {
-			if req.Op == dirsvc.OpDecide {
-				// A decide whose transaction is not staged here is a
-				// re-logged outcome record (the effects were flushed before
-				// the crash): restore the memory so decision queries stay
-				// authoritative, instead of replaying it as an update.
-				if d, derr := dirsvc.DecodeDecide(req.Blob); derr == nil {
-					if state, _ := s.applier.TxStateOf(d.ID); state != dirsvc.TxPrepared {
-						s.applier.RestoreDecided([]dirsvc.DecidedTx{{ID: d.ID, Commit: d.Commit, Seq: seqs[i]}})
-						if seqs[i] > maxSeq {
-							maxSeq = seqs[i]
-						}
-						continue
-					}
-				}
-			}
-			if _, err := s.applier.ApplyUpdate(req, seqs[i], false); err != nil {
-				// Replay conflicts mean the record was already applied
-				// before the crash flushed it; skip.
+			if haveCkpt && seqs[i] <= ckptSeq {
+				// The checkpoint already covers this record; re-applying
+				// it would double-apply the update (and a prepare replay
+				// would re-stage a transaction the checkpoint resolved).
 				continue
 			}
-			if seqs[i] > maxSeq {
-				maxSeq = seqs[i]
-			}
+			s.replayLogged(req, seqs[i], &maxSeq)
 		}
 		if s.nvlog.MaxSeq() > maxSeq {
 			maxSeq = s.nvlog.MaxSeq()
@@ -333,6 +374,33 @@ func (s *Server) loadLocalState() error {
 	s.appliedSeq = maxSeq
 	s.mu.Unlock()
 	return nil
+}
+
+// replayLogged re-applies one recovery-log record against the RAM state.
+func (s *Server) replayLogged(req *dirsvc.Request, seq uint64, maxSeq *uint64) {
+	if req.Op == dirsvc.OpDecide {
+		// A decide whose transaction is not staged here is a re-logged
+		// outcome record (the effects were flushed before the crash):
+		// restore the memory so decision queries stay authoritative,
+		// instead of replaying it as an update.
+		if d, derr := dirsvc.DecodeDecide(req.Blob); derr == nil {
+			if state, _ := s.applier.TxStateOf(d.ID); state != dirsvc.TxPrepared {
+				s.applier.RestoreDecided([]dirsvc.DecidedTx{{ID: d.ID, Commit: d.Commit, Seq: seq}})
+				if seq > *maxSeq {
+					*maxSeq = seq
+				}
+				return
+			}
+		}
+	}
+	if _, err := s.applier.ApplyUpdate(req, seq, false); err != nil {
+		// Replay conflicts mean the record was already applied before
+		// the crash flushed it; skip.
+		return
+	}
+	if seq > *maxSeq {
+		*maxSeq = seq
+	}
 }
 
 // pullState transfers the full directory state from server src: object
@@ -369,6 +437,23 @@ func (s *Server) pullState(rc *rpc.Client, src int) (uint64, error) {
 	}
 	s.applier.ResetTx()
 	s.applier.InvalidateCache()
+	if s.engine != nil {
+		// Engine-backed replica: install the bundle as one snapshot —
+		// RAM-only, no Bullet or object-table writes; recover() seals it
+		// into a fresh checkpoint before the replica serves anything.
+		if err := s.applier.InstallSnapshot(bundleSnapshot(bundle), false); err != nil {
+			return 0, err
+		}
+		s.mu.Lock()
+		if bundle.topo != nil {
+			t := *bundle.topo
+			s.commit.Topo = &t
+		}
+		s.commit.Seq = bundle.commitSeq
+		s.appliedSeq = bundle.appliedSeq
+		s.mu.Unlock()
+		return bundle.groupSeq, nil
+	}
 	entries := make(map[uint32]dirsvc.ObjectEntry, len(bundle.dirs))
 	for _, d := range bundle.dirs {
 		bcap, err := s.bc.Create(d.image)
@@ -412,7 +497,7 @@ func (s *Server) pullState(rc *rpc.Client, src int) (uint64, error) {
 	s.applier.RestoreDecided(bundle.decided)
 	if s.nvlog != nil {
 		// Keep the transferred outcomes durable here too (see flushNVRAM).
-		for _, d := range s.applier.RecentDecided(recentDecidedKept) {
+		for _, d := range s.applier.RecentDecided(recentDecidedKept, s.decidedHorizon()) {
 			req := &dirsvc.Request{
 				Op:   dirsvc.OpDecide,
 				Blob: dirsvc.EncodeDecide(&dirsvc.Decide{ID: d.ID, Commit: d.Commit}),
@@ -425,6 +510,30 @@ func (s *Server) pullState(rc *rpc.Client, src int) (uint64, error) {
 	s.appliedSeq = bundle.appliedSeq
 	s.mu.Unlock()
 	return bundle.groupSeq, nil
+}
+
+// bundleSnapshot converts a pulled state bundle into the storage
+// engine's portable snapshot form, so the whole install is one
+// InstallSnapshot call.
+func bundleSnapshot(b *stateBundle) *dirsvc.Snapshot {
+	snap := &dirsvc.Snapshot{
+		AppliedSeq: b.appliedSeq,
+		CommitSeq:  b.commitSeq,
+		Topo:       b.topo,
+		Decided:    b.decided,
+	}
+	for _, d := range b.dirs {
+		snap.Objects = append(snap.Objects, dirsvc.SnapObject{
+			Object: d.obj, Seq: d.seq, Secret: d.secret, Image: d.image,
+		})
+	}
+	for obj, st := range b.stubs {
+		snap.Stubs = append(snap.Stubs, dirsvc.SnapStub{Object: obj, Target: st.Target, Seq: st.Seq})
+	}
+	for _, tx := range b.txs {
+		snap.InDoubt = append(snap.InDoubt, dirsvc.SnapTx{Seq: tx.seq, Raw: tx.raw})
+	}
+	return snap
 }
 
 // handleRecoveryRPC serves the server-to-server recovery operations.

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dirsvc/internal/dirsvc"
+	"dirsvc/internal/flip"
+	"dirsvc/internal/rpc"
+	"dirsvc/internal/sim"
+	"dirsvc/internal/vdisk"
+)
+
+// SecondaryConfig describes one readonly secondary instance: a
+// directory server that serves balanced reads from a primary replica's
+// storage-engine partition (checkpoint + log tail) without joining the
+// replica group — it holds no vote, takes no updates, and grants no
+// leases. It is the scale-out read tier: clients with read balancing
+// enabled spread reads over primaries and secondaries alike, while the
+// session floor (Request.MinSeq) keeps read-your-writes intact — a
+// secondary that has not caught up to the floor refuses, and the client
+// fails over to a writable replica.
+type SecondaryConfig struct {
+	// Service names the directory service instance whose port this
+	// secondary answers on (alongside the primaries).
+	Service string
+	// BaseService is the deployment-wide service name capabilities are
+	// minted under (empty: Service), mirroring Config.BaseService.
+	BaseService string
+	// Shard/Shards/ActiveShards place the instance in a sharded
+	// deployment, mirroring Config.
+	Shard, Shards, ActiveShards int
+	// View is the read-only attachment to the primary's engine partition.
+	View *dirsvc.EngineView
+	// Admin is a scratch partition backing the instance's object-table
+	// mirror; it is never a durability source (state installs are
+	// RAM-only).
+	Admin vdisk.Storage
+	// Workers is the number of serving threads (default 3).
+	Workers int
+	// Refresh is the poll interval for tailing the primary's engine
+	// partition (zero: a model-scaled default).
+	Refresh time.Duration
+}
+
+// Secondary is a readonly directory service instance fed from a
+// primary's storage engine.
+type Secondary struct {
+	cfg     SecondaryConfig
+	stack   *flip.Stack
+	model   *sim.LatencyModel
+	rpcSrv  *rpc.Server
+	applier *dirsvc.Applier
+	table   *dirsvc.ObjectTable
+
+	// refreshMu serializes state refreshes (the poll loop and on-demand
+	// refreshes triggered by session floors).
+	refreshMu sync.Mutex
+
+	mu         sync.Mutex
+	appliedSeq uint64
+	ckptGen    uint64
+	haveState  bool
+	closed     bool
+
+	reads    atomic.Uint64
+	lockWait time.Duration
+	refresh  time.Duration
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	stopServe func()
+}
+
+// NewSecondary boots a readonly secondary on stack. It installs the
+// primary's current checkpoint if one exists; until the primary has
+// checkpointed, the instance answers StatusNoMajority and clients fail
+// over to the primaries.
+func NewSecondary(stack *flip.Stack, cfg SecondaryConfig) (*Secondary, error) {
+	if cfg.View == nil {
+		return nil, errors.New("core: secondary needs an engine view")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	model := stack.Model()
+	sec := &Secondary{
+		cfg:   cfg,
+		stack: stack,
+		model: model,
+		stop:  make(chan struct{}),
+	}
+	sec.refresh = cfg.Refresh
+	if sec.refresh <= 0 {
+		sec.refresh = model.Timeout(250 * time.Millisecond)
+		if sec.refresh < 10*time.Millisecond {
+			sec.refresh = 10 * time.Millisecond
+		}
+	}
+	sec.lockWait = model.Timeout(5 * time.Second)
+	if sec.lockWait < time.Second {
+		sec.lockWait = time.Second
+	}
+
+	table, err := dirsvc.OpenObjectTable(cfg.Admin)
+	if err != nil {
+		return nil, fmt.Errorf("open secondary object table: %w", err)
+	}
+	base := cfg.ActiveShards
+	if base <= 0 || base > cfg.Shards {
+		base = cfg.Shards
+	}
+	table.ConfigureShard(cfg.Shard, base)
+	sec.table = table
+	capService := cfg.BaseService
+	if capService == "" {
+		capService = cfg.Service
+	}
+	sec.applier = dirsvc.NewApplier(dirsvc.ServicePort(capService), table, nil)
+	sec.applier.SetLockWaitSlots(cfg.Workers - 1)
+	sec.applier.ConfigureTopology(cfg.Shard, base, cfg.Shards)
+
+	// Best-effort initial catch-up; "no checkpoint yet" is not fatal.
+	_ = sec.refreshNow()
+
+	rpcSrv, err := rpc.NewServer(stack, dirsvc.ServicePort(cfg.Service))
+	if err != nil {
+		return nil, err
+	}
+	sec.rpcSrv = rpcSrv
+	// Announce read-only on HEREIS so locating clients keep updates away.
+	rpcSrv.SetReadOnly(true)
+	sec.stopServe = rpcSrv.ServeFunc(cfg.Workers, sec.handleRPC)
+
+	sec.wg.Add(1)
+	go sec.refreshLoop()
+	return sec, nil
+}
+
+// Close shuts the secondary down.
+func (sec *Secondary) Close() {
+	sec.mu.Lock()
+	if sec.closed {
+		sec.mu.Unlock()
+		return
+	}
+	sec.closed = true
+	sec.mu.Unlock()
+	close(sec.stop)
+	sec.rpcSrv.Close()
+	sec.stopServe()
+	sec.wg.Wait()
+}
+
+// AppliedSeq returns the service sequence number the instance has
+// caught up to (0 before the first checkpoint lands).
+func (sec *Secondary) AppliedSeq() uint64 {
+	sec.mu.Lock()
+	defer sec.mu.Unlock()
+	return sec.appliedSeq
+}
+
+// ReadsServed returns the number of reads this instance has answered —
+// the read-tier share in the load-distribution measurements.
+func (sec *Secondary) ReadsServed() uint64 { return sec.reads.Load() }
+
+// Refresh forces one synchronous catch-up against the primary's engine
+// partition (tests and tools; the poll loop does this continuously).
+func (sec *Secondary) Refresh() error { return sec.refreshNow() }
+
+func (sec *Secondary) refreshLoop() {
+	defer sec.wg.Done()
+	ticker := time.NewTicker(sec.refresh)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sec.stop:
+			return
+		case <-ticker.C:
+		}
+		_ = sec.refreshNow()
+	}
+}
+
+// refreshNow brings the instance's RAM state up to the primary's engine
+// partition: a checkpoint-generation change installs the new checkpoint
+// wholesale, and the log tail past the applied cursor replays on top.
+// Torn reads (racing the primary's checkpoint flip) and missing
+// checkpoints surface as errors; the next poll retries.
+func (sec *Secondary) refreshNow() error {
+	sec.refreshMu.Lock()
+	defer sec.refreshMu.Unlock()
+	m, err := sec.cfg.View.Manifest()
+	if err != nil {
+		return err
+	}
+	if m.CkptGen == 0 {
+		return dirsvc.ErrNoCheckpoint
+	}
+	sec.mu.Lock()
+	curGen := sec.ckptGen
+	applied := sec.appliedSeq
+	have := sec.haveState
+	sec.mu.Unlock()
+	if m.CkptGen != curGen || !have {
+		payload, err := sec.cfg.View.Checkpoint(m)
+		if err != nil {
+			return err
+		}
+		snap, err := dirsvc.DecodeSnapshot(payload)
+		if err != nil {
+			return err
+		}
+		if err := sec.applier.InstallSnapshot(snap, false); err != nil {
+			return err
+		}
+		applied = snap.AppliedSeq
+		if mx := snap.MaxSeq(); mx > applied {
+			applied = mx
+		}
+		if m.CkptSeq > applied {
+			applied = m.CkptSeq
+		}
+	}
+	recs, err := sec.cfg.View.LogSince(m, applied)
+	if err == nil {
+		for _, rec := range recs {
+			req, derr := dirsvc.DecodeRequest(rec.Payload)
+			if derr != nil {
+				continue
+			}
+			sec.replayLogged(req, rec.Seq)
+			if rec.Seq > applied {
+				applied = rec.Seq
+			}
+		}
+	}
+	sec.mu.Lock()
+	sec.ckptGen = m.CkptGen
+	sec.appliedSeq = applied
+	sec.haveState = true
+	sec.mu.Unlock()
+	return err
+}
+
+// replayLogged applies one tailed write-ahead record, mirroring the
+// primary's recovery replay: a decide for a transaction not staged here
+// restores the remembered outcome instead of replaying as an update.
+func (sec *Secondary) replayLogged(req *dirsvc.Request, seq uint64) {
+	if req.Op == dirsvc.OpDecide {
+		if d, derr := dirsvc.DecodeDecide(req.Blob); derr == nil {
+			if state, _ := sec.applier.TxStateOf(d.ID); state != dirsvc.TxPrepared {
+				sec.applier.RestoreDecided([]dirsvc.DecidedTx{{ID: d.ID, Commit: d.Commit, Seq: seq}})
+				return
+			}
+		}
+	}
+	_, _ = sec.applier.ApplyUpdate(req, seq, false)
+}
+
+// handleRPC is the secondary's serving thread body: reads only.
+func (sec *Secondary) handleRPC(req *rpc.Request) []byte {
+	dreq, err := dirsvc.DecodeRequest(req.Payload)
+	if err != nil {
+		return (&dirsvc.Reply{Status: dirsvc.StatusBadRequest}).Encode()
+	}
+	if dreq.Op.IsUpdate() || dreq.Op == dirsvc.OpWatch || dreq.Op == dirsvc.OpLeaseRenew {
+		// No votes, no writes, no leases: a lease here would mask foreign
+		// commits the instance has not tailed yet, and an update could
+		// never reach the group stream. The client fails over.
+		return (&dirsvc.Reply{Status: dirsvc.StatusNoMajority}).Encode()
+	}
+	return sec.handleRead(dreq).Encode()
+}
+
+// handleRead answers one read from the tailed state. A session floor
+// above the applied cursor triggers one on-demand refresh; if the
+// instance is still behind, it refuses and the client fails over to a
+// replica that has the write.
+func (sec *Secondary) handleRead(req *dirsvc.Request) *dirsvc.Reply {
+	sec.mu.Lock()
+	have := sec.haveState
+	applied := sec.appliedSeq
+	sec.mu.Unlock()
+	if !have {
+		if sec.refreshNow() != nil {
+			return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
+		}
+		sec.mu.Lock()
+		applied = sec.appliedSeq
+		sec.mu.Unlock()
+	}
+	if req.MinSeq > applied {
+		_ = sec.refreshNow()
+		sec.mu.Lock()
+		applied = sec.appliedSeq
+		sec.mu.Unlock()
+		if req.MinSeq > applied {
+			return &dirsvc.Reply{Status: dirsvc.StatusNoMajority}
+		}
+	}
+	// An object locked by a prepared transaction tailed from the primary
+	// holds its readers just like on a primary: the decide arrives with
+	// the log tail.
+	if obj := req.Dir.Object; obj != 0 && !sec.applier.WaitUnlocked(obj, sec.lockWait) {
+		return &dirsvc.Reply{Status: dirsvc.StatusConflict}
+	}
+	if obj := req.Dir.Object; obj != 0 && req.Op != dirsvc.OpMigRead {
+		if owner, fwd := sec.applier.RouteForward(obj); fwd {
+			topo, _ := sec.applier.Topology()
+			return &dirsvc.Reply{Status: dirsvc.StatusNotMine, Blob: dirsvc.EncodeNotMine(topo.Epoch, owner)}
+		}
+	}
+	sec.reads.Add(1)
+	sec.stack.Node().CPU().Charge(sec.model.LookupCPU)
+	reply := sec.applier.Read(req)
+	reply.Seq = applied
+	return reply
+}

@@ -76,6 +76,14 @@ type Config struct {
 	// logged to battery-backed RAM and flushed to disk in the
 	// background.
 	NVRAM *vdisk.NVRAM
+	// Engine, when non-nil, enables the disk-backed storage engine:
+	// applies go to RAM, the engine's write-ahead log (or the NVRAM log,
+	// when both are configured) carries the critical-path durability, and
+	// a background checkpoint of the whole shard state bounds recovery to
+	// checkpoint + log suffix instead of a full replay. With an engine the
+	// object table and Bullet store are no longer written on the update
+	// path — the checkpoint is the durable copy.
+	Engine *dirsvc.Engine
 	// Workers is the number of initiator threads (default 3).
 	Workers int
 	// Resilience overrides the group resilience degree (default N-1).
@@ -112,6 +120,7 @@ type Server struct {
 	applier *dirsvc.Applier
 	table   *dirsvc.ObjectTable
 	nvlog   *dirsvc.NVLog
+	engine  *dirsvc.Engine
 	// notifier is the lease/callback engine: the bounded event log plus
 	// the watch leases pushes go to. Detached from the applier while
 	// recovery replays state, reset (new log identity) when recovery
@@ -277,6 +286,7 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 		}
 		s.nvlog = nvlog
 	}
+	s.engine = cfg.Engine
 
 	// Recovery servers answer even while we recover ourselves.
 	recSrv, err := rpc.NewServer(stack, dirsvc.RecoveryPort(cfg.Service, cfg.ID))
@@ -328,7 +338,7 @@ func NewServer(stack *flip.Stack, cfg Config) (*Server, error) {
 	go s.groupThread()
 	s.wg.Add(1)
 	go s.sendLoop()
-	if s.nvlog != nil {
+	if s.nvlog != nil || s.engine != nil {
 		s.wg.Add(1)
 		go s.flushLoop()
 	}
@@ -428,6 +438,11 @@ type Status struct {
 	ShardEpoch uint64
 	Objects    int
 	Stubs      int
+	// CheckpointSeq and EngineLog describe the storage engine (zero
+	// without one): the sequence number the last checkpoint covers, and
+	// the number of write-ahead records appended past it.
+	CheckpointSeq uint64
+	EngineLog     int
 }
 
 // Status returns a snapshot of the replica.
@@ -446,6 +461,10 @@ func (s *Server) Status() Status {
 	}
 	if s.nvlog != nil {
 		st.NVRAMUsed = s.nvlog.UsedBytes()
+	}
+	if s.engine != nil {
+		st.CheckpointSeq = s.engine.CheckpointSeq()
+		st.EngineLog = s.engine.LogLen()
 	}
 	if topo, ok := s.applier.Topology(); ok {
 		st.ShardEpoch = topo.Epoch
@@ -882,7 +901,13 @@ func (s *Server) processGroupMsg(msg group.Msg) {
 		s.lastUpdate = time.Now()
 		s.mu.Unlock()
 
-		reply := s.applyUpdate(req, seq)
+		reply, advance := s.applyUpdate(req, seq)
+		if advance > seq {
+			// A shard restore installed a snapshot whose own counters run
+			// past this stream position; the service counter jumps with it
+			// so freshly minted sequence numbers stay monotonic.
+			seq = advance
+		}
 
 		s.mu.Lock()
 		s.appliedSeq = seq
@@ -906,14 +931,17 @@ func (s *Server) processGroupMsg(msg group.Msg) {
 // applyUpdate executes the update against the replica: in the durable
 // variant this creates the new directory on the Bullet server and writes
 // the object table entry (the commit, Fig. 5); in the NVRAM variant it
-// updates RAM and logs the operation to NVRAM (§4.1).
-func (s *Server) applyUpdate(req *dirsvc.Request, seq uint64) *dirsvc.Reply {
-	durable := s.nvlog == nil
-	if !durable {
+// updates RAM and logs the operation to NVRAM (§4.1); with a storage
+// engine it updates RAM and appends the operation to the engine's
+// write-ahead log (the checkpoint picks the state up later). The second
+// return value is the sequence number the service counter must advance
+// to — above seq only when a shard restore installed a snapshot with
+// higher counters.
+func (s *Server) applyUpdate(req *dirsvc.Request, seq uint64) (*dirsvc.Reply, uint64) {
+	durable := s.nvlog == nil && s.engine == nil
+	if s.nvlog != nil && s.nvlog.NeedsFlush() {
 		// Make room first if the log is full.
-		if s.nvlog.NeedsFlush() {
-			s.flushNVRAM()
-		}
+		s.flushNVRAM()
 	}
 	res, err := s.applier.ApplyUpdate(req, seq, durable)
 	if err != nil {
@@ -921,7 +949,11 @@ func (s *Server) applyUpdate(req *dirsvc.Request, seq uint64) *dirsvc.Reply {
 		// apply; record an empty filler event so the event log's index
 		// stream (and its Seq correspondence) stays gap-free.
 		s.notifier.Record(dirsvc.Event{Seq: seq, Op: req.Op})
-		return dirsvc.ErrorReply(err)
+		return dirsvc.ErrorReply(err), seq
+	}
+	effSeq := seq
+	if res.AdvanceSeq > effSeq {
+		effSeq = res.AdvanceSeq
 	}
 	if res.TopoChanged {
 		// Persist the new shard-map state immediately, NVRAM mode
@@ -930,7 +962,7 @@ func (s *Server) applyUpdate(req *dirsvc.Request, seq uint64) *dirsvc.Reply {
 		// also advances, covering sequence numbers dropped with stubs.
 		topo, ok := s.applier.Topology()
 		s.mu.Lock()
-		s.commit.Seq = seq
+		s.commit.Seq = effSeq
 		if ok {
 			t := topo
 			s.commit.Topo = &t
@@ -939,12 +971,13 @@ func (s *Server) applyUpdate(req *dirsvc.Request, seq uint64) *dirsvc.Reply {
 		s.mu.Unlock()
 		_ = commit.Write(s.cfg.Admin)
 	}
-	if durable {
+	switch {
+	case durable:
 		if res.DeletedDir && !res.TopoChanged {
 			// The deletion removed the per-directory record; remember
 			// the update in the commit block (§3, Fig. 4).
 			s.mu.Lock()
-			s.commit.Seq = seq
+			s.commit.Seq = effSeq
 			commit := *s.commit
 			s.mu.Unlock()
 			_ = commit.Write(s.cfg.Admin)
@@ -952,25 +985,80 @@ func (s *Server) applyUpdate(req *dirsvc.Request, seq uint64) *dirsvc.Reply {
 		for _, old := range res.OldBullet {
 			s.scheduleCleanup(old)
 		}
-	} else {
-		logReq := req
-		if req.Op == dirsvc.OpCreateDir && req.Dir.Object == 0 && res.Reply.Status == dirsvc.StatusOK {
-			// Pin the allocation outcome into the logged record: replay
-			// re-runs the allocator, and a topology change persisted
-			// between now and the crash (an online split) would otherwise
-			// renumber the directory.
-			pinned := *req
-			pinned.Dir.Object = res.Reply.Cap.Object
-			logReq = &pinned
+	case s.nvlog != nil:
+		if req.Op == dirsvc.OpRestoreShard {
+			// The installed snapshot dwarfs any log budget; flush it
+			// through now so a crash cannot lose the restore.
+			s.flushNVRAM()
+			break
 		}
-		if _, err := s.nvlog.Append(logReq, seq); err != nil {
+		if _, err := s.nvlog.Append(s.pinAllocation(req, res), seq); err != nil {
 			// Log jammed even after flush: fall back to demanding a
 			// flush on the next update; correctness is preserved since
 			// RAM state is current.
 			_ = err
 		}
+	default: // engine write-ahead log
+		if req.Op == dirsvc.OpRestoreShard {
+			_ = s.checkpointNow(effSeq)
+			break
+		}
+		if err := s.engine.AppendLog(seq, s.pinAllocation(req, res).Encode()); err != nil {
+			// Log region full (or write trouble): fold the update into a
+			// fresh checkpoint instead — it covers this apply's effects,
+			// and the flip truncates the log.
+			_ = s.checkpointNow(effSeq)
+		}
 	}
-	return res.Reply
+	return res.Reply, effSeq
+}
+
+// pinAllocation pins a create's allocation outcome into the record bound
+// for a recovery log: replay re-runs the allocator, and a topology change
+// persisted between now and the crash (an online split) would otherwise
+// renumber the directory.
+func (s *Server) pinAllocation(req *dirsvc.Request, res *dirsvc.ApplyResult) *dirsvc.Request {
+	if req.Op == dirsvc.OpCreateDir && req.Dir.Object == 0 && res.Reply.Status == dirsvc.StatusOK {
+		pinned := *req
+		pinned.Dir.Object = res.Reply.Cap.Object
+		return &pinned
+	}
+	return req
+}
+
+// checkpointNow cuts a snapshot of the whole shard state and writes it
+// to the engine's checkpoint area (atomic double-buffer swap), which also
+// truncates the write-ahead log. Callers must hold applyMu — or be the
+// group thread mid-batch, which holds it already — so the snapshot never
+// splits a coalesced packet. minSeq raises the applied counter stamped
+// into the snapshot when the caller is mid-apply and s.appliedSeq has
+// not caught up yet.
+func (s *Server) checkpointNow(minSeq uint64) error {
+	s.mu.Lock()
+	applied := s.appliedSeq
+	commitSeq := s.commit.Seq
+	s.mu.Unlock()
+	if minSeq > applied {
+		applied = minSeq
+	}
+	snap := s.applier.SnapshotState(applied, commitSeq)
+	return s.engine.WriteCheckpoint(snap.MaxSeq(), snap.Encode())
+}
+
+// Checkpoint forces one synchronous checkpoint of the storage engine —
+// for tests, tools, and the benchmark harness; the flush loop cuts them
+// in the background. A no-op (nil) without an engine.
+func (s *Server) Checkpoint() error {
+	if s.engine == nil {
+		return nil
+	}
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	if s.nvlog != nil {
+		s.flushNVRAM()
+		return nil
+	}
+	return s.checkpointNow(0)
 }
 
 // scheduleCleanup queues an obsolete Bullet file for deletion after the
@@ -1013,8 +1101,21 @@ func (s *Server) flushLoop() {
 		if recovering {
 			continue
 		}
-		if s.nvlog.NeedsFlush() || (idle && s.nvlog.Len() > 0) {
-			s.flushNVRAM()
+		switch {
+		case s.nvlog != nil:
+			if s.nvlog.NeedsFlush() || (idle && s.nvlog.Len() > 0) {
+				// The batch lock keeps the flush (and any checkpoint it
+				// cuts) snapshot-atomic against the group thread.
+				s.applyMu.Lock()
+				s.flushNVRAM()
+				s.applyMu.Unlock()
+			}
+		case s.engine != nil:
+			if s.engine.NeedsCheckpoint() || (idle && s.engine.LogLen() > 0) {
+				s.applyMu.Lock()
+				_ = s.checkpointNow(0)
+				s.applyMu.Unlock()
+			}
 		}
 	}
 }
@@ -1029,6 +1130,17 @@ func (s *Server) flushLoop() {
 // whole-shard crash must find them so Fig. 6 recovery reinstates the
 // in-doubt transaction instead of silently dropping a vote.
 func (s *Server) flushNVRAM() {
+	if s.engine != nil {
+		// Engine-backed deployment: a checkpoint captures everything the
+		// NVRAM log protects — dirty directories, in-doubt prepares, and
+		// remembered outcomes — in one atomic swap, so the log clears
+		// without re-appending anything.
+		if err := s.checkpointNow(0); err != nil {
+			return // disk trouble: keep the log, retry next round
+		}
+		_ = s.nvlog.Clear()
+		return
+	}
 	for _, obj := range s.table.RAMDirtyObjects() {
 		olds, err := s.applier.FlushObject(obj)
 		if err != nil {
@@ -1045,8 +1157,10 @@ func (s *Server) flushNVRAM() {
 	// Recent decisions ride along too: a whole-shard crash right after a
 	// flushed commit must still answer an orphaned peer's decision query
 	// with "committed", or the peer would presume abort a transaction
-	// another shard already exposed.
-	for _, d := range s.applier.RecentDecided(recentDecidedKept) {
+	// another shard already exposed. The age horizon retires outcomes the
+	// resolver's two-strike protocol can no longer ask about, so the log
+	// does not re-append every decision it ever saw on every flush.
+	for _, d := range s.applier.RecentDecided(recentDecidedKept, s.decidedHorizon()) {
 		req := &dirsvc.Request{
 			Op:   dirsvc.OpDecide,
 			Blob: dirsvc.EncodeDecide(&dirsvc.Decide{ID: d.ID, Commit: d.Commit}),
@@ -1058,6 +1172,14 @@ func (s *Server) flushNVRAM() {
 // recentDecidedKept bounds how many decided outcomes are re-logged to
 // NVRAM across flushes (each record is ~40 bytes of the 24 KB region).
 const recentDecidedKept = 32
+
+// decidedHorizon is the age past which a decided outcome stops being
+// re-logged: an orphaned peer resolves an in-doubt transaction within
+// one txTimeout plus two strike ticks, so outcomes three timeouts old
+// can no longer be asked about.
+func (s *Server) decidedHorizon() time.Duration {
+	return 3 * s.txTimeout
+}
 
 // txResolveLoop is the participant side of coordinator recovery: a
 // prepared transaction whose decision has not arrived within the

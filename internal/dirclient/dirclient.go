@@ -307,6 +307,29 @@ func (c *Client) noteSeq(shard int, seq uint64) {
 	}
 }
 
+// SessionFloor returns this session's freshness floor for one shard:
+// the highest applied sequence number any reply has shown it. Zero for
+// an unknown shard or a fresh session.
+func (c *Client) SessionFloor(shard int) uint64 {
+	if shard < 0 || shard >= len(c.seqs) {
+		return 0
+	}
+	return c.seqs[shard].Load()
+}
+
+// AdoptFloor raises this session's freshness floor for one shard to an
+// externally learned sequence number — causal-token handoff: a client
+// that adopts another session's SessionFloor is guaranteed to observe
+// everything that session observed, even when its balanced reads land
+// on a readonly secondary that is still catching up (the secondary
+// refuses below the floor and the read fails over).
+func (c *Client) AdoptFloor(shard int, seq uint64) {
+	if shard < 0 || shard >= len(c.seqs) {
+		return
+	}
+	c.noteSeq(shard, seq)
+}
+
 // floor returns the MinSeq stamp for a read on shard: the session's
 // high-water mark when read balancing is on (replicas may lag each
 // other), zero — no floor — for the pinned legacy policy.
@@ -620,6 +643,45 @@ func (c *Client) ReplaceSet(ctx context.Context, dir capability.Capability, item
 	}
 	c.cache.noteWrite(shard, reply.Seq, dir.Object)
 	return reply.Caps, nil
+}
+
+// Backup captures a portable snapshot of one shard: every directory it
+// stores (object-table entry plus Bullet image), its forwarding stubs
+// and topology state, and the two-phase-commit ledger (in-doubt
+// transactions and remembered decisions). The snapshot is the same
+// encoding the storage engine checkpoints, so it restores into any
+// backend kind via RestoreShard. Backups go through the read path —
+// with read balancing they may be served by a readonly secondary, which
+// is exactly the off-primary backup use case.
+func (c *Client) Backup(ctx context.Context, shard int) ([]byte, error) {
+	if shard < 0 || shard >= len(c.conns) {
+		return nil, fmt.Errorf("shard %d of %d: %w", shard, len(c.conns), dirsvc.ErrBadRequest)
+	}
+	reply, _, err := c.transRead(ctx, shard, &dirsvc.Request{Op: dirsvc.OpBackup})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Blob, nil
+}
+
+// RestoreShard replaces one shard's state with a snapshot previously
+// captured by Backup — disaster recovery, cloning a deployment, or
+// seeding a test fixture. The restore is a single replicated update, so
+// on the group backends every replica installs the snapshot at the same
+// point in the total order. All existing state on the shard is
+// discarded, including prepared transactions.
+func (c *Client) RestoreShard(ctx context.Context, shard int, snapshot []byte) error {
+	if shard < 0 || shard >= len(c.conns) {
+		return fmt.Errorf("shard %d of %d: %w", shard, len(c.conns), dirsvc.ErrBadRequest)
+	}
+	reply, shard, err := c.trans(ctx, shard, &dirsvc.Request{Op: dirsvc.OpRestoreShard, Blob: snapshot})
+	if err != nil {
+		return err
+	}
+	// Everything cached for the shard may now be wrong; drop it wholesale.
+	c.cache.dropShard(shard)
+	c.cache.noteWrite(shard, reply.Seq)
+	return nil
 }
 
 // Apply executes an atomic batch. A batch homed on one shard goes out

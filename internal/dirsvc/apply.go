@@ -33,6 +33,11 @@ type ApplyResult struct {
 	// where ordinary updates skip the disk: topology changes are rare
 	// and an unpersisted epoch would unfence recovery.
 	TopoChanged bool
+	// AdvanceSeq, when non-zero, tells the caller to advance its applied
+	// sequence counter to at least this value: a restored snapshot may
+	// contain state stamped beyond the sequence number the restore
+	// itself applied under.
+	AdvanceSeq uint64
 }
 
 // Applier executes directory operations against one server's replica
@@ -216,6 +221,12 @@ func (a *Applier) Read(req *Request) *Reply {
 		return &Reply{Status: StatusOK, Seq: seq, Blob: []byte{byte(state)}}
 	case OpShardMap:
 		return &Reply{Status: StatusOK, Blob: EncodeShardMapInfo(a.ShardMapInfo())}
+	case OpBackup:
+		// The blob's applied/commit counters stay zero here — a restored
+		// backup derives its floor from the content (Snapshot.MaxSeq).
+		// Going through Read keeps the op on every backend's generic
+		// dispatch path.
+		return &Reply{Status: StatusOK, Blob: a.SnapshotState(0, 0).Encode()}
 	case OpMigRead:
 		// Internal migration read: the whole object image plus its
 		// secret, keyed by object number alone (the migrator coordinates
@@ -309,6 +320,8 @@ func (a *Applier) applyUpdateLocked(req *Request, seq uint64, durable bool) (*Ap
 		return a.applySealLocked(req, seq)
 	case OpDropStubs:
 		return a.applyDropStubsLocked(req, seq, durable)
+	case OpRestoreShard:
+		return a.applyRestoreLocked(req, seq, durable)
 	default:
 		return nil, ErrBadRequest
 	}

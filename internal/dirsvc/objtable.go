@@ -403,6 +403,33 @@ func (t *ObjectTable) ReplaceAll(entries map[uint32]ObjectEntry, stubs map[uint3
 	return nil
 }
 
+// ReplaceAllRAM installs a full table image in memory only, marking
+// every slot that changed hands dirty for the background flush. The
+// disk-engine and secondary paths use this: the checkpoint, not the
+// admin partition, is their durable copy.
+func (t *ObjectTable) ReplaceAllRAM(entries map[uint32]ObjectEntry, stubs map[uint32]StubEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dirty := make(map[uint32]bool)
+	for obj := range t.entries {
+		dirty[obj] = true
+	}
+	for obj := range t.stubs {
+		dirty[obj] = true
+	}
+	t.entries = make(map[uint32]ObjectEntry, len(entries))
+	t.stubs = make(map[uint32]StubEntry, len(stubs))
+	for k, v := range entries {
+		t.entries[k] = v
+		dirty[k] = true
+	}
+	for k, v := range stubs {
+		t.stubs[k] = v
+		dirty[k] = true
+	}
+	t.ramDirty = dirty
+}
+
 // SetRAM updates obj's entry in memory only, marking the object dirty
 // for the background flush. The NVRAM variant of the service uses this
 // on its critical path; FlushBlocks persists later.

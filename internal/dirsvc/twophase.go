@@ -282,9 +282,10 @@ type preparedTx struct {
 // decidedTx is a remembered outcome, kept so decide retries are
 // idempotent and orphaned peers can query the resolution.
 type decidedTx struct {
-	commit  bool
-	seq     uint64
-	results []byte // encoded BatchStepResults (commit only)
+	commit    bool
+	seq       uint64
+	results   []byte    // encoded BatchStepResults (commit only)
+	decidedAt time.Time // when this replica learned the outcome
 }
 
 // InDoubtTx is a snapshot of one prepared-but-undecided transaction
@@ -343,16 +344,33 @@ func (a *Applier) DecidedTxs() []DecidedTx {
 	return out
 }
 
-// RecentDecided returns the newest n remembered outcomes, oldest
-// first (NVRAM re-logging keeps these durable across flushes so a
-// whole-shard crash cannot forget a commit an orphaned peer still has
-// to learn about).
-func (a *Applier) RecentDecided(n int) []DecidedTx {
-	all := a.DecidedTxs()
-	if len(all) > n {
-		all = all[len(all)-n:]
+// RecentDecided returns the newest n remembered outcomes, oldest first,
+// skipping outcomes older than maxAge (zero = no age limit). The NVRAM
+// re-logging path keeps these durable across flushes so a whole-shard
+// crash cannot forget a commit an orphaned peer still has to learn
+// about — but only until every orphan must have resolved: past the
+// resolver's two-strike horizon a decided outcome is dead weight, and
+// re-appending it on every flush forever would grow each flush (and
+// recovery replay) without bound on a long-lived shard.
+func (a *Applier) RecentDecided(n int, maxAge time.Duration) []DecidedTx {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var out []DecidedTx
+	now := time.Now()
+	for _, id := range a.decidedOrder {
+		d, ok := a.decided[id]
+		if !ok {
+			continue
+		}
+		if maxAge > 0 && !d.decidedAt.IsZero() && now.Sub(d.decidedAt) > maxAge {
+			continue
+		}
+		out = append(out, DecidedTx{ID: id, Commit: d.commit, Seq: d.seq, Results: d.results})
 	}
-	return all
+	if len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
 }
 
 // RestoreDecided reinstalls remembered outcomes from a recovery bundle.
@@ -433,6 +451,9 @@ func (a *Applier) TxStateOf(id TxID) (TxState, uint64) {
 // rememberDecidedLocked records an outcome, evicting the oldest past
 // maxDecided. Must hold a.mu.
 func (a *Applier) rememberDecidedLocked(id TxID, d decidedTx) {
+	if d.decidedAt.IsZero() {
+		d.decidedAt = time.Now()
+	}
 	if _, ok := a.decided[id]; !ok {
 		a.decidedOrder = append(a.decidedOrder, id)
 		if len(a.decidedOrder) > maxDecided {

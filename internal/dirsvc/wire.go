@@ -95,6 +95,16 @@ const (
 	// target is sealed, ending the split. Refused while moving-class
 	// objects remain.
 	OpDropStubs
+
+	// OpBackup is a read returning the shard's full state as a portable
+	// snapshot blob (snapshot.go) in the reply Blob — the same encoding
+	// the disk engine checkpoints.
+	OpBackup
+	// OpRestoreShard replaces the shard's state with the snapshot in
+	// Blob. It rides the ordinary replicated update path, so every
+	// replica installs the identical image; the applied sequence number
+	// jumps to at least the snapshot's highest (ApplyResult.AdvanceSeq).
+	OpRestoreShard
 )
 
 // IsUpdate reports whether the op modifies directories (requires the
@@ -102,7 +112,8 @@ const (
 func (op OpCode) IsUpdate() bool {
 	switch op {
 	case OpCreateDir, OpDeleteDir, OpAppendRow, OpChmodRow, OpDeleteRow, OpReplaceSet, OpBatch,
-		OpPrepare, OpDecide, OpSplit, OpMigOut, OpMigIn, OpSealMigration, OpDropStubs:
+		OpPrepare, OpDecide, OpSplit, OpMigOut, OpMigIn, OpSealMigration, OpDropStubs,
+		OpRestoreShard:
 		return true
 	default:
 		return false
@@ -168,6 +179,10 @@ func (op OpCode) String() string {
 		return "seal-migration"
 	case OpDropStubs:
 		return "drop-stubs"
+	case OpBackup:
+		return "backup"
+	case OpRestoreShard:
+		return "restore-shard"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}

@@ -1,0 +1,182 @@
+// Durable-storage measurements: whole-shard recovery time under the
+// three durability layouts (write-through, engine log replay, engine
+// checkpoint + suffix) and the read-tier boost from readonly
+// secondaries fed off the engine partitions.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	faultdir "dirsvc"
+
+	"dirsvc/internal/core"
+	"dirsvc/internal/dirclient"
+)
+
+// PopulateDirs fills shard 0 with n working directories carrying one
+// row each — the recovery workload: every directory is one object-table
+// entry, one Bullet image, and (in engine deployments) two write-ahead
+// records to replay.
+func PopulateDirs(c *faultdir.Cluster, n int) error {
+	client, cleanup, err := c.NewClient()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	for i := 0; i < n; i++ {
+		d, err := client.CreateDirOn(bgCtx, 0)
+		if err != nil {
+			return fmt.Errorf("create dir %d: %w", i, err)
+		}
+		if err := retryTransient(func() error {
+			return client.Append(bgCtx, d, "payload", d, nil)
+		}); err != nil {
+			return fmt.Errorf("fill dir %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MeasureShardRecovery crashes every replica of shard 0 and times the
+// concurrent whole-shard reboot — each replica's recovery loads its
+// local durable state (object table, NVRAM replay, or engine
+// checkpoint + log suffix, depending on the deployment), reassembles
+// the group, and starts serving. If checkpoint is set, a synchronous
+// engine checkpoint is cut first, so the measured recovery replays an
+// empty log suffix; without it an engine deployment replays the full
+// write-ahead log accumulated since boot.
+func MeasureShardRecovery(c *faultdir.Cluster, checkpoint bool) (time.Duration, error) {
+	if checkpoint {
+		if err := c.CheckpointShard(0); err != nil {
+			return 0, fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	n := c.ServersPerShard()
+	for id := 1; id <= n; id++ {
+		c.CrashShardServer(0, id)
+	}
+	start := time.Now()
+	errs := make(chan error, n)
+	for id := 1; id <= n; id++ {
+		go func(id int) { errs <- c.RestartShardServer(0, id) }(id)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			return 0, fmt.Errorf("restart: %w", err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// SecondaryBoost is the measured effect of adding readonly secondaries
+// to a shard's read tier.
+type SecondaryBoost struct {
+	Without        Throughput // balanced lookups, primaries only
+	With           Throughput // same load after the secondaries joined
+	Secondaries    int
+	SecondaryReads uint64 // reads the secondaries served during With
+}
+
+// MeasureSecondaryBoost measures balanced read throughput on a
+// DiskEngine deployment before and after boosting shard 0 with one
+// readonly secondary per primary replica. The cluster must have
+// Options.ReadBalance set so clients spread reads over every responder.
+func MeasureSecondaryBoost(c *faultdir.Cluster, clients int, window time.Duration) (SecondaryBoost, error) {
+	var boost SecondaryBoost
+	without, err := measureFloorLookups(c, clients, window)
+	if err != nil {
+		return boost, fmt.Errorf("without secondaries: %w", err)
+	}
+	boost.Without = without
+
+	// Secondaries need a checkpoint to install before they can serve.
+	if err := c.CheckpointShard(0); err != nil {
+		return boost, err
+	}
+	secs := make([]*core.Secondary, 0, c.ServersPerShard())
+	for id := 1; id <= c.ServersPerShard(); id++ {
+		sec, cleanup, err := c.StartSecondary(0, id)
+		if err != nil {
+			return boost, fmt.Errorf("secondary %d: %w", id, err)
+		}
+		defer cleanup()
+		if err := sec.Refresh(); err != nil {
+			return boost, fmt.Errorf("secondary %d refresh: %w", id, err)
+		}
+		secs = append(secs, sec)
+	}
+	boost.Secondaries = len(secs)
+
+	with, err := measureFloorLookups(c, clients, window)
+	if err != nil {
+		return boost, fmt.Errorf("with secondaries: %w", err)
+	}
+	boost.With = with
+	for _, s := range secs {
+		boost.SecondaryReads += s.ReadsServed()
+	}
+	return boost, nil
+}
+
+// measureFloorLookups is MeasureLookupThroughput with causal-token
+// handoff: every worker adopts the setup session's floor before its
+// first read, so a readonly secondary that has not tailed up to the
+// target row yet refuses (and the read fails over to a primary) rather
+// than serving a stale miss.
+func measureFloorLookups(c *faultdir.Cluster, clients int, window time.Duration) (Throughput, error) {
+	client0, cleanup0, _, dir, err := setupBench(c)
+	if err != nil {
+		return Throughput{}, err
+	}
+	defer cleanup0()
+	if err := client0.Append(bgCtx, dir, "target", dir, nil); err != nil {
+		return Throughput{}, err
+	}
+	floor := client0.SessionFloor(0)
+
+	counts := make([]int, clients)
+	lats := newLatSamples(clients)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(window)
+	for i := 0; i < clients; i++ {
+		client, cleanup, err := c.NewClient()
+		if err != nil {
+			return Throughput{}, err
+		}
+		defer cleanup()
+		client.AdoptFloor(0, floor)
+		wg.Add(1)
+		go func(i int, client *dirclient.Client) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				opStart := time.Now()
+				err := retryTransient(func() error {
+					_, lerr := client.Lookup(bgCtx, dir, "target")
+					return lerr
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				lats.add(i, time.Since(opStart))
+				counts[i]++
+			}
+		}(i, client)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return Throughput{}, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	p50, p99, p999 := lats.percentiles()
+	return Throughput{Clients: clients, OpsPerSec: float64(total) / elapsed.Seconds(), P50: p50, P99: p99, P999: p999}, nil
+}

@@ -313,6 +313,11 @@ func (s *Server) update(req *dirsvc.Request) *dirsvc.Reply {
 		return dirsvc.ErrorReply(err)
 	}
 	s.seq = seq
+	if res.AdvanceSeq > s.seq {
+		// A shard restore installed a snapshot whose counters run past
+		// ours; jump so freshly stamped sequence numbers stay monotonic.
+		s.seq = res.AdvanceSeq
+	}
 	// The one synchronous write: the directory's metadata block.
 	if err := s.table.FlushBlocks(res.DirtyObjects); err != nil {
 		return &dirsvc.Reply{Status: dirsvc.StatusError}
@@ -320,7 +325,7 @@ func (s *Server) update(req *dirsvc.Request) *dirsvc.Reply {
 	if res.TopoChanged {
 		if topo, ok := s.applier.Topology(); ok {
 			t := topo
-			_ = (&dirsvc.CommitBlock{Seq: seq, Topo: &t}).Write(s.cfg.Admin)
+			_ = (&dirsvc.CommitBlock{Seq: s.seq, Topo: &t}).Write(s.cfg.Admin)
 		}
 	}
 	return res.Reply

@@ -82,6 +82,13 @@ const replyChanDepth = 8
 // responders of the last locate, in arrival order.
 type portCache struct {
 	servers []sim.NodeID
+	// writable is the subset of servers whose HEREIS did not carry the
+	// read-only flag: updates (and unbalanced picks) route only here,
+	// while balanced reads spread over the full set including
+	// checkpoint-fed secondary instances. Empty means every responder
+	// announced read-only — updates then fall back to the full set and
+	// let the server refuse, rather than failing to route at all.
+	writable []sim.NodeID
 	// recheckAt is when the entry next warrants a fresh locate: one TTL
 	// after a successful fill; immediately when a cached server stopped
 	// answering (so recovered or substitute replicas rejoin the
@@ -695,14 +702,18 @@ func (c *Client) pickServer(ctx context.Context, port capability.Port, balance b
 			return 0, false
 		}
 		servers := make([]sim.NodeID, len(found))
+		var writable []sim.NodeID
 		for i, h := range found {
 			servers[i] = h.Src
+			if !h.ReadOnly {
+				writable = append(writable, h.Src)
+			}
 			// Seed each responder's routing state with the hint its
 			// HEREIS piggybacked, so the first balanced picks already
 			// steer away from loaded replicas.
 			c.statLocked(port, h.Src).hint = h.Hint
 		}
-		e = &portCache{servers: servers, recheckAt: time.Now().Add(c.cacheTTL)}
+		e = &portCache{servers: servers, writable: writable, recheckAt: time.Now().Add(c.cacheTTL)}
 		c.cache[port] = e
 		server := c.chooseLocked(port, e, balance)
 		c.mu.Unlock()
@@ -744,14 +755,21 @@ func (c *Client) locate(ctx context.Context, port capability.Port, located *bool
 // (cold caches, a scheduling hiccup) would freeze a replica out of the
 // rotation forever. Must hold c.mu.
 func (c *Client) chooseLocked(port capability.Port, e *portCache, balance bool) sim.NodeID {
-	server := e.servers[0]
-	if balance && len(e.servers) > 1 {
-		i := c.rng.Intn(len(e.servers))
-		j := c.rng.Intn(len(e.servers) - 1)
+	// Unbalanced picks — all updates, plus reads from clients that opted
+	// out of balancing — must land on a writable responder; read-only
+	// secondaries join the pool only for balanced reads.
+	pool := e.servers
+	if !balance && len(e.writable) > 0 {
+		pool = e.writable
+	}
+	server := pool[0]
+	if balance && len(pool) > 1 {
+		i := c.rng.Intn(len(pool))
+		j := c.rng.Intn(len(pool) - 1)
 		if j >= i {
 			j++
 		}
-		best, worst := e.servers[i], e.servers[j]
+		best, worst := pool[i], pool[j]
 		sBest, sWorst := c.scoreLocked(port, best), c.scoreLocked(port, worst)
 		if sWorst < sBest {
 			best, worst = worst, best
@@ -802,6 +820,13 @@ func (c *Client) evict(port capability.Port, server sim.NodeID, dead bool) {
 		}
 	}
 	e.servers = kept
+	keptW := e.writable[:0]
+	for _, s := range e.writable {
+		if s != server {
+			keptW = append(keptW, s)
+		}
+	}
+	e.writable = keptW
 	if dead {
 		e.recheckAt = time.Time{}
 	}

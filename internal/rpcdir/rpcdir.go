@@ -265,8 +265,11 @@ func (s *Server) bootstrap() error {
 	// Replay an intention that was promised before a crash.
 	if raw, err := s.cfg.Staging.ReadBlock(0); err == nil {
 		if intent, seq, ok := decodeIntention(raw); ok && seq > s.seq {
-			if _, err := s.applier.ApplyUpdate(intent, seq, true); err == nil {
+			if res, err := s.applier.ApplyUpdate(intent, seq, true); err == nil {
 				s.seq = seq
+				if res.AdvanceSeq > s.seq {
+					s.seq = res.AdvanceSeq
+				}
 			}
 			_ = s.cfg.Staging.WriteBlockSeq(0, nil)
 		}
@@ -473,11 +476,21 @@ func (s *Server) handleUpdate(req *dirsvc.Request) *dirsvc.Reply {
 		}
 		return dirsvc.ErrorReply(aerr)
 	}
+	// A shard restore installs a snapshot whose counters may run past the
+	// agreed sequence number; jump so fresh stamps stay monotonic. (The
+	// peer's lazy-apply message still carries agreedSeq — that is the key
+	// its pending table is indexed by.)
+	effSeq := agreedSeq
+	if res.AdvanceSeq > effSeq {
+		effSeq = res.AdvanceSeq
+	}
 	s.mu.Lock()
-	s.seq = agreedSeq
+	if effSeq > s.seq {
+		s.seq = effSeq
+	}
 	s.mu.Unlock()
 	if res.TopoChanged {
-		s.persistTopo(agreedSeq)
+		s.persistTopo(effSeq)
 	}
 	for _, old := range res.OldBullet {
 		s.scheduleCleanup(old)
@@ -536,12 +549,17 @@ func (s *Server) handleIntention(dreq *dirsvc.Request) *dirsvc.Reply {
 	s.mu.Unlock()
 
 	// Store the intentions on disk: one short-seek write to the fixed
-	// staging block.
-	if err := s.cfg.Staging.WriteBlockSeq(0, encodeIntention(inner, agreed)); err != nil {
-		s.mu.Lock()
-		delete(s.pending, obj)
-		s.mu.Unlock()
-		return &dirsvc.Reply{Status: dirsvc.StatusError}
+	// staging block. A shard-restore snapshot does not fit in the 512-byte
+	// block; it is kept in RAM only and applied immediately below — if this
+	// server crashes before the apply, bootstrap's peer sync re-fetches the
+	// restored state instead of the staging block replaying it.
+	if staged := encodeIntention(inner, agreed); len(staged) <= vdisk.BlockSize {
+		if err := s.cfg.Staging.WriteBlockSeq(0, staged); err != nil {
+			s.mu.Lock()
+			delete(s.pending, obj)
+			s.mu.Unlock()
+			return &dirsvc.Reply{Status: dirsvc.StatusError}
+		}
 	}
 	// Create the second copy in the background immediately, overlapping
 	// with the originator's own apply — otherwise the next intention's
@@ -582,17 +600,21 @@ func (s *Server) handleApplyLazy(dreq *dirsvc.Request) *dirsvc.Reply {
 		return &dirsvc.Reply{Status: dirsvc.StatusOK}
 	}
 	res, err := s.applier.ApplyUpdate(intent.req, intent.seq, true)
+	effSeq := intent.seq
 	if err == nil {
+		if res.AdvanceSeq > effSeq {
+			effSeq = res.AdvanceSeq
+		}
 		if res.TopoChanged {
-			s.persistTopo(intent.seq)
+			s.persistTopo(effSeq)
 		}
 		for _, old := range res.OldBullet {
 			s.scheduleCleanup(old)
 		}
 	}
 	s.mu.Lock()
-	if intent.seq > s.seq {
-		s.seq = intent.seq
+	if effSeq > s.seq {
+		s.seq = effSeq
 	}
 	s.mu.Unlock()
 	_ = s.cfg.Staging.WriteBlockSeq(0, nil)
@@ -640,17 +662,21 @@ func (s *Server) applyPendingFor(obj uint32) {
 	if intent == nil {
 		return
 	}
+	effSeq := intent.seq
 	if res, err := s.applier.ApplyUpdate(intent.req, intent.seq, true); err == nil {
+		if res.AdvanceSeq > effSeq {
+			effSeq = res.AdvanceSeq
+		}
 		if res.TopoChanged {
-			s.persistTopo(intent.seq)
+			s.persistTopo(effSeq)
 		}
 		for _, old := range res.OldBullet {
 			s.scheduleCleanup(old)
 		}
 	}
 	s.mu.Lock()
-	if intent.seq > s.seq {
-		s.seq = intent.seq
+	if effSeq > s.seq {
+		s.seq = effSeq
 	}
 	s.mu.Unlock()
 	_ = s.cfg.Staging.WriteBlockSeq(0, nil)
